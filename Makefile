@@ -1,0 +1,25 @@
+PYTHON ?= python3
+
+.PHONY: install test bench experiments examples clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-assert:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-disable
+
+experiments:
+	$(PYTHON) benchmarks/run_all.py --out experiments_raw.txt
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f; done
+
+clean:
+	rm -rf .pytest_cache .hypothesis .benchmarks build dist src/*.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,92 @@
+"""Ablation A — BatchUpdate on/off (SCTL+ vs SCTL*).
+
+Isolates §5.2: with reductions held fixed, how many weight writes does
+batching save, and what does that do to wall-clock time?  The paper folds
+this into Table 4's ``#updates`` column; here it gets its own sweep.
+"""
+
+from functools import lru_cache
+
+from common import dataset, index, k_sweep
+from repro.bench import format_table, timed
+from repro.core import sctl_plus, sctl_star
+
+ITERATIONS = 10
+# include near-clique datasets (orkut, skitter) where mid-k refinement
+# actually runs; on plant-dominated graphs the scope collapses instantly
+DATASETS = ("email", "orkut", "skitter")
+
+
+@lru_cache(maxsize=None)
+def ablation_rows():
+    rows = []
+    for name in DATASETS:
+        idx = index(name)
+        for k in k_sweep(name, points=3):
+            total = idx.count_k_cliques(k)
+            batched = timed(lambda: sctl_star(idx, k, iterations=ITERATIONS))
+            unbatched = timed(lambda: sctl_plus(idx, k, iterations=ITERATIONS))
+            rows.append(
+                [
+                    name,
+                    k,
+                    total,
+                    unbatched.result.stats["total_weight_updates"],
+                    batched.result.stats["total_weight_updates"],
+                    f"{unbatched.seconds:.3f}",
+                    f"{batched.seconds:.3f}",
+                    f"{batched.result.density / max(unbatched.result.density, 1e-12):.3f}",
+                ]
+            )
+    return rows
+
+
+def render() -> str:
+    return format_table(
+        [
+            "dataset",
+            "k",
+            "|C_k(G)|",
+            "updates (SCTL+)",
+            "updates (SCTL*)",
+            "SCTL+ s",
+            "SCTL* s",
+            "density ratio */+",
+        ],
+        ablation_rows(),
+        title=f"Ablation A: batch processing (T={ITERATIONS})",
+    )
+
+
+class TestAblationBatch:
+    def test_batching_never_increases_updates(self):
+        for row in ablation_rows():
+            assert row[4] <= row[3], row
+
+    def test_batching_preserves_quality(self):
+        for row in ablation_rows():
+            assert float(row[7]) >= 0.9, row
+
+    def test_updates_scale_below_clique_count_when_batched(self):
+        meaningful = [row for row in ablation_rows() if row[2] > 1000]
+        assert meaningful
+        for row in meaningful:
+            assert row[4] < row[2] * ITERATIONS, row
+
+    def test_benchmark_batched(self, benchmark):
+        idx = index("orkut")
+        k = k_sweep("orkut", points=3)[1]
+        benchmark.pedantic(
+            lambda: sctl_star(idx, k, iterations=ITERATIONS), rounds=3, iterations=1
+        )
+
+    def test_benchmark_unbatched(self, benchmark):
+        idx = index("orkut")
+        k = k_sweep("orkut", points=3)[1]
+        benchmark.pedantic(
+            lambda: sctl_plus(idx, k, iterations=ITERATIONS), rounds=3, iterations=1
+        )
+
+
+if __name__ == "__main__":
+    print(render())

@@ -1,0 +1,71 @@
+"""Ablation B — max-depth pruning of the SCT*-Index traversal.
+
+Isolates the §4.1 design choice of storing a max-depth per tree node: when
+listing k-cliques, how many tree nodes does the pruned traversal visit
+compared with walking the whole tree (what the original succinct clique
+tree would do)?  The saving is what lets SCTL touch "only a small fraction
+of the index as k gets large".
+"""
+
+from functools import lru_cache
+
+from common import index, k_sweep
+from repro.bench import format_table
+
+DATASETS = ("email", "gowalla", "dblp", "livejournal")
+
+
+@lru_cache(maxsize=None)
+def ablation_rows():
+    rows = []
+    for name in DATASETS:
+        idx = index(name)
+        full = idx.traversal_node_count(None)
+        for k in k_sweep(name, points=4):
+            pruned = idx.traversal_node_count(k)
+            rows.append(
+                [name, k, full, pruned, f"{pruned / full:.2%}" if full else "-"]
+            )
+    return rows
+
+
+def render() -> str:
+    return format_table(
+        ["dataset", "k", "nodes (no pruning)", "nodes (max-depth)", "visited"],
+        ablation_rows(),
+        title="Ablation B: max-depth pruning of index traversal",
+    )
+
+
+class TestAblationMaxDepth:
+    def test_pruning_never_visits_more(self):
+        for row in ablation_rows():
+            assert row[3] <= row[2]
+
+    def test_visits_shrink_as_k_grows(self):
+        by_dataset = {}
+        for row in ablation_rows():
+            by_dataset.setdefault(row[0], []).append(row[3])
+        for name, visits in by_dataset.items():
+            assert visits == sorted(visits, reverse=True), name
+
+    def test_large_k_visits_tiny_fraction(self):
+        """Near k_max, the traversal must touch well under half the tree."""
+        last_rows = {}
+        for row in ablation_rows():
+            last_rows[row[0]] = row
+        for name, row in last_rows.items():
+            assert row[3] <= row[2] * 0.5, row
+
+    def test_benchmark_pruned_traversal(self, benchmark):
+        idx = index("livejournal")
+        k = idx.max_clique_size - 2
+        benchmark(lambda: idx.traversal_node_count(k))
+
+    def test_benchmark_full_traversal(self, benchmark):
+        idx = index("livejournal")
+        benchmark(lambda: idx.traversal_node_count(None))
+
+
+if __name__ == "__main__":
+    print(render())

@@ -1,0 +1,79 @@
+"""Extra study — convergence of the weight-refinement iterations.
+
+Not a numbered artefact, but the claim behind all of §4-§5: the
+Frank-Wolfe-style updates "yield near-optimal approximation within
+limited iterations" and the certified upper bound tightens alongside.
+This bench tracks the achieved density and the upper bound per iteration
+and verifies both monotone trends.
+"""
+
+from functools import lru_cache
+
+from common import index, optimal_density
+from repro.bench import format_series
+from repro.core import sctl
+
+CONFIGS = [("email", 7), ("gowalla", 8), ("pokec", 6)]
+ITERATIONS = 20
+
+
+@lru_cache(maxsize=None)
+def convergence_series(name: str, k: int):
+    result = sctl(index(name), k, iterations=ITERATIONS, track_convergence=True)
+    optimum = float(optimal_density(name, k))
+    achieved = [d / optimum for d in result.stats["density_history"]]
+    upper = [u / optimum for u in result.stats["upper_bound_history"]]
+    return achieved, upper
+
+
+def render() -> str:
+    blocks = []
+    for name, k in CONFIGS:
+        achieved, upper = convergence_series(name, k)
+        blocks.append(
+            format_series(
+                "T",
+                list(range(1, ITERATIONS + 1)),
+                {"achieved/opt": achieved, "upper/opt": upper},
+                title=f"convergence ({name}, k={k})",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+class TestConvergence:
+    def test_achieved_density_never_decreases_much(self):
+        for name, k in CONFIGS:
+            achieved, _ = convergence_series(name, k)
+            for before, after in zip(achieved, achieved[1:]):
+                assert after >= before - 0.05, (name, k)
+
+    def test_achieved_stays_below_one_upper_above(self):
+        for name, k in CONFIGS:
+            achieved, upper = convergence_series(name, k)
+            assert all(a <= 1 + 1e-9 for a in achieved), (name, k)
+            assert all(u >= 1 - 1e-9 for u in upper), (name, k)
+
+    def test_near_optimal_within_ten_iterations(self):
+        for name, k in CONFIGS:
+            achieved, _ = convergence_series(name, k)
+            assert achieved[9] >= 0.95, (name, k)
+
+    def test_gap_tightens(self):
+        for name, k in CONFIGS:
+            achieved, upper = convergence_series(name, k)
+            first_gap = upper[0] - achieved[0]
+            last_gap = upper[-1] - achieved[-1]
+            assert last_gap <= first_gap + 1e-9, (name, k)
+
+    def test_benchmark_tracked_run(self, benchmark):
+        idx = index("email")
+        benchmark.pedantic(
+            lambda: sctl(idx, 7, iterations=ITERATIONS, track_convergence=True),
+            rounds=2,
+            iterations=1,
+        )
+
+
+if __name__ == "__main__":
+    print(render())

@@ -1,0 +1,88 @@
+"""Extra study — the full approximation ladder on one table.
+
+Complements Table 3 with the two peeling-family baselines the related
+work (§8) discusses: greedy peeling (Charikar-style, 1/k guarantee) next
+to CoreApp ((k'_max,Psi)-core, also 1/k) and the convex-programming
+family.  Expected shape: the peel family is cheap but only
+guarantee-level accurate on hard instances, while SCTL* is both cheap
+*and* near-optimal.
+"""
+
+from functools import lru_cache
+
+from common import dataset, index, optimal_density
+from repro.baselines import core_app, greedy_peeling, kcl
+from repro.bench import format_table, timed
+from repro.core import sctl_star, sctl_star_sample
+
+CONFIGS = [("orkut", 4), ("orkut", 5), ("skitter", 4), ("email", 7), ("pokec", 6)]
+# orkut's densest region is a diffuse near-clique; the convex family needs
+# ~2-8x more iterations there than on the planted datasets to pass 0.95
+# (it provably converges to 1.0 — see bench_convergence.py)
+ITERATIONS = 30
+
+
+@lru_cache(maxsize=None)
+def ladder_rows():
+    rows = []
+    for name, k in CONFIGS:
+        graph = dataset(name)
+        idx = index(name)
+        optimum = optimal_density(name, k)
+        entries = [
+            ("Peel", timed(lambda: greedy_peeling(graph, k))),
+            ("CoreApp", timed(lambda: core_app(graph, k))),
+            ("KCL", timed(lambda: kcl(graph, k, iterations=ITERATIONS))),
+            ("SCTL*", timed(lambda: sctl_star(idx, k, iterations=ITERATIONS))),
+            (
+                "SCTL*-Sample",
+                timed(
+                    lambda: sctl_star_sample(
+                        idx, k, sample_size=5_000, iterations=ITERATIONS, seed=0
+                    )
+                ),
+            ),
+        ]
+        for label, outcome in entries:
+            ratio = outcome.result.approximation_ratio(optimum)
+            rows.append(
+                [name, k, label, f"{outcome.seconds:.3f}", f"{ratio:.4f}"]
+            )
+    return rows
+
+
+def render() -> str:
+    return format_table(
+        ["dataset", "k", "algorithm", "time (s)", "ratio to optimal"],
+        ladder_rows(),
+        title="Extra: the full approximation ladder",
+    )
+
+
+class TestLadder:
+    def test_every_ratio_within_guarantee(self):
+        for name, k, label, _, ratio in ladder_rows():
+            bound = 1.0 / k if label in ("Peel", "CoreApp") else 0.9
+            assert float(ratio) >= bound - 1e-9, (name, k, label)
+
+    def test_sctl_star_near_optimal_everywhere(self):
+        for row in ladder_rows():
+            if row[2] == "SCTL*":
+                assert float(row[4]) >= 0.95, row
+
+    def test_peel_at_least_coreapp(self):
+        """Peeling keeps the best suffix; CoreApp keeps the innermost
+        core of the same peel metric — peeling can only match or win."""
+        by_config = {}
+        for name, k, label, _, ratio in ladder_rows():
+            by_config.setdefault((name, k), {})[label] = float(ratio)
+        for config, ratios in by_config.items():
+            assert ratios["Peel"] >= ratios["CoreApp"] - 1e-9, config
+
+    def test_benchmark_peel(self, benchmark):
+        graph = dataset("orkut")
+        benchmark.pedantic(lambda: greedy_peeling(graph, 5), rounds=3, iterations=1)
+
+
+if __name__ == "__main__":
+    print(render())

@@ -1,0 +1,100 @@
+"""Figure 5 — accuracy of KCL / SCTL / SCTL* after 10 iterations.
+
+Paper reference: Figure 5 plots the ratio of each algorithm's density to
+the optimal density against k, on Email and Youtube.
+
+Expected shape (paper): all three convex-programming algorithms sit at or
+very near ratio 1.0 for every k — the optimisations in SCTL* do not cost
+accuracy.
+"""
+
+from functools import lru_cache
+
+from common import dataset, index, k_sweep, optimal_density  # noqa: F401
+from repro.baselines import kcl
+from repro.bench import format_series
+from repro.core import sctl, sctl_star
+
+ITERATIONS = 10
+DATASETS = ("email", "youtube")
+
+
+@lru_cache(maxsize=None)
+def figure5_series(name: str):
+    graph = dataset(name)
+    idx = index(name)
+    ks = k_sweep(name, points=5)
+    series = {"KCL": [], "SCTL": [], "SCTL*": []}
+    for k in ks:
+        optimum = optimal_density(name, k)
+        series["KCL"].append(
+            kcl(graph, k, iterations=ITERATIONS).approximation_ratio(optimum)
+        )
+        series["SCTL"].append(
+            sctl(idx, k, iterations=ITERATIONS).approximation_ratio(optimum)
+        )
+        series["SCTL*"].append(
+            sctl_star(idx, k, iterations=ITERATIONS).approximation_ratio(optimum)
+        )
+    return ks, series
+
+
+def render() -> str:
+    blocks = []
+    for name in DATASETS:
+        ks, series = figure5_series(name)
+        blocks.append(
+            format_series(
+                "k", ks, series, title=f"Figure 5 ({name}): ratio to optimal density"
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+class TestFigure5:
+    def test_ratios_are_valid_fractions_of_optimum(self):
+        for name in DATASETS:
+            _, series = figure5_series(name)
+            for algorithm, values in series.items():
+                assert all(0 <= v <= 1 + 1e-9 for v in values), (name, algorithm)
+
+    def test_all_algorithms_near_optimal_in_near_clique_regime(self):
+        """The Figure 5 shape: every algorithm >= 0.9 wherever the graph
+        has real near-clique mass (>= 50 k-cliques).  At k = k_max these
+        miniature datasets hold a *single* clique, where prefix extraction
+        needs T >= k iterations to lift every member above the zero-weight
+        tie mass — see EXPERIMENTS.md for the discussion."""
+        for name in DATASETS:
+            ks, series = figure5_series(name)
+            idx = index(name)
+            for i, k in enumerate(ks):
+                if idx.count_k_cliques(k) < 50:
+                    continue
+                for algorithm, values in series.items():
+                    assert values[i] >= 0.9, (name, algorithm, k)
+
+    def test_sctl_star_optimal_even_at_kmax(self):
+        """SCTL*'s maximum-clique warm start keeps it at ratio ~1.0 even
+        in the single-clique regime where KCL/SCTL (T=10) collapse —
+        an observed advantage of the index-based initialisation."""
+        for name in DATASETS:
+            _, series = figure5_series(name)
+            assert min(series["SCTL*"]) >= 0.95, name
+            assert series["SCTL*"][-1] >= series["KCL"][-1] - 1e-9, name
+
+    def test_sctl_star_matches_sctl_accuracy(self):
+        """Optimisations must never degrade accuracy."""
+        for name in DATASETS:
+            _, series = figure5_series(name)
+            for a, b in zip(series["SCTL*"], series["SCTL"]):
+                assert a >= b - 0.1
+
+    def test_benchmark_accuracy_run_email(self, benchmark):
+        idx = index("email")
+        benchmark.pedantic(
+            lambda: sctl_star(idx, 7, iterations=ITERATIONS), rounds=3, iterations=1
+        )
+
+
+if __name__ == "__main__":
+    print(render())

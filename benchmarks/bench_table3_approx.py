@@ -1,0 +1,144 @@
+"""Table 3 — index build time plus approximation algorithms compared.
+
+Paper reference: Table 3 reports, on five datasets, (a) SCT*-Index build
+time and its size relative to |E|, (b) query time and approximation ratio
+of CoreApp / KCL / SCTL* at a representative k (T=10), and (c) total query
+time over *all* k values.
+
+Expected shape (paper): SCTL* is fastest and near-optimal (ratio ~1.0),
+KCL matches the ratio but is one to two orders of magnitude slower, and
+CoreApp is slowest with the weakest ratios.
+"""
+
+from functools import lru_cache
+
+from common import BUDGET_SECONDS, dataset, index, k_sweep, optimal_density
+from repro.baselines import core_app, kcl
+from repro.bench import TimeoutTracker, format_table, timed
+from repro.core import SCTIndex, sctl_star
+from repro.datasets import SMALL_SET
+
+ITERATIONS = 10
+
+
+def _representative_k(name: str) -> int:
+    sweep = k_sweep(name, points=5)
+    return sweep[len(sweep) // 2]
+
+
+@lru_cache(maxsize=None)
+def table3_rows():
+    rows = []
+    tracker = TimeoutTracker(budget=BUDGET_SECONDS)
+    for name in SMALL_SET:
+        graph = dataset(name)
+        build = timed(lambda: SCTIndex.build(graph))
+        idx = index(name)
+        size_ratio = idx.n_tree_nodes / graph.m
+        k_rep = _representative_k(name)
+        optimum = optimal_density(name, k_rep)
+
+        def ratio(result) -> str:
+            if result is None:
+                return "-"
+            return f"{result.approximation_ratio(optimum):.2f}"
+
+        core_rep = tracker.run(name, "CoreApp", lambda: core_app(graph, k_rep))
+        kcl_rep = tracker.run(
+            name, "KCL", lambda: kcl(graph, k_rep, iterations=ITERATIONS)
+        )
+        star_rep = tracker.run(
+            name, "SCTL*", lambda: sctl_star(idx, k_rep, iterations=ITERATIONS)
+        )
+
+        totals = {"CoreApp": 0.0, "KCL": 0.0, "SCTL*": 0.0}
+        timed_out = {alg: False for alg in totals}
+        for k in range(3, idx.max_clique_size + 1):
+            runs = {
+                "CoreApp": tracker.run(name, "CoreApp/all", lambda: core_app(graph, k)),
+                "KCL": tracker.run(
+                    name, "KCL/all", lambda: kcl(graph, k, iterations=ITERATIONS)
+                ),
+                "SCTL*": tracker.run(
+                    name, "SCTL*/all", lambda: sctl_star(idx, k, iterations=ITERATIONS)
+                ),
+            }
+            for alg, outcome in runs.items():
+                if outcome.timed_out:
+                    timed_out[alg] = True
+                else:
+                    totals[alg] += outcome.seconds
+
+        def total_cell(alg: str) -> str:
+            return "time out" if timed_out[alg] else f"{totals[alg]:.2f}"
+
+        rows.append(
+            [
+                name,
+                f"{build.seconds:.2f}",
+                f"{size_ratio:.2f}",
+                k_rep,
+                f"{core_rep.cell} ({ratio(core_rep.result)})",
+                f"{kcl_rep.cell} ({ratio(kcl_rep.result)})",
+                f"{star_rep.cell} ({ratio(star_rep.result)})",
+                total_cell("CoreApp"),
+                total_cell("KCL"),
+                total_cell("SCTL*"),
+            ]
+        )
+    return rows
+
+
+def render() -> str:
+    return format_table(
+        [
+            "dataset",
+            "index build (s)",
+            "nodes/m",
+            "k",
+            "CoreApp s (ratio)",
+            "KCL s (ratio)",
+            "SCTL* s (ratio)",
+            "all-k CoreApp",
+            "all-k KCL",
+            "all-k SCTL*",
+        ],
+        table3_rows(),
+        title=f"Table 3: approximation algorithms (T={ITERATIONS})",
+    )
+
+
+class TestTable3:
+    def test_sctl_star_is_near_optimal_everywhere(self):
+        for row in table3_rows():
+            ratio = float(row[6].split("(")[1].rstrip(")"))
+            assert ratio >= 0.95, row[0]
+
+    def test_sctl_star_total_time_beats_kcl(self):
+        for row in table3_rows():
+            if row[8] == "time out" or row[9] == "time out":
+                continue
+            assert float(row[9]) <= float(row[8]), row[0]
+
+    def test_benchmark_sctl_star_email(self, benchmark):
+        idx = index("email")
+        k = _representative_k("email")
+        benchmark.pedantic(
+            lambda: sctl_star(idx, k, iterations=ITERATIONS), rounds=3, iterations=1
+        )
+
+    def test_benchmark_kcl_email(self, benchmark):
+        graph = dataset("email")
+        k = _representative_k("email")
+        benchmark.pedantic(
+            lambda: kcl(graph, k, iterations=ITERATIONS), rounds=3, iterations=1
+        )
+
+    def test_benchmark_coreapp_email(self, benchmark):
+        graph = dataset("email")
+        k = _representative_k("email")
+        benchmark.pedantic(lambda: core_app(graph, k), rounds=3, iterations=1)
+
+
+if __name__ == "__main__":
+    print(render())

@@ -1,0 +1,73 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_*.py`` file regenerates one table or figure of the paper.
+Run any of them directly (``python benchmarks/bench_table3_approx.py``) for
+the full printed artefact, or through ``pytest benchmarks/
+--benchmark-only`` to get wall-clock measurements of the key cells.
+
+Datasets, indexes and exact optimal densities are memoised process-wide so
+the suite does not redo offline work per experiment — mirroring the paper,
+which treats index construction as offline and reports it separately.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from functools import lru_cache
+from typing import List, Tuple
+
+from repro.core import SCTIndex, sctl_star_exact
+from repro.core.sct import SCTPath
+from repro.datasets import load_dataset
+
+__all__ = [
+    "dataset",
+    "index",
+    "valid_paths",
+    "optimal_density",
+    "k_sweep",
+    "BUDGET_SECONDS",
+]
+
+# soft per-call budget: the miniature analogue of the paper's 10^5 s limit
+BUDGET_SECONDS = 60.0
+
+
+def dataset(name: str):
+    """The named registry graph (memoised by the registry itself)."""
+    return load_dataset(name)
+
+
+@lru_cache(maxsize=None)
+def index(name: str) -> SCTIndex:
+    """The (complete) SCT*-Index of the named dataset, built once."""
+    return SCTIndex.build(dataset(name))
+
+
+@lru_cache(maxsize=None)
+def valid_paths(name: str, k: int) -> Tuple[SCTPath, ...]:
+    """The k-valid root-to-leaf paths of the named dataset's index."""
+    return tuple(index(name).collect_paths(k))
+
+
+@lru_cache(maxsize=None)
+def optimal_density(name: str, k: int) -> Fraction:
+    """The exact optimal k-clique density (memoised per dataset and k)."""
+    graph = dataset(name)
+    result = sctl_star_exact(
+        graph, k, index=index(name), sample_size=20_000, iterations=8, seed=0
+    )
+    return result.density_fraction
+
+
+def k_sweep(name: str, points: int = 5, k_min: int = 3) -> List[int]:
+    """``points`` evenly spread k values from ``k_min`` to the dataset's
+    ``k_max`` — the x axis of the paper's figures."""
+    k_max = index(name).max_clique_size
+    if k_max <= k_min:
+        return [k_min]
+    if points == 1:
+        return [k_max]
+    step = (k_max - k_min) / (points - 1)
+    values = sorted({k_min + round(i * step) for i in range(points)})
+    return [k for k in values if k_min <= k <= k_max]

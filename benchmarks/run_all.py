@@ -1,0 +1,58 @@
+"""Regenerate every table and figure in one pass.
+
+Usage::
+
+    python benchmarks/run_all.py            # print everything
+    python benchmarks/run_all.py --out experiments_raw.txt
+
+The per-artefact modules are imported in paper order and their
+``render()`` output concatenated; all caches (datasets, indexes, exact
+optima) are shared, so this is faster than running the files separately.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+ARTEFACTS = [
+    ("Table 2", "bench_table2_datasets"),
+    ("Table 3", "bench_table3_approx"),
+    ("Figure 4", "bench_fig4_effect_of_k"),
+    ("Figure 5", "bench_fig5_accuracy"),
+    ("Table 4", "bench_table4_reductions"),
+    ("Table 5", "bench_table5_sampling"),
+    ("Table 6", "bench_table6_exact"),
+    ("Ablation A (batch)", "bench_ablation_batch"),
+    ("Ablation B (max-depth)", "bench_ablation_maxdepth"),
+    ("Ablation C (partial index)", "bench_ablation_partial_index"),
+    ("Ablation D (warm start)", "bench_ablation_warmstart"),
+    ("Convergence", "bench_convergence"),
+    ("LP cross-check", "bench_lp_crosscheck"),
+    ("Extra baselines ladder", "bench_extra_baselines"),
+    ("Memory", "bench_memory"),
+]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", help="also write the output to this file")
+    args = parser.parse_args(argv)
+    sections = []
+    for label, module_name in ARTEFACTS:
+        start = time.perf_counter()
+        module = __import__(module_name)
+        body = module.render()
+        elapsed = time.perf_counter() - start
+        sections.append(f"==== {label} (generated in {elapsed:.1f}s) ====\n{body}")
+        print(sections[-1], flush=True)
+        print()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write("\n\n".join(sections) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""The full density hierarchy of a network.
+
+Beyond the single densest subgraph, the density-friendly decomposition
+splits the whole vertex set into shells of strictly decreasing marginal
+density — core-periphery structure made exact.  This example builds the
+k-clique hypergraph of a layered social network and prints its shells,
+then shows how converged Frank–Wolfe vertex loads line up with them (the
+structural fact behind the paper's weight-ordered extraction step).
+
+Run:  python examples/density_hierarchy.py
+"""
+
+from repro.core.frank_wolfe import frank_wolfe
+from repro.graph.generators import disjoint_union, planted_near_cliques_graph, gnp_graph
+from repro.hypergraph import Hypergraph, density_friendly_decomposition
+
+
+def main() -> None:
+    # core: 10-vertex near-clique; middle: looser 12-vertex community;
+    # periphery: sparse background
+    layered = planted_near_cliques_graph(
+        60, [(10, 0.95), (12, 0.55)], background_p=0.0, seed=31
+    )
+    background = gnp_graph(60, 0.03, seed=32)
+    network = disjoint_union([layered, background])
+    print(f"network: {network.n} vertices, {network.m} edges")
+
+    k = 3
+    hypergraph = Hypergraph.from_graph_cliques(network, k)
+    print(f"{k}-clique hypergraph: {hypergraph.m} hyperedges\n")
+
+    levels = density_friendly_decomposition(hypergraph)
+    print("density-friendly decomposition (marginal densities):")
+    for i, level in enumerate(levels, start=1):
+        preview = list(level.vertices[:10])
+        suffix = "..." if len(level.vertices) > 10 else ""
+        print(f"  shell {i}: {len(level.vertices):3d} vertices, "
+              f"density {float(level.density):8.3f}   {preview}{suffix}")
+
+    # Frank-Wolfe loads converge to the shell densities
+    state = frank_wolfe(hypergraph.edges, network.n, iterations=200)
+    print("\nmean converged Frank-Wolfe load per shell:")
+    for i, level in enumerate(levels, start=1):
+        loads = [state.weights[v] for v in level.vertices]
+        mean = sum(loads) / len(loads)
+        print(f"  shell {i}: mean load {mean:8.3f} "
+              f"(marginal density {float(level.density):8.3f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Finding multiple fraud rings with iterated densest-subgraph extraction.
+
+The paper's introduction motivates k-clique densest subgraphs with fraud
+detection in financial networks (Hooi et al.'s FRAUDAR line of work):
+colluding accounts interact with each other far more densely than honest
+users do.  One ring is rarely the whole story, so this example uses
+``top_dense_subgraphs`` — find the densest region, remove it, repeat — to
+pull out every planted ring in order of density.
+
+Run:  python examples/fraud_rings.py
+"""
+
+from repro import top_dense_subgraphs
+from repro.graph.generators import disjoint_union, gnp_graph, planted_near_cliques_graph
+
+
+def main() -> None:
+    # three colluding rings of decreasing tightness inside a sparse
+    # population of honest accounts
+    rings = planted_near_cliques_graph(
+        60,
+        communities=[(12, 0.95), (10, 0.9), (8, 0.85)],
+        background_p=0.0,
+        seed=41,
+    )
+    honest = gnp_graph(500, 0.004, seed=42)
+    network = disjoint_union([rings, honest])
+    print(f"transaction network: {network.n} accounts, {network.m} interactions")
+
+    k = 3
+    found = top_dense_subgraphs(network, k, count=5, exact=True, min_density=1.0)
+    print(f"\nrings detected (k={k}, exact, stopping below density 1.0):")
+    planted = [set(range(12)), set(range(12, 22)), set(range(22, 30))]
+    for rank, ring in enumerate(found, start=1):
+        members = set(ring.vertices)
+        overlaps = [f"{len(members & p)}/{len(p)}" for p in planted]
+        print(f"  #{rank}: {ring.size} accounts, density {ring.density:.2f}, "
+              f"overlap with planted rings: {overlaps}")
+
+    recovered = set().union(*(set(r.vertices) for r in found)) if found else set()
+    planted_all = set(range(30))
+    precision = len(recovered & planted_all) / len(recovered) if recovered else 0
+    recall = len(recovered & planted_all) / len(planted_all)
+    print(f"\nprecision {precision:.2%}, recall {recall:.2%} "
+          f"against the planted collusion set")
+
+
+if __name__ == "__main__":
+    main()

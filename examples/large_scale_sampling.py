@@ -1,0 +1,46 @@
+"""Sampling on a large graph with a partial SCT*-k'-Index.
+
+The paper's §6 workflow for graphs too big to index completely: build a
+partial SCT*-k'-Index (skipping subtrees that cannot hold a k'-clique),
+then run SCTL*-Sample, which (1) samples k-cliques proportionally per
+index path without enumerating them, (2) refines weights on the sample,
+and (3) recovers the *true* density of the chosen subgraph through index
+counting — never listing all k-cliques at any point.
+
+Run:  python examples/large_scale_sampling.py
+"""
+
+import time
+
+from repro import SCTIndex, sctl_star_sample
+from repro.datasets import load_dataset
+
+
+def main() -> None:
+    # the registry's Friendster stand-in: the largest bundled graph
+    graph = load_dataset("friendster")
+    print(f"graph: {graph.n} vertices, {graph.m} edges")
+
+    threshold = 5
+    t0 = time.perf_counter()
+    partial = SCTIndex.build(graph, threshold=threshold)
+    full = SCTIndex.build(graph)
+    print(f"partial SCT*-{threshold}-Index: {partial.n_tree_nodes} nodes "
+          f"(full index: {full.n_tree_nodes}) "
+          f"built in {time.perf_counter() - t0:.2f}s\n")
+
+    sigma = 10_000
+    for k in (6, 9, 12):
+        t0 = time.perf_counter()
+        result = sctl_star_sample(
+            partial, k, sample_size=sigma, iterations=10, seed=0
+        )
+        elapsed = time.perf_counter() - t0
+        print(f"k={k}: sampled {result.stats['sampled_cliques']} cliques, "
+              f"visited {result.stats['clique_visits']} during refinement")
+        print(f"       -> density {result.density:.3f} on {result.size} "
+              f"vertices  ({elapsed:.2f}s)\n")
+
+
+if __name__ == "__main__":
+    main()

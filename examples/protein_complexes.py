@@ -1,0 +1,57 @@
+"""Near-clique detection in a protein-interaction-style network.
+
+The paper's motivating application (§1): in a protein-protein-interaction
+network, a "near-clique" — a subgraph one or two edges short of complete —
+often marks a protein complex whose missing edges are *predicted
+interactions*.  This example plants two such complexes inside a noisy
+background, recovers them with the k-clique densest subgraph, and prints
+the missing intra-complex edges as interaction predictions.
+
+Run:  python examples/protein_complexes.py
+"""
+
+from itertools import combinations
+
+from repro import SCTIndex, sctl_star_exact
+from repro.graph.generators import planted_near_cliques_graph
+
+
+def main() -> None:
+    # complex A: 10 proteins at 93% interaction coverage
+    # complex B: 8 proteins at 88% coverage; sparse experimental noise around
+    network = planted_near_cliques_graph(
+        150,
+        communities=[(10, 0.93), (8, 0.88)],
+        background_p=0.015,
+        seed=2024,
+    )
+    print(f"interaction network: {network.n} proteins, {network.m} interactions")
+
+    index = SCTIndex.build(network)
+    k = 4  # quadruplet co-membership: robust to single missing edges
+    result = sctl_star_exact(network, k, index=index)
+    complex_members = result.vertices
+    print(f"\ndetected complex ({result.algorithm}, k={k}): "
+          f"{len(complex_members)} proteins, "
+          f"{result.clique_count} {k}-cliques, density {result.density:.2f}")
+    print(f"members: {complex_members}")
+
+    planted = set(range(10))
+    recovered = planted & set(complex_members)
+    print(f"overlap with planted complex A: {len(recovered)}/10 proteins")
+
+    # missing intra-complex edges = predicted interactions
+    predictions = [
+        (u, v)
+        for u, v in combinations(sorted(complex_members), 2)
+        if not network.has_edge(u, v)
+    ]
+    print(f"\npredicted interactions (missing edges inside the complex):")
+    for u, v in predictions:
+        print(f"  protein {u} -- protein {v}")
+    if not predictions:
+        print("  (none: the detected complex is a perfect clique)")
+
+
+if __name__ == "__main__":
+    main()

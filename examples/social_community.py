@@ -1,0 +1,62 @@
+"""Comparing all algorithms on a social-network community graph.
+
+Reproduces the paper's evaluation story in one script: on a graph with
+pronounced community structure, run every approximation algorithm at the
+same iteration budget and compare density, runtime and (via the exact
+solver) true approximation ratios — the Table 3 / Figure 5 view in
+miniature.
+
+Run:  python examples/social_community.py
+"""
+
+import time
+
+from repro import SCTIndex, densest_subgraph
+from repro.bench import format_table
+from repro.core import sctl_star_exact
+from repro.graph import overlapping_community_graph
+
+
+def main() -> None:
+    graph = overlapping_community_graph(
+        400, n_communities=30, community_size=18, intra_p=0.55,
+        memberships=2, seed=77,
+    )
+    print(f"social graph: {graph.n} users, {graph.m} friendships")
+
+    k = 4
+    t0 = time.perf_counter()
+    index = SCTIndex.build(graph)
+    build_time = time.perf_counter() - t0
+    print(f"SCT*-Index built in {build_time:.3f}s "
+          f"({index.n_tree_nodes} nodes, k_max={index.max_clique_size})\n")
+
+    exact = sctl_star_exact(graph, k, index=index)
+    optimum = exact.density_fraction
+    print(f"optimal {k}-clique density: {exact.density:.4f} "
+          f"on {exact.size} vertices\n")
+
+    rows = []
+    for method in ("coreapp", "kcl", "sctl", "sctl+", "sctl*", "sctl*-sample"):
+        t0 = time.perf_counter()
+        result = densest_subgraph(
+            graph, k, method=method, iterations=10,
+            index=index, sample_size=5000,
+        )
+        elapsed = time.perf_counter() - t0
+        rows.append([
+            result.algorithm,
+            f"{elapsed:.3f}",
+            result.size,
+            f"{result.density:.4f}",
+            f"{result.approximation_ratio(optimum):.4f}",
+        ])
+    print(format_table(
+        ["algorithm", "time (s)", "|S|", "density", "ratio to optimal"],
+        rows,
+        title=f"approximation algorithms at k={k}, T=10",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,167 @@
+"""repro — Scaling Up k-Clique Densest Subgraph Detection.
+
+A complete, pure-Python implementation of the SIGMOD 2023 paper: the
+SCT*-Index, the SCTL / SCTL+ / SCTL* approximation family, the
+SCTL*-Sample sampling algorithm and the SCTL*-Exact solver, together with
+every baseline the paper compares against (KCL, KCL-Sample, KCL-Exact,
+CoreApp, CoreExact) and the substrates they need (degeneracy cores,
+KCList, Bron–Kerbosch, Dinic max-flow, the Goldberg-style clique flow
+network).
+
+Quickstart::
+
+    from repro import SCTIndex, sctl_star, sctl_star_exact
+    from repro.graph import relaxed_caveman_graph
+
+    graph = relaxed_caveman_graph(10, 8, 0.1, seed=1)
+    index = SCTIndex.build(graph)          # offline, reusable for any k
+    approx = sctl_star(index, k=4)         # near-optimal in a few passes
+    exact = sctl_star_exact(graph, 4, index=index)
+    print(approx.summary())
+    print(exact.summary())
+
+The top-level :func:`densest_subgraph` facade picks the algorithm by name.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .baselines import (
+    core_app,
+    core_exact,
+    greedy_peeling,
+    kcl,
+    kcl_exact,
+    kcl_sample,
+)
+from .core import (
+    DensestSubgraphResult,
+    DensityProfile,
+    SCTIndex,
+    SCTPath,
+    density_profile,
+    sctl,
+    sctl_plus,
+    sctl_star,
+    sctl_star_exact,
+    sctl_star_sample,
+    top_dense_subgraphs,
+)
+from .errors import (
+    DatasetError,
+    GraphError,
+    IndexBuildError,
+    IndexQueryError,
+    InvalidParameterError,
+    ReproError,
+    SolverError,
+)
+from .graph import Graph
+from .hypergraph import Hypergraph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "Hypergraph",
+    "SCTIndex",
+    "SCTPath",
+    "DensestSubgraphResult",
+    "densest_subgraph",
+    "sctl",
+    "sctl_plus",
+    "sctl_star",
+    "sctl_star_sample",
+    "sctl_star_exact",
+    "kcl",
+    "kcl_sample",
+    "kcl_exact",
+    "core_app",
+    "core_exact",
+    "greedy_peeling",
+    "density_profile",
+    "DensityProfile",
+    "top_dense_subgraphs",
+    "ReproError",
+    "GraphError",
+    "InvalidParameterError",
+    "IndexBuildError",
+    "IndexQueryError",
+    "DatasetError",
+    "SolverError",
+    "__version__",
+]
+
+_APPROX_METHODS = {"sctl", "sctl+", "sctl*", "kcl", "coreapp"}
+_EXACT_METHODS = {"sctl*-exact", "kcl-exact", "coreexact"}
+
+
+def densest_subgraph(
+    graph: Graph,
+    k: int,
+    method: str = "sctl*",
+    iterations: int = 10,
+    index: Optional[SCTIndex] = None,
+    sample_size: Optional[int] = None,
+    seed: int = 0,
+) -> DensestSubgraphResult:
+    """One-call facade over every algorithm in the package.
+
+    Parameters
+    ----------
+    graph:
+        The input graph.
+    k:
+        Clique size (``>= 3`` for the paper's setting).
+    method:
+        One of ``"sctl"``, ``"sctl+"``, ``"sctl*"``, ``"sctl*-sample"``,
+        ``"sctl*-exact"``, ``"kcl"``, ``"kcl-sample"``, ``"kcl-exact"``,
+        ``"coreapp"``, ``"coreexact"`` (case-insensitive).
+    iterations:
+        Refinement passes for the iterative methods.
+    index:
+        A pre-built SCT*-Index to reuse for the SCT-based methods
+        (built on demand otherwise).
+    sample_size:
+        Sample size for the ``*-sample`` methods (default ``10_000``).
+    seed:
+        RNG seed for sampling methods.
+    """
+    name = method.lower()
+    needs_index = name in {"sctl", "sctl+", "sctl*", "sctl*-sample", "sctl*-exact"}
+    if needs_index and index is None:
+        index = SCTIndex.build(graph)
+    sigma = sample_size if sample_size is not None else 10_000
+    if name == "sctl":
+        return sctl(index, k, iterations=iterations)
+    if name == "sctl+":
+        return sctl_plus(index, k, iterations=iterations, graph=graph)
+    if name == "sctl*":
+        return sctl_star(index, k, iterations=iterations, graph=graph)
+    if name == "sctl*-sample":
+        return sctl_star_sample(
+            index, k, sample_size=sigma, iterations=iterations, seed=seed
+        )
+    if name == "sctl*-exact":
+        return sctl_star_exact(
+            graph, k, index=index, sample_size=sigma,
+            iterations=iterations, seed=seed,
+        )
+    if name == "kcl":
+        return kcl(graph, k, iterations=iterations)
+    if name == "kcl-sample":
+        return kcl_sample(graph, k, sample_size=sigma, iterations=iterations, seed=seed)
+    if name == "kcl-exact":
+        return kcl_exact(graph, k, initial_iterations=iterations)
+    if name == "coreapp":
+        return core_app(graph, k)
+    if name == "coreexact":
+        return core_exact(graph, k)
+    if name == "peel":
+        return greedy_peeling(graph, k)
+    raise InvalidParameterError(
+        f"unknown method {method!r}; expected one of: sctl, sctl+, sctl*, "
+        "sctl*-sample, sctl*-exact, kcl, kcl-sample, kcl-exact, coreapp, "
+        "coreexact, peel"
+    )

@@ -1,0 +1,13 @@
+"""Application-level workflows built on k-clique densest subgraphs."""
+
+from .near_cliques import NearClique, extract_near_clique, predict_missing_edges
+from .evaluation import f1_score, jaccard, precision_recall
+
+__all__ = [
+    "NearClique",
+    "extract_near_clique",
+    "predict_missing_edges",
+    "precision_recall",
+    "jaccard",
+    "f1_score",
+]

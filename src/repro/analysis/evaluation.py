@@ -1,0 +1,42 @@
+"""Evaluation helpers for detection experiments.
+
+Small, dependency-free metrics for comparing detected vertex sets against
+planted ground truth — used by the examples and the integration tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+__all__ = ["precision_recall", "jaccard", "f1_score"]
+
+
+def precision_recall(detected: Iterable, truth: Iterable) -> Tuple[float, float]:
+    """``(precision, recall)`` of ``detected`` against ``truth``.
+
+    Empty ``detected`` has precision 1.0 by convention (no false
+    positives); empty ``truth`` has recall 1.0.
+    """
+    detected_set = set(detected)
+    truth_set = set(truth)
+    hit = len(detected_set & truth_set)
+    precision = hit / len(detected_set) if detected_set else 1.0
+    recall = hit / len(truth_set) if truth_set else 1.0
+    return precision, recall
+
+
+def jaccard(a: Iterable, b: Iterable) -> float:
+    """Jaccard similarity of two sets (1.0 when both are empty)."""
+    set_a, set_b = set(a), set(b)
+    union = set_a | set_b
+    if not union:
+        return 1.0
+    return len(set_a & set_b) / len(union)
+
+
+def f1_score(detected: Iterable, truth: Iterable) -> float:
+    """Harmonic mean of precision and recall (0.0 when both are 0)."""
+    precision, recall = precision_recall(detected, truth)
+    if precision + recall == 0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)

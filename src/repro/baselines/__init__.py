@@ -1,0 +1,16 @@
+"""State-of-the-art baselines the paper compares against."""
+
+from .coreapp import core_app, core_exact, psi_core_decomposition
+from .kcl import kcl, kcl_sample
+from .kcl_exact import kcl_exact
+from .peeling import greedy_peeling
+
+__all__ = [
+    "kcl",
+    "kcl_sample",
+    "kcl_exact",
+    "core_app",
+    "core_exact",
+    "psi_core_decomposition",
+    "greedy_peeling",
+]

@@ -1,0 +1,23 @@
+"""Benchmark harness utilities."""
+
+from .harness import (
+    Timed,
+    TimedWithMemory,
+    TimeoutTracker,
+    format_series,
+    format_table,
+    timed,
+    timed_hard,
+    timed_with_memory,
+)
+
+__all__ = [
+    "Timed",
+    "TimedWithMemory",
+    "TimeoutTracker",
+    "timed",
+    "timed_hard",
+    "timed_with_memory",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,278 @@
+"""Command-line interface.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.cli datasets
+    python -m repro.cli build-index dataset:email -o email.sct
+    python -m repro.cli query dataset:email -k 7 --method sctl*
+    python -m repro.cli query graph.txt -k 4 --index graph.sct --method sctl*-exact
+    python -m repro.cli profile dataset:pokec --iterations 10
+
+Graph arguments accept either a path to an edge-list file or
+``dataset:<name>`` for one of the bundled synthetic datasets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional
+
+from . import densest_subgraph
+from .analysis import extract_near_clique
+from .bench import format_table
+from .core import SCTIndex, top_dense_subgraphs
+from .core.profile import density_profile
+from .datasets import dataset_names, get_spec, load_dataset
+from .errors import ReproError
+from .graph import Graph, read_edge_list
+from .graph.stats import summarize
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_graph(spec: str) -> Graph:
+    """Resolve a graph argument: ``dataset:<name>`` or an edge-list path."""
+    if spec.startswith("dataset:"):
+        return load_dataset(spec.split(":", 1)[1])
+    return read_edge_list(spec)
+
+
+def _cmd_datasets(_args: argparse.Namespace) -> int:
+    rows = []
+    for name in dataset_names():
+        spec = get_spec(name)
+        graph = load_dataset(name)
+        rows.append([name, spec.paper_counterpart, graph.n, graph.m, spec.role])
+    print(format_table(
+        ["name", "paper counterpart", "|V|", "|E|", "role"], rows,
+        title="bundled datasets",
+    ))
+    return 0
+
+
+def _cmd_build_index(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    start = time.perf_counter()
+    index = SCTIndex.build(graph, threshold=args.threshold)
+    elapsed = time.perf_counter() - start
+    index.save(args.output)
+    print(f"built {index!r} in {elapsed:.3f}s -> {args.output}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    index: Optional[SCTIndex] = None
+    if args.index:
+        index = SCTIndex.load(args.index)
+        if index.n_vertices != graph.n:
+            print(
+                f"error: index covers {index.n_vertices} vertices but the "
+                f"graph has {graph.n}",
+                file=sys.stderr,
+            )
+            return 2
+    start = time.perf_counter()
+    result = densest_subgraph(
+        graph,
+        args.k,
+        method=args.method,
+        iterations=args.iterations,
+        index=index,
+        sample_size=args.sample_size,
+        seed=args.seed,
+    )
+    elapsed = time.perf_counter() - start
+    print(result.summary())
+    if result.upper_bound is not None:
+        print(f"upper bound on optimal density: {result.upper_bound:.6f}")
+    print(f"query time: {elapsed:.3f}s")
+    if args.show_vertices:
+        print(f"vertices: {result.vertices}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    index = SCTIndex.load(args.index) if args.index else SCTIndex.build(graph)
+    profile = density_profile(index, iterations=args.iterations)
+    rows = [
+        [k, size, count, f"{density:.4f}"]
+        for k, size, count, density in profile.as_rows()
+    ]
+    print(format_table(
+        ["k", "|S|", "k-cliques", "density"], rows,
+        title=f"density profile (k_max={index.max_clique_size})",
+    ))
+    print(f"best k by density: {profile.densest_k()}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    summary = summarize(graph)
+    rows = [
+        ["vertices", summary.n],
+        ["edges", summary.m],
+        ["min / max degree", f"{summary.min_degree} / {summary.max_degree}"],
+        ["mean degree", f"{summary.mean_degree:.2f}"],
+        ["triangles", summary.triangles],
+        ["average clustering", f"{summary.average_clustering:.4f}"],
+        ["transitivity", f"{summary.transitivity:.4f}"],
+        ["edge density", f"{summary.edge_density:.6f}"],
+    ]
+    if args.kmax:
+        index = SCTIndex.build(graph)
+        rows.append(["k_max (max clique size)", index.max_clique_size])
+        rows.append(["SCT*-Index tree nodes", index.n_tree_nodes])
+    print(format_table(["statistic", "value"], rows, title="graph statistics"))
+    return 0
+
+
+def _cmd_near_clique(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    region = extract_near_clique(
+        graph, args.k, exact=not args.approximate,
+        iterations=args.iterations, seed=args.seed,
+    )
+    print(f"near-clique on {len(region.members)} vertices "
+          f"(k={args.k}, density {region.density:.4f}, "
+          f"completeness {region.completeness:.2%})")
+    print(f"members: {region.members}")
+    if region.missing_edges:
+        shown = region.missing_edges[: args.max_predictions]
+        print(f"top predicted edges ({len(shown)} of {len(region.missing_edges)}):")
+        for u, v in shown:
+            print(f"  {graph.label_of(u)} -- {graph.label_of(v)}")
+    else:
+        print("the region is a perfect clique — nothing to predict")
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    regions = top_dense_subgraphs(
+        graph, args.k, count=args.count, exact=not args.approximate,
+        iterations=args.iterations, min_density=args.min_density,
+        seed=args.seed,
+    )
+    if not regions:
+        print("no dense regions found")
+        return 0
+    rows = [
+        [i, r.size, r.clique_count, f"{r.density:.4f}"]
+        for i, r in enumerate(regions, start=1)
+    ]
+    print(format_table(
+        ["rank", "|S|", "k-cliques", "density"], rows,
+        title=f"top dense regions (k={args.k})",
+    ))
+    if args.show_vertices:
+        for i, region in enumerate(regions, start=1):
+            print(f"#{i}: {region.vertices}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="k-clique densest subgraph detection (SCT*-Index)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list the bundled synthetic datasets")
+
+    build = sub.add_parser("build-index", help="build and save an SCT*-Index")
+    build.add_argument("graph", help="edge-list path or dataset:<name>")
+    build.add_argument("-o", "--output", required=True, help="output file")
+    build.add_argument(
+        "--threshold", type=int, default=0,
+        help="partial SCT*-k'-Index threshold (0 = complete index)",
+    )
+
+    query = sub.add_parser("query", help="find a k-clique densest subgraph")
+    query.add_argument("graph", help="edge-list path or dataset:<name>")
+    query.add_argument("-k", type=int, required=True, help="clique size")
+    query.add_argument(
+        "--method", default="sctl*",
+        help="algorithm (sctl, sctl+, sctl*, sctl*-sample, sctl*-exact, "
+             "kcl, kcl-sample, kcl-exact, coreapp, coreexact)",
+    )
+    query.add_argument("--index", help="pre-built index file to reuse")
+    query.add_argument("--iterations", type=int, default=10)
+    query.add_argument("--sample-size", type=int, default=None)
+    query.add_argument("--seed", type=int, default=0)
+    query.add_argument(
+        "--show-vertices", action="store_true",
+        help="print the vertex ids of the reported subgraph",
+    )
+
+    profile = sub.add_parser(
+        "profile", help="densest subgraph for every k from one index"
+    )
+    profile.add_argument("graph", help="edge-list path or dataset:<name>")
+    profile.add_argument("--index", help="pre-built index file to reuse")
+    profile.add_argument("--iterations", type=int, default=10)
+
+    stats = sub.add_parser("stats", help="descriptive statistics of a graph")
+    stats.add_argument("graph", help="edge-list path or dataset:<name>")
+    stats.add_argument(
+        "--kmax", action="store_true",
+        help="also build the SCT*-Index and report k_max",
+    )
+
+    near = sub.add_parser(
+        "near-clique",
+        help="detect a near-clique and rank its missing edges",
+    )
+    near.add_argument("graph", help="edge-list path or dataset:<name>")
+    near.add_argument("-k", type=int, required=True)
+    near.add_argument("--approximate", action="store_true")
+    near.add_argument("--iterations", type=int, default=10)
+    near.add_argument("--seed", type=int, default=0)
+    near.add_argument("--max-predictions", type=int, default=10)
+
+    top = sub.add_parser(
+        "top", help="extract the top-s disjoint dense regions"
+    )
+    top.add_argument("graph", help="edge-list path or dataset:<name>")
+    top.add_argument("-k", type=int, required=True)
+    top.add_argument("--count", type=int, default=3)
+    top.add_argument("--approximate", action="store_true")
+    top.add_argument("--iterations", type=int, default=10)
+    top.add_argument("--min-density", type=float, default=0.0)
+    top.add_argument("--seed", type=int, default=0)
+    top.add_argument("--show-vertices", action="store_true")
+
+    return parser
+
+
+_COMMANDS = {
+    "datasets": _cmd_datasets,
+    "build-index": _cmd_build_index,
+    "query": _cmd_query,
+    "profile": _cmd_profile,
+    "stats": _cmd_stats,
+    "near-clique": _cmd_near_clique,
+    "top": _cmd_top,
+}
+
+
+def main(argv: Optional[list] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""Clique enumeration and counting substrates."""
+
+from .counting import (
+    engagement_counts,
+    k_clique_density,
+    subgraph_density,
+    subgraph_k_clique_count,
+)
+from .estimates import (
+    clique_count_upper_bound,
+    degeneracy_clique_bound,
+    kruskal_katona_clique_bound,
+)
+from .kclist import count_k_cliques, iter_k_cliques, per_vertex_counts
+from .maximal import iter_maximal_cliques, max_clique_size, maximum_clique
+from .naive import (
+    clique_count_by_size_naive,
+    count_k_cliques_naive,
+    densest_subgraph_bruteforce,
+    iter_k_cliques_naive,
+    k_clique_density_naive,
+    per_vertex_counts_naive,
+)
+from .ordered_view import OrderedGraphView, build_ordered_view
+
+__all__ = [
+    "OrderedGraphView",
+    "build_ordered_view",
+    "iter_k_cliques",
+    "count_k_cliques",
+    "per_vertex_counts",
+    "iter_maximal_cliques",
+    "max_clique_size",
+    "maximum_clique",
+    "iter_k_cliques_naive",
+    "count_k_cliques_naive",
+    "per_vertex_counts_naive",
+    "k_clique_density_naive",
+    "densest_subgraph_bruteforce",
+    "clique_count_by_size_naive",
+    "k_clique_density",
+    "subgraph_k_clique_count",
+    "subgraph_density",
+    "engagement_counts",
+    "degeneracy_clique_bound",
+    "kruskal_katona_clique_bound",
+    "clique_count_upper_bound",
+]

@@ -1,0 +1,51 @@
+"""Higher-level clique counting helpers built on KCList.
+
+The SCT*-Index has its own (faster, closed-form) counting; these helpers are
+the index-free alternatives used by baselines, tests and graph reductions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..graph.graph import Graph
+from .kclist import count_k_cliques, per_vertex_counts
+from .ordered_view import OrderedGraphView
+
+__all__ = [
+    "k_clique_density",
+    "subgraph_k_clique_count",
+    "subgraph_density",
+    "engagement_counts",
+]
+
+
+def k_clique_density(graph: Graph, k: int) -> float:
+    """k-clique density of the whole graph: ``|C_k(G)| / |V(G)|``."""
+    if graph.n == 0:
+        return 0.0
+    return count_k_cliques(graph, k) / graph.n
+
+
+def subgraph_k_clique_count(graph: Graph, vertices, k: int) -> int:
+    """Number of k-cliques inside the subgraph induced by ``vertices``."""
+    vs = sorted(set(vertices))
+    if len(vs) < k:
+        return 0
+    sub, _ = graph.induced_subgraph(vs)
+    return count_k_cliques(sub, k)
+
+
+def subgraph_density(graph: Graph, vertices, k: int) -> float:
+    """k-clique density of the subgraph induced by ``vertices``."""
+    vs = sorted(set(vertices))
+    if not vs:
+        return 0.0
+    return subgraph_k_clique_count(graph, vs, k) / len(vs)
+
+
+def engagement_counts(
+    graph: Graph, k: int, view: Optional[OrderedGraphView] = None
+) -> List[int]:
+    """Per-vertex k-clique engagement ``|C_k(v, G)|`` (KCList-based)."""
+    return per_vertex_counts(graph, k, view=view)

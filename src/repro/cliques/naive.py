@@ -1,0 +1,99 @@
+"""Naive, combinations-based clique routines.
+
+These are deliberately simple and obviously correct — they serve as the test
+oracle for KCList, the SCT*-Index and every density computation.  Only use
+them on small graphs.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, Iterator, List, Tuple
+
+from ..errors import InvalidParameterError
+from ..graph.graph import Graph
+
+__all__ = [
+    "iter_k_cliques_naive",
+    "count_k_cliques_naive",
+    "per_vertex_counts_naive",
+    "k_clique_density_naive",
+    "densest_subgraph_bruteforce",
+    "clique_count_by_size_naive",
+]
+
+
+def _check_k(k: int) -> None:
+    if k < 1:
+        raise InvalidParameterError(f"k must be >= 1, got {k}")
+
+
+def iter_k_cliques_naive(graph: Graph, k: int) -> Iterator[Tuple[int, ...]]:
+    """Yield every k-clique of ``graph`` as a sorted vertex tuple.
+
+    Enumerates all :math:`\\binom{n}{k}` subsets — exponential; oracle only.
+    """
+    _check_k(k)
+    for combo in combinations(range(graph.n), k):
+        if graph.is_clique(combo):
+            yield combo
+
+
+def count_k_cliques_naive(graph: Graph, k: int) -> int:
+    """Number of k-cliques, by exhaustive enumeration."""
+    return sum(1 for _ in iter_k_cliques_naive(graph, k))
+
+
+def per_vertex_counts_naive(graph: Graph, k: int) -> List[int]:
+    """``result[v]`` = number of k-cliques containing ``v`` (engagement)."""
+    counts = [0] * graph.n
+    for clique in iter_k_cliques_naive(graph, k):
+        for v in clique:
+            counts[v] += 1
+    return counts
+
+
+def k_clique_density_naive(graph: Graph, vertices, k: int) -> float:
+    """k-clique density of the subgraph induced by ``vertices``."""
+    vs = sorted(set(vertices))
+    if not vs:
+        return 0.0
+    sub, _ = graph.induced_subgraph(vs)
+    return count_k_cliques_naive(sub, k) / len(vs)
+
+
+def densest_subgraph_bruteforce(graph: Graph, k: int) -> Tuple[List[int], float]:
+    """Exact k-clique densest subgraph by trying *every* vertex subset.
+
+    Returns ``(vertices, density)``.  Exponential in ``n``; the ground-truth
+    oracle for graphs with at most ~15 vertices.  Ties are broken towards
+    the lexicographically smallest vertex set among the smallest optimal
+    sets, so results are deterministic.
+    """
+    _check_k(k)
+    best_density = 0.0
+    best_set: List[int] = []
+    # enumerate cliques once; then each subset's clique count is a filter
+    cliques = list(iter_k_cliques_naive(graph, k))
+    clique_masks = [sum(1 << v for v in c) for c in cliques]
+    for size in range(1, graph.n + 1):
+        for combo in combinations(range(graph.n), size):
+            mask = sum(1 << v for v in combo)
+            inside = sum(1 for cm in clique_masks if cm & mask == cm)
+            density = inside / size
+            if density > best_density + 1e-12:
+                best_density = density
+                best_set = list(combo)
+    return best_set, best_density
+
+
+def clique_count_by_size_naive(graph: Graph) -> Dict[int, int]:
+    """Number of cliques of every size ``>= 1`` (oracle for SCT counting)."""
+    out: Dict[int, int] = {}
+    for k in range(1, graph.n + 1):
+        c = count_k_cliques_naive(graph, k)
+        if c == 0 and k > 2:
+            break
+        if c:
+            out[k] = c
+    return out

@@ -1,0 +1,109 @@
+"""Degeneracy-ordered bitset view of a graph.
+
+Clique algorithms (KCList, the SCT*-Index build, Bron–Kerbosch) all want the
+same preprocessing: relabel vertices by degeneracy-ordering position so that
+
+* "later in the ordering" becomes "higher bit index", and
+* adjacency rows become big-int bitsets over positions.
+
+With that, the out-neighbourhood of position ``i`` is a single expression
+``adj_bits[i] >> (i + 1) << (i + 1)`` and every set intersection inside a
+recursion is one C-level ``&``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..graph.cores import CoreDecomposition, core_decomposition
+from ..graph.graph import Graph
+
+__all__ = ["OrderedGraphView", "build_ordered_view", "popcount"]
+
+
+def popcount(mask: int) -> int:
+    """Number of set bits in ``mask``."""
+    return mask.bit_count()
+
+
+@dataclass(frozen=True)
+class OrderedGraphView:
+    """Graph relabelled along a degeneracy ordering, with bitset adjacency.
+
+    Attributes
+    ----------
+    graph:
+        The original graph.
+    order:
+        ``order[i]`` is the original vertex id occupying position ``i``.
+    position:
+        Inverse of ``order``.
+    adj_bits:
+        ``adj_bits[i]`` has bit ``j`` set iff positions ``i`` and ``j`` are
+        adjacent.
+    out_bits:
+        ``out_bits[i] = adj_bits[i]`` restricted to positions ``> i`` — the
+        degeneracy-DAG out-neighbourhood.
+    degeneracy:
+        Degeneracy of the graph, an upper bound on every out-degree.
+    core_number:
+        ``core_number[i]`` is the core number of the vertex at position
+        ``i`` (note: indexed by *position*, not original id).
+    """
+
+    graph: Graph
+    order: List[int]
+    position: List[int]
+    adj_bits: List[int]
+    out_bits: List[int]
+    degeneracy: int
+    core_number: List[int]
+
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return self.graph.n
+
+    def to_original(self, positions) -> List[int]:
+        """Map an iterable of positions back to original vertex ids."""
+        order = self.order
+        return [order[i] for i in positions]
+
+
+def build_ordered_view(
+    graph: Graph, decomposition: Optional[CoreDecomposition] = None
+) -> OrderedGraphView:
+    """Construct the ordered bitset view of ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        The undirected input graph.
+    decomposition:
+        Optional pre-computed core decomposition to reuse.
+    """
+    if decomposition is None:
+        decomposition = core_decomposition(graph)
+    order = decomposition.order
+    position = decomposition.position
+    n = graph.n
+    adj_bits = [0] * n
+    for i, v in enumerate(order):
+        row = 0
+        for u in graph.neighbors(v):
+            row |= 1 << position[u]
+        adj_bits[i] = row
+    out_bits = [0] * n
+    for i in range(n):
+        out_bits[i] = adj_bits[i] >> (i + 1) << (i + 1)
+    core_by_pos = [decomposition.core_number[order[i]] for i in range(n)]
+    return OrderedGraphView(
+        graph=graph,
+        order=order,
+        position=position,
+        adj_bits=adj_bits,
+        out_bits=out_bits,
+        degeneracy=decomposition.degeneracy,
+        core_number=core_by_pos,
+    )

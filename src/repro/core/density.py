@@ -1,0 +1,81 @@
+"""Result types shared by every densest-subgraph algorithm."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Any, Dict, List, Optional
+
+__all__ = ["DensestSubgraphResult"]
+
+
+@dataclass
+class DensestSubgraphResult:
+    """Outcome of a k-clique densest subgraph computation.
+
+    Densities are kept exact: ``clique_count`` and ``len(vertices)`` are
+    integers, so :attr:`density_fraction` has no floating-point error.
+
+    Attributes
+    ----------
+    vertices:
+        Sorted vertex ids of the reported subgraph (empty when the graph
+        has no k-clique).
+    clique_count:
+        Number of k-cliques inside the reported subgraph, measured on the
+        *original* graph.
+    k:
+        The clique size queried.
+    algorithm:
+        Human-readable algorithm name (``"SCTL*"``, ``"KCL"``, ...).
+    iterations:
+        Weight-refinement iterations actually performed.
+    upper_bound:
+        A certified upper bound on the optimal density, when the algorithm
+        produces one (see Remark 1 of the paper); ``None`` otherwise.
+    exact:
+        ``True`` when the result is verified optimal.
+    stats:
+        Free-form instrumentation (per-iteration scope sizes, update
+        counts, timings...), used by the benchmark harness.
+    """
+
+    vertices: List[int]
+    clique_count: int
+    k: int
+    algorithm: str
+    iterations: int = 0
+    upper_bound: Optional[float] = None
+    exact: bool = False
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        """Number of vertices in the reported subgraph."""
+        return len(self.vertices)
+
+    @property
+    def density_fraction(self) -> Fraction:
+        """Exact k-clique density ``clique_count / size`` (0 when empty)."""
+        if not self.vertices:
+            return Fraction(0)
+        return Fraction(self.clique_count, len(self.vertices))
+
+    @property
+    def density(self) -> float:
+        """k-clique density as a float."""
+        return float(self.density_fraction)
+
+    def approximation_ratio(self, optimal_density: Fraction) -> float:
+        """``density / optimal_density`` against a known optimum."""
+        if optimal_density <= 0:
+            return 1.0 if self.density_fraction == 0 else float("inf")
+        return float(self.density_fraction / optimal_density)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        flag = "exact" if self.exact else "approx"
+        return (
+            f"{self.algorithm} (k={self.k}, {flag}): |S|={self.size}, "
+            f"cliques={self.clique_count}, density={self.density:.4f}"
+        )

@@ -1,0 +1,213 @@
+"""SCTL*-Sample: sampling-based approximation (Algorithm 6, §6.1).
+
+The three stages of the paper:
+
+1. **Sampling** — allocate the sample budget across root-to-leaf paths
+   proportionally to each path's clique count (systematic rounding keeps
+   the total exact), then draw that many *distinct* k-cliques per path by
+   unranking uniformly random combination indices — no path ever
+   enumerates cliques it does not hand out.
+2. **Weight refinement** — run the KCL update rule on the sampled cliques
+   for ``T`` iterations, with the Lemma 4 clique-engagement reduction
+   applied inside the sampled subgraph.
+3. **Recovery** — extract the best prefix of the sampled subgraph, then
+   compute its *true* k-clique density in the original graph through
+   :meth:`SCTIndex.count_in_subset` — again without enumerating cliques.
+
+The returned density is therefore measured on the input graph even though
+only a sample of cliques was ever visited.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from math import comb
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import InvalidParameterError
+from .density import DensestSubgraphResult
+from .extraction import best_prefix_from_cliques
+from .reductions import engagement_threshold
+from .sct import SCTIndex, SCTPath
+from .sctl import empty_result
+
+__all__ = ["sctl_star_sample", "sample_k_cliques"]
+
+
+def _unrank_combination(rank: int, m: int, t: int) -> Tuple[int, ...]:
+    """The ``rank``-th t-subset of ``range(m)`` in lexicographic order."""
+    result: List[int] = []
+    x = 0
+    remaining = t
+    while remaining:
+        # count subsets starting with x: C(m - x - 1, remaining - 1)
+        block = comb(m - x - 1, remaining - 1)
+        if rank < block:
+            result.append(x)
+            remaining -= 1
+        else:
+            rank -= block
+        x += 1
+    return tuple(result)
+
+
+def _sample_from_path(
+    path: SCTPath, k: int, want: int, rng: random.Random
+) -> List[Tuple[int, ...]]:
+    """``want`` distinct k-cliques of ``path``, uniformly at random."""
+    need = k - len(path.holds)
+    m = len(path.pivots)
+    total = comb(m, need)
+    want = min(want, total)
+    if want <= 0:
+        return []
+    if need == 0:
+        return [path.holds]
+    pivots = path.pivots
+    ranks = rng.sample(range(total), want)  # distinct ranks, uniform
+    cliques = []
+    for rank in ranks:
+        chosen = _unrank_combination(rank, m, need)
+        cliques.append(path.holds + tuple(pivots[i] for i in chosen))
+    return cliques
+
+
+def sample_k_cliques(
+    paths: Sequence[SCTPath],
+    k: int,
+    sample_size: int,
+    rng: random.Random,
+) -> List[Tuple[int, ...]]:
+    """Stage 1: a proportional, distinct-per-path sample of k-cliques.
+
+    Path ``P`` receives a ``|C_k(P)| * sample_size / |C_k(G)|`` share of
+    the budget; systematic rounding (floor of the running product) makes
+    the shares sum to ``sample_size`` exactly.  If the budget covers every
+    clique, all cliques are returned.
+    """
+    counts = [p.clique_count(k) for p in paths]
+    total = sum(counts)
+    if total == 0:
+        return []
+    if sample_size >= total:
+        return [c for p in paths for c in p.iter_cliques(k)]
+    out: List[Tuple[int, ...]] = []
+    accumulated = 0
+    for path, count in zip(paths, counts):
+        if not count:
+            continue
+        want = (accumulated + count) * sample_size // total - (
+            accumulated * sample_size // total
+        )
+        accumulated += count
+        if want:
+            out.extend(_sample_from_path(path, k, want, rng))
+        if len(out) >= sample_size:
+            break
+    return out
+
+
+def sctl_star_sample(
+    index: SCTIndex,
+    k: int,
+    sample_size: int,
+    iterations: int = 10,
+    seed: int = 0,
+    use_reduction: bool = True,
+    paths: Optional[Sequence[SCTPath]] = None,
+) -> DensestSubgraphResult:
+    """Run SCTL*-Sample (Algorithm 6).
+
+    Parameters
+    ----------
+    index:
+        SCT*-Index (a partial SCT*-k'-Index works too and, per §6.1, still
+        yields reasonable approximations for ``k`` below the threshold as
+        long as ``k >= k'`` is met for the listing itself).
+    k:
+        Clique size.
+    sample_size:
+        The paper's ``sigma`` — number of k-cliques to sample.
+    iterations:
+        Refinement passes ``T`` over the sample.
+    seed:
+        RNG seed; runs are fully reproducible.
+    use_reduction:
+        Apply the clique-engagement reduction inside the sampled subgraph.
+    paths:
+        Pre-collected valid paths to reuse.
+    """
+    if sample_size < 1:
+        raise InvalidParameterError(f"sample_size must be >= 1, got {sample_size}")
+    if iterations < 1:
+        raise InvalidParameterError(f"iterations must be >= 1, got {iterations}")
+    rng = random.Random(seed)
+    # §6.1: a partial SCT*-k'-Index may be queried below its threshold;
+    # the sample then misses cliques in pruned subtrees, but "most
+    # k-cliques in the densest subgraph come from larger cliques"
+    partial_approximation = not index.supports_k(k) and k >= 1
+    if paths is None:
+        paths = index.collect_paths(k, enforce_support=not partial_approximation)
+    if not paths:
+        return empty_result(k, "SCTL*-Sample")
+    sampled = sample_k_cliques(paths, k, sample_size, rng)
+    if not sampled:
+        return empty_result(k, "SCTL*-Sample")
+    n = index.n_vertices
+
+    # stage 2: weight refinement on the sampled subgraph
+    weights = [0] * n
+    engagement = [0] * n
+    for clique in sampled:
+        for v in clique:
+            engagement[v] += 1
+    sampled_vertices = sorted({v for c in sampled for v in c})
+    rho_sample = Fraction(0)
+    visited_total = 0
+    for _ in range(iterations):
+        threshold = (
+            engagement_threshold(rho_sample)
+            if use_reduction and rho_sample > 0
+            else 0
+        )
+        new_engagement = [0] * n if use_reduction else engagement
+        for clique in sampled:
+            if threshold and any(engagement[v] < threshold for v in clique):
+                continue
+            u = min(clique, key=weights.__getitem__)
+            weights[u] += 1
+            visited_total += 1
+            if use_reduction:
+                for v in clique:
+                    new_engagement[v] += 1
+        engagement = new_engagement
+        prefix = best_prefix_from_cliques(
+            sampled, weights, restrict_to=sampled_vertices
+        )
+        if prefix.density_fraction > rho_sample:
+            rho_sample = prefix.density_fraction
+
+    # stage 3: recovery of the true density through the index
+    prefix = best_prefix_from_cliques(sampled, weights, restrict_to=sampled_vertices)
+    chosen = sorted(prefix.vertices)
+    if not chosen:
+        return empty_result(k, "SCTL*-Sample")
+    true_count = index.count_in_subset(
+        k, chosen, enforce_support=not partial_approximation
+    )
+    return DensestSubgraphResult(
+        vertices=chosen,
+        clique_count=true_count,
+        k=k,
+        algorithm="SCTL*-Sample",
+        iterations=iterations,
+        stats={
+            "sampled_cliques": len(sampled),
+            "sampled_vertices": len(sampled_vertices),
+            "sample_density": float(rho_sample),
+            "clique_visits": visited_total,
+            "weights": weights,
+            "partial_index_approximation": partial_approximation,
+        },
+    )

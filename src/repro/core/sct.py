@@ -1,0 +1,588 @@
+"""The SCT*-Index: a pivot/hold succinct clique tree with max-depth pruning.
+
+This is the paper's central data structure (§4.1).  It adapts the succinct
+clique tree of Jain & Seshadhri's *Pivoter* so that k-clique listing for a
+*specific* ``k`` does not traverse the whole tree:
+
+* every tree node records the **max-depth** of its subtree — the largest
+  number of (non-root) vertices on any root-to-leaf path through it — so a
+  query for ``k`` only descends into children whose max-depth is ``>= k``;
+* subtrees rooted at vertices that cannot be in any k'-clique are pruned at
+  build time (the **SCT\\*-k'-Index**), using the out-degree and
+  core-number observations of §4.1.
+
+Every root-to-leaf path ``P`` carries *hold* vertices ``V_h(P)`` and *pivot*
+vertices ``V_p(P)``; by Lemma 2 the k-cliques under ``P`` are exactly
+"all holds + any ``k - |V_h|``-subset of pivots", so the path compactly
+represents ``C(|V_p|, k - |V_h|)`` cliques.  All counting queries reduce to
+binomial coefficients over the paths.
+
+The tree is stored in flat parallel arrays (structure-of-arrays) to keep the
+Python object count — and hence memory — proportional to nodes, not Python
+dicts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from math import comb
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..cliques.ordered_view import OrderedGraphView, build_ordered_view
+from ..errors import IndexBuildError, IndexQueryError
+from ..graph.graph import Graph
+
+__all__ = ["SCTPath", "SCTIndex", "HOLD", "PIVOT"]
+
+HOLD = 0
+PIVOT = 1
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SCTPath:
+    """One root-to-leaf path: a compressed set of cliques.
+
+    ``holds`` and ``pivots`` are tuples of *original* vertex ids, in
+    root-to-leaf order.  The union ``holds + pivots`` always induces a
+    clique in the indexed graph.
+    """
+
+    holds: Tuple[int, ...]
+    pivots: Tuple[int, ...]
+
+    def clique_count(self, k: int) -> int:
+        """Number of k-cliques represented by this path (Lemma 2)."""
+        need = k - len(self.holds)
+        if need < 0:
+            return 0
+        return comb(len(self.pivots), need)
+
+    def pivot_engagement(self, k: int) -> int:
+        """k-cliques of this path containing one *fixed* pivot vertex."""
+        need = k - len(self.holds)
+        if need < 1:
+            return 0
+        return comb(len(self.pivots) - 1, need - 1)
+
+    def iter_cliques(self, k: int) -> Iterator[Tuple[int, ...]]:
+        """Yield each k-clique under this path as a vertex tuple.
+
+        The tuple layout is ``holds + chosen pivots``; combinations of
+        pivots are generated in lexicographic order of pivot position, so
+        iteration order is deterministic.
+        """
+        from itertools import combinations
+
+        need = k - len(self.holds)
+        if need < 0 or need > len(self.pivots):
+            return
+        if need == 0:
+            yield self.holds
+            return
+        for chosen in combinations(self.pivots, need):
+            yield self.holds + chosen
+
+    @property
+    def vertices(self) -> Tuple[int, ...]:
+        """All vertices on the path (holds then pivots)."""
+        return self.holds + self.pivots
+
+    def __len__(self) -> int:
+        return len(self.holds) + len(self.pivots)
+
+
+class SCTIndex:
+    """The SCT*-Index over a graph.
+
+    Build with :meth:`SCTIndex.build`; query k-cliques for any
+    ``k >= threshold`` without touching the graph again.
+
+    Node arrays (index 0 is the virtual root):
+
+    * ``_vertex[i]`` — original vertex id stored at node ``i`` (-1 for root);
+    * ``_label[i]`` — ``HOLD`` or ``PIVOT`` (-1 for root);
+    * ``_children[i]`` — child node ids;
+    * ``_max_depth[i]`` — the largest number of non-root vertices on any
+      root-to-leaf path through node ``i``.
+    """
+
+    def __init__(
+        self,
+        n_vertices: int,
+        vertex: List[int],
+        label: List[int],
+        children: List[List[int]],
+        max_depth: List[int],
+        threshold: int,
+    ):
+        self._n_vertices = n_vertices
+        self._vertex = vertex
+        self._label = label
+        self._children = children
+        self._max_depth = max_depth
+        self._threshold = threshold
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        graph: Graph,
+        threshold: int = 0,
+        view: Optional[OrderedGraphView] = None,
+    ) -> "SCTIndex":
+        """Build the SCT*-Index of ``graph``.
+
+        Parameters
+        ----------
+        graph:
+            The undirected input graph.
+        threshold:
+            The ``k'`` of a partial **SCT\\*-k'-Index**: subtrees rooted at a
+            vertex ``u`` with ``|N+(u)| + 1 < k'`` (out-degree pruning) or
+            ``cn(u) + 1 < k'`` (degeneracy pruning) are skipped, shrinking
+            the index while preserving k-clique listing for every
+            ``k >= k'``.  ``0`` (default) builds the complete index, which
+            answers every ``k``.
+        view:
+            Optional pre-built ordered view to reuse.
+        """
+        if threshold < 0:
+            raise IndexBuildError(f"threshold must be >= 0, got {threshold}")
+        if view is None:
+            view = build_ordered_view(graph)
+        n = view.n
+        adj = view.adj_bits
+        out = view.out_bits
+        order = view.order
+        core = view.core_number
+
+        vertex: List[int] = [-1]
+        label: List[int] = [-1]
+        children: List[List[int]] = [[]]
+        max_depth: List[int] = [0]
+
+        def new_node(orig_vertex: int, node_label: int, parent: int) -> int:
+            node = len(vertex)
+            vertex.append(orig_vertex)
+            label.append(node_label)
+            children.append([])
+            max_depth.append(0)
+            children[parent].append(node)
+            return node
+
+        def expand(node: int, cand: int, depth: int) -> int:
+            """Pivoter recursion; returns the subtree's max path depth."""
+            if cand == 0:
+                max_depth[node] = depth
+                return depth
+            # pivot: candidate with the most neighbours inside cand
+            best_p, best_cover = -1, -1
+            mask = cand
+            while mask:
+                low = mask & -mask
+                x = low.bit_length() - 1
+                mask ^= low
+                cover = (adj[x] & cand).bit_count()
+                if cover > best_cover:
+                    best_cover, best_p = cover, x
+            p = best_p
+            deepest = depth
+            # pivot branch: cliques avoiding every non-neighbour of p
+            child = new_node(order[p], PIVOT, node)
+            deepest = max(deepest, expand(child, cand & adj[p], depth + 1))
+            # hold branches: each non-neighbour v_i of p gets the cliques
+            # whose smallest excluded vertex is v_i
+            rest = cand & ~adj[p] & ~(1 << p)
+            removed = 1 << p
+            while rest:
+                low = rest & -rest
+                x = low.bit_length() - 1
+                rest ^= low
+                removed |= low
+                child = new_node(order[x], HOLD, node)
+                deepest = max(
+                    deepest, expand(child, (cand & ~removed) & adj[x], depth + 1)
+                )
+            max_depth[node] = deepest
+            return deepest
+
+        overall = 0
+        for i in range(n):
+            if threshold:
+                if out[i].bit_count() + 1 < threshold:
+                    continue  # out-degree pre-pruning
+                if core[i] + 1 < threshold:
+                    continue  # degeneracy pre-pruning
+            root_child = new_node(order[i], HOLD, 0)
+            overall = max(overall, expand(root_child, out[i], 1))
+        max_depth[0] = overall
+        return cls(
+            n_vertices=graph.n,
+            vertex=vertex,
+            label=label,
+            children=children,
+            max_depth=max_depth,
+            threshold=threshold,
+        )
+
+    # ------------------------------------------------------------------
+    # basic stats
+    # ------------------------------------------------------------------
+
+    @property
+    def n_vertices(self) -> int:
+        """Vertex count of the indexed graph."""
+        return self._n_vertices
+
+    @property
+    def n_tree_nodes(self) -> int:
+        """Number of tree nodes, excluding the virtual root."""
+        return len(self._vertex) - 1
+
+    @property
+    def n_leaves(self) -> int:
+        """Number of leaves (= number of root-to-leaf paths; on a complete
+        index this equals the number of maximal cliques)."""
+        return sum(1 for c in self._children[1:] if not c)
+
+    @property
+    def threshold(self) -> int:
+        """The build threshold ``k'`` (0 for a complete index)."""
+        return self._threshold
+
+    @property
+    def max_clique_size(self) -> int:
+        """Size of the largest clique reachable through the index.
+
+        On a complete index this is the graph's ``k_max`` (every
+        root-to-leaf path induces a clique).
+        """
+        return self._max_depth[0]
+
+    def statistics(self) -> Dict[str, object]:
+        """Structural statistics of the tree (for reports and ablations).
+
+        Returns a dict with node/leaf/label counts, the depth histogram of
+        the leaves, and the mean root-to-leaf path length.
+        """
+        n_holds = sum(1 for lab in self._label[1:] if lab == HOLD)
+        n_pivots = sum(1 for lab in self._label[1:] if lab == PIVOT)
+        depth_histogram: Dict[int, int] = {}
+        total_depth = 0
+        n_leaves = 0
+        # iterative DFS carrying depth
+        stack: List[Tuple[int, int]] = [(0, 0)]
+        while stack:
+            node, depth = stack.pop()
+            kids = self._children[node]
+            if not kids and node != 0:
+                depth_histogram[depth] = depth_histogram.get(depth, 0) + 1
+                total_depth += depth
+                n_leaves += 1
+                continue
+            for child in kids:
+                stack.append((child, depth + 1))
+        return {
+            "tree_nodes": self.n_tree_nodes,
+            "leaves": n_leaves,
+            "holds": n_holds,
+            "pivots": n_pivots,
+            "max_depth": self._max_depth[0],
+            "mean_leaf_depth": (total_depth / n_leaves) if n_leaves else 0.0,
+            "leaf_depth_histogram": dict(sorted(depth_histogram.items())),
+            "threshold": self._threshold,
+        }
+
+    def a_maximum_clique(self) -> List[int]:
+        """One clique of size :attr:`max_clique_size`, as sorted vertex ids.
+
+        Greedy max-depth descent: from the root, repeatedly enter a child
+        whose max-depth equals the target.  Every root-to-leaf path induces
+        a clique, so the collected vertices form a maximum one.  Cost is
+        ``O(max_clique_size * branching)`` — no traversal of the tree.
+        """
+        target = self._max_depth[0]
+        if target == 0:
+            return []
+        vertices: List[int] = []
+        node = 0
+        while self._children[node]:
+            node = next(
+                c for c in self._children[node] if self._max_depth[c] == target
+            )
+            vertices.append(self._vertex[node])
+        return sorted(vertices)
+
+    def supports_k(self, k: int) -> bool:
+        """Whether this (possibly partial) index can list k-cliques."""
+        return k >= max(self._threshold, 1)
+
+    def _require_k(self, k: int) -> None:
+        if k < 1:
+            raise IndexQueryError(f"k must be >= 1, got {k}")
+        if not self.supports_k(k):
+            raise IndexQueryError(
+                f"partial SCT*-{self._threshold}-Index cannot answer k={k}; "
+                f"rebuild with threshold <= {k}"
+            )
+
+    # ------------------------------------------------------------------
+    # path traversal
+    # ------------------------------------------------------------------
+
+    def iter_paths(
+        self, k: Optional[int] = None, enforce_support: bool = True
+    ) -> Iterator[SCTPath]:
+        """Yield root-to-leaf paths as :class:`SCTPath` objects.
+
+        With ``k`` given, subtrees whose max-depth is below ``k`` are pruned
+        (they cannot contain a k-clique), and so are branches that have
+        accumulated more than ``k`` hold vertices (every k-clique of a path
+        must contain *all* its holds).  Only paths with at least one
+        k-clique are yielded.
+
+        ``enforce_support=False`` lets a *partial* SCT*-k'-Index answer
+        ``k`` below its threshold; the paths then cover only the k-cliques
+        living inside unpruned subtrees — the approximation §6.1 of the
+        paper relies on ("most k-cliques in the densest subgraph come from
+        larger cliques").
+        """
+        if k is not None and enforce_support:
+            self._require_k(k)
+        vertex = self._vertex
+        label = self._label
+        children = self._children
+        max_depth = self._max_depth
+        holds: List[int] = []
+        pivots: List[int] = []
+
+        def descend(node: int) -> Iterator[SCTPath]:
+            kids = children[node]
+            if not kids:
+                if k is None or len(holds) <= k <= len(holds) + len(pivots):
+                    yield SCTPath(tuple(holds), tuple(pivots))
+                return
+            for child in kids:
+                if k is not None:
+                    if max_depth[child] < k:
+                        continue
+                    if label[child] == HOLD and len(holds) >= k:
+                        continue
+                stack = holds if label[child] == HOLD else pivots
+                stack.append(vertex[child])
+                yield from descend(child)
+                stack.pop()
+
+        yield from descend(0)
+
+    def collect_paths(
+        self, k: Optional[int] = None, enforce_support: bool = True
+    ) -> List[SCTPath]:
+        """Materialise :meth:`iter_paths` into a list."""
+        return list(self.iter_paths(k, enforce_support=enforce_support))
+
+    def traversal_node_count(self, k: Optional[int] = None) -> int:
+        """Number of tree nodes visited when listing k-cliques.
+
+        The ablation metric for max-depth pruning: compare ``k=None``
+        (full traversal) with a specific ``k``.
+        """
+        children = self._children
+        max_depth = self._max_depth
+        label = self._label
+        count = 0
+        # (node, holds_so_far)
+        stack: List[Tuple[int, int]] = [(0, 0)]
+        while stack:
+            node, h = stack.pop()
+            count += 1
+            for child in children[node]:
+                if k is not None:
+                    if max_depth[child] < k:
+                        continue
+                    if label[child] == HOLD and h >= k:
+                        continue
+                stack.append((child, h + (1 if label[child] == HOLD else 0)))
+        return count - 1  # exclude the virtual root
+
+    # ------------------------------------------------------------------
+    # counting queries
+    # ------------------------------------------------------------------
+
+    def count_k_cliques(self, k: int) -> int:
+        """Total number of k-cliques in the graph, straight off the index."""
+        self._require_k(k)
+        return sum(path.clique_count(k) for path in self.iter_paths(k))
+
+    def clique_counts_by_size(self) -> Dict[int, int]:
+        """Clique counts for every size from ``max(threshold, 1)`` up to
+        ``max_clique_size`` — the full clique profile in one sweep."""
+        lo = max(self._threshold, 1)
+        totals: Dict[int, int] = {}
+        for path in self.iter_paths(None):
+            h, p = len(path.holds), len(path.pivots)
+            for k in range(max(lo, h), h + p + 1):
+                totals[k] = totals.get(k, 0) + comb(p, k - h)
+        return {k: totals[k] for k in sorted(totals) if totals[k]}
+
+    def per_vertex_counts(self, k: int) -> List[int]:
+        """k-clique engagement ``|C_k(v, G)|`` for every vertex.
+
+        Each path contributes ``C(|P|, k-|H|)`` to every hold and
+        ``C(|P|-1, k-|H|-1)`` to every pivot (a pivot is optional, so it
+        misses the cliques that skip it).
+        """
+        self._require_k(k)
+        counts = [0] * self._n_vertices
+        for path in self.iter_paths(k):
+            total = path.clique_count(k)
+            if not total:
+                continue
+            for v in path.holds:
+                counts[v] += total
+            with_pivot = path.pivot_engagement(k)
+            if with_pivot:
+                for v in path.pivots:
+                    counts[v] += with_pivot
+        return counts
+
+    def count_in_subset(
+        self, k: int, allowed: Iterable[int], enforce_support: bool = True
+    ) -> int:
+        """Number of k-cliques of ``G`` lying entirely inside ``allowed``.
+
+        This is the recovery step of SCTL*-Sample (§6.1): restrict each
+        path to the allowed vertices — all holds must survive, pivots are
+        filtered — and re-apply Lemma 2.  No clique enumeration happens.
+
+        With ``enforce_support=False`` on a partial index and ``k`` below
+        its threshold, the returned value is a *lower bound* (pruned
+        subtrees may hide further k-cliques).
+        """
+        if enforce_support:
+            self._require_k(k)
+        allowed_set: Set[int] = set(allowed)
+        total = 0
+        for path in self.iter_paths(k, enforce_support=enforce_support):
+            if any(h not in allowed_set for h in path.holds):
+                continue
+            p_in = sum(1 for v in path.pivots if v in allowed_set)
+            need = k - len(path.holds)
+            if 0 <= need <= p_in:
+                total += comb(p_in, need)
+        return total
+
+    def per_vertex_counts_in_subset(
+        self, k: int, allowed: Iterable[int]
+    ) -> Dict[int, int]:
+        """Engagement ``|C_k(v, G[allowed])|`` for each allowed vertex."""
+        self._require_k(k)
+        allowed_set: Set[int] = set(allowed)
+        counts: Dict[int, int] = {v: 0 for v in allowed_set}
+        for path in self.iter_paths(k):
+            if any(h not in allowed_set for h in path.holds):
+                continue
+            pivots_in = [v for v in path.pivots if v in allowed_set]
+            need = k - len(path.holds)
+            if need < 0 or need > len(pivots_in):
+                continue
+            hold_share = comb(len(pivots_in), need)
+            for v in path.holds:
+                counts[v] += hold_share
+            if need >= 1:
+                pivot_share = comb(len(pivots_in) - 1, need - 1)
+                if pivot_share:
+                    for v in pivots_in:
+                        counts[v] += pivot_share
+        return counts
+
+    def iter_k_cliques(self, k: int) -> Iterator[Tuple[int, ...]]:
+        """Yield every k-clique by expanding the paths (listing query)."""
+        self._require_k(k)
+        for path in self.iter_paths(k):
+            yield from path.iter_cliques(k)
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Persist the index to ``path``.
+
+        Format: one JSON header line, then one line per tree node in
+        preorder-compatible id order: ``vertex label n_children child_ids``.
+        Plain text keeps the file portable and diff-able; indexes are built
+        offline, so load speed dominates and stays linear.
+        """
+        with open(path, "w", encoding="utf-8") as handle:
+            header = {
+                "format": _FORMAT_VERSION,
+                "n_vertices": self._n_vertices,
+                "n_nodes": len(self._vertex),
+                "threshold": self._threshold,
+            }
+            handle.write(json.dumps(header) + "\n")
+            for i in range(len(self._vertex)):
+                kids = self._children[i]
+                fields = [self._vertex[i], self._label[i], self._max_depth[i], len(kids)]
+                fields.extend(kids)
+                handle.write(" ".join(map(str, fields)) + "\n")
+
+    @classmethod
+    def load(cls, path) -> "SCTIndex":
+        """Load an index previously written by :meth:`save`."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                header = json.loads(handle.readline())
+                if header.get("format") != _FORMAT_VERSION:
+                    raise IndexBuildError(
+                        f"unsupported index format {header.get('format')!r}"
+                    )
+                n_nodes = header["n_nodes"]
+                vertex: List[int] = []
+                label: List[int] = []
+                children: List[List[int]] = []
+                max_depth: List[int] = []
+                for _ in range(n_nodes):
+                    fields = handle.readline().split()
+                    vertex.append(int(fields[0]))
+                    label.append(int(fields[1]))
+                    max_depth.append(int(fields[2]))
+                    n_kids = int(fields[3])
+                    kids = [int(x) for x in fields[4:4 + n_kids]]
+                    if len(kids) != n_kids:
+                        raise IndexBuildError(
+                            f"truncated child list in {path!s}"
+                        )
+                    children.append(kids)
+        except IndexBuildError:
+            raise
+        except (ValueError, KeyError, IndexError, json.JSONDecodeError) as exc:
+            raise IndexBuildError(f"malformed index file {path!s}: {exc}") from exc
+        for kids in children:
+            for child in kids:
+                if not 0 < child < n_nodes:
+                    raise IndexBuildError(
+                        f"child id {child} out of range in {path!s}"
+                    )
+        return cls(
+            n_vertices=header["n_vertices"],
+            vertex=vertex,
+            label=label,
+            children=children,
+            max_depth=max_depth,
+            threshold=header["threshold"],
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SCTIndex(n_vertices={self._n_vertices}, "
+            f"tree_nodes={self.n_tree_nodes}, threshold={self._threshold}, "
+            f"max_clique={self.max_clique_size})"
+        )

@@ -1,0 +1,291 @@
+"""SCTL+ and SCTL*: weight refinement with reductions and batching (§5.3).
+
+Algorithm 5 of the paper.  Relative to plain SCTL, two optimisations apply
+per iteration, each independently switchable so the benchmark suite can
+reproduce the paper's SCTL / SCTL+ / SCTL* ladder:
+
+* ``use_reductions`` — clique-connectivity pruning (skip any path whose
+  partition's Lemma 3 density bound is dominated by the best density found
+  so far) and clique-engagement pruning (skip paths with an out-of-scope
+  hold, drop out-of-scope pivots; Lemma 4).  Scope engagements are
+  re-accumulated from the surviving paths while sweeping, as in Lines 9-10.
+* ``use_batch`` — distribute each path's clique weight through
+  :func:`~repro.core.batch.batch_update` instead of visiting cliques
+  individually.
+
+The best density found so far is always an *achieved* density (it starts
+from a maximum clique fetched off the index and is re-extracted from the
+weights each iteration), so both reductions are lossless for the optimum.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass
+from fractions import Fraction
+from math import comb
+from typing import List, Optional, Sequence
+
+from ..errors import InvalidParameterError
+from ..graph.graph import Graph
+from .batch import batch_update
+from .density import DensestSubgraphResult
+from .extraction import best_prefix_from_paths
+from .reductions import engagement_threshold, kp_computation, partition_density_bounds
+from .sct import SCTIndex, SCTPath
+from .sctl import empty_result
+
+__all__ = ["IterationStats", "sctl_star", "sctl_plus"]
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class IterationStats:
+    """Per-iteration instrumentation (feeds Table 4 of the paper).
+
+    ``scope_*`` fields describe the search scope ``G_T`` *entering* the
+    iteration; ``cliques_processed`` counts k-cliques surviving reduction;
+    ``weight_updates`` counts actual weight writes (batching makes it far
+    smaller than ``cliques_processed``).
+    """
+
+    iteration: int
+    scope_vertices: int
+    scope_edges: Optional[int]
+    scope_cliques: Optional[int]
+    cliques_processed: int
+    weight_updates: int
+    rho: float
+
+
+def sctl_star(
+    index: SCTIndex,
+    k: int,
+    iterations: int = 10,
+    graph: Optional[Graph] = None,
+    use_reductions: bool = True,
+    use_batch: bool = True,
+    collect_stats: bool = False,
+    paths: Optional[Sequence[SCTPath]] = None,
+    algorithm_name: Optional[str] = None,
+) -> DensestSubgraphResult:
+    """Run SCTL* (Algorithm 5) and return the best extracted subgraph.
+
+    Parameters
+    ----------
+    index:
+        SCT*-Index of the graph (threshold ``<= k``).
+    k:
+        Clique size.
+    iterations:
+        Number of refinement passes ``T``.
+    graph:
+        The underlying graph; only needed when ``collect_stats`` asks for
+        scope edge counts.
+    use_reductions / use_batch:
+        Toggle the two §5 optimisations (both off reproduces SCTL;
+        reductions only reproduces the paper's SCTL+).
+    collect_stats:
+        Record :class:`IterationStats` per iteration (slower: it counts
+        scope edges and cliques); stored in ``result.stats["iterations"]``.
+    paths:
+        Pre-collected valid paths to reuse.
+    algorithm_name:
+        Override the reported algorithm label.
+    """
+    if iterations < 1:
+        raise InvalidParameterError(f"iterations must be >= 1, got {iterations}")
+    name = algorithm_name or (
+        "SCTL*" if (use_reductions and use_batch)
+        else "SCTL+" if use_reductions
+        else "SCTL(batch)" if use_batch
+        else "SCTL"
+    )
+    if paths is None:
+        paths = index.collect_paths(k)
+    if not paths:
+        return empty_result(k, name)
+    n = index.n_vertices
+
+    # initial achieved solution: a maximum clique straight off the index
+    best_vertices = index.a_maximum_clique()
+    best_count = comb(len(best_vertices), k)
+    best_density = Fraction(best_count, len(best_vertices))
+
+    weights = [0] * n
+    partition_of: List[int] = []
+    bounds = {}
+    engagement: List[int] = []
+    if use_reductions:
+        engagement = _engagement_from_paths(paths, k, n)
+        partition = kp_computation(index, k, paths=paths)
+        partition_of = partition.partition_of
+        bounds = partition_density_bounds(partition, engagement, k)
+
+    per_iteration: List[IterationStats] = []
+    total_updates = 0
+    total_processed = 0
+    for t in range(1, iterations + 1):
+        threshold = engagement_threshold(best_density)
+        stats_entry = None
+        if collect_stats:
+            stats_entry = _scope_snapshot(
+                index, graph, k, t, n, use_reductions, engagement, threshold,
+                partition_of, bounds, best_density,
+            )
+        new_engagement = [0] * n if use_reductions else []
+        updates = 0
+        processed = 0
+        for path in paths:
+            if use_reductions:
+                if bounds[partition_of[path.holds[0]]] <= best_density:
+                    continue  # clique-connectivity reduction
+                holds = [
+                    v for v in path.holds if engagement[v] >= threshold
+                ]
+                if len(holds) != len(path.holds):
+                    continue  # a hold left the scope: no clique survives
+                pivots = [
+                    v for v in path.pivots if engagement[v] >= threshold
+                ]
+                need = k - len(holds)
+                if need < 0 or need > len(pivots):
+                    continue
+                count = comb(len(pivots), need)
+                for v in holds:
+                    new_engagement[v] += count
+                if need >= 1:
+                    pivot_count = comb(len(pivots) - 1, need - 1)
+                    if pivot_count:
+                        for v in pivots:
+                            new_engagement[v] += pivot_count
+            else:
+                holds, pivots = path.holds, path.pivots
+                count = path.clique_count(k)
+            processed += count
+            if use_batch:
+                updates += batch_update(weights, holds, pivots, k)
+            else:
+                for clique in SCTPath(tuple(holds), tuple(pivots)).iter_cliques(k):
+                    u = min(clique, key=weights.__getitem__)
+                    weights[u] += 1
+                    updates += 1
+        if use_reductions:
+            engagement = new_engagement
+        # re-extract to tighten the achieved density (Line 12)
+        prefix = best_prefix_from_paths(paths, weights, k)
+        if prefix.density_fraction > best_density:
+            best_density = prefix.density_fraction
+            best_vertices = sorted(prefix.vertices)
+            best_count = prefix.clique_count
+        total_updates += updates
+        total_processed += processed
+        logger.debug(
+            "%s iteration %d/%d: %d cliques, %d weight updates, density %.6f",
+            name, t, iterations, processed, updates, float(best_density),
+        )
+        if stats_entry is not None:
+            stats_entry.cliques_processed = processed
+            stats_entry.weight_updates = updates
+            stats_entry.rho = float(best_density)
+            per_iteration.append(stats_entry)
+
+    upper = max(max(weights) / iterations, float(best_density))
+    result = DensestSubgraphResult(
+        vertices=best_vertices,
+        clique_count=best_count,
+        k=k,
+        algorithm=name,
+        iterations=iterations,
+        upper_bound=upper,
+        stats={
+            "weights": weights,
+            "paths": len(paths),
+            "total_weight_updates": total_updates,
+            "total_cliques_processed": total_processed,
+        },
+    )
+    if collect_stats:
+        result.stats["iterations"] = per_iteration
+    return result
+
+
+def sctl_plus(
+    index: SCTIndex,
+    k: int,
+    iterations: int = 10,
+    graph: Optional[Graph] = None,
+    collect_stats: bool = False,
+    paths: Optional[Sequence[SCTPath]] = None,
+) -> DensestSubgraphResult:
+    """SCTL+ — SCTL with graph reductions but per-clique weight updates."""
+    return sctl_star(
+        index,
+        k,
+        iterations=iterations,
+        graph=graph,
+        use_reductions=True,
+        use_batch=False,
+        collect_stats=collect_stats,
+        paths=paths,
+        algorithm_name="SCTL+",
+    )
+
+
+def _engagement_from_paths(
+    paths: Sequence[SCTPath], k: int, n: int
+) -> List[int]:
+    """Global ``|C_k(v, G)|`` accumulated from the collected paths."""
+    engagement = [0] * n
+    for path in paths:
+        count = path.clique_count(k)
+        if not count:
+            continue
+        for v in path.holds:
+            engagement[v] += count
+        pivot_count = path.pivot_engagement(k)
+        if pivot_count:
+            for v in path.pivots:
+                engagement[v] += pivot_count
+    return engagement
+
+
+def _scope_snapshot(
+    index: SCTIndex,
+    graph: Optional[Graph],
+    k: int,
+    iteration: int,
+    n: int,
+    use_reductions: bool,
+    engagement: Sequence[int],
+    threshold: int,
+    partition_of: Sequence[int],
+    bounds,
+    best_density: Fraction,
+) -> IterationStats:
+    """Measure the search scope entering this iteration (Table 4 columns)."""
+    if not use_reductions:
+        scope = list(range(n))
+    else:
+        scope = [
+            v
+            for v in range(n)
+            if engagement[v] >= threshold and bounds[partition_of[v]] > best_density
+        ]
+    scope_edges = None
+    if graph is not None:
+        inside = set(scope)
+        scope_edges = sum(
+            1 for u in scope for w in graph.neighbors(u) if u < w and w in inside
+        )
+    scope_cliques = index.count_in_subset(k, scope)
+    return IterationStats(
+        iteration=iteration,
+        scope_vertices=len(scope),
+        scope_edges=scope_edges,
+        scope_cliques=scope_cliques,
+        cliques_processed=0,
+        weight_updates=0,
+        rho=float(best_density),
+    )

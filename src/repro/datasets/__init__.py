@@ -1,0 +1,19 @@
+"""Synthetic dataset registry standing in for the paper's SNAP graphs."""
+
+from .registry import (
+    SMALL_SET,
+    DatasetSpec,
+    dataset_names,
+    export_all,
+    get_spec,
+    load_dataset,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "dataset_names",
+    "get_spec",
+    "load_dataset",
+    "export_all",
+    "SMALL_SET",
+]

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Specific subclasses communicate which subsystem raised
+the error.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphError(ReproError):
+    """Invalid graph construction or graph operation."""
+
+
+class InvalidParameterError(ReproError):
+    """An algorithm parameter is outside its valid range (e.g. ``k < 3``)."""
+
+
+class IndexBuildError(ReproError):
+    """The SCT*-Index could not be built with the requested options."""
+
+
+class IndexQueryError(ReproError):
+    """The SCT*-Index cannot answer the requested query.
+
+    Raised, for instance, when a partial ``SCT*-k'-Index`` is asked to list
+    k-cliques for ``k`` below its build threshold.
+    """
+
+
+class DatasetError(ReproError):
+    """Unknown dataset name or malformed dataset file."""
+
+
+class SolverError(ReproError):
+    """An exact solver failed to converge or verify optimality."""
+
+
+class TimeoutExceeded(ReproError):
+    """A benchmark run exceeded its wall-clock budget."""
+
+    def __init__(self, budget_seconds: float, message: str = ""):
+        self.budget_seconds = budget_seconds
+        detail = message or f"exceeded time budget of {budget_seconds:.3f}s"
+        super().__init__(detail)

@@ -1,0 +1,164 @@
+"""Dinic's maximum-flow algorithm.
+
+The exact algorithms (SCTL*-Exact, KCL-Exact, CoreExact) all verify
+candidate solutions through min-cuts of a clique/vertex flow network; this
+module provides the integer max-flow engine they share.
+
+The implementation uses flat arc arrays (``to``, ``cap``, paired reverse
+arcs at ``i ^ 1``), BFS level graphs and DFS blocking flows with the
+standard ``iter`` pointer optimisation — ``O(V^2 E)`` worst case, far
+better in practice on unit-capacity-heavy networks like ours.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List
+
+from ..errors import GraphError
+
+__all__ = ["MaxFlow"]
+
+
+class MaxFlow:
+    """A max-flow problem instance on nodes ``0 .. n-1``."""
+
+    def __init__(self, n: int):
+        if n < 0:
+            raise GraphError(f"node count must be non-negative, got {n}")
+        self._n = n
+        self._head: List[List[int]] = [[] for _ in range(n)]
+        self._to: List[int] = []
+        self._cap: List[int] = []
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self._n
+
+    def add_edge(self, u: int, v: int, capacity: int) -> int:
+        """Add a directed arc ``u -> v``; returns the arc id.
+
+        The reverse arc (capacity 0) is created automatically at ``id ^ 1``.
+        """
+        if capacity < 0:
+            raise GraphError(f"capacity must be non-negative, got {capacity}")
+        if not (0 <= u < self._n and 0 <= v < self._n):
+            raise GraphError(f"arc ({u}, {v}) out of range for n={self._n}")
+        arc = len(self._to)
+        self._to.append(v)
+        self._cap.append(capacity)
+        self._head[u].append(arc)
+        self._to.append(u)
+        self._cap.append(0)
+        self._head[v].append(arc + 1)
+        return arc
+
+    def _bfs_levels(self, source: int, sink: int) -> List[int]:
+        level = [-1] * self._n
+        level[source] = 0
+        queue = deque([source])
+        to, cap, head = self._to, self._cap, self._head
+        while queue:
+            u = queue.popleft()
+            for arc in head[u]:
+                v = to[arc]
+                if cap[arc] > 0 and level[v] < 0:
+                    level[v] = level[u] + 1
+                    queue.append(v)
+        return level
+
+    def max_flow(self, source: int, sink: int) -> int:
+        """Total maximum flow from ``source`` to ``sink``."""
+        if source == sink:
+            raise GraphError("source and sink must differ")
+        to, cap, head = self._to, self._cap, self._head
+        total = 0
+        while True:
+            level = self._bfs_levels(source, sink)
+            if level[sink] < 0:
+                return total
+            iters = [0] * self._n
+
+            # iterative DFS blocking flow
+            def augment() -> int:
+                path: List[int] = []  # arc ids along the current path
+                u = source
+                while True:
+                    if u == sink:
+                        pushed = min(cap[a] for a in path)
+                        for a in path:
+                            cap[a] -= pushed
+                            cap[a ^ 1] += pushed
+                        # retreat to the first saturated arc
+                        for i, a in enumerate(path):
+                            if cap[a] == 0:
+                                del path[i:]
+                                break
+                        u = source if not path else to[path[-1]]
+                        yield pushed
+                        continue
+                    advanced = False
+                    while iters[u] < len(head[u]):
+                        a = head[u][iters[u]]
+                        v = to[a]
+                        if cap[a] > 0 and level[v] == level[u] + 1:
+                            path.append(a)
+                            u = v
+                            advanced = True
+                            break
+                        iters[u] += 1
+                    if advanced:
+                        continue
+                    if u == source:
+                        return
+                    # dead end: mark level unusable, pop back
+                    level[u] = -1
+                    a = path.pop()
+                    u = source if not path else to[path[-1]]
+
+            for pushed in augment():
+                total += pushed
+
+    def min_cut_source_side(self, source: int) -> List[int]:
+        """Nodes reachable from ``source`` in the residual network.
+
+        Call after :meth:`max_flow`; the returned set is the **minimal**
+        source side among all minimum cuts.
+        """
+        seen = [False] * self._n
+        seen[source] = True
+        queue = deque([source])
+        to, cap, head = self._to, self._cap, self._head
+        while queue:
+            u = queue.popleft()
+            for arc in head[u]:
+                v = to[arc]
+                if cap[arc] > 0 and not seen[v]:
+                    seen[v] = True
+                    queue.append(v)
+        return [v for v in range(self._n) if seen[v]]
+
+    def min_cut_source_side_maximal(self, sink: int) -> List[int]:
+        """The **maximal** source side among all minimum cuts.
+
+        Complement of the nodes that can still reach ``sink`` in the
+        residual network (reverse BFS: ``u`` reaches ``sink`` if some
+        residual arc ``u -> x`` leads to a reaching ``x``).  Call after
+        :meth:`max_flow`.  Minimal and maximal sides coincide exactly
+        when the minimum cut is unique.
+        """
+        to, cap, head = self._to, self._cap, self._head
+        reaches = [False] * self._n
+        reaches[sink] = True
+        queue = deque([sink])
+        while queue:
+            x = queue.popleft()
+            # residual arcs into x are the reverses (arc ^ 1) of arcs
+            # leaving x whose reverse has residual capacity
+            for arc in head[x]:
+                u = to[arc]
+                if not reaches[u] and cap[arc ^ 1] > 0:
+                    reaches[u] = True
+                    queue.append(u)
+        return [v for v in range(self._n) if not reaches[v]]

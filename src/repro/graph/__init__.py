@@ -1,0 +1,47 @@
+"""Graph substrate: container, I/O, generators, cores, orientation."""
+
+from .components import component_of, connected_components, is_connected
+from .cores import CoreDecomposition, core_decomposition, degeneracy, k_core_vertices
+from .disjoint_set import DisjointSet
+from .generators import (
+    barabasi_albert_graph,
+    disjoint_union,
+    gnm_graph,
+    gnp_graph,
+    grid_graph,
+    overlapping_community_graph,
+    planted_clique_graph,
+    planted_near_cliques_graph,
+    powerlaw_cluster_graph,
+    relaxed_caveman_graph,
+)
+from .graph import Graph, iter_bits
+from .io import read_edge_list, write_edge_list
+from .orientation import DegeneracyDAG, build_degeneracy_dag
+
+__all__ = [
+    "Graph",
+    "iter_bits",
+    "DisjointSet",
+    "CoreDecomposition",
+    "core_decomposition",
+    "degeneracy",
+    "k_core_vertices",
+    "DegeneracyDAG",
+    "build_degeneracy_dag",
+    "connected_components",
+    "component_of",
+    "is_connected",
+    "read_edge_list",
+    "write_edge_list",
+    "gnp_graph",
+    "gnm_graph",
+    "barabasi_albert_graph",
+    "powerlaw_cluster_graph",
+    "planted_clique_graph",
+    "planted_near_cliques_graph",
+    "relaxed_caveman_graph",
+    "grid_graph",
+    "overlapping_community_graph",
+    "disjoint_union",
+]

@@ -1,0 +1,55 @@
+"""Connected components and related traversal utilities."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List
+
+from .graph import Graph
+
+__all__ = ["connected_components", "component_of", "is_connected"]
+
+
+def connected_components(graph: Graph) -> List[List[int]]:
+    """All connected components, each as a sorted vertex list.
+
+    Components are returned in order of their smallest vertex.
+    """
+    seen = [False] * graph.n
+    components: List[List[int]] = []
+    for start in graph.vertices():
+        if seen[start]:
+            continue
+        comp = []
+        queue = deque([start])
+        seen[start] = True
+        while queue:
+            v = queue.popleft()
+            comp.append(v)
+            for u in graph.neighbors(v):
+                if not seen[u]:
+                    seen[u] = True
+                    queue.append(u)
+        comp.sort()
+        components.append(comp)
+    return components
+
+
+def component_of(graph: Graph, v: int) -> List[int]:
+    """The sorted vertex list of the component containing ``v``."""
+    seen = {v}
+    queue = deque([v])
+    while queue:
+        x = queue.popleft()
+        for u in graph.neighbors(x):
+            if u not in seen:
+                seen.add(u)
+                queue.append(u)
+    return sorted(seen)
+
+
+def is_connected(graph: Graph) -> bool:
+    """Whether the graph is connected (vacuously true when ``n <= 1``)."""
+    if graph.n <= 1:
+        return True
+    return len(component_of(graph, 0)) == graph.n

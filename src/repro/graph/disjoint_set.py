@@ -1,0 +1,79 @@
+"""Disjoint-set (union–find) forest.
+
+Used by ``KPComputation`` (Algorithm 3 of the paper) to maintain k-clique
+isolating partitions while sweeping root-to-leaf paths of the SCT*-Index.
+Implements union-by-rank and iterative path compression, giving effectively
+constant-time operations (inverse Ackermann amortised).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+__all__ = ["DisjointSet"]
+
+
+class DisjointSet:
+    """Union–find over the integers ``0 .. n-1``."""
+
+    __slots__ = ("_parent", "_rank", "_count")
+
+    def __init__(self, n: int):
+        self._parent = list(range(n))
+        self._rank = [0] * n
+        self._count = n
+
+    @property
+    def n_components(self) -> int:
+        """Current number of disjoint sets."""
+        return self._count
+
+    def find(self, x: int) -> int:
+        """Representative of the set containing ``x`` (path-compressed)."""
+        parent = self._parent
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    def union(self, x: int, y: int) -> int:
+        """Merge the sets of ``x`` and ``y``; return the new representative."""
+        rx, ry = self.find(x), self.find(y)
+        if rx == ry:
+            return rx
+        rank = self._rank
+        if rank[rx] < rank[ry]:
+            rx, ry = ry, rx
+        self._parent[ry] = rx
+        if rank[rx] == rank[ry]:
+            rank[rx] += 1
+        self._count -= 1
+        return rx
+
+    def union_many(self, items: Iterable[int]) -> int:
+        """Merge all ``items`` into one set; return its representative.
+
+        Raises ``IndexError`` on an empty iterable, mirroring ``union``'s
+        requirement of at least one element.
+        """
+        it = iter(items)
+        root = self.find(next(it))
+        for x in it:
+            root = self.union(root, x)
+        return root
+
+    def connected(self, x: int, y: int) -> bool:
+        """Whether ``x`` and ``y`` are in the same set."""
+        return self.find(x) == self.find(y)
+
+    def groups(self) -> Dict[int, List[int]]:
+        """Mapping from representative to the sorted members of its set."""
+        out: Dict[int, List[int]] = {}
+        for x in range(len(self._parent)):
+            out.setdefault(self.find(x), []).append(x)
+        return out
+
+    def __len__(self) -> int:
+        return len(self._parent)

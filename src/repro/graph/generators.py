@@ -1,0 +1,310 @@
+"""Synthetic graph generators.
+
+These generators provide the workloads for the examples, tests and the
+benchmark suite.  Since the paper's SNAP datasets cannot be redistributed
+(and billion-edge graphs are out of reach for pure Python), the dataset
+registry composes these primitives into 12 graphs that mirror the structural
+*roles* of the paper's datasets: community-rich social graphs, clique-poor
+road networks, heavy-tailed collaboration graphs with very large maximum
+cliques, and so on.
+
+Every generator takes an explicit ``seed`` so all experiments are exactly
+reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import InvalidParameterError
+from .graph import Graph
+
+__all__ = [
+    "gnp_graph",
+    "gnm_graph",
+    "barabasi_albert_graph",
+    "powerlaw_cluster_graph",
+    "planted_clique_graph",
+    "planted_near_cliques_graph",
+    "relaxed_caveman_graph",
+    "grid_graph",
+    "overlapping_community_graph",
+    "disjoint_union",
+]
+
+
+def _check_positive(name: str, value: int) -> None:
+    if value < 0:
+        raise InvalidParameterError(f"{name} must be non-negative, got {value}")
+
+
+def gnp_graph(n: int, p: float, seed: int = 0) -> Graph:
+    """Erdős–Rényi ``G(n, p)`` random graph."""
+    _check_positive("n", n)
+    if not 0.0 <= p <= 1.0:
+        raise InvalidParameterError(f"p must be in [0, 1], got {p}")
+    rng = random.Random(seed)
+    edges = [
+        (u, v)
+        for u in range(n)
+        for v in range(u + 1, n)
+        if rng.random() < p
+    ]
+    return Graph(n, edges)
+
+
+def gnm_graph(n: int, m: int, seed: int = 0) -> Graph:
+    """Uniform random graph with exactly ``n`` vertices and ``m`` edges."""
+    _check_positive("n", n)
+    max_m = n * (n - 1) // 2
+    if m > max_m:
+        raise InvalidParameterError(f"m={m} exceeds max {max_m} for n={n}")
+    rng = random.Random(seed)
+    chosen: Set[Tuple[int, int]] = set()
+    while len(chosen) < m:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v:
+            continue
+        if u > v:
+            u, v = v, u
+        chosen.add((u, v))
+    return Graph(n, chosen)
+
+
+def barabasi_albert_graph(n: int, m: int, seed: int = 0) -> Graph:
+    """Barabási–Albert preferential-attachment graph.
+
+    Each new vertex attaches to ``m`` existing vertices chosen proportionally
+    to degree (sampling from the repeated-endpoint list, the standard BA
+    construction).
+    """
+    if m < 1 or n < m + 1:
+        raise InvalidParameterError(f"need n > m >= 1, got n={n}, m={m}")
+    rng = random.Random(seed)
+    edges: List[Tuple[int, int]] = []
+    # start from a star on m+1 vertices so every vertex has degree >= 1
+    repeated: List[int] = []
+    for v in range(1, m + 1):
+        edges.append((0, v))
+        repeated.extend((0, v))
+    for v in range(m + 1, n):
+        targets: Set[int] = set()
+        while len(targets) < m:
+            targets.add(rng.choice(repeated))
+        for t in targets:
+            edges.append((v, t))
+            repeated.extend((v, t))
+    return Graph(n, edges)
+
+
+def powerlaw_cluster_graph(n: int, m: int, p: float, seed: int = 0) -> Graph:
+    """Holme–Kim powerlaw graph with tunable clustering.
+
+    Like Barabási–Albert, but after each preferential attachment step a
+    triad-formation step closes a triangle with probability ``p``.  High
+    ``p`` yields many triangles and hence non-trivial k-cliques — the
+    social-network-like regime the paper's datasets live in.
+    """
+    if m < 1 or n < m + 1:
+        raise InvalidParameterError(f"need n > m >= 1, got n={n}, m={m}")
+    if not 0.0 <= p <= 1.0:
+        raise InvalidParameterError(f"p must be in [0, 1], got {p}")
+    rng = random.Random(seed)
+    adjacency: List[Set[int]] = [set() for _ in range(n)]
+    repeated: List[int] = []
+
+    def add_edge(u: int, v: int) -> None:
+        if u != v and v not in adjacency[u]:
+            adjacency[u].add(v)
+            adjacency[v].add(u)
+            repeated.extend((u, v))
+
+    for v in range(1, m + 1):
+        add_edge(0, v)
+    for v in range(m + 1, n):
+        added = 0
+        last_target: Optional[int] = None
+        guard = 0
+        while added < m and guard < 50 * m:
+            guard += 1
+            if last_target is not None and rng.random() < p:
+                # triad formation: attach to a neighbour of the last target
+                candidates = [u for u in adjacency[last_target] if u != v and u not in adjacency[v]]
+                if candidates:
+                    t = rng.choice(candidates)
+                    add_edge(v, t)
+                    added += 1
+                    last_target = t
+                    continue
+            t = rng.choice(repeated)
+            if t != v and t not in adjacency[v]:
+                add_edge(v, t)
+                added += 1
+                last_target = t
+    edges = [(u, v) for u in range(n) for v in adjacency[u] if u < v]
+    return Graph(n, edges)
+
+
+def planted_clique_graph(n: int, clique_size: int, p: float, seed: int = 0) -> Graph:
+    """``G(n, p)`` background with one planted clique on vertices ``0..s-1``."""
+    if clique_size > n:
+        raise InvalidParameterError(f"clique_size={clique_size} exceeds n={n}")
+    base = gnp_graph(n, p, seed=seed)
+    edges = list(base.edges())
+    edges.extend(
+        (i, j) for i in range(clique_size) for j in range(i + 1, clique_size)
+    )
+    return Graph(n, edges)
+
+
+def planted_near_cliques_graph(
+    n: int,
+    communities: Sequence[Tuple[int, float]],
+    background_p: float = 0.002,
+    seed: int = 0,
+) -> Graph:
+    """Sparse background with several planted dense blocks ("near-cliques").
+
+    Parameters
+    ----------
+    n:
+        Total vertex count.
+    communities:
+        Sequence of ``(size, density)`` pairs; blocks are placed on disjoint
+        vertex ranges starting at 0 and wired internally as ``G(size,
+        density)``.
+    background_p:
+        Edge probability between all remaining pairs.
+    """
+    total = sum(size for size, _ in communities)
+    if total > n:
+        raise InvalidParameterError(
+            f"communities need {total} vertices but n={n}"
+        )
+    rng = random.Random(seed)
+    edges: Set[Tuple[int, int]] = set()
+    start = 0
+    for size, density in communities:
+        members = range(start, start + size)
+        for i in members:
+            for j in range(i + 1, start + size):
+                if rng.random() < density:
+                    edges.add((i, j))
+        start += size
+    # sparse background over all pairs (cheap sampling: expected count draws)
+    expected = background_p * n * (n - 1) / 2
+    draws = int(expected * 1.2) + 1
+    for _ in range(draws):
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v:
+            continue
+        if u > v:
+            u, v = v, u
+        edges.add((u, v))
+    return Graph(n, edges)
+
+
+def relaxed_caveman_graph(
+    n_cliques: int, clique_size: int, rewire_p: float, seed: int = 0
+) -> Graph:
+    """Connected caveman graph with random rewiring.
+
+    ``n_cliques`` cliques of ``clique_size`` vertices each; every edge is
+    rewired to a random endpoint with probability ``rewire_p``.  A classic
+    community-structure benchmark: each cave is a true clique minus the
+    rewired edges, i.e. exactly the "near-clique" objects the k-clique
+    densest subgraph targets.
+    """
+    if n_cliques < 1 or clique_size < 2:
+        raise InvalidParameterError("need n_cliques >= 1 and clique_size >= 2")
+    rng = random.Random(seed)
+    n = n_cliques * clique_size
+    edges: Set[Tuple[int, int]] = set()
+    for c in range(n_cliques):
+        base = c * clique_size
+        for i in range(clique_size):
+            for j in range(i + 1, clique_size):
+                u, v = base + i, base + j
+                if rng.random() < rewire_p:
+                    w = rng.randrange(n)
+                    if w != u:
+                        v = w
+                if u > v:
+                    u, v = v, u
+                if u != v:
+                    edges.add((u, v))
+    # ring of caves to keep things connected
+    for c in range(n_cliques):
+        u = c * clique_size
+        v = ((c + 1) % n_cliques) * clique_size
+        if u != v:
+            edges.add((min(u, v), max(u, v)))
+    return Graph(n, edges)
+
+
+def grid_graph(rows: int, cols: int, diagonal_p: float = 0.0, seed: int = 0) -> Graph:
+    """A rows×cols lattice, optionally with random diagonals.
+
+    With ``diagonal_p == 0`` the graph is triangle-free (`k_max == 2`), the
+    road-network regime of the paper's ``road-CA`` dataset.  Small
+    ``diagonal_p`` sprinkles triangles to emulate highway interchanges.
+    """
+    _check_positive("rows", rows)
+    _check_positive("cols", cols)
+    rng = random.Random(seed)
+    idx = lambda r, c: r * cols + c  # noqa: E731 - tiny local helper
+    edges: List[Tuple[int, int]] = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append((idx(r, c), idx(r, c + 1)))
+            if r + 1 < rows:
+                edges.append((idx(r, c), idx(r + 1, c)))
+            if diagonal_p and r + 1 < rows and c + 1 < cols:
+                if rng.random() < diagonal_p:
+                    edges.append((idx(r, c), idx(r + 1, c + 1)))
+    return Graph(rows * cols, edges)
+
+
+def overlapping_community_graph(
+    n: int,
+    n_communities: int,
+    community_size: int,
+    intra_p: float,
+    memberships: int = 2,
+    seed: int = 0,
+) -> Graph:
+    """Random overlapping communities (an LFR-lite benchmark).
+
+    Each vertex joins ``memberships`` communities uniformly at random; each
+    community is wired internally as ``G(size, intra_p)``.  Overlaps create
+    vertices shared by several dense regions — the case where
+    clique-connectivity partitions are non-trivial.
+    """
+    _check_positive("n", n)
+    rng = random.Random(seed)
+    members: List[List[int]] = [[] for _ in range(n_communities)]
+    for v in range(n):
+        for c in rng.sample(range(n_communities), min(memberships, n_communities)):
+            if len(members[c]) < community_size:
+                members[c].append(v)
+    edges: Set[Tuple[int, int]] = set()
+    for group in members:
+        for i, u in enumerate(group):
+            for v in group[i + 1:]:
+                if rng.random() < intra_p:
+                    edges.add((min(u, v), max(u, v)))
+    return Graph(n, edges)
+
+
+def disjoint_union(graphs: Iterable[Graph]) -> Graph:
+    """The disjoint union of ``graphs`` (vertex ids shifted left-to-right)."""
+    edges: List[Tuple[int, int]] = []
+    offset = 0
+    for g in graphs:
+        edges.extend((u + offset, v + offset) for u, v in g.edges())
+        offset += g.n
+    return Graph(offset, edges)

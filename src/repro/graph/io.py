@@ -1,0 +1,67 @@
+"""Reading and writing graphs as edge-list text files.
+
+The format is the SNAP convention the paper's datasets use: one edge per
+line, two whitespace-separated vertex tokens, ``#``-prefixed comment lines
+ignored.  Vertex tokens may be arbitrary strings; they become graph labels.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Tuple, Union
+
+from ..errors import GraphError
+from .graph import Graph
+
+__all__ = ["read_edge_list", "write_edge_list", "parse_edge_lines"]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def parse_edge_lines(lines: Iterable[str]) -> List[Tuple[str, str]]:
+    """Parse edge-list text lines into ``(u, v)`` label pairs.
+
+    Blank lines and lines starting with ``#`` or ``%`` are skipped.
+    Raises :class:`GraphError` on malformed lines.
+    """
+    edges: List[Tuple[str, str]] = []
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#") or line.startswith("%"):
+            continue
+        parts = line.split()
+        if len(parts) < 2:
+            raise GraphError(f"line {lineno}: expected two vertex tokens, got {line!r}")
+        u, v = parts[0], parts[1]
+        if u == v:
+            continue  # SNAP files occasionally contain self-loops; drop them
+        edges.append((u, v))
+    return edges
+
+
+def read_edge_list(path: PathLike, directed_as_undirected: bool = True) -> Graph:
+    """Read a graph from an edge-list file.
+
+    Parameters
+    ----------
+    path:
+        File to read.
+    directed_as_undirected:
+        Kept for interface clarity; edges are always symmetrised because the
+        library only models undirected graphs.
+    """
+    del directed_as_undirected  # undirected is the only supported mode
+    with open(path, "r", encoding="utf-8") as handle:
+        pairs = parse_edge_lines(handle)
+    return Graph.from_edges(pairs)
+
+
+def write_edge_list(graph: Graph, path: PathLike, header: str = "") -> None:
+    """Write ``graph`` as an edge-list file (labels used when present)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        if header:
+            for line in header.splitlines():
+                handle.write(f"# {line}\n")
+        handle.write(f"# n={graph.n} m={graph.m}\n")
+        for u, v in graph.edges():
+            handle.write(f"{graph.label_of(u)}\t{graph.label_of(v)}\n")

@@ -1,0 +1,71 @@
+"""Degeneracy-ordered DAG orientation.
+
+Both KCList and the SCT*-Index build start from the same preprocessing step:
+orient every edge of the undirected graph from the vertex that is peeled
+*earlier* in a degeneracy ordering to the one peeled *later*.  The resulting
+DAG has maximum out-degree equal to the degeneracy, so any recursion confined
+to an out-neighbourhood works on at most ``degeneracy`` vertices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .cores import CoreDecomposition, core_decomposition
+from .graph import Graph
+
+__all__ = ["DegeneracyDAG", "build_degeneracy_dag"]
+
+
+@dataclass(frozen=True)
+class DegeneracyDAG:
+    """Degeneracy-oriented view of an undirected graph.
+
+    Attributes
+    ----------
+    graph:
+        The underlying undirected graph.
+    decomposition:
+        The core decomposition that produced the orientation.
+    out_neighbors:
+        ``out_neighbors[v]`` lists the neighbours of ``v`` that appear
+        *after* ``v`` in the degeneracy ordering, sorted by position in the
+        ordering (so recursive algorithms see a consistent order).
+    """
+
+    graph: Graph
+    decomposition: CoreDecomposition
+    out_neighbors: List[List[int]]
+
+    @property
+    def degeneracy(self) -> int:
+        """Degeneracy of the underlying graph (max out-degree bound)."""
+        return self.decomposition.degeneracy
+
+    def out_degree(self, v: int) -> int:
+        """Out-degree of ``v`` in the orientation."""
+        return len(self.out_neighbors[v])
+
+
+def build_degeneracy_dag(
+    graph: Graph, decomposition: Optional[CoreDecomposition] = None
+) -> DegeneracyDAG:
+    """Orient ``graph`` along a degeneracy ordering.
+
+    Parameters
+    ----------
+    graph:
+        The undirected input graph.
+    decomposition:
+        A pre-computed core decomposition to reuse; computed if omitted.
+    """
+    if decomposition is None:
+        decomposition = core_decomposition(graph)
+    pos = decomposition.position
+    out: List[List[int]] = [[] for _ in range(graph.n)]
+    for v in graph.vertices():
+        later = [u for u in graph.neighbors(v) if pos[u] > pos[v]]
+        later.sort(key=pos.__getitem__)
+        out[v] = later
+    return DegeneracyDAG(graph=graph, decomposition=decomposition, out_neighbors=out)

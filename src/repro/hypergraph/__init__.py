@@ -1,0 +1,14 @@
+"""The hypergraph view of the k-clique densest subgraph problem."""
+
+from .decomposition import DecompositionLevel, density_friendly_decomposition
+from .densest import exact_densest, lp_densest_value, peel_densest
+from .hypergraph import Hypergraph
+
+__all__ = [
+    "Hypergraph",
+    "peel_densest",
+    "exact_densest",
+    "lp_densest_value",
+    "DecompositionLevel",
+    "density_friendly_decomposition",
+]

@@ -1,0 +1,125 @@
+"""Densest sub-hypergraph: peeling, exact flow, and the Charikar LP.
+
+Three independent solvers for ``max_S |E(S)| / |S|`` on a hypergraph:
+
+* :func:`peel_densest` — greedy min-degree peeling, a ``1/r``
+  approximation for rank-r hypergraphs (Charikar'00 generalised);
+* :func:`exact_densest` — the integer min-cut oracle (shared with the
+  k-clique solvers through :mod:`repro.flow.densest`);
+* :func:`lp_densest_value` — Charikar's LP relaxation solved with scipy,
+  whose optimum *equals* the maximum density (the LP is known to be
+  integral in this sense).  It has no combinatorial structure in common
+  with the other two, making it a genuinely independent cross-check used
+  by the test suite.
+"""
+
+from __future__ import annotations
+
+import heapq
+from fractions import Fraction
+from typing import List, Tuple
+
+from ..flow.densest import exact_densest_from_cliques
+from .hypergraph import Hypergraph
+
+__all__ = ["peel_densest", "exact_densest", "lp_densest_value"]
+
+
+def peel_densest(hypergraph: Hypergraph) -> Tuple[List[int], Fraction]:
+    """Greedy peeling: remove the min-degree vertex, keep the best suffix.
+
+    Guarantees density ``>= optimum / rank``.  Runs in
+    ``O((n + total edge size) log n)``.
+    """
+    n = hypergraph.n
+    if hypergraph.m == 0:
+        return [], Fraction(0)
+    # incidence lists for incremental degree updates
+    incident: List[List[int]] = [[] for _ in range(n)]
+    for ei, edge in enumerate(hypergraph.edges):
+        for v in edge:
+            incident[v].append(ei)
+    degree = [hypergraph.degree(v) for v in range(n)]
+    alive_edge = [True] * hypergraph.m
+    alive = [True] * n
+    remaining_edges = hypergraph.m
+    heap = [(degree[v], v) for v in range(n)]
+    heapq.heapify(heap)
+
+    best_density = Fraction(hypergraph.m, n)
+    best_removed = 0
+    removal_order: List[int] = []
+    removed = 0
+    while removed < n:
+        d, v = heapq.heappop(heap)
+        if not alive[v] or d != degree[v]:
+            continue
+        alive[v] = False
+        removal_order.append(v)
+        removed += 1
+        for ei in incident[v]:
+            if alive_edge[ei]:
+                alive_edge[ei] = False
+                remaining_edges -= 1
+                for u in hypergraph.edges[ei]:
+                    if alive[u]:
+                        degree[u] -= 1
+                        heapq.heappush(heap, (degree[u], u))
+        survivors = n - removed
+        if survivors and remaining_edges:
+            density = Fraction(remaining_edges, survivors)
+            if density > best_density:
+                best_density = density
+                best_removed = removed
+    chosen = sorted(set(range(n)) - set(removal_order[:best_removed]))
+    return chosen, best_density
+
+
+def exact_densest(hypergraph: Hypergraph) -> Tuple[List[int], Fraction]:
+    """Exact densest sub-hypergraph via iterated min-cut."""
+    support = hypergraph.vertex_support()
+    if not support:
+        return [], Fraction(0)
+    return exact_densest_from_cliques(hypergraph.edges, support)
+
+
+def lp_densest_value(hypergraph: Hypergraph) -> float:
+    """Optimal value of Charikar's densest-subgraph LP.
+
+    maximise   sum_e y_e
+    subject to y_e <= x_v          for every e and v in e
+               sum_v x_v <= 1
+               x, y >= 0
+
+    The optimum equals ``max_S |E(S)| / |S|``.  Requires scipy.
+    """
+    from scipy.optimize import linprog
+
+    m = hypergraph.m
+    if m == 0:
+        return 0.0
+    support = hypergraph.vertex_support()
+    col_of = {v: i for i, v in enumerate(support)}
+    n_x = len(support)
+    n_cols = n_x + m  # x variables then y variables
+    # objective: maximise sum(y) -> minimise -sum(y)
+    objective = [0.0] * n_x + [-1.0] * m
+    # inequality rows: y_e - x_v <= 0, plus sum(x) <= 1
+    rows = []
+    rhs = []
+    for ei, edge in enumerate(hypergraph.edges):
+        for v in edge:
+            row = [0.0] * n_cols
+            row[n_x + ei] = 1.0
+            row[col_of[v]] = -1.0
+            rows.append(row)
+            rhs.append(0.0)
+    rows.append([1.0] * n_x + [0.0] * m)
+    rhs.append(1.0)
+    result = linprog(
+        objective, A_ub=rows, b_ub=rhs, bounds=[(0, None)] * n_cols,
+        method="highs",
+    )
+    if not result.success:
+        raise RuntimeError(f"LP solver failed: {result.message}")
+    return -result.fun

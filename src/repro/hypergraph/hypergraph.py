@@ -1,0 +1,112 @@
+"""Hypergraph container for the densest-sub-hypergraph view.
+
+The paper (§3.2, after Tsourakakis'15 and Sun et al.'20) formulates the
+k-clique densest subgraph as the *densest sub-hypergraph* of the
+hypergraph whose hyperedges are the k-cliques.  This module makes that
+object first-class: all of the density machinery (peeling, LP, flow,
+Frank–Wolfe) is expressible on it, and the k-clique problem is recovered
+through :meth:`Hypergraph.from_graph_cliques`.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..cliques.kclist import iter_k_cliques
+from ..cliques.ordered_view import OrderedGraphView
+from ..errors import GraphError
+from ..graph.graph import Graph
+
+__all__ = ["Hypergraph"]
+
+
+class Hypergraph:
+    """A hypergraph over vertices ``0 .. n-1``.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices.
+    edges:
+        Hyperedges as tuples of distinct vertex ids (order irrelevant;
+        stored sorted).  Duplicate hyperedges are kept — multiplicities
+        are meaningful for density.
+    """
+
+    __slots__ = ("_n", "_edges", "_degree")
+
+    def __init__(self, n: int, edges: Iterable[Sequence[int]] = ()):
+        if n < 0:
+            raise GraphError(f"vertex count must be non-negative, got {n}")
+        self._n = n
+        stored: List[Tuple[int, ...]] = []
+        degree = [0] * n
+        for edge in edges:
+            members = tuple(sorted(edge))
+            if len(set(members)) != len(members):
+                raise GraphError(f"hyperedge {edge!r} has repeated vertices")
+            if members and not (0 <= members[0] and members[-1] < n):
+                raise GraphError(f"hyperedge {edge!r} out of range for n={n}")
+            if not members:
+                raise GraphError("empty hyperedges are not allowed")
+            stored.append(members)
+            for v in members:
+                degree[v] += 1
+        self._edges = stored
+        self._degree = degree
+
+    @classmethod
+    def from_graph_cliques(
+        cls, graph: Graph, k: int, view: Optional[OrderedGraphView] = None
+    ) -> "Hypergraph":
+        """The k-clique hypergraph of ``graph`` (one hyperedge per clique)."""
+        return cls(graph.n, iter_k_cliques(graph, k, view=view))
+
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return self._n
+
+    @property
+    def m(self) -> int:
+        """Number of hyperedges."""
+        return len(self._edges)
+
+    @property
+    def edges(self) -> List[Tuple[int, ...]]:
+        """The hyperedges (treat as read-only)."""
+        return self._edges
+
+    def degree(self, v: int) -> int:
+        """Number of hyperedges containing ``v``."""
+        return self._degree[v]
+
+    def rank(self) -> int:
+        """The maximum hyperedge size (0 when there are none)."""
+        return max((len(e) for e in self._edges), default=0)
+
+    def edges_inside(self, vertices: Iterable[int]) -> int:
+        """Number of hyperedges fully contained in ``vertices``."""
+        inside = set(vertices)
+        return sum(1 for e in self._edges if all(v in inside for v in e))
+
+    def density(self, vertices: Iterable[int]) -> Fraction:
+        """``edges_inside(S) / |S|`` as an exact fraction (0 for empty)."""
+        vs = set(vertices)
+        if not vs:
+            return Fraction(0)
+        return Fraction(self.edges_inside(vs), len(vs))
+
+    def restricted_to(self, vertices: Iterable[int]) -> "Hypergraph":
+        """The sub-hypergraph induced by ``vertices`` (ids preserved)."""
+        inside = set(vertices)
+        kept = [e for e in self._edges if all(v in inside for v in e)]
+        return Hypergraph(self._n, kept)
+
+    def vertex_support(self) -> List[int]:
+        """Vertices participating in at least one hyperedge, sorted."""
+        return [v for v in range(self._n) if self._degree[v] > 0]
+
+    def __repr__(self) -> str:
+        return f"Hypergraph(n={self._n}, m={self.m}, rank={self.rank()})"

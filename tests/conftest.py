@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.graph import Graph, gnp_graph, relaxed_caveman_graph
+from repro.graph.generators import disjoint_union, planted_near_cliques_graph
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    """K3."""
+    return Graph.complete(3)
+
+
+@pytest.fixture
+def k6_plus_k4() -> Graph:
+    """A K6 and a K4 joined by a single bridge edge.
+
+    For any ``k >= 3`` the densest subgraph is the K6 itself:
+    ``rho_k = C(6, k) / 6``.
+    """
+    edges = [(i, j) for i in range(6) for j in range(i + 1, 6)]
+    edges += [(i, j) for i in range(6, 10) for j in range(i + 1, 10)]
+    edges.append((5, 6))  # bridge
+    return Graph(10, edges)
+
+
+@pytest.fixture
+def small_random() -> Graph:
+    """A fixed 12-vertex random graph, dense enough to have 5-cliques."""
+    return gnp_graph(12, 0.55, seed=42)
+
+
+@pytest.fixture
+def caveman() -> Graph:
+    """8 caves of 6 vertices with light rewiring — community structure."""
+    return relaxed_caveman_graph(8, 6, 0.1, seed=7)
+
+
+@pytest.fixture
+def two_partitions() -> Graph:
+    """Two dense blocks with no connecting k-cliques (only a path bridge).
+
+    Gives a non-trivial k-clique-isolating partition for k >= 3.
+    """
+    dense = planted_near_cliques_graph(
+        24, [(10, 0.95), (10, 0.9)], background_p=0.0, seed=5
+    )
+    bridge = Graph(2, [(0, 1)])
+    merged = disjoint_union([dense, bridge])
+    # chain: block A .. v24 .. v25 .. block B (no triangles through bridge)
+    edges = list(merged.edges()) + [(0, 24), (25, 12)]
+    return Graph(merged.n, edges)

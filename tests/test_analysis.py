@@ -1,0 +1,104 @@
+"""Near-clique extraction, edge prediction and evaluation metrics."""
+
+import pytest
+
+from repro.analysis import (
+    NearClique,
+    extract_near_clique,
+    f1_score,
+    jaccard,
+    precision_recall,
+    predict_missing_edges,
+)
+from repro.errors import InvalidParameterError
+from repro.graph import Graph
+from repro.graph.generators import planted_near_cliques_graph
+
+
+@pytest.fixture
+def clique_minus_one_edge():
+    """K6 with the edge (0, 1) removed, plus an isolated tail."""
+    edges = [
+        (i, j) for i in range(6) for j in range(i + 1, 6) if (i, j) != (0, 1)
+    ]
+    edges += [(6, 7)]
+    return Graph(8, edges)
+
+
+class TestPredictMissingEdges:
+    def test_single_missing_edge_found(self, clique_minus_one_edge):
+        ranked = predict_missing_edges(clique_minus_one_edge, list(range(6)), 3)
+        assert ranked[0][:2] == (0, 1)
+        # completing (0,1) creates C(4,1) new triangles
+        assert ranked[0][2] == 4
+
+    def test_no_missing_edges_in_clique(self):
+        g = Graph.complete(5)
+        assert predict_missing_edges(g, list(range(5)), 3) == []
+
+    def test_score_zero_when_no_common_neighbours(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        ranked = predict_missing_edges(g, [0, 1, 2, 3], 3)
+        assert all(score == 0 for _, _, score in ranked)
+
+    def test_invalid_k(self):
+        with pytest.raises(InvalidParameterError):
+            predict_missing_edges(Graph(3), [0, 1, 2], 1)
+
+    def test_ranking_order(self):
+        # near-clique where one non-edge has more common neighbours
+        edges = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (4, 0), (4, 1)]
+        g = Graph(5, edges)
+        ranked = predict_missing_edges(g, [0, 1, 2, 3, 4], 3)
+        scores = [s for _, _, s in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestExtractNearClique:
+    def test_detects_planted_region(self):
+        g = planted_near_cliques_graph(
+            80, [(9, 0.92)], background_p=0.01, seed=12
+        )
+        region = extract_near_clique(g, 3)
+        assert set(region.members) <= set(range(9))
+        assert region.completeness > 0.8
+        assert region.density > 1.0
+
+    def test_perfect_clique_flagged(self):
+        g = Graph.complete(6)
+        region = extract_near_clique(g, 3)
+        assert region.is_clique
+        assert region.completeness == 1.0
+        assert region.missing_edges == []
+
+    def test_missing_edges_inside_region(self, clique_minus_one_edge):
+        region = extract_near_clique(clique_minus_one_edge, 3)
+        assert (0, 1) in region.missing_edges
+        for u, v in region.missing_edges:
+            assert u in region.members and v in region.members
+
+    def test_approximate_mode(self):
+        g = planted_near_cliques_graph(60, [(8, 0.95)], background_p=0.01, seed=3)
+        region = extract_near_clique(g, 3, exact=False)
+        assert isinstance(region, NearClique)
+        assert region.density > 0
+
+
+class TestMetrics:
+    def test_precision_recall_basics(self):
+        precision, recall = precision_recall([1, 2, 3], [2, 3, 4, 5])
+        assert precision == pytest.approx(2 / 3)
+        assert recall == pytest.approx(1 / 2)
+
+    def test_empty_conventions(self):
+        assert precision_recall([], [1]) == (1.0, 0.0)
+        assert precision_recall([1], []) == (0.0, 1.0)
+
+    def test_jaccard(self):
+        assert jaccard([1, 2], [2, 3]) == pytest.approx(1 / 3)
+        assert jaccard([], []) == 1.0
+        assert jaccard([1], [1]) == 1.0
+
+    def test_f1(self):
+        assert f1_score([1, 2], [1, 2]) == 1.0
+        assert f1_score([1], [2]) == 0.0

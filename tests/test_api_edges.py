@@ -1,0 +1,76 @@
+"""API-level edge cases: k beyond k_max, k=2, tiny graphs — every method."""
+
+import pytest
+
+from repro import densest_subgraph
+from repro.graph import Graph
+
+METHODS = [
+    "sctl",
+    "sctl+",
+    "sctl*",
+    "sctl*-sample",
+    "sctl*-exact",
+    "kcl",
+    "kcl-sample",
+    "kcl-exact",
+    "coreapp",
+    "coreexact",
+    "peel",
+]
+
+
+class TestKBeyondMaxClique:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_returns_empty_result(self, method):
+        g = Graph.complete(4)  # k_max = 4
+        result = densest_subgraph(g, 6, method=method, iterations=3, sample_size=10)
+        assert result.vertices == []
+        assert result.clique_count == 0
+        assert result.density == 0.0
+
+
+class TestKEqualsTwo:
+    """k=2 degenerates to the classic edge-densest subgraph; everything
+    should still work (the paper scopes to k >= 3, the code does not)."""
+
+    @pytest.mark.parametrize(
+        "method", ["sctl*", "sctl*-exact", "kcl", "coreexact", "peel"]
+    )
+    def test_edge_densest_on_k4_with_tail(self, method):
+        edges = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4)]
+        g = Graph(5, edges)
+        result = densest_subgraph(g, 2, method=method, iterations=15)
+        assert result.density >= 1.2  # the K4 has density 1.5
+        if result.exact:
+            assert result.vertices == [0, 1, 2, 3]
+
+
+class TestTinyGraphs:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_single_vertex(self, method):
+        result = densest_subgraph(
+            Graph(1), 3, method=method, iterations=2, sample_size=5
+        )
+        assert result.vertices == []
+
+    @pytest.mark.parametrize("method", ["sctl*", "sctl*-exact", "kcl-exact"])
+    def test_single_triangle(self, method):
+        result = densest_subgraph(Graph.complete(3), 3, method=method)
+        assert result.vertices == [0, 1, 2]
+        assert result.clique_count == 1
+        assert result.density == pytest.approx(1 / 3)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "method", ["sctl", "sctl*", "sctl*-sample", "kcl", "kcl-sample"]
+    )
+    def test_same_inputs_same_outputs(self, method):
+        from repro.graph import gnp_graph
+
+        g = gnp_graph(20, 0.4, seed=3)
+        a = densest_subgraph(g, 3, method=method, iterations=5, sample_size=50, seed=9)
+        b = densest_subgraph(g, 3, method=method, iterations=5, sample_size=50, seed=9)
+        assert a.vertices == b.vertices
+        assert a.clique_count == b.clique_count

@@ -1,0 +1,62 @@
+"""Benchmark harness utilities."""
+
+import time
+
+from repro.bench import TimeoutTracker, format_series, format_table, timed
+
+
+class TestTimed:
+    def test_returns_result_and_time(self):
+        outcome = timed(lambda: 42)
+        assert outcome.result == 42
+        assert outcome.seconds >= 0
+        assert not outcome.timed_out
+        assert outcome.cell != "time out"
+
+    def test_soft_timeout_flag(self):
+        outcome = timed(lambda: time.sleep(0.02), budget=0.001)
+        assert outcome.timed_out
+        assert outcome.cell == "time out"
+
+
+class TestTimeoutTracker:
+    def test_skips_after_timeout(self):
+        tracker = TimeoutTracker(budget=0.001)
+        calls = []
+
+        def slow():
+            calls.append(1)
+            time.sleep(0.01)
+
+        first = tracker.run("data", "alg", slow)
+        assert first.timed_out
+        second = tracker.run("data", "alg", slow)
+        assert second.timed_out
+        assert len(calls) == 1  # second call never executed
+
+    def test_pairs_are_independent(self):
+        tracker = TimeoutTracker(budget=10.0)
+        a = tracker.run("d1", "alg", lambda: "x")
+        b = tracker.run("d2", "alg", lambda: "y")
+        assert a.result == "x"
+        assert b.result == "y"
+
+
+class TestFormatting:
+    def test_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1], ["long-name", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_table_title(self):
+        text = format_table(["x"], [[1]], title="Table 9")
+        assert text.splitlines()[0] == "Table 9"
+
+    def test_series_layout(self):
+        text = format_series(
+            "k", [3, 4], {"KCL": [1.0, 2.0], "SCTL*": [0.5, 0.25]}, title="Fig"
+        )
+        assert "KCL" in text
+        assert "SCTL*" in text
+        assert "0.2500" in text

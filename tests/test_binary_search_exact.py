@@ -1,0 +1,53 @@
+"""The binary-search exact framework vs the iterated-cut solver."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.cliques import densest_subgraph_bruteforce, iter_k_cliques_naive
+from repro.flow import exact_densest_binary_search, exact_densest_from_cliques
+from repro.graph import Graph, gnp_graph
+
+
+class TestBinarySearchExact:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_agrees_with_iterated_cut(self, seed, k):
+        g = gnp_graph(10, 0.5, seed=seed)
+        cliques = list(iter_k_cliques_naive(g, k))
+        verts = list(g.vertices())
+        _, via_cuts = exact_densest_from_cliques(cliques, verts)
+        _, via_bisect = exact_densest_binary_search(cliques, verts)
+        assert via_cuts == via_bisect
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_bruteforce(self, seed):
+        g = gnp_graph(10, 0.5, seed=seed)
+        cliques = list(iter_k_cliques_naive(g, 3))
+        solution, density = exact_densest_binary_search(
+            cliques, list(g.vertices())
+        )
+        _, expected = densest_subgraph_bruteforce(g, 3)
+        assert float(density) == pytest.approx(expected)
+        if solution:
+            inside = set(solution)
+            count = sum(1 for c in cliques if all(v in inside for v in c))
+            assert Fraction(count, len(solution)) == density
+
+    def test_empty_inputs(self):
+        assert exact_densest_binary_search([], [0, 1]) == ([], Fraction(0))
+        assert exact_densest_binary_search([(0, 1)], []) == ([], Fraction(0))
+
+    def test_lower_bound_hint_preserves_result(self, k6_plus_k4):
+        cliques = list(iter_k_cliques_naive(k6_plus_k4, 3))
+        verts = list(k6_plus_k4.vertices())
+        cold = exact_densest_binary_search(cliques, verts)
+        hinted = exact_densest_binary_search(cliques, verts, lower=Fraction(3))
+        assert cold[1] == hinted[1] == Fraction(20, 6)
+
+    def test_single_clique_graph(self):
+        g = Graph.complete(3)
+        cliques = list(iter_k_cliques_naive(g, 3))
+        solution, density = exact_densest_binary_search(cliques, [0, 1, 2])
+        assert solution == [0, 1, 2]
+        assert density == Fraction(1, 3)

@@ -1,0 +1,98 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.graph import gnp_graph, write_edge_list
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "graph.txt"
+    write_edge_list(gnp_graph(30, 0.35, seed=1), path)
+    return str(path)
+
+
+class TestDatasetsCommand:
+    def test_lists_all(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "email" in out
+        assert "friendster" in out
+        assert "Friendster" in out
+
+
+class TestBuildIndex:
+    def test_build_and_save(self, graph_file, tmp_path, capsys):
+        out_file = str(tmp_path / "g.sct")
+        assert main(["build-index", graph_file, "-o", out_file]) == 0
+        assert "built SCTIndex" in capsys.readouterr().out
+        from repro.core import SCTIndex
+
+        index = SCTIndex.load(out_file)
+        assert index.n_vertices == 30
+
+    def test_build_partial(self, graph_file, tmp_path, capsys):
+        out_file = str(tmp_path / "g.sct")
+        assert main(
+            ["build-index", graph_file, "-o", out_file, "--threshold", "4"]
+        ) == 0
+        from repro.core import SCTIndex
+
+        assert SCTIndex.load(out_file).threshold == 4
+
+    def test_dataset_prefix(self, tmp_path):
+        out_file = str(tmp_path / "email.sct")
+        assert main(["build-index", "dataset:pokec", "-o", out_file]) == 0
+
+    def test_missing_file(self, capsys):
+        assert main(["build-index", "/nonexistent", "-o", "/tmp/x.sct"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestQuery:
+    def test_query_default_method(self, graph_file, capsys):
+        assert main(["query", graph_file, "-k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "SCTL*" in out
+        assert "query time" in out
+
+    def test_query_with_index(self, graph_file, tmp_path, capsys):
+        index_file = str(tmp_path / "g.sct")
+        main(["build-index", graph_file, "-o", index_file])
+        capsys.readouterr()
+        assert main(
+            ["query", graph_file, "-k", "3", "--index", index_file]
+        ) == 0
+
+    def test_query_exact(self, graph_file, capsys):
+        assert main(
+            ["query", graph_file, "-k", "3", "--method", "sctl*-exact"]
+        ) == 0
+        assert "exact" in capsys.readouterr().out
+
+    def test_query_show_vertices(self, graph_file, capsys):
+        assert main(["query", graph_file, "-k", "3", "--show-vertices"]) == 0
+        assert "vertices: [" in capsys.readouterr().out
+
+    def test_query_unknown_method(self, graph_file, capsys):
+        assert main(["query", graph_file, "-k", "3", "--method", "nope"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_index_graph_mismatch(self, graph_file, tmp_path, capsys):
+        other = tmp_path / "other.txt"
+        write_edge_list(gnp_graph(10, 0.4, seed=2), other)
+        index_file = str(tmp_path / "other.sct")
+        main(["build-index", str(other), "-o", index_file])
+        capsys.readouterr()
+        assert main(
+            ["query", graph_file, "-k", "3", "--index", index_file]
+        ) == 2
+
+
+class TestProfile:
+    def test_profile_prints_all_k(self, graph_file, capsys):
+        assert main(["profile", graph_file]) == 0
+        out = capsys.readouterr().out
+        assert "density profile" in out
+        assert "best k by density" in out

@@ -1,0 +1,74 @@
+"""The stats / near-clique / top CLI commands."""
+
+import pytest
+
+from repro.cli import main
+from repro.graph import Graph, write_edge_list
+from repro.graph.generators import disjoint_union, planted_near_cliques_graph
+
+
+@pytest.fixture
+def blocks_file(tmp_path):
+    dense = planted_near_cliques_graph(
+        30, [(8, 0.95), (7, 0.9)], background_p=0.0, seed=4
+    )
+    tail = Graph(20, [(i, i + 1) for i in range(19)])
+    g = disjoint_union([dense, tail])
+    path = tmp_path / "blocks.txt"
+    write_edge_list(g, path)
+    return str(path)
+
+
+class TestStats:
+    def test_basic_stats(self, blocks_file, capsys):
+        assert main(["stats", blocks_file]) == 0
+        out = capsys.readouterr().out
+        assert "vertices" in out
+        assert "triangles" in out
+        assert "transitivity" in out
+
+    def test_with_kmax(self, blocks_file, capsys):
+        assert main(["stats", blocks_file, "--kmax"]) == 0
+        out = capsys.readouterr().out
+        assert "k_max" in out
+        assert "tree nodes" in out
+
+    def test_dataset_arg(self, capsys):
+        assert main(["stats", "dataset:road"]) == 0
+        assert "edge density" in capsys.readouterr().out
+
+
+class TestNearClique:
+    def test_detects_and_predicts(self, blocks_file, capsys):
+        assert main(["near-clique", blocks_file, "-k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "near-clique on" in out
+        assert "members:" in out
+
+    def test_perfect_clique_message(self, tmp_path, capsys):
+        path = tmp_path / "k5.txt"
+        write_edge_list(Graph.complete(5), path)
+        assert main(["near-clique", str(path), "-k", "3"]) == 0
+        assert "perfect clique" in capsys.readouterr().out
+
+    def test_approximate_mode(self, blocks_file, capsys):
+        assert main(["near-clique", blocks_file, "-k", "3", "--approximate"]) == 0
+        assert "near-clique on" in capsys.readouterr().out
+
+
+class TestTop:
+    def test_finds_both_blocks(self, blocks_file, capsys):
+        assert main(
+            ["top", blocks_file, "-k", "3", "--count", "2", "--show-vertices"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "rank" in out
+        assert "#1:" in out
+        assert "#2:" in out
+
+    def test_min_density_filters(self, blocks_file, capsys):
+        assert main(
+            ["top", blocks_file, "-k", "3", "--count", "5",
+             "--min-density", "1000"]
+        ) == 0
+        assert "no dense regions" in capsys.readouterr().out

@@ -1,0 +1,42 @@
+"""Unit tests for connected-component utilities."""
+
+from repro.graph import (
+    Graph,
+    component_of,
+    connected_components,
+    disjoint_union,
+    gnp_graph,
+    is_connected,
+)
+
+
+class TestComponents:
+    def test_single_component(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        assert connected_components(g) == [[0, 1, 2]]
+
+    def test_isolated_vertices(self):
+        g = Graph(4, [(1, 2)])
+        assert connected_components(g) == [[0], [1, 2], [3]]
+
+    def test_union_of_random_graphs(self):
+        a = gnp_graph(10, 0.5, seed=1)
+        b = gnp_graph(8, 0.5, seed=2)
+        u = disjoint_union([a, b])
+        comps = connected_components(u)
+        sizes = sorted(len(c) for c in comps)
+        assert sum(sizes) == 18
+        # the dense halves stay internally connected
+        assert any(set(c) <= set(range(10)) for c in comps)
+
+    def test_component_of(self):
+        g = Graph(5, [(0, 1), (3, 4)])
+        assert component_of(g, 0) == [0, 1]
+        assert component_of(g, 4) == [3, 4]
+        assert component_of(g, 2) == [2]
+
+    def test_is_connected(self):
+        assert is_connected(Graph(1))
+        assert is_connected(Graph(0))
+        assert is_connected(Graph(2, [(0, 1)]))
+        assert not is_connected(Graph(2))

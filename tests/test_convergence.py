@@ -1,0 +1,42 @@
+"""Convergence tracking in SCTL."""
+
+import pytest
+
+from repro.core import SCTIndex, sctl
+from repro.graph import gnp_graph
+
+
+class TestTrackConvergence:
+    @pytest.fixture(scope="class")
+    def tracked(self):
+        g = gnp_graph(14, 0.5, seed=6)
+        index = SCTIndex.build(g)
+        return sctl(index, 3, iterations=8, track_convergence=True)
+
+    def test_histories_have_one_entry_per_iteration(self, tracked):
+        assert len(tracked.stats["density_history"]) == 8
+        assert len(tracked.stats["upper_bound_history"]) == 8
+
+    def test_upper_bound_dominates_achieved(self, tracked):
+        for density, upper in zip(
+            tracked.stats["density_history"],
+            tracked.stats["upper_bound_history"],
+        ):
+            assert upper >= density - 1e-9
+
+    def test_final_history_matches_result(self, tracked):
+        assert tracked.stats["density_history"][-1] == pytest.approx(tracked.density)
+        assert tracked.stats["upper_bound_history"][-1] == pytest.approx(
+            tracked.upper_bound
+        )
+
+    def test_upper_bound_tightens_overall(self, tracked):
+        # the averaged bound max(r)/T generally tightens with T; individual
+        # steps may wobble, the trend must not
+        upper = tracked.stats["upper_bound_history"]
+        assert upper[-1] <= upper[0] + 1e-9
+
+    def test_untracked_run_has_no_histories(self):
+        g = gnp_graph(10, 0.5, seed=1)
+        result = sctl(SCTIndex.build(g), 3, iterations=3)
+        assert "density_history" not in result.stats

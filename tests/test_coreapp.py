@@ -1,0 +1,89 @@
+"""CoreApp / CoreExact and the (k',Psi)-core decomposition."""
+
+import pytest
+
+from repro.baselines import core_app, core_exact, psi_core_decomposition
+from repro.cliques import (
+    count_k_cliques_naive,
+    densest_subgraph_bruteforce,
+    per_vertex_counts_naive,
+)
+from repro.errors import InvalidParameterError
+from repro.graph import Graph, gnp_graph
+
+
+def _psi_core_oracle(graph, k, k_prime):
+    """Peel-to-fixed-point definition of the (k',Psi)-core."""
+    alive = set(graph.vertices())
+    while True:
+        sub, originals = graph.induced_subgraph(sorted(alive))
+        engagement = per_vertex_counts_naive(sub, k)
+        drop = {originals[i] for i in range(len(originals)) if engagement[i] < k_prime}
+        if not drop:
+            return alive
+        alive -= drop
+
+
+class TestDecomposition:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("k", [3, 4])
+    def test_matches_peel_oracle(self, seed, k):
+        g = gnp_graph(12, 0.5, seed=seed)
+        core = psi_core_decomposition(g, k)
+        for k_prime in range(1, max(core, default=0) + 2):
+            expected = _psi_core_oracle(g, k, k_prime)
+            got = {v for v in g.vertices() if core[v] >= k_prime}
+            assert got == expected, f"k'={k_prime}"
+
+    def test_invalid_k(self):
+        with pytest.raises(InvalidParameterError):
+            psi_core_decomposition(Graph(3), 1)
+
+    def test_complete_graph(self):
+        core = psi_core_decomposition(Graph.complete(5), 3)
+        assert all(c == 6 for c in core)  # every vertex in C(4,2) triangles
+
+
+class TestCoreApp:
+    def test_empty_graph(self):
+        assert core_app(Graph(4), 3).vertices == []
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_one_over_k_guarantee(self, seed):
+        g = gnp_graph(11, 0.55, seed=seed)
+        k = 3
+        if count_k_cliques_naive(g, k) == 0:
+            pytest.skip("no triangle")
+        _, optimal = densest_subgraph_bruteforce(g, k)
+        result = core_app(g, k)
+        assert result.density >= optimal / k - 1e-9
+        assert result.density <= optimal + 1e-9
+
+    def test_kprime_max_lower_bounds_density(self, caveman):
+        result = core_app(caveman, 3)
+        # every vertex of the core is in >= k'_max cliques of the core
+        assert result.density >= result.stats["k_prime_max"] / 3 - 1e-9
+
+
+class TestCoreExact:
+    def test_empty_graph(self):
+        result = core_exact(Graph(4), 3)
+        assert result.vertices == []
+        assert result.exact
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("k", [3, 4])
+    def test_matches_bruteforce(self, seed, k):
+        g = gnp_graph(10, 0.55, seed=seed)
+        result = core_exact(g, k)
+        _, optimal = densest_subgraph_bruteforce(g, k)
+        assert result.density == pytest.approx(optimal)
+
+    def test_k6_plus_k4(self, k6_plus_k4):
+        result = core_exact(k6_plus_k4, 3)
+        assert result.vertices == [0, 1, 2, 3, 4, 5]
+
+    def test_component_pruning_recorded(self, two_partitions):
+        result = core_exact(two_partitions, 3)
+        assert result.exact
+        assert "components_checked" in result.stats

@@ -1,0 +1,100 @@
+"""Unit tests for k-core decomposition and degeneracy ordering."""
+
+import pytest
+
+from repro.graph import (
+    Graph,
+    build_degeneracy_dag,
+    core_decomposition,
+    degeneracy,
+    gnp_graph,
+    grid_graph,
+    k_core_vertices,
+)
+
+
+def _peel_oracle(graph, k):
+    """Repeated-deletion fixed point: the classic k-core definition."""
+    alive = set(graph.vertices())
+    changed = True
+    while changed:
+        changed = False
+        for v in list(alive):
+            if sum(1 for u in graph.neighbors(v) if u in alive) < k:
+                alive.discard(v)
+                changed = True
+    return alive
+
+
+class TestCoreDecomposition:
+    def test_complete_graph(self):
+        decomp = core_decomposition(Graph.complete(6))
+        assert decomp.degeneracy == 5
+        assert all(c == 5 for c in decomp.core_number)
+
+    def test_path_graph(self):
+        g = Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        assert degeneracy(g) == 1
+
+    def test_empty_graph(self):
+        decomp = core_decomposition(Graph(4))
+        assert decomp.degeneracy == 0
+        assert decomp.order != [] and len(decomp.order) == 4
+
+    def test_zero_vertices(self):
+        decomp = core_decomposition(Graph(0))
+        assert decomp.order == []
+        assert decomp.degeneracy == 0
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_core_numbers_match_peel_oracle(self, seed):
+        g = gnp_graph(25, 0.25, seed=seed)
+        decomp = core_decomposition(g)
+        for k in range(decomp.degeneracy + 2):
+            expected = _peel_oracle(g, k)
+            got = {v for v in g.vertices() if decomp.core_number[v] >= k}
+            assert got == expected, f"k={k}"
+
+    def test_order_is_permutation(self):
+        g = gnp_graph(30, 0.2, seed=3)
+        decomp = core_decomposition(g)
+        assert sorted(decomp.order) == list(range(30))
+        for i, v in enumerate(decomp.order):
+            assert decomp.position[v] == i
+
+    def test_k_core_vertices(self):
+        g = Graph.complete(4)
+        assert k_core_vertices(g, 3) == [0, 1, 2, 3]
+        assert k_core_vertices(g, 4) == []
+
+    def test_grid_degeneracy_two(self):
+        # a lattice peels from the corners at degree 2
+        assert degeneracy(grid_graph(6, 6)) == 2
+
+
+class TestDegeneracyDAG:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_out_degree_bounded_by_degeneracy(self, seed):
+        g = gnp_graph(30, 0.3, seed=seed)
+        dag = build_degeneracy_dag(g)
+        assert max((dag.out_degree(v) for v in g.vertices()), default=0) <= dag.degeneracy
+
+    def test_orientation_covers_all_edges(self):
+        g = gnp_graph(20, 0.3, seed=1)
+        dag = build_degeneracy_dag(g)
+        oriented = sum(len(outs) for outs in dag.out_neighbors)
+        assert oriented == g.m
+
+    def test_orientation_is_acyclic(self):
+        g = gnp_graph(20, 0.3, seed=2)
+        dag = build_degeneracy_dag(g)
+        pos = dag.decomposition.position
+        for v in g.vertices():
+            for u in dag.out_neighbors[v]:
+                assert pos[u] > pos[v]
+
+    def test_reuses_given_decomposition(self):
+        g = gnp_graph(10, 0.4, seed=0)
+        decomp = core_decomposition(g)
+        dag = build_degeneracy_dag(g, decomp)
+        assert dag.decomposition is decomp

@@ -1,0 +1,40 @@
+"""Higher-level clique counting helpers."""
+
+import pytest
+
+from repro.cliques import (
+    engagement_counts,
+    k_clique_density,
+    per_vertex_counts_naive,
+    subgraph_density,
+    subgraph_k_clique_count,
+)
+from repro.graph import Graph, gnp_graph
+
+
+class TestDensityHelpers:
+    def test_whole_graph_density(self):
+        g = Graph.complete(6)
+        assert k_clique_density(g, 3) == 20 / 6
+
+    def test_empty_graph_density_zero(self):
+        assert k_clique_density(Graph(0), 3) == 0.0
+
+    def test_subgraph_count(self):
+        g = Graph.complete(6)
+        assert subgraph_k_clique_count(g, [0, 1, 2, 3], 3) == 4
+
+    def test_subgraph_count_too_small(self):
+        g = Graph.complete(6)
+        assert subgraph_k_clique_count(g, [0, 1], 3) == 0
+
+    def test_subgraph_density(self):
+        g = Graph.complete(6)
+        assert subgraph_density(g, [0, 1, 2], 3) == pytest.approx(1 / 3)
+
+    def test_subgraph_density_empty(self):
+        assert subgraph_density(Graph(5), [], 3) == 0.0
+
+    def test_engagement_matches_naive(self):
+        g = gnp_graph(12, 0.5, seed=2)
+        assert engagement_counts(g, 3) == per_vertex_counts_naive(g, 3)

@@ -1,0 +1,71 @@
+"""Cross-module consistency on the real benchmark datasets.
+
+These are the workloads the benches run on; this sweep pins the internal
+consistency of the index against KCList on each of them (counts,
+engagements, density bookkeeping) so a dataset regeneration or an index
+change cannot silently skew the experiments.
+"""
+
+import pytest
+
+from repro.cliques import count_k_cliques, per_vertex_counts
+from repro.core import SCTIndex, sctl_star
+from repro.datasets import load_dataset
+
+DATASETS = ["email", "amazon", "road", "pokec", "orkut", "skitter"]
+
+
+@pytest.fixture(scope="module")
+def indexed():
+    out = {}
+    for name in DATASETS:
+        graph = load_dataset(name)
+        out[name] = (graph, SCTIndex.build(graph))
+    return out
+
+
+class TestIndexAgreesWithKCList:
+    @pytest.mark.parametrize("name", DATASETS)
+    def test_triangle_counts_agree(self, indexed, name):
+        graph, index = indexed[name]
+        assert index.count_k_cliques(3) == count_k_cliques(graph, 3)
+
+    @pytest.mark.parametrize("name", ["email", "pokec", "orkut"])
+    def test_engagements_agree_at_k4(self, indexed, name):
+        graph, index = indexed[name]
+        assert index.per_vertex_counts(4) == per_vertex_counts(graph, 4)
+
+    @pytest.mark.parametrize("name", DATASETS)
+    def test_engagement_sum_identity(self, indexed, name):
+        graph, index = indexed[name]
+        k = 3
+        total = index.count_k_cliques(k)
+        assert sum(index.per_vertex_counts(k)) == k * total
+
+    @pytest.mark.parametrize("name", DATASETS)
+    def test_clique_profile_consistent_with_kmax(self, indexed, name):
+        _, index = indexed[name]
+        profile = index.clique_counts_by_size()
+        if not profile:
+            return
+        assert max(profile) == index.max_clique_size
+        assert profile[max(profile)] >= 1
+
+
+class TestAlgorithmBookkeeping:
+    @pytest.mark.parametrize("name", ["email", "pokec", "skitter"])
+    def test_sctl_star_density_below_its_own_bound(self, indexed, name):
+        _, index = indexed[name]
+        k = 4
+        if index.max_clique_size < k:
+            pytest.skip("no 4-clique")
+        result = sctl_star(index, k, iterations=5)
+        assert result.density <= result.upper_bound + 1e-9
+
+    @pytest.mark.parametrize("name", ["email", "orkut"])
+    def test_reported_count_matches_index_subset_count(self, indexed, name):
+        _, index = indexed[name]
+        k = 4
+        result = sctl_star(index, k, iterations=5)
+        if result.vertices:
+            assert index.count_in_subset(k, result.vertices) == result.clique_count

@@ -1,0 +1,72 @@
+"""The synthetic dataset registry."""
+
+import pytest
+
+from repro.datasets import SMALL_SET, dataset_names, get_spec, load_dataset
+from repro.errors import DatasetError
+
+
+class TestRegistry:
+    def test_twelve_datasets(self):
+        assert len(dataset_names()) == 12
+
+    def test_small_set_is_subset(self):
+        assert set(SMALL_SET) <= set(dataset_names())
+        assert len(SMALL_SET) == 5
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(DatasetError):
+            get_spec("nonexistent")
+        with pytest.raises(DatasetError):
+            load_dataset("nonexistent")
+
+    def test_specs_have_paper_counterparts(self):
+        counterparts = {get_spec(n).paper_counterpart for n in dataset_names()}
+        assert "Email" in counterparts
+        assert "Friendster" in counterparts
+        assert len(counterparts) == 12
+
+    def test_load_is_memoised(self):
+        a = load_dataset("email")
+        b = load_dataset("email")
+        assert a is b
+
+    @pytest.mark.parametrize("name", ["email", "road", "dblp", "pokec"])
+    def test_datasets_are_nonempty_simple_graphs(self, name):
+        g = load_dataset(name)
+        assert g.n > 0
+        assert g.m > 0
+        # simple graph invariants
+        for u, v in g.edges():
+            assert u != v
+            assert u < v
+
+    def test_road_is_nearly_clique_free(self):
+        from repro.cliques import count_k_cliques
+
+        g = load_dataset("road")
+        assert count_k_cliques(g, 4) == 0
+
+    def test_dblp_has_large_max_clique(self):
+        from repro.cliques import max_clique_size
+
+        assert max_clique_size(load_dataset("dblp")) >= 20
+
+    def test_livejournal_has_the_largest_max_clique(self):
+        from repro.cliques import max_clique_size
+
+        assert max_clique_size(load_dataset("livejournal")) >= 30
+
+
+class TestExport:
+    def test_export_all_round_trips(self, tmp_path):
+        from repro.datasets import export_all
+        from repro.graph import read_edge_list
+
+        written = export_all(tmp_path)
+        assert len(written) == 12
+        # spot-check one round trip: same edge count, isolated vertices
+        # are the only possible loss through the text format
+        original = load_dataset("pokec")
+        reloaded = read_edge_list(tmp_path / "pokec.txt")
+        assert reloaded.m == original.m

@@ -1,0 +1,109 @@
+"""The density-friendly decomposition."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.cliques import iter_k_cliques_naive
+from repro.core.frank_wolfe import frank_wolfe
+from repro.graph import Graph, gnp_graph
+from repro.hypergraph import (
+    Hypergraph,
+    density_friendly_decomposition,
+    exact_densest,
+)
+
+
+class TestDecompositionStructure:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_shells_partition_vertices_with_decreasing_density(self, seed, k):
+        g = gnp_graph(12, 0.45, seed=seed)
+        h = Hypergraph.from_graph_cliques(g, k)
+        levels = density_friendly_decomposition(h)
+        seen = set()
+        densities = []
+        for level in levels:
+            assert not (seen & set(level.vertices))
+            seen |= set(level.vertices)
+            densities.append(level.density)
+        assert seen == set(range(g.n))
+        for before, after in zip(densities, densities[1:]):
+            assert after < before
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_first_shell_is_the_densest_subgraph(self, seed):
+        g = gnp_graph(12, 0.5, seed=seed)
+        h = Hypergraph.from_graph_cliques(g, 3)
+        if h.m == 0:
+            pytest.skip("no triangles")
+        levels = density_friendly_decomposition(h)
+        _, optimal = exact_densest(h)
+        assert levels[0].density == optimal
+        assert h.density(levels[0].vertices) == optimal
+
+    def test_first_shell_is_maximal(self):
+        # two disjoint triangles: both are optima; the maximal optimum is
+        # their union, so the first shell must contain all six vertices
+        edges = [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]
+        g = Graph(6, edges)
+        h = Hypergraph.from_graph_cliques(g, 3)
+        levels = density_friendly_decomposition(h)
+        assert levels[0].vertices == (0, 1, 2, 3, 4, 5)
+        assert levels[0].density == Fraction(1, 3)
+
+    def test_isolated_vertices_form_zero_shell(self):
+        h = Hypergraph(5, [(0, 1, 2)])
+        levels = density_friendly_decomposition(h)
+        assert levels[-1].density == 0
+        assert set(levels[-1].vertices) == {3, 4}
+
+    def test_empty_hypergraph(self):
+        levels = density_friendly_decomposition(Hypergraph(3))
+        assert len(levels) == 1
+        assert levels[0].density == 0
+        assert levels[0].vertices == (0, 1, 2)
+
+    def test_two_tier_structure_recovered(self):
+        # K5 (dense tier) + a pendant triangle fan (sparse tier)
+        edges = [(i, j) for i in range(5) for j in range(i + 1, 5)]
+        edges += [(4, 5), (5, 6), (4, 6)]
+        g = Graph(7, edges)
+        h = Hypergraph.from_graph_cliques(g, 3)
+        levels = density_friendly_decomposition(h)
+        assert set(levels[0].vertices) == set(range(5))
+        assert levels[0].density == Fraction(10, 5)
+        # the triangle {4,5,6} has one of its vertices settled; vertices
+        # 5 and 6 land in a later shell with the quotient triangle
+        assert {5, 6} <= set(levels[1].vertices)
+
+
+class TestFrankWolfeConnection:
+    def test_converged_loads_respect_shell_order(self):
+        """After many FW rounds, loads of first-shell vertices dominate
+        later shells (loads converge to the shell's marginal density)."""
+        g = gnp_graph(11, 0.5, seed=8)
+        cliques = list(iter_k_cliques_naive(g, 3))
+        if not cliques:
+            pytest.skip("no triangles")
+        h = Hypergraph(g.n, cliques)
+        levels = density_friendly_decomposition(h)
+        positive = [lvl for lvl in levels if lvl.density > 0]
+        if len(positive) < 2:
+            pytest.skip("single shell")
+        state = frank_wolfe(cliques, g.n, iterations=400)
+        first = min(state.weights[v] for v in positive[0].vertices)
+        later = max(state.weights[v] for v in positive[-1].vertices)
+        assert first >= later - 0.15
+
+    def test_loads_approximate_shell_densities(self):
+        g = gnp_graph(10, 0.55, seed=9)
+        cliques = list(iter_k_cliques_naive(g, 3))
+        if not cliques:
+            pytest.skip("no triangles")
+        h = Hypergraph(g.n, cliques)
+        levels = density_friendly_decomposition(h)
+        state = frank_wolfe(cliques, g.n, iterations=400)
+        top = levels[0]
+        for v in top.vertices:
+            assert state.weights[v] == pytest.approx(float(top.density), abs=0.2)

@@ -1,0 +1,77 @@
+"""The clique flow network and the exact min-cut solver."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.cliques import densest_subgraph_bruteforce, iter_k_cliques_naive
+from repro.flow import (
+    count_cliques_inside,
+    exact_densest_from_cliques,
+    find_denser_subgraph,
+)
+from repro.graph import Graph, gnp_graph
+
+
+class TestCountInside:
+    def test_counts_only_contained(self):
+        cliques = [(0, 1, 2), (1, 2, 3)]
+        assert count_cliques_inside(cliques, [0, 1, 2]) == 1
+        assert count_cliques_inside(cliques, [0, 1, 2, 3]) == 2
+        assert count_cliques_inside(cliques, [5]) == 0
+
+
+class TestFindDenser:
+    def test_none_when_no_cliques(self):
+        assert find_denser_subgraph([], [0, 1], Fraction(1)) is None
+
+    def test_finds_the_dense_block(self):
+        g = Graph.complete(5)
+        cliques = list(iter_k_cliques_naive(g, 3))
+        denser = find_denser_subgraph(cliques, list(range(5)), Fraction(1, 2))
+        assert denser is not None
+        assert Fraction(count_cliques_inside(cliques, denser), len(denser)) > Fraction(1, 2)
+
+    def test_none_at_optimum(self):
+        g = Graph.complete(5)
+        cliques = list(iter_k_cliques_naive(g, 3))
+        optimum = Fraction(10, 5)
+        assert find_denser_subgraph(cliques, list(range(5)), optimum) is None
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            find_denser_subgraph([(0, 1, 2)], [0, 1, 2], Fraction(-1))
+
+
+class TestExactSolver:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_matches_bruteforce(self, seed, k):
+        g = gnp_graph(10, 0.5, seed=seed)
+        cliques = list(iter_k_cliques_naive(g, k))
+        solution, density = exact_densest_from_cliques(cliques, list(g.vertices()))
+        _, expected = densest_subgraph_bruteforce(g, k)
+        assert float(density) == pytest.approx(expected)
+        if cliques:
+            assert count_cliques_inside(cliques, solution) == density * len(solution)
+
+    def test_empty_inputs(self):
+        assert exact_densest_from_cliques([], [0, 1]) == ([], Fraction(0))
+        assert exact_densest_from_cliques([(0, 1)], []) == ([], Fraction(0))
+
+    def test_warm_start_agrees(self):
+        g = gnp_graph(11, 0.5, seed=3)
+        cliques = list(iter_k_cliques_naive(g, 3))
+        cold = exact_densest_from_cliques(cliques, list(g.vertices()))
+        warm = exact_densest_from_cliques(
+            cliques, list(g.vertices()), warm_start=[0, 1, 2]
+        )
+        assert cold[1] == warm[1]
+
+    def test_k6_plus_k4(self, k6_plus_k4):
+        cliques = list(iter_k_cliques_naive(k6_plus_k4, 3))
+        solution, density = exact_densest_from_cliques(
+            cliques, list(k6_plus_k4.vertices())
+        )
+        assert density == Fraction(20, 6)
+        assert solution == [0, 1, 2, 3, 4, 5]

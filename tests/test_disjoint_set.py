@@ -1,0 +1,69 @@
+"""Unit tests for the union-find forest."""
+
+import random
+
+import pytest
+
+from repro.graph import DisjointSet
+
+
+class TestDisjointSet:
+    def test_initial_state(self):
+        ds = DisjointSet(5)
+        assert ds.n_components == 5
+        assert len(ds) == 5
+        assert all(ds.find(i) == i for i in range(5))
+
+    def test_union_merges(self):
+        ds = DisjointSet(4)
+        ds.union(0, 1)
+        assert ds.connected(0, 1)
+        assert not ds.connected(0, 2)
+        assert ds.n_components == 3
+
+    def test_union_idempotent(self):
+        ds = DisjointSet(3)
+        ds.union(0, 1)
+        ds.union(1, 0)
+        assert ds.n_components == 2
+
+    def test_union_many(self):
+        ds = DisjointSet(6)
+        root = ds.union_many([0, 2, 4])
+        assert ds.find(0) == ds.find(2) == ds.find(4) == root
+        assert not ds.connected(0, 1)
+
+    def test_union_many_single_item(self):
+        ds = DisjointSet(3)
+        assert ds.union_many([2]) == 2
+        assert ds.n_components == 3
+
+    def test_union_many_empty_raises(self):
+        with pytest.raises(StopIteration):
+            DisjointSet(3).union_many([])
+
+    def test_groups(self):
+        ds = DisjointSet(5)
+        ds.union(0, 1)
+        ds.union(3, 4)
+        groups = sorted(sorted(g) for g in ds.groups().values())
+        assert groups == [[0, 1], [2], [3, 4]]
+
+    def test_matches_naive_connectivity(self):
+        rng = random.Random(9)
+        n = 40
+        ds = DisjointSet(n)
+        naive = [{i} for i in range(n)]
+        pointer = list(range(n))
+        for _ in range(60):
+            a, b = rng.randrange(n), rng.randrange(n)
+            ds.union(a, b)
+            ra, rb = pointer[a], pointer[b]
+            if ra != rb:
+                naive[ra] |= naive[rb]
+                for x in naive[rb]:
+                    pointer[x] = ra
+                naive[rb] = set()
+        for a in range(n):
+            for b in range(a + 1, n):
+                assert ds.connected(a, b) == (pointer[a] == pointer[b])

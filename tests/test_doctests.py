@@ -1,0 +1,20 @@
+"""Run the doctests embedded in library docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.graph.graph
+
+MODULES_WITH_DOCTESTS = [
+    repro.graph.graph,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES_WITH_DOCTESTS, ids=lambda m: m.__name__
+)
+def test_module_doctests(module):
+    result = doctest.testmod(module)
+    assert result.attempted > 0, f"{module.__name__} has no doctests"
+    assert result.failed == 0

@@ -1,0 +1,44 @@
+"""The exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    DatasetError,
+    GraphError,
+    IndexBuildError,
+    IndexQueryError,
+    InvalidParameterError,
+    ReproError,
+    SolverError,
+    TimeoutExceeded,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            GraphError,
+            InvalidParameterError,
+            IndexBuildError,
+            IndexQueryError,
+            DatasetError,
+            SolverError,
+            TimeoutExceeded,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_timeout_carries_budget(self):
+        err = TimeoutExceeded(2.5)
+        assert err.budget_seconds == 2.5
+        assert "2.5" in str(err)
+
+    def test_timeout_custom_message(self):
+        err = TimeoutExceeded(1.0, "custom")
+        assert str(err) == "custom"
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise IndexQueryError("nope")

@@ -1,0 +1,86 @@
+"""Clique-count upper bounds and index statistics."""
+
+from math import comb
+
+import pytest
+
+from repro.cliques import (
+    clique_count_upper_bound,
+    count_k_cliques_naive,
+    degeneracy_clique_bound,
+    kruskal_katona_clique_bound,
+)
+from repro.core import SCTIndex
+from repro.errors import InvalidParameterError
+from repro.graph import Graph, gnp_graph, grid_graph
+
+
+class TestBoundsDominateExactCounts:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("k", [2, 3, 4, 5])
+    def test_degeneracy_bound(self, seed, k):
+        g = gnp_graph(14, 0.5, seed=seed)
+        assert degeneracy_clique_bound(g, k) >= count_k_cliques_naive(g, k)
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("k", [2, 3, 4, 5])
+    def test_kruskal_katona_bound(self, seed, k):
+        g = gnp_graph(14, 0.5, seed=seed)
+        assert kruskal_katona_clique_bound(g, k) >= count_k_cliques_naive(g, k)
+
+    def test_bounds_tight_on_complete_graph(self):
+        g = Graph.complete(8)
+        for k in range(2, 9):
+            assert kruskal_katona_clique_bound(g, k) == pytest.approx(comb(8, k))
+            assert degeneracy_clique_bound(g, k) >= comb(8, k)
+
+    def test_combined_bound_takes_minimum(self):
+        g = gnp_graph(20, 0.3, seed=1)
+        combined = clique_count_upper_bound(g, 4)
+        assert combined <= degeneracy_clique_bound(g, 4)
+        assert combined <= kruskal_katona_clique_bound(g, 4)
+
+    def test_triangle_free_graph(self):
+        g = grid_graph(6, 6)
+        assert degeneracy_clique_bound(g, 3) >= 0
+        assert count_k_cliques_naive(g, 3) == 0
+
+    def test_invalid_k(self):
+        with pytest.raises(InvalidParameterError):
+            degeneracy_clique_bound(Graph(3), 0)
+        with pytest.raises(InvalidParameterError):
+            kruskal_katona_clique_bound(Graph(3), 0)
+
+    def test_k_one_is_vertex_count(self):
+        g = gnp_graph(10, 0.3, seed=2)
+        assert degeneracy_clique_bound(g, 1) == 10
+        assert kruskal_katona_clique_bound(g, 1) == 10.0
+
+
+class TestIndexStatistics:
+    def test_counts_are_consistent(self):
+        g = gnp_graph(16, 0.45, seed=4)
+        index = SCTIndex.build(g)
+        stats = index.statistics()
+        assert stats["holds"] + stats["pivots"] == stats["tree_nodes"]
+        assert stats["leaves"] == index.n_leaves
+        assert stats["max_depth"] == index.max_clique_size
+        assert sum(stats["leaf_depth_histogram"].values()) == stats["leaves"]
+        assert max(stats["leaf_depth_histogram"]) == stats["max_depth"]
+
+    def test_complete_graph_structure(self):
+        # every vertex roots one subtree: path i holds vertex i and pivots
+        # over its out-neighbours, so K5 yields 5 chains of depths 5..1
+        index = SCTIndex.build(Graph.complete(5))
+        stats = index.statistics()
+        assert stats["leaves"] == 5
+        assert stats["holds"] == 5
+        assert stats["pivots"] == 10
+        assert stats["leaf_depth_histogram"] == {1: 1, 2: 1, 3: 1, 4: 1, 5: 1}
+        assert stats["mean_leaf_depth"] == 3.0
+
+    def test_empty_graph(self):
+        stats = SCTIndex.build(Graph(0)).statistics()
+        assert stats["tree_nodes"] == 0
+        assert stats["leaves"] == 0
+        assert stats["mean_leaf_depth"] == 0.0

@@ -1,0 +1,62 @@
+"""SCTL*-Exact (Algorithm 7) against brute force and peer solvers."""
+
+import pytest
+
+from repro.baselines import core_exact, kcl_exact
+from repro.cliques import count_k_cliques_naive, densest_subgraph_bruteforce
+from repro.core import SCTIndex, sctl_star_exact
+from repro.graph import Graph, gnp_graph, planted_near_cliques_graph
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("k", [3, 4])
+    def test_matches_bruteforce(self, seed, k):
+        g = gnp_graph(11, 0.55, seed=seed)
+        index = SCTIndex.build(g)
+        result = sctl_star_exact(g, k, index=index, sample_size=100, iterations=4, seed=seed)
+        _, optimal = densest_subgraph_bruteforce(g, k)
+        assert result.density == pytest.approx(optimal)
+        assert result.exact
+
+    def test_no_kclique_graph(self):
+        g = Graph(5, [(0, 1), (1, 2)])
+        result = sctl_star_exact(g, 3)
+        assert result.vertices == []
+        assert result.exact
+
+    def test_k6_plus_k4(self, k6_plus_k4):
+        result = sctl_star_exact(k6_plus_k4, 3, sample_size=50)
+        assert result.vertices == [0, 1, 2, 3, 4, 5]
+        assert result.density == pytest.approx(20 / 6)
+
+    def test_reported_count_is_true_count(self, caveman):
+        result = sctl_star_exact(caveman, 3, sample_size=200)
+        sub, _ = caveman.induced_subgraph(result.vertices)
+        assert count_k_cliques_naive(sub, 3) == result.clique_count
+
+    def test_builds_index_when_missing(self, small_random):
+        result = sctl_star_exact(small_random, 3, sample_size=50)
+        assert result.exact
+
+
+class TestAgreementWithPeers:
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_three_exact_solvers_agree(self, k):
+        g = planted_near_cliques_graph(
+            45, [(9, 0.9), (8, 0.85)], background_p=0.02, seed=17
+        )
+        ours = sctl_star_exact(g, k, sample_size=500, iterations=6)
+        kclx = kcl_exact(g, k, initial_iterations=5, max_total_iterations=40)
+        corex = core_exact(g, k)
+        assert ours.density_fraction == kclx.density_fraction
+        assert ours.density_fraction == corex.density_fraction
+
+
+class TestStats:
+    def test_scope_and_flow_stats(self, caveman):
+        result = sctl_star_exact(caveman, 3, sample_size=100)
+        assert result.stats["scope_vertices"] <= caveman.n
+        assert result.stats["scope_cliques"] >= result.clique_count
+        assert result.stats["flow_rounds"] >= 1
+        assert result.upper_bound == pytest.approx(result.density)

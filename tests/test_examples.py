@@ -1,0 +1,46 @@
+"""Smoke tests: every example script must run to completion."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+EXAMPLES = sorted(
+    f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py")
+)
+
+
+class TestExamples:
+    def test_at_least_three_examples_ship(self):
+        assert len(EXAMPLES) >= 3
+
+    @pytest.mark.parametrize("script", EXAMPLES)
+    def test_example_runs_clean(self, script):
+        proc = subprocess.run(
+            [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip(), "examples must print their findings"
+
+    def test_quickstart_reports_ratio(self):
+        proc = subprocess.run(
+            [sys.executable, os.path.join(EXAMPLES_DIR, "quickstart.py")],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert "approximation ratio" in proc.stdout
+
+    def test_protein_example_recovers_planted_complex(self):
+        proc = subprocess.run(
+            [sys.executable, os.path.join(EXAMPLES_DIR, "protein_complexes.py")],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert "overlap with planted complex A: 10/10" in proc.stdout

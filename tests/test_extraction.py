@@ -1,0 +1,66 @@
+"""Best-prefix extraction: the paths backend must agree with explicit cliques."""
+
+import random
+
+import pytest
+
+from repro.cliques import iter_k_cliques_naive
+from repro.core import SCTIndex, best_prefix_from_cliques, best_prefix_from_paths
+from repro.graph import Graph, gnp_graph
+
+
+class TestAgainstExplicitCliques:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_paths_backend_matches_cliques_backend(self, seed, k):
+        g = gnp_graph(13, 0.5, seed=seed)
+        index = SCTIndex.build(g)
+        rng = random.Random(seed)
+        weights = [rng.random() * 10 for _ in range(g.n)]
+        from_paths = best_prefix_from_paths(index.collect_paths(k), weights, k)
+        from_cliques = best_prefix_from_cliques(iter_k_cliques_naive(g, k), weights)
+        assert from_paths.clique_count == from_cliques.clique_count
+        assert from_paths.density_fraction == from_cliques.density_fraction
+        assert from_paths.vertices == from_cliques.vertices
+
+    def test_prefix_counts_are_true_subgraph_counts(self):
+        g = gnp_graph(12, 0.5, seed=4)
+        index = SCTIndex.build(g)
+        weights = [g.degree(v) for v in g.vertices()]
+        result = best_prefix_from_paths(index.collect_paths(3), weights, 3)
+        sub, _ = g.induced_subgraph(result.vertices)
+        from repro.cliques import count_k_cliques_naive
+
+        assert count_k_cliques_naive(sub, 3) == result.clique_count
+
+
+class TestEdgeCases:
+    def test_no_cliques_gives_empty_prefix(self):
+        g = Graph(4, [(0, 1)])
+        index = SCTIndex.build(g)
+        result = best_prefix_from_paths(index.collect_paths(3), [1, 2, 3, 4], 3)
+        assert result.vertices == []
+        assert result.clique_count == 0
+        assert result.density == 0.0
+
+    def test_restrict_to_subset(self):
+        cliques = [(0, 1, 2), (3, 4, 5)]
+        weights = [5, 5, 5, 9, 9, 9]
+        full = best_prefix_from_cliques(cliques, weights)
+        assert set(full.vertices) == {3, 4, 5}
+        restricted = best_prefix_from_cliques(cliques, weights, restrict_to=[0, 1, 2])
+        assert set(restricted.vertices) == {0, 1, 2}
+
+    def test_restrict_excludes_straddling_cliques(self):
+        cliques = [(0, 1, 2)]
+        weights = [1.0, 1.0, 1.0]
+        result = best_prefix_from_cliques(cliques, weights, restrict_to=[0, 1])
+        assert result.clique_count == 0
+
+    def test_tie_break_prefers_shorter_prefix(self):
+        # two disjoint triangles with equal weights: density 1/3 at size 3
+        # and at size 6; the shorter prefix must win
+        cliques = [(0, 1, 2), (3, 4, 5)]
+        weights = [2.0] * 6
+        result = best_prefix_from_cliques(cliques, weights)
+        assert len(result.vertices) == 3

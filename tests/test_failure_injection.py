@@ -1,0 +1,82 @@
+"""Failure injection: corrupted inputs must fail loudly and typed."""
+
+import pytest
+
+from repro.core import SCTIndex
+from repro.errors import GraphError, IndexBuildError, ReproError
+from repro.graph import Graph, gnp_graph, read_edge_list
+
+
+@pytest.fixture
+def saved_index(tmp_path):
+    g = gnp_graph(12, 0.5, seed=1)
+    path = tmp_path / "ok.sct"
+    SCTIndex.build(g).save(path)
+    return path
+
+
+class TestCorruptIndexFiles:
+    def test_truncated_file(self, saved_index):
+        text = saved_index.read_text().splitlines()
+        saved_index.write_text("\n".join(text[: len(text) // 2]))
+        with pytest.raises(IndexBuildError):
+            SCTIndex.load(saved_index)
+
+    def test_garbage_header(self, tmp_path):
+        bad = tmp_path / "bad.sct"
+        bad.write_text("not json at all\n")
+        with pytest.raises(IndexBuildError):
+            SCTIndex.load(bad)
+
+    def test_missing_header_fields(self, tmp_path):
+        bad = tmp_path / "bad.sct"
+        bad.write_text('{"format": 1}\n')
+        with pytest.raises(IndexBuildError):
+            SCTIndex.load(bad)
+
+    def test_non_numeric_node_line(self, saved_index):
+        lines = saved_index.read_text().splitlines()
+        lines[1] = "x y z w"
+        saved_index.write_text("\n".join(lines) + "\n")
+        with pytest.raises(IndexBuildError):
+            SCTIndex.load(saved_index)
+
+    def test_out_of_range_child_pointer(self, tmp_path):
+        bad = tmp_path / "bad.sct"
+        bad.write_text(
+            '{"format": 1, "n_vertices": 1, "n_nodes": 2, "threshold": 0}\n'
+            "-1 -1 1 1 99\n"
+            "0 0 1 0\n"
+        )
+        with pytest.raises(IndexBuildError):
+            SCTIndex.load(bad)
+
+    def test_errors_are_catchable_as_base(self, tmp_path):
+        bad = tmp_path / "bad.sct"
+        bad.write_text("{}\n")
+        with pytest.raises(ReproError):
+            SCTIndex.load(bad)
+
+
+class TestCorruptGraphFiles:
+    def test_single_token_line(self, tmp_path):
+        f = tmp_path / "g.txt"
+        f.write_text("1 2\nonly\n")
+        with pytest.raises(GraphError):
+            read_edge_list(f)
+
+    def test_empty_file_gives_empty_graph(self, tmp_path):
+        f = tmp_path / "g.txt"
+        f.write_text("# nothing\n")
+        g = read_edge_list(f)
+        assert g.n == 0 and g.m == 0
+
+
+class TestDefensiveGraphConstruction:
+    def test_edges_referencing_ghost_vertices(self):
+        with pytest.raises(GraphError):
+            Graph(2, [(0, 1), (1, 2)])
+
+    def test_negative_vertex_id(self):
+        with pytest.raises(GraphError):
+            Graph(3, [(-1, 0)])

@@ -1,0 +1,78 @@
+"""The shared Frank-Wolfe convex-program module."""
+
+import pytest
+
+from repro.cliques import densest_subgraph_bruteforce, iter_k_cliques_naive
+from repro.core.frank_wolfe import frank_wolfe
+from repro.errors import InvalidParameterError
+from repro.graph import Graph, gnp_graph
+
+
+class TestFrankWolfe:
+    def test_initial_state_is_uniform(self):
+        cliques = [(0, 1, 2)]
+        state = frank_wolfe(cliques, 3, iterations=0)
+        assert state.alpha == [[pytest.approx(1 / 3)] * 3]
+        assert state.weights == [pytest.approx(1 / 3)] * 3
+        assert state.rounds == 0
+
+    def test_rows_always_sum_to_one(self):
+        g = gnp_graph(12, 0.5, seed=1)
+        cliques = list(iter_k_cliques_naive(g, 3))
+        state = frank_wolfe(cliques, g.n, iterations=20)
+        for row in state.alpha:
+            assert sum(row) == pytest.approx(1.0)
+
+    def test_weights_consistent_with_alpha(self):
+        g = gnp_graph(12, 0.5, seed=2)
+        cliques = list(iter_k_cliques_naive(g, 3))
+        state = frank_wolfe(cliques, g.n, iterations=15)
+        recomputed = [0.0] * g.n
+        for clique, row in zip(cliques, state.alpha):
+            for v, a in zip(clique, row):
+                recomputed[v] += a
+        for a, b in zip(state.weights, recomputed):
+            assert a == pytest.approx(b, abs=1e-9)
+
+    def test_total_mass_is_clique_count(self):
+        g = gnp_graph(12, 0.5, seed=3)
+        cliques = list(iter_k_cliques_naive(g, 3))
+        state = frank_wolfe(cliques, g.n, iterations=10)
+        assert sum(state.weights) == pytest.approx(len(cliques))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_max_load_converges_to_optimal_density(self, seed):
+        g = gnp_graph(10, 0.55, seed=seed)
+        cliques = list(iter_k_cliques_naive(g, 3))
+        if not cliques:
+            pytest.skip("no triangles")
+        _, optimal = densest_subgraph_bruteforce(g, 3)
+        state = frank_wolfe(cliques, g.n, iterations=300)
+        # max load is an upper bound and approaches the optimum
+        assert state.max_load >= optimal - 1e-9
+        assert state.max_load <= optimal * 1.10
+
+    def test_resume_continues_schedule(self):
+        g = gnp_graph(10, 0.5, seed=5)
+        cliques = list(iter_k_cliques_naive(g, 3))
+        one_shot = frank_wolfe(cliques, g.n, iterations=10)
+        resumed = frank_wolfe(cliques, g.n, iterations=4)
+        frank_wolfe(cliques, g.n, iterations=6, state=resumed)
+        assert resumed.rounds == one_shot.rounds == 10
+        for a, b in zip(resumed.weights, one_shot.weights):
+            assert a == pytest.approx(b)
+
+    def test_history_tracking(self):
+        cliques = [(0, 1, 2), (1, 2, 3)]
+        state = frank_wolfe(cliques, 4, iterations=5, track_history=True)
+        assert len(state.load_history) == 5
+        # loads only tighten
+        assert state.load_history[-1] <= state.load_history[0] + 1e-9
+
+    def test_negative_iterations_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            frank_wolfe([(0, 1)], 2, iterations=-1)
+
+    def test_empty_cliques(self):
+        state = frank_wolfe([], 5, iterations=3)
+        assert state.max_load == 0.0

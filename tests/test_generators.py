@@ -1,0 +1,130 @@
+"""Unit tests for the synthetic graph generators."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.graph import (
+    barabasi_albert_graph,
+    disjoint_union,
+    gnm_graph,
+    gnp_graph,
+    grid_graph,
+    overlapping_community_graph,
+    planted_clique_graph,
+    planted_near_cliques_graph,
+    powerlaw_cluster_graph,
+    relaxed_caveman_graph,
+)
+from repro.cliques import count_k_cliques
+
+
+class TestGnp:
+    def test_extremes(self):
+        assert gnp_graph(10, 0.0, seed=1).m == 0
+        assert gnp_graph(10, 1.0, seed=1).m == 45
+
+    def test_seed_determinism(self):
+        assert gnp_graph(30, 0.3, seed=5) == gnp_graph(30, 0.3, seed=5)
+
+    def test_seed_sensitivity(self):
+        assert gnp_graph(30, 0.3, seed=5) != gnp_graph(30, 0.3, seed=6)
+
+    def test_invalid_p(self):
+        with pytest.raises(InvalidParameterError):
+            gnp_graph(5, 1.5)
+
+
+class TestGnm:
+    def test_exact_edge_count(self):
+        assert gnm_graph(20, 37, seed=0).m == 37
+
+    def test_too_many_edges(self):
+        with pytest.raises(InvalidParameterError):
+            gnm_graph(4, 7)
+
+
+class TestBarabasiAlbert:
+    def test_edge_count(self):
+        g = barabasi_albert_graph(50, 3, seed=2)
+        # star seed gives m edges, then m per newcomer
+        assert g.m == 3 + 3 * (50 - 4)
+
+    def test_connected_core(self):
+        from repro.graph import is_connected
+
+        assert is_connected(barabasi_albert_graph(40, 2, seed=1))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            barabasi_albert_graph(3, 3)
+
+
+class TestPowerlawCluster:
+    def test_has_triangles(self):
+        g = powerlaw_cluster_graph(200, 4, 0.8, seed=3)
+        assert count_k_cliques(g, 3) > 50
+
+    def test_more_clustering_with_higher_p(self):
+        lo = powerlaw_cluster_graph(300, 4, 0.0, seed=4)
+        hi = powerlaw_cluster_graph(300, 4, 0.9, seed=4)
+        assert count_k_cliques(hi, 3) > count_k_cliques(lo, 3)
+
+
+class TestPlanted:
+    def test_planted_clique_present(self):
+        g = planted_clique_graph(40, 8, 0.05, seed=1)
+        assert g.is_clique(range(8))
+
+    def test_planted_clique_too_big(self):
+        with pytest.raises(InvalidParameterError):
+            planted_clique_graph(5, 6, 0.1)
+
+    def test_near_cliques_block_density(self):
+        g = planted_near_cliques_graph(
+            30, [(10, 1.0)], background_p=0.0, seed=0
+        )
+        assert g.is_clique(range(10))
+
+    def test_near_cliques_capacity_check(self):
+        with pytest.raises(InvalidParameterError):
+            planted_near_cliques_graph(10, [(8, 1.0), (8, 1.0)])
+
+
+class TestCavemanAndGrid:
+    def test_caveman_no_rewire_is_cliques(self):
+        g = relaxed_caveman_graph(4, 5, 0.0, seed=0)
+        for c in range(4):
+            assert g.is_clique(range(c * 5, (c + 1) * 5))
+
+    def test_caveman_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            relaxed_caveman_graph(0, 5, 0.1)
+
+    def test_grid_is_triangle_free(self):
+        g = grid_graph(8, 8)
+        assert count_k_cliques(g, 3) == 0
+
+    def test_grid_diagonals_add_triangles(self):
+        g = grid_graph(8, 8, diagonal_p=1.0, seed=1)
+        assert count_k_cliques(g, 3) > 0
+
+    def test_grid_edge_count(self):
+        g = grid_graph(3, 4)
+        assert g.m == 3 * 3 + 2 * 4  # horizontal + vertical
+
+
+class TestCombinators:
+    def test_overlapping_communities_nonempty(self):
+        g = overlapping_community_graph(
+            100, n_communities=10, community_size=15, intra_p=0.5, seed=1
+        )
+        assert g.m > 0
+
+    def test_disjoint_union_offsets(self):
+        from repro.graph import Graph
+
+        a = Graph(2, [(0, 1)])
+        b = Graph(3, [(0, 2)])
+        u = disjoint_union([a, b])
+        assert u.n == 5
+        assert sorted(u.edges()) == [(0, 1), (2, 4)]

@@ -1,0 +1,104 @@
+"""Golden tests: classic graph families with hand-derivable answers."""
+
+from math import comb
+
+import pytest
+
+from repro.core import SCTIndex, sctl_star_exact
+from repro.graph import Graph
+
+
+def cycle_graph(n):
+    return Graph(n, [(i, (i + 1) % n) for i in range(n)])
+
+
+def star_graph(leaves):
+    return Graph(leaves + 1, [(0, i) for i in range(1, leaves + 1)])
+
+
+def wheel_graph(rim):
+    """A hub connected to every vertex of an n-cycle."""
+    edges = [(i, i % rim + 1) for i in range(1, rim + 1)]
+    edges += [(0, i) for i in range(1, rim + 1)]
+    return Graph(rim + 1, edges)
+
+
+def complete_bipartite(a, b):
+    return Graph(a + b, [(i, a + j) for i in range(a) for j in range(b)])
+
+
+class TestCliqueCounts:
+    def test_cycle_has_no_triangles(self):
+        for n in (4, 5, 6, 10):
+            index = SCTIndex.build(cycle_graph(n))
+            assert index.count_k_cliques(2) == n
+            assert index.count_k_cliques(3) == 0
+
+    def test_triangle_cycle(self):
+        index = SCTIndex.build(cycle_graph(3))
+        assert index.count_k_cliques(3) == 1
+
+    def test_star_counts(self):
+        index = SCTIndex.build(star_graph(7))
+        assert index.count_k_cliques(2) == 7
+        assert index.count_k_cliques(3) == 0
+        assert index.max_clique_size == 2
+
+    def test_wheel_counts(self):
+        # wheel on rim r (r >= 4): r rim edges + r spokes; triangles = r
+        for rim in (4, 5, 8):
+            index = SCTIndex.build(wheel_graph(rim))
+            assert index.count_k_cliques(2) == 2 * rim
+            assert index.count_k_cliques(3) == rim
+            assert index.count_k_cliques(4) == 0
+
+    def test_complete_bipartite_triangle_free(self):
+        index = SCTIndex.build(complete_bipartite(4, 5))
+        assert index.count_k_cliques(2) == 20
+        assert index.count_k_cliques(3) == 0
+
+    def test_complete_graph_profile(self):
+        index = SCTIndex.build(Graph.complete(9))
+        assert index.clique_counts_by_size() == {
+            k: comb(9, k) for k in range(1, 10)
+        }
+
+
+class TestDensestOnFamilies:
+    def test_wheel_densest_triangles(self):
+        # every triangle uses the hub; best rho_3 subgraph is the whole wheel
+        rim = 6
+        g = wheel_graph(rim)
+        result = sctl_star_exact(g, 3, sample_size=50)
+        assert result.density == pytest.approx(rim / (rim + 1))
+        assert result.vertices == list(range(rim + 1))
+
+    def test_two_cliques_pick_the_larger(self):
+        edges = [(i, j) for i in range(5) for j in range(i + 1, 5)]
+        edges += [(i, j) for i in range(5, 12) for j in range(i + 1, 12)]
+        g = Graph(12, edges)
+        result = sctl_star_exact(g, 4, sample_size=50)
+        assert result.vertices == list(range(5, 12))
+        assert result.density == pytest.approx(comb(7, 4) / 7)
+
+    def test_k_equals_two_edge_density(self):
+        # classic densest subgraph: K4 with a pendant path
+        edges = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)]
+        g = Graph(6, edges)
+        result = sctl_star_exact(g, 2, sample_size=50)
+        assert result.vertices == [0, 1, 2, 3]
+        assert result.density == pytest.approx(6 / 4)
+
+    def test_petersen_graph(self):
+        # the Petersen graph is triangle-free: no k>=3 densest exists
+        outer = [(i, (i + 1) % 5) for i in range(5)]
+        inner = [(5 + i, 5 + (i + 2) % 5) for i in range(5)]
+        spokes = [(i, i + 5) for i in range(5)]
+        g = Graph(10, outer + inner + spokes)
+        index = SCTIndex.build(g)
+        assert index.count_k_cliques(3) == 0
+        result = sctl_star_exact(g, 3, index=index)
+        assert result.vertices == []
+        # k=2: vertex-transitive cubic graph -> whole graph, density 3/2
+        result2 = sctl_star_exact(g, 2, index=index)
+        assert result2.density == pytest.approx(15 / 10)

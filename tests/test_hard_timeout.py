@@ -1,0 +1,86 @@
+"""Hard (forked) timeout enforcement in the bench harness."""
+
+import time
+
+import pytest
+
+from repro.bench import TimeoutTracker, timed_hard
+
+
+class TestTimedHard:
+    def test_fast_call_returns_result(self):
+        outcome = timed_hard(lambda: 21 * 2, budget=10.0)
+        assert outcome.result == 42
+        assert not outcome.timed_out
+
+    def test_infinite_loop_is_preempted(self):
+        def spin():
+            while True:
+                pass
+
+        start = time.perf_counter()
+        outcome = timed_hard(spin, budget=0.5)
+        elapsed = time.perf_counter() - start
+        assert outcome.timed_out
+        assert outcome.result is None
+        assert elapsed < 5.0  # terminated, not waited out
+
+    def test_closure_over_local_state_works(self):
+        data = {"x": [1, 2, 3]}
+        outcome = timed_hard(lambda: sum(data["x"]), budget=5.0)
+        assert outcome.result == 6
+
+    def test_child_exception_propagates(self):
+        def boom():
+            raise ValueError("inner")
+
+        with pytest.raises(RuntimeError, match="inner"):
+            timed_hard(boom, budget=5.0)
+
+    def test_tracker_hard_skips_after_timeout(self):
+        tracker = TimeoutTracker(budget=0.3)
+        calls = []
+
+        def spin():
+            calls.append(1)
+            while True:
+                pass
+
+        first = tracker.run_hard("d", "alg", spin)
+        assert first.timed_out
+        second = tracker.run_hard("d", "alg", spin)
+        assert second.timed_out
+        assert len(calls) == 0  # the fork copies state; parent list untouched
+
+    def test_complex_result_crosses_process_boundary(self):
+        from repro.core import SCTIndex, sctl_star
+        from repro.graph import gnp_graph
+
+        g = gnp_graph(12, 0.5, seed=1)
+        index = SCTIndex.build(g)
+        outcome = timed_hard(lambda: sctl_star(index, 3, iterations=3), budget=30.0)
+        assert outcome.result is not None
+        assert outcome.result.density >= 0
+
+
+class TestTimedWithMemory:
+    def test_reports_result_time_and_peak(self):
+        from repro.bench import timed_with_memory
+
+        def allocate():
+            block = [0] * 300_000  # ~2.4 MB of ints
+            return len(block)
+
+        outcome = timed_with_memory(allocate)
+        assert outcome.result == 300_000
+        assert outcome.seconds >= 0
+        assert outcome.peak_mib > 1.0
+
+    def test_tracemalloc_stopped_on_error(self):
+        import tracemalloc
+
+        from repro.bench import timed_with_memory
+
+        with pytest.raises(ValueError):
+            timed_with_memory(lambda: (_ for _ in ()).throw(ValueError("x")))
+        assert not tracemalloc.is_tracing()

@@ -1,0 +1,113 @@
+"""The hypergraph substrate and its three densest solvers."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.cliques import densest_subgraph_bruteforce
+from repro.errors import GraphError
+from repro.graph import Graph, gnp_graph
+from repro.hypergraph import (
+    Hypergraph,
+    exact_densest,
+    lp_densest_value,
+    peel_densest,
+)
+
+
+class TestContainer:
+    def test_basic_counts(self):
+        h = Hypergraph(5, [(0, 1, 2), (2, 3), (2, 3)])
+        assert h.n == 5
+        assert h.m == 3
+        assert h.degree(2) == 3
+        assert h.degree(4) == 0
+        assert h.rank() == 3
+
+    def test_rejects_bad_edges(self):
+        with pytest.raises(GraphError):
+            Hypergraph(3, [(0, 0)])
+        with pytest.raises(GraphError):
+            Hypergraph(3, [(0, 5)])
+        with pytest.raises(GraphError):
+            Hypergraph(3, [()])
+
+    def test_density_and_inside(self):
+        h = Hypergraph(4, [(0, 1, 2), (1, 2, 3)])
+        assert h.edges_inside([0, 1, 2]) == 1
+        assert h.density([0, 1, 2]) == Fraction(1, 3)
+        assert h.density([]) == 0
+
+    def test_restriction(self):
+        h = Hypergraph(4, [(0, 1, 2), (1, 2, 3)])
+        restricted = h.restricted_to([0, 1, 2])
+        assert restricted.m == 1
+
+    def test_from_graph_cliques(self):
+        g = Graph.complete(4)
+        h = Hypergraph.from_graph_cliques(g, 3)
+        assert h.m == 4
+        assert h.rank() == 3
+
+    def test_support(self):
+        h = Hypergraph(5, [(1, 2)])
+        assert h.vertex_support() == [1, 2]
+
+
+class TestPeeling:
+    def test_empty(self):
+        assert peel_densest(Hypergraph(3)) == ([], Fraction(0))
+
+    def test_finds_dense_core(self):
+        # 4 hyperedges packed on {0,1,2}, singleton-ish elsewhere
+        h = Hypergraph(6, [(0, 1, 2)] * 4 + [(3, 4), (4, 5)])
+        chosen, density = peel_densest(h)
+        assert set(chosen) == {0, 1, 2}
+        assert density == Fraction(4, 3)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_one_over_rank_guarantee(self, seed):
+        g = gnp_graph(11, 0.5, seed=seed)
+        h = Hypergraph.from_graph_cliques(g, 3)
+        if h.m == 0:
+            pytest.skip("no triangles")
+        _, optimal = exact_densest(h)
+        _, peeled = peel_densest(h)
+        assert peeled >= optimal / 3
+        assert peeled <= optimal
+
+
+class TestThreeWayAgreement:
+    """Flow, LP and brute force must agree on the optimum density."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_flow_equals_bruteforce(self, seed, k):
+        g = gnp_graph(10, 0.5, seed=seed)
+        h = Hypergraph.from_graph_cliques(g, k)
+        _, flow_density = exact_densest(h)
+        _, expected = densest_subgraph_bruteforce(g, k)
+        assert float(flow_density) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_lp_equals_flow(self, seed, k):
+        pytest.importorskip("scipy")
+        g = gnp_graph(10, 0.5, seed=seed)
+        h = Hypergraph.from_graph_cliques(g, k)
+        if h.m == 0:
+            pytest.skip("no hyperedges")
+        _, flow_density = exact_densest(h)
+        assert lp_densest_value(h) == pytest.approx(float(flow_density), abs=1e-7)
+
+    def test_lp_on_mixed_rank_hypergraph(self):
+        pytest.importorskip("scipy")
+        # hyperedges of different sizes — beyond what the clique view makes
+        h = Hypergraph(6, [(0, 1), (0, 1, 2), (0, 1, 2, 3), (4, 5)])
+        _, flow_density = exact_densest(h)
+        assert lp_densest_value(h) == pytest.approx(float(flow_density), abs=1e-7)
+        assert flow_density == Fraction(3, 4)
+
+    def test_lp_empty(self):
+        pytest.importorskip("scipy")
+        assert lp_densest_value(Hypergraph(3)) == 0.0

@@ -1,0 +1,96 @@
+"""Cross-module integration: the full pipeline on realistic graphs."""
+
+import pytest
+
+from repro import densest_subgraph
+from repro.baselines import core_app, kcl
+from repro.core import SCTIndex, sctl, sctl_plus, sctl_star, sctl_star_exact, sctl_star_sample
+from repro.datasets import load_dataset
+from repro.graph import planted_near_cliques_graph, relaxed_caveman_graph
+
+
+class TestPlantedStructure:
+    """Algorithms must find the planted dense block."""
+
+    @pytest.fixture(scope="class")
+    def planted(self):
+        return planted_near_cliques_graph(
+            120, [(12, 0.95), (9, 0.8)], background_p=0.01, seed=99
+        )
+
+    def test_exact_finds_the_big_block(self, planted):
+        result = sctl_star_exact(planted, 3, sample_size=2000, iterations=8)
+        # the dominant block is the 12-vertex near-clique on vertices 0-11
+        assert set(result.vertices) <= set(range(12))
+        assert result.size >= 9
+
+    def test_all_approximations_find_near_optimal(self, planted):
+        exact = sctl_star_exact(planted, 3, sample_size=2000, iterations=8)
+        index = SCTIndex.build(planted)
+        for result in (
+            sctl(index, 3, iterations=12),
+            sctl_plus(index, 3, iterations=12),
+            sctl_star(index, 3, iterations=12),
+            kcl(planted, 3, iterations=12),
+        ):
+            ratio = result.approximation_ratio(exact.density_fraction)
+            assert ratio >= 0.95, result.algorithm
+
+    def test_coreapp_weaker_but_within_guarantee(self, planted):
+        exact = sctl_star_exact(planted, 3, sample_size=2000, iterations=8)
+        result = core_app(planted, 3)
+        ratio = result.approximation_ratio(exact.density_fraction)
+        assert ratio >= 1 / 3 - 1e-9
+
+
+class TestDatasetPipeline:
+    """End-to-end runs on registry datasets (the benchmark code paths)."""
+
+    def test_email_dataset_full_pipeline(self):
+        g = load_dataset("email")
+        index = SCTIndex.build(g)
+        k = 6
+        approx = sctl_star(index, k, iterations=5)
+        sample = sctl_star_sample(index, k, sample_size=2000, iterations=5)
+        assert approx.density > 0
+        assert sample.density > 0
+        assert approx.upper_bound >= approx.density - 1e-9
+
+    def test_exact_on_pokec_dataset(self):
+        g = load_dataset("pokec")
+        result = sctl_star_exact(g, 5, sample_size=3000, iterations=6)
+        assert result.exact
+        assert result.density > 0
+
+    def test_partial_index_on_livejournal(self):
+        g = load_dataset("livejournal")
+        partial = SCTIndex.build(g, threshold=20)
+        full_kmax = partial.max_clique_size
+        assert full_kmax >= 30
+        result = sctl_star_sample(partial, 30, sample_size=2000, iterations=5)
+        assert result.density >= 0
+
+    def test_facade_on_dataset(self):
+        g = load_dataset("amazon")
+        result = densest_subgraph(g, 3, method="sctl*", iterations=5)
+        assert result.density > 0
+
+
+class TestConsistencyAcrossAlgorithms:
+    def test_approximations_never_exceed_exact(self, caveman):
+        exact = sctl_star_exact(caveman, 3, sample_size=500, iterations=6)
+        index = SCTIndex.build(caveman)
+        for result in (
+            sctl(index, 3, iterations=10),
+            sctl_star(index, 3, iterations=10),
+            sctl_star_sample(index, 3, sample_size=100, iterations=10),
+            kcl(caveman, 3, iterations=10),
+            core_app(caveman, 3),
+        ):
+            assert result.density_fraction <= exact.density_fraction
+
+    def test_index_is_reusable_across_k(self):
+        g = relaxed_caveman_graph(6, 8, 0.1, seed=2)
+        index = SCTIndex.build(g)
+        densities = [sctl_star(index, k, iterations=8).density for k in (3, 4, 5, 6)]
+        assert all(d > 0 for d in densities)

@@ -1,0 +1,50 @@
+"""Unit tests for edge-list reading and writing."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import Graph, gnp_graph, read_edge_list, write_edge_list
+from repro.graph.io import parse_edge_lines
+
+
+class TestParse:
+    def test_comments_and_blanks_skipped(self):
+        lines = ["# header", "", "% note", "1 2", "2 3"]
+        assert parse_edge_lines(lines) == [("1", "2"), ("2", "3")]
+
+    def test_self_loops_dropped(self):
+        assert parse_edge_lines(["5 5", "1 2"]) == [("1", "2")]
+
+    def test_extra_columns_ignored(self):
+        assert parse_edge_lines(["1 2 0.5 ts"]) == [("1", "2")]
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(GraphError):
+            parse_edge_lines(["justone"])
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        g = gnp_graph(25, 0.3, seed=4)
+        path = tmp_path / "graph.txt"
+        write_edge_list(g, path, header="test graph")
+        h = read_edge_list(path)
+        assert h.n == g.n or h.n == len({v for e in g.edges() for v in e})
+        assert h.m == g.m
+
+    def test_read_preserves_structure(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# demo\na b\nb c\nc a\n")
+        g = read_edge_list(path)
+        assert g.n == 3
+        assert g.m == 3
+        assert g.is_clique(list(g.vertices()))
+
+    def test_header_written(self, tmp_path):
+        g = Graph(2, [(0, 1)])
+        path = tmp_path / "h.txt"
+        write_edge_list(g, path, header="hello\nworld")
+        text = path.read_text()
+        assert "# hello" in text
+        assert "# world" in text
+        assert "# n=2 m=1" in text

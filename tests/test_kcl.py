@@ -1,0 +1,82 @@
+"""The KCL and KCL-Sample baselines."""
+
+import pytest
+
+from repro.baselines import kcl, kcl_sample
+from repro.cliques import count_k_cliques_naive, densest_subgraph_bruteforce
+from repro.core import SCTIndex, sctl
+from repro.errors import InvalidParameterError
+from repro.graph import Graph, gnp_graph
+
+
+class TestKCL:
+    def test_empty_graph(self):
+        result = kcl(Graph(4), 3)
+        assert result.vertices == []
+        assert result.algorithm == "KCL"
+
+    def test_invalid_iterations(self):
+        with pytest.raises(InvalidParameterError):
+            kcl(Graph.complete(4), 3, iterations=0)
+
+    def test_finds_dense_block(self, k6_plus_k4):
+        result = kcl(k6_plus_k4, 3, iterations=10)
+        assert result.density == pytest.approx(20 / 6)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_bounded_by_optimum_with_valid_upper_bound(self, seed):
+        g = gnp_graph(11, 0.55, seed=seed)
+        if count_k_cliques_naive(g, 3) == 0:
+            pytest.skip("no triangle")
+        _, optimal = densest_subgraph_bruteforce(g, 3)
+        result = kcl(g, 3, iterations=15)
+        assert result.density <= optimal + 1e-9
+        assert result.upper_bound >= optimal - 1e-9
+
+    def test_kcl_and_sctl_update_rules_agree(self, small_random):
+        """Same update rule, same clique visit order (both enumerate all
+        cliques); the extracted densities should coincide for the same T."""
+        index = SCTIndex.build(small_random)
+        ours = sctl(index, 3, iterations=12)
+        theirs = kcl(small_random, 3, iterations=12)
+        assert ours.density == pytest.approx(theirs.density, rel=0.15)
+
+    def test_reported_count_is_true_count(self, caveman):
+        result = kcl(caveman, 3, iterations=8)
+        sub, _ = caveman.induced_subgraph(result.vertices)
+        assert count_k_cliques_naive(sub, 3) == result.clique_count
+
+
+class TestKCLSample:
+    def test_empty_graph(self):
+        assert kcl_sample(Graph(4), 3, sample_size=10).vertices == []
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            kcl_sample(Graph.complete(4), 3, sample_size=0)
+        with pytest.raises(InvalidParameterError):
+            kcl_sample(Graph.complete(4), 3, sample_size=5, iterations=0)
+
+    def test_deterministic_given_seed(self, caveman):
+        a = kcl_sample(caveman, 3, sample_size=30, iterations=5, seed=4)
+        b = kcl_sample(caveman, 3, sample_size=30, iterations=5, seed=4)
+        assert a.vertices == b.vertices
+
+    def test_reservoir_size_capped(self, caveman):
+        result = kcl_sample(caveman, 3, sample_size=10, iterations=3, seed=1)
+        assert result.stats["sampled_cliques"] <= 10
+        assert result.stats["total_cliques_seen"] == count_k_cliques_naive(caveman, 3)
+
+    def test_density_recovered_on_original_graph(self, k6_plus_k4):
+        result = kcl_sample(k6_plus_k4, 3, sample_size=500, iterations=10, seed=0)
+        # sample covers everything -> recovers the K6
+        assert result.density == pytest.approx(20 / 6)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_bounded_by_optimum(self, seed):
+        g = gnp_graph(11, 0.55, seed=seed)
+        if count_k_cliques_naive(g, 3) == 0:
+            pytest.skip("no triangle")
+        _, optimal = densest_subgraph_bruteforce(g, 3)
+        result = kcl_sample(g, 3, sample_size=100, iterations=10, seed=seed)
+        assert result.density <= optimal + 1e-9

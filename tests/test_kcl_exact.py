@@ -1,0 +1,48 @@
+"""The KCL-Exact Frank-Wolfe baseline."""
+
+import pytest
+
+from repro.baselines import kcl_exact
+from repro.cliques import count_k_cliques_naive, densest_subgraph_bruteforce
+from repro.errors import InvalidParameterError
+from repro.graph import Graph, gnp_graph
+
+
+class TestKCLExact:
+    def test_empty_graph(self):
+        result = kcl_exact(Graph(4), 3)
+        assert result.vertices == []
+        assert result.exact
+
+    def test_invalid_iterations(self):
+        with pytest.raises(InvalidParameterError):
+            kcl_exact(Graph.complete(4), 3, initial_iterations=0)
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("k", [3, 4])
+    def test_matches_bruteforce(self, seed, k):
+        g = gnp_graph(10, 0.55, seed=seed)
+        result = kcl_exact(g, k, initial_iterations=5, max_total_iterations=80)
+        _, optimal = densest_subgraph_bruteforce(g, k)
+        assert result.density == pytest.approx(optimal)
+        assert result.exact
+
+    def test_k6_plus_k4(self, k6_plus_k4):
+        result = kcl_exact(k6_plus_k4, 3, initial_iterations=5)
+        assert result.vertices == [0, 1, 2, 3, 4, 5]
+        assert result.density == pytest.approx(20 / 6)
+
+    def test_memory_stat_equals_clique_count(self, caveman):
+        result = kcl_exact(caveman, 3, initial_iterations=3, max_total_iterations=30)
+        assert result.stats["cliques_stored"] == count_k_cliques_naive(caveman, 3)
+
+    def test_reported_count_is_true_count(self, small_random):
+        result = kcl_exact(small_random, 3, initial_iterations=3, max_total_iterations=30)
+        sub, _ = small_random.induced_subgraph(result.vertices)
+        assert count_k_cliques_naive(sub, 3) == result.clique_count
+
+    def test_fallback_flag_recorded(self, small_random):
+        # a tiny iteration budget forces the guaranteed-exact fallback
+        result = kcl_exact(small_random, 3, initial_iterations=1, max_total_iterations=1)
+        assert result.exact
+        assert "fallback" in result.stats

@@ -1,0 +1,78 @@
+"""KCList against the naive oracle."""
+
+import pytest
+
+from repro.cliques import (
+    build_ordered_view,
+    count_k_cliques,
+    count_k_cliques_naive,
+    iter_k_cliques,
+    iter_k_cliques_naive,
+    per_vertex_counts,
+    per_vertex_counts_naive,
+)
+from repro.errors import InvalidParameterError
+from repro.graph import Graph, gnp_graph, grid_graph
+
+
+class TestListing:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 5])
+    def test_matches_naive(self, seed, k):
+        g = gnp_graph(13, 0.5, seed=seed)
+        got = sorted(tuple(sorted(c)) for c in iter_k_cliques(g, k))
+        want = sorted(iter_k_cliques_naive(g, k))
+        assert got == want
+
+    def test_each_clique_emitted_once(self):
+        g = Graph.complete(6)
+        cliques = list(iter_k_cliques(g, 3))
+        assert len(cliques) == 20
+        assert len({tuple(sorted(c)) for c in cliques}) == 20
+
+    def test_invalid_k(self):
+        with pytest.raises(InvalidParameterError):
+            list(iter_k_cliques(Graph(3), 0))
+
+    def test_view_reuse(self):
+        g = gnp_graph(15, 0.4, seed=1)
+        view = build_ordered_view(g)
+        a = sorted(tuple(sorted(c)) for c in iter_k_cliques(g, 3, view=view))
+        b = sorted(tuple(sorted(c)) for c in iter_k_cliques(g, 3))
+        assert a == b
+
+
+class TestCounting:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 5, 6])
+    def test_count_matches_naive(self, seed, k):
+        g = gnp_graph(13, 0.5, seed=seed)
+        assert count_k_cliques(g, k) == count_k_cliques_naive(g, k)
+
+    def test_complete_graph_counts(self):
+        from math import comb
+
+        g = Graph.complete(8)
+        for k in range(1, 9):
+            assert count_k_cliques(g, k) == comb(8, k)
+
+    def test_triangle_free_graph(self):
+        assert count_k_cliques(grid_graph(6, 6), 3) == 0
+
+    def test_zero_when_k_exceeds_max_clique(self):
+        g = Graph.complete(4)
+        assert count_k_cliques(g, 5) == 0
+
+
+class TestPerVertex:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_matches_naive(self, seed, k):
+        g = gnp_graph(12, 0.5, seed=seed)
+        assert per_vertex_counts(g, k) == per_vertex_counts_naive(g, k)
+
+    def test_engagement_sums_to_k_times_count(self):
+        g = gnp_graph(14, 0.5, seed=9)
+        k = 3
+        counts = per_vertex_counts(g, k)
+        assert sum(counts) == k * count_k_cliques(g, k)

@@ -1,0 +1,108 @@
+"""Dinic max-flow: hand-built cases plus differential testing vs networkx."""
+
+import random
+
+import pytest
+
+from repro.errors import GraphError
+from repro.flow import MaxFlow
+
+
+class TestBasics:
+    def test_single_arc(self):
+        mf = MaxFlow(2)
+        mf.add_edge(0, 1, 7)
+        assert mf.max_flow(0, 1) == 7
+
+    def test_no_path(self):
+        mf = MaxFlow(3)
+        mf.add_edge(0, 1, 5)
+        assert mf.max_flow(0, 2) == 0
+
+    def test_bottleneck(self):
+        mf = MaxFlow(4)
+        mf.add_edge(0, 1, 10)
+        mf.add_edge(1, 2, 3)
+        mf.add_edge(2, 3, 10)
+        assert mf.max_flow(0, 3) == 3
+
+    def test_parallel_paths(self):
+        mf = MaxFlow(4)
+        mf.add_edge(0, 1, 4)
+        mf.add_edge(1, 3, 4)
+        mf.add_edge(0, 2, 5)
+        mf.add_edge(2, 3, 5)
+        assert mf.max_flow(0, 3) == 9
+
+    def test_classic_crossover(self):
+        # the textbook example requiring flow through the cross edge
+        mf = MaxFlow(4)
+        mf.add_edge(0, 1, 1)
+        mf.add_edge(0, 2, 1)
+        mf.add_edge(1, 2, 1)
+        mf.add_edge(1, 3, 1)
+        mf.add_edge(2, 3, 1)
+        assert mf.max_flow(0, 3) == 2
+
+    def test_same_source_sink_rejected(self):
+        with pytest.raises(GraphError):
+            MaxFlow(2).max_flow(0, 0)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(GraphError):
+            MaxFlow(2).add_edge(0, 1, -1)
+
+    def test_out_of_range_arc(self):
+        with pytest.raises(GraphError):
+            MaxFlow(2).add_edge(0, 5, 1)
+
+
+class TestMinCut:
+    def test_cut_side_contains_source(self):
+        mf = MaxFlow(3)
+        mf.add_edge(0, 1, 1)
+        mf.add_edge(1, 2, 5)
+        mf.max_flow(0, 2)
+        side = mf.min_cut_source_side(0)
+        assert 0 in side
+        assert 2 not in side
+
+    def test_cut_value_equals_flow(self):
+        rng = random.Random(4)
+        for _ in range(10):
+            n = rng.randint(4, 10)
+            mf = MaxFlow(n)
+            arcs = []
+            for _ in range(rng.randint(6, 25)):
+                u, v = rng.randrange(n), rng.randrange(n)
+                if u != v:
+                    c = rng.randint(1, 9)
+                    mf.add_edge(u, v, c)
+                    arcs.append((u, v, c))
+            flow = mf.max_flow(0, n - 1)
+            side = set(mf.min_cut_source_side(0))
+            cut = sum(c for u, v, c in arcs if u in side and v not in side)
+            assert cut == flow
+
+
+class TestDifferentialVsNetworkx:
+    @pytest.mark.parametrize("trial", range(20))
+    def test_random_networks(self, trial):
+        nx = pytest.importorskip("networkx")
+        rng = random.Random(trial)
+        n = rng.randint(4, 14)
+        mf = MaxFlow(n)
+        g = nx.DiGraph()
+        g.add_nodes_from(range(n))
+        for _ in range(rng.randint(5, 40)):
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u == v:
+                continue
+            c = rng.randint(0, 12)
+            mf.add_edge(u, v, c)
+            if g.has_edge(u, v):
+                g[u][v]["capacity"] += c
+            else:
+                g.add_edge(u, v, capacity=c)
+        expected = nx.maximum_flow_value(g, 0, n - 1)
+        assert mf.max_flow(0, n - 1) == expected

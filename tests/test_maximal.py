@@ -1,0 +1,53 @@
+"""Bron-Kerbosch maximal clique enumeration against brute force."""
+
+import itertools
+
+import pytest
+
+from repro.cliques import iter_maximal_cliques, max_clique_size, maximum_clique
+from repro.graph import Graph, gnp_graph, grid_graph
+
+
+def _maximal_bruteforce(graph):
+    out = set()
+    n = graph.n
+    for size in range(1, n + 1):
+        for combo in itertools.combinations(range(n), size):
+            if graph.is_clique(combo):
+                extendable = any(
+                    graph.is_clique(combo + (w,))
+                    for w in range(n)
+                    if w not in combo
+                )
+                if not extendable:
+                    out.add(combo)
+    return out
+
+
+class TestMaximalCliques:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_bruteforce(self, seed):
+        g = gnp_graph(12, 0.45, seed=seed)
+        assert set(iter_maximal_cliques(g)) == _maximal_bruteforce(g)
+
+    def test_complete_graph_single_maximal(self):
+        g = Graph.complete(7)
+        assert list(iter_maximal_cliques(g)) == [tuple(range(7))]
+
+    def test_empty_graph(self):
+        assert max_clique_size(Graph(0)) == 0
+        assert maximum_clique(Graph(0)) == []
+
+    def test_edgeless_graph(self):
+        g = Graph(4)
+        assert set(iter_maximal_cliques(g)) == {(0,), (1,), (2,), (3,)}
+        assert max_clique_size(g) == 1
+
+    def test_grid_max_clique_is_edge(self):
+        assert max_clique_size(grid_graph(5, 5)) == 2
+
+    def test_maximum_clique_is_clique_of_max_size(self):
+        g = gnp_graph(15, 0.5, seed=3)
+        clique = maximum_clique(g)
+        assert g.is_clique(clique)
+        assert len(clique) == max_clique_size(g)

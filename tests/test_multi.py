@@ -1,0 +1,65 @@
+"""Top-s dense region extraction."""
+
+import pytest
+
+from repro.core.multi import top_dense_subgraphs
+from repro.errors import InvalidParameterError
+from repro.graph import Graph
+from repro.graph.generators import disjoint_union, planted_near_cliques_graph
+
+
+@pytest.fixture
+def three_blocks():
+    """Three disjoint dense blocks of decreasing density."""
+    blocks = planted_near_cliques_graph(
+        40, [(10, 1.0), (8, 0.95), (7, 0.9)], background_p=0.0, seed=3
+    )
+    return blocks
+
+
+class TestTopDenseSubgraphs:
+    def test_invalid_count(self, three_blocks):
+        with pytest.raises(InvalidParameterError):
+            top_dense_subgraphs(three_blocks, 3, count=0)
+
+    def test_finds_disjoint_regions(self, three_blocks):
+        regions = top_dense_subgraphs(three_blocks, 3, count=3, exact=True)
+        assert len(regions) == 3
+        seen = set()
+        for region in regions:
+            assert not (seen & set(region.vertices))
+            seen |= set(region.vertices)
+
+    def test_densities_non_increasing(self, three_blocks):
+        regions = top_dense_subgraphs(three_blocks, 3, count=3, exact=True)
+        densities = [r.density for r in regions]
+        assert densities == sorted(densities, reverse=True)
+
+    def test_first_region_is_global_densest(self, three_blocks):
+        regions = top_dense_subgraphs(three_blocks, 3, count=1, exact=True)
+        assert set(regions[0].vertices) == set(range(10))
+
+    def test_min_density_stops_early(self, three_blocks):
+        regions = top_dense_subgraphs(
+            three_blocks, 3, count=5, exact=True, min_density=10.0
+        )
+        assert all(r.density > 10.0 for r in regions)
+        assert len(regions) < 3
+
+    def test_stops_when_no_cliques_remain(self):
+        g = Graph.complete(4)
+        regions = top_dense_subgraphs(g, 3, count=5, exact=True)
+        assert len(regions) == 1
+
+    def test_vertex_ids_refer_to_input_graph(self):
+        a = Graph.complete(5)
+        b = Graph.complete(6)
+        g = disjoint_union([a, b])
+        regions = top_dense_subgraphs(g, 3, count=2, exact=True)
+        assert set(regions[0].vertices) == set(range(5, 11))
+        assert set(regions[1].vertices) == set(range(5))
+
+    def test_approximate_mode_runs(self, three_blocks):
+        regions = top_dense_subgraphs(three_blocks, 3, count=2, exact=False)
+        assert len(regions) == 2
+        assert all(not r.exact for r in regions)

@@ -1,0 +1,55 @@
+"""The naive oracles themselves (sanity on hand-computable graphs)."""
+
+from math import comb
+
+import pytest
+
+from repro.cliques import (
+    clique_count_by_size_naive,
+    count_k_cliques_naive,
+    densest_subgraph_bruteforce,
+    iter_k_cliques_naive,
+    k_clique_density_naive,
+    per_vertex_counts_naive,
+)
+from repro.errors import InvalidParameterError
+from repro.graph import Graph
+
+
+class TestNaiveCounts:
+    def test_complete_graph(self):
+        g = Graph.complete(6)
+        for k in range(1, 7):
+            assert count_k_cliques_naive(g, k) == comb(6, k)
+
+    def test_triangle(self, triangle):
+        assert list(iter_k_cliques_naive(triangle, 3)) == [(0, 1, 2)]
+
+    def test_invalid_k(self):
+        with pytest.raises(InvalidParameterError):
+            count_k_cliques_naive(Graph(3), 0)
+
+    def test_per_vertex_star(self):
+        g = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        assert per_vertex_counts_naive(g, 2) == [3, 1, 1, 1]
+        assert per_vertex_counts_naive(g, 3) == [0, 0, 0, 0]
+
+    def test_counts_by_size(self):
+        g = Graph.complete(4)
+        assert clique_count_by_size_naive(g) == {1: 4, 2: 6, 3: 4, 4: 1}
+
+
+class TestBruteforceDensest:
+    def test_k6_plus_k4(self, k6_plus_k4):
+        vertices, density = densest_subgraph_bruteforce(k6_plus_k4, 3)
+        assert vertices == [0, 1, 2, 3, 4, 5]
+        assert density == pytest.approx(20 / 6)
+
+    def test_graph_without_cliques(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        vertices, density = densest_subgraph_bruteforce(g, 3)
+        assert density == 0.0
+
+    def test_density_helper(self, k6_plus_k4):
+        assert k_clique_density_naive(k6_plus_k4, range(6), 3) == pytest.approx(20 / 6)
+        assert k_clique_density_naive(k6_plus_k4, [], 3) == 0.0

@@ -1,0 +1,50 @@
+"""The degeneracy-ordered bitset view."""
+
+import pytest
+
+from repro.cliques import build_ordered_view
+from repro.graph import Graph, gnp_graph, iter_bits
+
+
+class TestOrderedView:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_adjacency_bits_match_graph(self, seed):
+        g = gnp_graph(20, 0.3, seed=seed)
+        view = build_ordered_view(g)
+        for i in range(g.n):
+            v = view.order[i]
+            neighbours = {view.order[j] for j in iter_bits(view.adj_bits[i])}
+            assert neighbours == g.neighbors(v)
+
+    def test_out_bits_are_higher_positions(self):
+        g = gnp_graph(20, 0.3, seed=1)
+        view = build_ordered_view(g)
+        for i in range(g.n):
+            for j in iter_bits(view.out_bits[i]):
+                assert j > i
+
+    def test_out_degree_bounded_by_degeneracy(self):
+        g = gnp_graph(25, 0.3, seed=2)
+        view = build_ordered_view(g)
+        assert max(
+            (row.bit_count() for row in view.out_bits), default=0
+        ) <= view.degeneracy
+
+    def test_to_original_roundtrip(self):
+        g = gnp_graph(10, 0.4, seed=3)
+        view = build_ordered_view(g)
+        assert sorted(view.to_original(range(g.n))) == list(range(g.n))
+
+    def test_core_numbers_indexed_by_position(self):
+        from repro.graph import core_decomposition
+
+        g = gnp_graph(15, 0.4, seed=4)
+        decomp = core_decomposition(g)
+        view = build_ordered_view(g, decomp)
+        for i in range(g.n):
+            assert view.core_number[i] == decomp.core_number[view.order[i]]
+
+    def test_empty_graph(self):
+        view = build_ordered_view(Graph(0))
+        assert view.n == 0
+        assert view.adj_bits == []

@@ -1,0 +1,57 @@
+"""§6.1: querying a partial SCT*-k'-Index below its threshold."""
+
+import pytest
+
+from repro.cliques import count_k_cliques_naive
+from repro.core import SCTIndex, sctl_star_sample
+from repro.errors import IndexQueryError
+from repro.graph import gnp_graph
+
+
+class TestBelowThresholdSampling:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        g = gnp_graph(18, 0.5, seed=7)
+        return g, SCTIndex.build(g, threshold=5)
+
+    def test_strict_queries_still_rejected(self, setup):
+        _, partial = setup
+        with pytest.raises(IndexQueryError):
+            partial.count_k_cliques(3)
+        with pytest.raises(IndexQueryError):
+            list(partial.iter_paths(3))
+
+    def test_relaxed_paths_cover_subset_of_cliques(self, setup):
+        g, partial = setup
+        relaxed_count = sum(
+            p.clique_count(3)
+            for p in partial.iter_paths(3, enforce_support=False)
+        )
+        assert 0 < relaxed_count <= count_k_cliques_naive(g, 3)
+
+    def test_sampling_runs_below_threshold(self, setup):
+        g, partial = setup
+        result = sctl_star_sample(partial, 3, sample_size=300, iterations=5, seed=1)
+        assert result.stats["partial_index_approximation"] is True
+        assert result.density > 0
+
+    def test_reported_count_is_lower_bound(self, setup):
+        g, partial = setup
+        result = sctl_star_sample(partial, 3, sample_size=300, iterations=5, seed=1)
+        sub, _ = g.induced_subgraph(result.vertices)
+        assert result.clique_count <= count_k_cliques_naive(sub, 3)
+
+    def test_at_threshold_is_exact_counting(self, setup):
+        g, partial = setup
+        result = sctl_star_sample(partial, 5, sample_size=10**6, iterations=5, seed=1)
+        assert result.stats["partial_index_approximation"] is False
+        if result.vertices:
+            sub, _ = g.induced_subgraph(result.vertices)
+            assert result.clique_count == count_k_cliques_naive(sub, 5)
+
+    def test_count_in_subset_relaxed_is_lower_bound(self, setup):
+        g, partial = setup
+        subset = list(range(0, 18, 2))
+        sub, _ = g.induced_subgraph(subset)
+        relaxed = partial.count_in_subset(3, subset, enforce_support=False)
+        assert relaxed <= count_k_cliques_naive(sub, 3)

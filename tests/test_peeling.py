@@ -1,0 +1,52 @@
+"""The greedy peeling baseline."""
+
+import pytest
+
+from repro.baselines.peeling import greedy_peeling
+from repro.cliques import count_k_cliques_naive, densest_subgraph_bruteforce
+from repro.errors import InvalidParameterError
+from repro.graph import Graph, gnp_graph
+
+
+class TestGreedyPeeling:
+    def test_empty_graph(self):
+        assert greedy_peeling(Graph(4), 3).vertices == []
+
+    def test_invalid_k(self):
+        with pytest.raises(InvalidParameterError):
+            greedy_peeling(Graph(3), 1)
+
+    def test_finds_the_k6(self, k6_plus_k4):
+        result = greedy_peeling(k6_plus_k4, 3)
+        assert result.vertices == [0, 1, 2, 3, 4, 5]
+        assert result.density == pytest.approx(20 / 6)
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_one_over_k_guarantee(self, seed, k):
+        g = gnp_graph(11, 0.55, seed=seed)
+        if count_k_cliques_naive(g, k) == 0:
+            pytest.skip("no k-clique")
+        _, optimal = densest_subgraph_bruteforce(g, k)
+        result = greedy_peeling(g, k)
+        assert result.density >= optimal / k - 1e-9
+        assert result.density <= optimal + 1e-9
+
+    def test_reported_count_is_true_count(self, caveman):
+        result = greedy_peeling(caveman, 3)
+        sub, _ = caveman.induced_subgraph(result.vertices)
+        assert count_k_cliques_naive(sub, 3) == result.clique_count
+
+    def test_at_least_as_good_as_coreapp(self, small_random):
+        """Peeling keeps the best suffix, CoreApp keeps the innermost core;
+        on the same peel metric peeling can only win."""
+        from repro.baselines import core_app
+
+        peel = greedy_peeling(small_random, 3)
+        core = core_app(small_random, 3)
+        assert peel.density >= core.density - 1e-9
+
+    def test_peel_order_is_permutation(self, small_random):
+        result = greedy_peeling(small_random, 3)
+        order = result.stats["peel_order"]
+        assert sorted(order) == list(range(small_random.n))

@@ -1,0 +1,63 @@
+"""Loose wall-clock tripwires.
+
+Not benchmarks — the thresholds carry a ~10x safety margin over the
+measured times on a single modest core, so they only fire on genuine
+complexity regressions (e.g. the index build degrading from output-linear
+to enumeration-exponential, or max-depth pruning silently turned off).
+"""
+
+import time
+
+import pytest
+
+from repro.core import SCTIndex, sctl_star
+from repro.datasets import load_dataset
+
+
+def _elapsed(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+class TestComplexityTripwires:
+    def test_index_build_is_output_linear(self):
+        graph = load_dataset("email")
+        assert _elapsed(lambda: SCTIndex.build(graph)) < 3.0
+
+    def test_large_k_query_uses_pruning(self):
+        # near k_max only a sliver of the tree may be visited; without
+        # max-depth pruning this would crawl the whole index
+        index = SCTIndex.build(load_dataset("gowalla"))
+        k = index.max_clique_size - 1
+        assert _elapsed(lambda: sctl_star(index, k, iterations=10)) < 2.0
+
+    def test_livejournal_near_kmax_is_instant(self):
+        # the partial-traversal guarantee on the extreme-k_max dataset:
+        # pivoting means a 34-clique is ONE path, never 2^34 recursion
+        graph = load_dataset("livejournal")
+        index = SCTIndex.build(graph)
+        assert _elapsed(lambda: index.count_k_cliques(32)) < 2.0
+
+    def test_counting_by_formula_not_enumeration(self):
+        # C(34,17) ~ 2.3e9 cliques counted in closed form
+        index = SCTIndex.build(load_dataset("livejournal"))
+        start = time.perf_counter()
+        total = index.count_k_cliques(17)
+        assert time.perf_counter() - start < 2.0
+        assert total > 2 * 10**9
+
+    def test_batch_update_sublinear_in_cliques(self):
+        from math import comb
+
+        from repro.core import batch_update
+
+        # one path holding ~5e8 cliques must be distributed in bounded
+        # writes, never per-clique
+        pivots = list(range(1, 41))
+        weights = [0] * 41
+        start = time.perf_counter()
+        updates = batch_update(weights, [0], pivots, 20)
+        assert time.perf_counter() - start < 1.0
+        assert sum(weights) == comb(40, 19)
+        assert updates < 10_000

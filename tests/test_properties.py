@@ -1,0 +1,137 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+Random graphs are generated from edge subsets of a bounded vertex range so
+that the naive oracles stay fast; every property here is a structural
+invariant of the paper's machinery, not an example.
+"""
+
+from fractions import Fraction
+from math import comb
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cliques import (
+    count_k_cliques,
+    count_k_cliques_naive,
+    densest_subgraph_bruteforce,
+    iter_k_cliques_naive,
+    per_vertex_counts_naive,
+)
+from repro.core import (
+    SCTIndex,
+    batch_update,
+    kp_computation,
+    sctl,
+    sctl_star,
+    sctl_star_exact,
+)
+from repro.graph import Graph
+
+
+@st.composite
+def graphs(draw, max_n=10):
+    """A random simple graph with up to ``max_n`` vertices."""
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    edges = draw(st.lists(st.sampled_from(possible), unique=True, max_size=len(possible)))
+    return Graph(n, edges)
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs(), st.integers(min_value=1, max_value=5))
+def test_sct_count_matches_naive(g, k):
+    index = SCTIndex.build(g)
+    assert index.count_k_cliques(k) == count_k_cliques_naive(g, k)
+
+
+@settings(max_examples=30, deadline=None)
+@given(graphs(), st.integers(min_value=2, max_value=4))
+def test_sct_per_vertex_matches_naive(g, k):
+    index = SCTIndex.build(g)
+    assert index.per_vertex_counts(k) == per_vertex_counts_naive(g, k)
+
+
+@settings(max_examples=30, deadline=None)
+@given(graphs(), st.integers(min_value=1, max_value=4))
+def test_kclist_count_matches_naive(g, k):
+    assert count_k_cliques(g, k) == count_k_cliques_naive(g, k)
+
+
+@settings(max_examples=25, deadline=None)
+@given(graphs(max_n=9), st.integers(min_value=3, max_value=4))
+def test_exact_solver_is_optimal(g, k):
+    result = sctl_star_exact(g, k, sample_size=50, iterations=3)
+    _, optimal = densest_subgraph_bruteforce(g, k)
+    assert result.density == pytest.approx(optimal)
+
+
+@settings(max_examples=25, deadline=None)
+@given(graphs(max_n=9), st.integers(min_value=3, max_value=4))
+def test_approx_density_below_upper_bound_and_optimum(g, k):
+    index = SCTIndex.build(g)
+    if index.max_clique_size < k:
+        return
+    _, optimal = densest_subgraph_bruteforce(g, k)
+    result = sctl_star(index, k, iterations=10)
+    assert result.density <= optimal + 1e-9
+    assert result.upper_bound >= optimal - 1e-9
+    assert result.upper_bound >= result.density - 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(graphs(), st.integers(min_value=3, max_value=4))
+def test_partition_isolates_cliques(g, k):
+    index = SCTIndex.build(g)
+    partition = kp_computation(index, k)
+    for clique in iter_k_cliques_naive(g, k):
+        assert len({partition.partition_of[v] for v in clique}) == 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=0, max_value=6),
+    st.lists(st.integers(min_value=0, max_value=8), min_size=9, max_size=9),
+    st.integers(min_value=1, max_value=9),
+)
+def test_batch_update_conserves_mass(n_holds, n_pivots, raw_weights, k):
+    holds = list(range(n_holds))
+    pivots = list(range(n_holds, n_holds + n_pivots))
+    weights = raw_weights[: n_holds + n_pivots]
+    before = sum(weights)
+    batch_update(weights, holds, pivots, k)
+    expected = comb(n_pivots, k - n_holds) if n_holds <= k <= n_holds + n_pivots else 0
+    assert sum(weights) - before == expected
+
+
+@settings(max_examples=20, deadline=None)
+@given(graphs(max_n=9))
+def test_sctl_weight_mass_is_iterations_times_cliques(g):
+    index = SCTIndex.build(g)
+    k = 3
+    total = count_k_cliques_naive(g, k)
+    if total == 0:
+        return
+    result = sctl(index, k, iterations=4)
+    assert sum(result.stats["weights"]) == 4 * total
+
+
+@settings(max_examples=25, deadline=None)
+@given(graphs(), st.integers(min_value=1, max_value=4))
+def test_index_subset_count_monotone(g, k):
+    """Counting in a subset can never exceed the global count."""
+    index = SCTIndex.build(g)
+    half = list(range(0, g.n, 2))
+    assert index.count_in_subset(k, half) <= index.count_k_cliques(k)
+
+
+@settings(max_examples=25, deadline=None)
+@given(graphs(max_n=9), st.integers(min_value=3, max_value=4))
+def test_density_result_is_internally_consistent(g, k):
+    index = SCTIndex.build(g)
+    result = sctl_star(index, k, iterations=5)
+    if result.vertices:
+        sub, _ = g.induced_subgraph(result.vertices)
+        assert count_k_cliques_naive(sub, k) == result.clique_count
+        assert result.density_fraction == Fraction(result.clique_count, result.size)

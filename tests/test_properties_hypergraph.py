@@ -1,0 +1,93 @@
+"""Property-based tests for the hypergraph layer and the decomposition."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import Graph
+from repro.hypergraph import (
+    Hypergraph,
+    density_friendly_decomposition,
+    exact_densest,
+    peel_densest,
+)
+
+
+@st.composite
+def hypergraphs(draw, max_n=9, max_edges=12):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    n_edges = draw(st.integers(min_value=0, max_value=max_edges))
+    edges = []
+    for _ in range(n_edges):
+        size = draw(st.integers(min_value=1, max_value=min(4, n)))
+        members = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1),
+                min_size=size, max_size=size, unique=True,
+            )
+        )
+        edges.append(tuple(members))
+    return Hypergraph(n, edges)
+
+
+def _bruteforce_densest(h: Hypergraph) -> Fraction:
+    from itertools import combinations
+
+    best = Fraction(0)
+    support = h.vertex_support()
+    for size in range(1, len(support) + 1):
+        for combo in combinations(support, size):
+            density = h.density(combo)
+            if density > best:
+                best = density
+    return best
+
+
+@settings(max_examples=40, deadline=None)
+@given(hypergraphs())
+def test_exact_densest_matches_bruteforce(h):
+    _, density = exact_densest(h)
+    assert density == _bruteforce_densest(h)
+
+
+@settings(max_examples=40, deadline=None)
+@given(hypergraphs())
+def test_peeling_within_rank_factor(h):
+    _, optimal = exact_densest(h)
+    _, peeled = peel_densest(h)
+    assert peeled <= optimal
+    if optimal > 0:
+        assert peeled >= optimal / max(h.rank(), 1)
+
+
+@settings(max_examples=40, deadline=None)
+@given(hypergraphs())
+def test_decomposition_invariants(h):
+    levels = density_friendly_decomposition(h)
+    # shells partition the vertex set
+    seen = set()
+    for level in levels:
+        assert not (seen & set(level.vertices))
+        seen |= set(level.vertices)
+    assert seen == set(range(h.n))
+    # densities strictly decrease
+    densities = [level.density for level in levels]
+    assert all(a > b for a, b in zip(densities, densities[1:]))
+    # the first shell achieves the optimal density
+    _, optimal = exact_densest(h)
+    if levels and optimal > 0:
+        assert levels[0].density == optimal
+        assert h.density(levels[0].vertices) == optimal
+
+
+@settings(max_examples=30, deadline=None)
+@given(hypergraphs())
+def test_density_is_monotone_under_restriction(h):
+    support = h.vertex_support()
+    if not support:
+        return
+    # restricting can only lose hyperedges
+    half = support[: max(1, len(support) // 2)]
+    assert h.restricted_to(half).m <= h.m
+    assert h.edges_inside(half) == h.restricted_to(half).m

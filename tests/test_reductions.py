@@ -1,0 +1,82 @@
+"""Graph reductions: partitions, density bounds, engagement thresholds."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.cliques import iter_k_cliques_naive, per_vertex_counts_naive
+from repro.core import (
+    SCTIndex,
+    engagement_threshold,
+    kp_computation,
+    partition_density_bounds,
+)
+from repro.graph import Graph, gnp_graph
+
+
+class TestKPComputation:
+    @pytest.mark.parametrize("k", [3, 4])
+    def test_every_clique_in_one_partition(self, two_partitions, k):
+        index = SCTIndex.build(two_partitions)
+        partition = kp_computation(index, k)
+        for clique in iter_k_cliques_naive(two_partitions, k):
+            roots = {partition.partition_of[v] for v in clique}
+            assert len(roots) == 1
+
+    def test_two_blocks_are_separate_partitions(self, two_partitions):
+        index = SCTIndex.build(two_partitions)
+        partition = kp_computation(index, 3)
+        root_a = partition.partition_of[0]
+        root_b = partition.partition_of[12]
+        assert root_a != root_b
+
+    def test_isolated_vertices_stay_singletons(self):
+        g = Graph(5, [(0, 1), (1, 2), (0, 2)])  # triangle + 2 isolated
+        index = SCTIndex.build(g)
+        partition = kp_computation(index, 3)
+        assert partition.partition_of[3] == 3
+        assert partition.partition_of[4] == 4
+        assert partition.n_partitions == 3
+
+    def test_groups_cover_all_vertices(self):
+        g = gnp_graph(20, 0.3, seed=5)
+        index = SCTIndex.build(g)
+        partition = kp_computation(index, 3)
+        members = sorted(v for group in partition.groups().values() for v in group)
+        assert members == list(range(20))
+
+
+class TestBounds:
+    def test_lemma3_bound_dominates_all_subgraph_densities(self):
+        g = gnp_graph(12, 0.5, seed=7)
+        index = SCTIndex.build(g)
+        k = 3
+        partition = kp_computation(index, k)
+        engagement = per_vertex_counts_naive(g, k)
+        bounds = partition_density_bounds(partition, engagement, k)
+        # the density of any induced subgraph must respect its partition bound
+        from repro.cliques import densest_subgraph_bruteforce
+
+        _, optimal = densest_subgraph_bruteforce(g, k)
+        assert max(bounds.values()) >= Fraction(optimal).limit_denominator(10**6)
+
+    def test_bound_is_max_engagement_over_k(self):
+        g = Graph.complete(5)
+        index = SCTIndex.build(g)
+        partition = kp_computation(index, 3)
+        engagement = per_vertex_counts_naive(g, 3)
+        bounds = partition_density_bounds(partition, engagement, 3)
+        root = partition.partition_of[0]
+        assert bounds[root] == Fraction(6, 3)  # C(4,2) cliques per vertex / 3
+
+
+class TestEngagementThreshold:
+    def test_integer_density(self):
+        assert engagement_threshold(Fraction(3)) == 3
+
+    def test_rounds_up(self):
+        assert engagement_threshold(Fraction(13, 6)) == 3
+        assert engagement_threshold(Fraction(1, 2)) == 1
+
+    def test_zero(self):
+        assert engagement_threshold(Fraction(0)) == 0

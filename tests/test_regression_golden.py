@@ -1,0 +1,50 @@
+"""Golden regression values: exact optima on the bundled datasets.
+
+These constants were computed by SCTL*-Exact and certified by three
+independent exact implementations (iterated min-cut, binary search, and
+the scipy LP) — see ``bench_lp_crosscheck.py``.  Any change to the
+generators, the index, or the solvers that shifts one of these values is
+a regression (or an intentional dataset change that must update this
+file).
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import SCTIndex, sctl_star, sctl_star_exact
+from repro.datasets import load_dataset
+
+GOLDEN = [
+    # (dataset, k, optimal density, |S| of the found optimum)
+    ("email", 5, Fraction(143, 1), 14),
+    ("email", 9, Fraction(143, 1), 14),
+    ("pokec", 4, Fraction(55, 1), 13),
+    ("pokec", 6, Fraction(132, 1), 13),
+    ("orkut", 4, Fraction(268, 13), 13),
+    ("orkut", 6, Fraction(138, 13), 13),
+    ("skitter", 3, Fraction(317, 17), 51),
+    ("skitter", 5, Fraction(94, 7), 21),
+    ("dblp", 8, Fraction(14535, 1), 22),
+    ("youtube", 5, Fraction(66, 1), 12),
+]
+
+
+@pytest.mark.parametrize("name,k,density,size", GOLDEN)
+def test_exact_optimum_matches_golden(name, k, density, size):
+    graph = load_dataset(name)
+    index = SCTIndex.build(graph)
+    result = sctl_star_exact(
+        graph, k, index=index, sample_size=20_000, iterations=8, seed=0
+    )
+    assert result.density_fraction == density
+    assert result.size == size
+
+
+@pytest.mark.parametrize("name,k,density,size", GOLDEN[:4])
+def test_sctl_star_reaches_golden_density(name, k, density, size):
+    """On these instances SCTL* (T=10) finds the optimum outright."""
+    graph = load_dataset(name)
+    index = SCTIndex.build(graph)
+    result = sctl_star(index, k, iterations=10)
+    assert result.density_fraction == density

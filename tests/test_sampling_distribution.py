@@ -1,0 +1,58 @@
+"""Statistical behaviour of the path-proportional clique sampler."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core import SCTIndex, sample_k_cliques
+from repro.core.sct import SCTPath
+from repro.graph import gnp_graph, relaxed_caveman_graph
+
+
+class TestAllocationExactness:
+    @pytest.mark.parametrize("sigma", [1, 7, 50, 200])
+    def test_sample_size_hit_exactly_when_feasible(self, sigma):
+        g = gnp_graph(16, 0.5, seed=3)
+        index = SCTIndex.build(g)
+        paths = index.collect_paths(3)
+        total = index.count_k_cliques(3)
+        sample = sample_k_cliques(paths, 3, sigma, random.Random(0))
+        assert len(sample) == min(sigma, total)
+
+    def test_no_duplicates_across_paths(self):
+        # uniqueness within a path is by construction; across paths it is
+        # guaranteed because each clique belongs to exactly one path
+        g = relaxed_caveman_graph(6, 6, 0.1, seed=2)
+        index = SCTIndex.build(g)
+        paths = index.collect_paths(3)
+        sample = sample_k_cliques(paths, 3, 100, random.Random(5))
+        keys = [tuple(sorted(c)) for c in sample]
+        assert len(keys) == len(set(keys))
+
+
+class TestUniformity:
+    def test_within_path_sampling_is_roughly_uniform(self):
+        """Sample single cliques from one path many times: every clique of
+        the path should appear with comparable frequency."""
+        path = SCTPath(holds=(0,), pivots=(1, 2, 3, 4, 5))
+        k = 3
+        total = path.clique_count(k)  # C(5,2) = 10
+        counts = Counter()
+        trials = 4000
+        rng = random.Random(123)
+        for _ in range(trials):
+            (clique,) = sample_k_cliques([path], k, 1, rng)
+            counts[clique] += 1
+        assert len(counts) == total
+        expected = trials / total
+        for clique, seen in counts.items():
+            assert abs(seen - expected) < 5 * (expected ** 0.5), clique
+
+    def test_cross_path_allocation_tracks_clique_mass(self):
+        """A path with 4x the cliques should receive ~4x the samples."""
+        small = SCTPath(holds=(0,), pivots=(1, 2, 3))        # C(3,2) = 3
+        big = SCTPath(holds=(10,), pivots=(11, 12, 13, 14, 15, 16))  # 15
+        sample = sample_k_cliques([small, big], 3, 12, random.Random(9))
+        from_big = sum(1 for c in sample if c[0] == 10)
+        assert 8 <= from_big <= 11  # expected 10 of 12

@@ -1,0 +1,109 @@
+"""Edge cases and second-order behaviours of the SCT*-Index."""
+
+from math import comb
+
+import pytest
+
+from repro.core import SCTIndex
+from repro.graph import Graph, gnp_graph
+
+
+class TestSubsetQueries:
+    def test_empty_subset(self):
+        index = SCTIndex.build(Graph.complete(5))
+        assert index.count_in_subset(3, []) == 0
+        assert index.per_vertex_counts_in_subset(3, []) == {}
+
+    def test_full_subset_equals_global(self):
+        g = gnp_graph(14, 0.5, seed=9)
+        index = SCTIndex.build(g)
+        assert index.count_in_subset(3, g.vertices()) == index.count_k_cliques(3)
+
+    def test_subset_singleton(self):
+        index = SCTIndex.build(Graph.complete(5))
+        assert index.count_in_subset(3, [0]) == 0
+        assert index.count_in_subset(1, [0]) == 1
+
+
+class TestMaximumCliqueFromIndex:
+    def test_complete_graph(self):
+        index = SCTIndex.build(Graph.complete(6))
+        assert index.a_maximum_clique() == [0, 1, 2, 3, 4, 5]
+
+    def test_partial_index_still_finds_max_clique(self):
+        g = gnp_graph(18, 0.5, seed=10)
+        full = SCTIndex.build(g)
+        partial = SCTIndex.build(g, threshold=4)
+        if partial.n_tree_nodes:
+            clique = partial.a_maximum_clique()
+            assert g.is_clique(clique)
+            assert len(clique) == full.max_clique_size
+
+    def test_edgeless(self):
+        index = SCTIndex.build(Graph(3))
+        assert len(index.a_maximum_clique()) == 1
+
+
+class TestPathIterationConsistency:
+    def test_filtered_paths_subset_of_all(self):
+        g = gnp_graph(14, 0.5, seed=11)
+        index = SCTIndex.build(g)
+        all_keys = {(p.holds, p.pivots) for p in index.iter_paths()}
+        for k in (3, 4, 5):
+            for path in index.iter_paths(k):
+                assert (path.holds, path.pivots) in all_keys
+
+    def test_filtered_counts_match_manual_filter(self):
+        g = gnp_graph(14, 0.5, seed=12)
+        index = SCTIndex.build(g)
+        for k in (3, 4):
+            manual = sum(
+                p.clique_count(k)
+                for p in index.iter_paths()
+                if p.clique_count(k) > 0
+            )
+            assert index.count_k_cliques(k) == manual
+
+    def test_path_hold_counts_bounded_by_k(self):
+        g = gnp_graph(16, 0.5, seed=13)
+        index = SCTIndex.build(g)
+        for path in index.iter_paths(3):
+            assert len(path.holds) <= 3
+
+
+class TestSingleEdgeAndTriangle:
+    def test_single_edge(self):
+        index = SCTIndex.build(Graph(2, [(0, 1)]))
+        assert index.count_k_cliques(2) == 1
+        assert index.count_k_cliques(3) == 0
+        assert index.max_clique_size == 2
+
+    def test_two_triangles_sharing_an_edge(self):
+        g = Graph(4, [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)])
+        index = SCTIndex.build(g)
+        assert index.count_k_cliques(3) == 2
+        assert index.count_k_cliques(4) == 0
+        assert index.per_vertex_counts(3) == [1, 2, 2, 1]
+
+    def test_disconnected_cliques(self):
+        edges = [(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5)]
+        index = SCTIndex.build(Graph(6, edges))
+        assert index.count_k_cliques(3) == 2
+
+    def test_counts_on_k_bigger_than_graph(self):
+        index = SCTIndex.build(Graph.complete(4))
+        assert index.count_k_cliques(10) == 0
+        assert index.per_vertex_counts(10) == [0, 0, 0, 0]
+
+
+class TestLeafStatistics:
+    def test_leaf_count_positive_for_nonempty(self):
+        g = gnp_graph(10, 0.4, seed=14)
+        index = SCTIndex.build(g)
+        assert index.n_leaves >= 1
+        assert index.n_leaves <= index.n_tree_nodes
+
+    def test_tree_nodes_scale_with_density(self):
+        sparse = SCTIndex.build(gnp_graph(30, 0.1, seed=1))
+        dense = SCTIndex.build(gnp_graph(30, 0.6, seed=1))
+        assert dense.n_tree_nodes > sparse.n_tree_nodes

@@ -1,0 +1,203 @@
+"""The SCT*-Index: construction, counting, listing, pruning, paths."""
+
+from math import comb
+
+import pytest
+
+from repro.cliques import (
+    clique_count_by_size_naive,
+    count_k_cliques_naive,
+    iter_k_cliques_naive,
+    iter_maximal_cliques,
+    max_clique_size,
+    per_vertex_counts_naive,
+)
+from repro.core import HOLD, PIVOT, SCTIndex, SCTPath
+from repro.errors import IndexBuildError, IndexQueryError
+from repro.graph import Graph, gnp_graph, grid_graph, relaxed_caveman_graph
+
+
+class TestSCTPath:
+    def test_clique_count_formula(self):
+        path = SCTPath(holds=(0, 1), pivots=(2, 3, 4))
+        assert path.clique_count(3) == comb(3, 1)
+        assert path.clique_count(5) == 1
+        assert path.clique_count(6) == 0
+        assert path.clique_count(1) == 0  # fewer than the holds
+
+    def test_pivot_engagement_formula(self):
+        path = SCTPath(holds=(0,), pivots=(1, 2, 3))
+        assert path.pivot_engagement(3) == comb(2, 1)
+        assert path.pivot_engagement(1) == 0
+
+    def test_iter_cliques_includes_all_holds(self):
+        path = SCTPath(holds=(7, 8), pivots=(1, 2, 3))
+        cliques = list(path.iter_cliques(4))
+        assert len(cliques) == 3
+        for c in cliques:
+            assert 7 in c and 8 in c
+
+    def test_len_and_vertices(self):
+        path = SCTPath(holds=(0,), pivots=(1, 2))
+        assert len(path) == 3
+        assert path.vertices == (0, 1, 2)
+
+
+class TestBuildInvariants:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_every_path_is_a_clique(self, seed):
+        g = gnp_graph(14, 0.5, seed=seed)
+        index = SCTIndex.build(g)
+        for path in index.iter_paths():
+            assert g.is_clique(path.vertices)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_counts_by_size_match_naive(self, seed):
+        g = gnp_graph(13, 0.5, seed=seed)
+        index = SCTIndex.build(g)
+        assert index.clique_counts_by_size() == clique_count_by_size_naive(g)
+
+    def test_max_clique_size_matches(self):
+        g = gnp_graph(16, 0.45, seed=8)
+        index = SCTIndex.build(g)
+        assert index.max_clique_size == max_clique_size(g)
+
+    def test_maximal_cliques_appear_as_leaves(self):
+        g = gnp_graph(13, 0.5, seed=2)
+        index = SCTIndex.build(g)
+        leaves = {tuple(sorted(p.vertices)) for p in index.iter_paths()}
+        assert set(iter_maximal_cliques(g)) <= leaves
+
+    def test_empty_graph(self):
+        index = SCTIndex.build(Graph(5))
+        assert index.max_clique_size == 1
+        assert index.count_k_cliques(1) == 5
+        assert index.count_k_cliques(2) == 0
+
+    def test_zero_vertex_graph(self):
+        index = SCTIndex.build(Graph(0))
+        assert index.max_clique_size == 0
+        assert index.a_maximum_clique() == []
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(IndexBuildError):
+            SCTIndex.build(Graph(3), threshold=-1)
+
+    def test_a_maximum_clique(self):
+        g = relaxed_caveman_graph(5, 6, 0.05, seed=3)
+        index = SCTIndex.build(g)
+        clique = index.a_maximum_clique()
+        assert g.is_clique(clique)
+        assert len(clique) == index.max_clique_size
+
+
+class TestCountingQueries:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 5])
+    def test_count_matches_naive(self, seed, k):
+        g = gnp_graph(13, 0.5, seed=seed)
+        index = SCTIndex.build(g)
+        assert index.count_k_cliques(k) == count_k_cliques_naive(g, k)
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_per_vertex_matches_naive(self, seed, k):
+        g = gnp_graph(12, 0.5, seed=seed)
+        index = SCTIndex.build(g)
+        assert index.per_vertex_counts(k) == per_vertex_counts_naive(g, k)
+
+    @pytest.mark.parametrize("k", [3, 4])
+    def test_listing_matches_naive(self, k):
+        g = gnp_graph(12, 0.55, seed=11)
+        index = SCTIndex.build(g)
+        got = sorted(tuple(sorted(c)) for c in index.iter_k_cliques(k))
+        assert got == sorted(iter_k_cliques_naive(g, k))
+
+    def test_count_in_subset(self):
+        g = gnp_graph(14, 0.5, seed=5)
+        index = SCTIndex.build(g)
+        subset = [0, 2, 4, 6, 8, 10, 12]
+        sub, _ = g.induced_subgraph(subset)
+        for k in (2, 3, 4):
+            assert index.count_in_subset(k, subset) == count_k_cliques_naive(sub, k)
+
+    def test_per_vertex_in_subset(self):
+        g = gnp_graph(14, 0.5, seed=6)
+        index = SCTIndex.build(g)
+        subset = list(range(0, 14, 2))
+        sub, originals = g.induced_subgraph(subset)
+        expected = per_vertex_counts_naive(sub, 3)
+        got = index.per_vertex_counts_in_subset(3, subset)
+        for local, original in enumerate(originals):
+            assert got[original] == expected[local]
+
+    def test_invalid_k_rejected(self):
+        index = SCTIndex.build(Graph.complete(4))
+        with pytest.raises(IndexQueryError):
+            index.count_k_cliques(0)
+
+
+class TestPartialIndex:
+    @pytest.mark.parametrize("threshold", [3, 4, 5])
+    def test_partial_answers_k_at_or_above_threshold(self, threshold):
+        g = gnp_graph(16, 0.45, seed=20)
+        full = SCTIndex.build(g)
+        partial = SCTIndex.build(g, threshold=threshold)
+        assert partial.n_tree_nodes <= full.n_tree_nodes
+        for k in range(threshold, 8):
+            assert partial.count_k_cliques(k) == count_k_cliques_naive(g, k)
+
+    def test_partial_rejects_small_k(self):
+        g = gnp_graph(16, 0.45, seed=21)
+        partial = SCTIndex.build(g, threshold=4)
+        assert not partial.supports_k(3)
+        with pytest.raises(IndexQueryError):
+            partial.count_k_cliques(3)
+
+    def test_partial_strictly_smaller_when_pruning_applies(self):
+        # star graph: no vertex is in a 3-clique, so threshold 3 prunes all
+        g = Graph(6, [(0, i) for i in range(1, 6)])
+        partial = SCTIndex.build(g, threshold=3)
+        assert partial.n_tree_nodes == 0
+
+
+class TestTraversalPruning:
+    def test_max_depth_prunes_nodes(self):
+        g = relaxed_caveman_graph(10, 7, 0.1, seed=4)
+        index = SCTIndex.build(g)
+        full = index.traversal_node_count(None)
+        previous = full + 1
+        for k in (3, 5, 7):
+            visited = index.traversal_node_count(k)
+            assert visited <= full
+            assert visited < previous or visited == 0
+            previous = visited
+
+    def test_paths_filtered_by_k(self):
+        g = gnp_graph(14, 0.5, seed=30)
+        index = SCTIndex.build(g)
+        for k in (3, 4, 5):
+            for path in index.iter_paths(k):
+                assert path.clique_count(k) > 0
+
+    def test_repr(self):
+        index = SCTIndex.build(Graph.complete(4))
+        assert "SCTIndex" in repr(index)
+        assert "max_clique=4" in repr(index)
+
+
+class TestLabels:
+    def test_root_children_are_holds(self):
+        g = gnp_graph(10, 0.5, seed=1)
+        index = SCTIndex.build(g)
+        for path in index.iter_paths():
+            assert len(path.holds) >= 1
+
+    def test_hold_pivot_constants(self):
+        assert HOLD == 0
+        assert PIVOT == 1
+
+    def test_grid_has_no_triangle_paths(self):
+        index = SCTIndex.build(grid_graph(5, 5))
+        assert index.count_k_cliques(3) == 0
+        assert list(index.iter_paths(3)) == []

@@ -1,0 +1,54 @@
+"""SCT*-Index save/load round-trips."""
+
+import pytest
+
+from repro.core import SCTIndex
+from repro.errors import IndexBuildError
+from repro.graph import Graph, gnp_graph, relaxed_caveman_graph
+
+
+class TestRoundTrip:
+    def test_counts_preserved(self, tmp_path):
+        g = relaxed_caveman_graph(6, 5, 0.1, seed=1)
+        index = SCTIndex.build(g)
+        path = tmp_path / "index.sct"
+        index.save(path)
+        loaded = SCTIndex.load(path)
+        assert loaded.n_vertices == index.n_vertices
+        assert loaded.threshold == index.threshold
+        assert loaded.max_clique_size == index.max_clique_size
+        assert loaded.clique_counts_by_size() == index.clique_counts_by_size()
+
+    def test_paths_preserved(self, tmp_path):
+        g = gnp_graph(12, 0.5, seed=2)
+        index = SCTIndex.build(g)
+        file = tmp_path / "index.sct"
+        index.save(file)
+        loaded = SCTIndex.load(file)
+        original = sorted((p.holds, p.pivots) for p in index.iter_paths())
+        restored = sorted((p.holds, p.pivots) for p in loaded.iter_paths())
+        assert original == restored
+
+    def test_partial_threshold_preserved(self, tmp_path):
+        g = gnp_graph(14, 0.4, seed=3)
+        index = SCTIndex.build(g, threshold=4)
+        file = tmp_path / "partial.sct"
+        index.save(file)
+        loaded = SCTIndex.load(file)
+        assert loaded.threshold == 4
+        assert not loaded.supports_k(3)
+        assert loaded.count_k_cliques(4) == index.count_k_cliques(4)
+
+    def test_empty_graph_round_trip(self, tmp_path):
+        index = SCTIndex.build(Graph(3))
+        file = tmp_path / "empty.sct"
+        index.save(file)
+        loaded = SCTIndex.load(file)
+        assert loaded.n_vertices == 3
+        assert loaded.count_k_cliques(1) == 3
+
+    def test_bad_format_version_rejected(self, tmp_path):
+        file = tmp_path / "bad.sct"
+        file.write_text('{"format": 999, "n_vertices": 0, "n_nodes": 0, "threshold": 0}\n')
+        with pytest.raises(IndexBuildError):
+            SCTIndex.load(file)

@@ -1,0 +1,85 @@
+"""SCTL (Algorithm 2): correctness, convergence, bounds."""
+
+import pytest
+
+from repro.cliques import count_k_cliques_naive, densest_subgraph_bruteforce
+from repro.core import SCTIndex, sctl
+from repro.errors import InvalidParameterError
+from repro.graph import Graph, gnp_graph
+
+
+class TestBasics:
+    def test_empty_graph(self):
+        result = sctl(SCTIndex.build(Graph(5)), 3)
+        assert result.vertices == []
+        assert result.density == 0.0
+        assert result.algorithm == "SCTL"
+
+    def test_invalid_iterations(self):
+        with pytest.raises(InvalidParameterError):
+            sctl(SCTIndex.build(Graph.complete(4)), 3, iterations=0)
+
+    def test_complete_graph_optimal_immediately(self):
+        g = Graph.complete(6)
+        result = sctl(SCTIndex.build(g), 3, iterations=2)
+        assert result.vertices == list(range(6))
+        assert result.density == pytest.approx(20 / 6)
+
+    def test_finds_dense_block(self, k6_plus_k4):
+        result = sctl(SCTIndex.build(k6_plus_k4), 3, iterations=10)
+        assert result.vertices == [0, 1, 2, 3, 4, 5]
+        assert result.density == pytest.approx(20 / 6)
+
+    def test_reported_count_is_true_count(self, small_random):
+        result = sctl(SCTIndex.build(small_random), 3, iterations=5)
+        sub, _ = small_random.induced_subgraph(result.vertices)
+        assert count_k_cliques_naive(sub, 3) == result.clique_count
+
+
+class TestGuarantees:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("k", [3, 4])
+    def test_density_bounded_by_optimum(self, seed, k):
+        g = gnp_graph(11, 0.55, seed=seed)
+        index = SCTIndex.build(g)
+        if index.max_clique_size < k:
+            pytest.skip("no k-clique in this instance")
+        _, optimal = densest_subgraph_bruteforce(g, k)
+        result = sctl(index, k, iterations=15)
+        assert result.density <= optimal + 1e-9
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_upper_bound_is_valid(self, seed):
+        g = gnp_graph(11, 0.55, seed=seed)
+        index = SCTIndex.build(g)
+        if index.max_clique_size < 3:
+            pytest.skip("no triangle")
+        _, optimal = densest_subgraph_bruteforce(g, 3)
+        result = sctl(index, 3, iterations=15)
+        assert result.upper_bound >= optimal - 1e-9
+
+    def test_more_iterations_do_not_hurt(self, caveman):
+        index = SCTIndex.build(caveman)
+        short = sctl(index, 3, iterations=2)
+        long = sctl(index, 3, iterations=40)
+        assert long.density >= short.density - 1e-9
+
+    def test_near_optimal_after_enough_iterations(self):
+        g = gnp_graph(12, 0.55, seed=3)
+        index = SCTIndex.build(g)
+        _, optimal = densest_subgraph_bruteforce(g, 3)
+        result = sctl(index, 3, iterations=60)
+        assert result.density >= 0.9 * optimal
+
+
+class TestStats:
+    def test_stats_contents(self, small_random):
+        index = SCTIndex.build(small_random)
+        result = sctl(index, 3, iterations=4)
+        assert result.iterations == 4
+        assert len(result.stats["weights"]) == small_random.n
+        assert result.stats["cliques_per_iteration"] == count_k_cliques_naive(
+            small_random, 3
+        )
+        # total weight distributed = T * number of cliques
+        assert sum(result.stats["weights"]) == 4 * result.stats["cliques_per_iteration"]

@@ -1,0 +1,105 @@
+"""SCTL+ / SCTL* (Algorithm 5): optimisations must not change quality."""
+
+import pytest
+
+from repro.cliques import count_k_cliques_naive, densest_subgraph_bruteforce
+from repro.core import SCTIndex, sctl, sctl_plus, sctl_star
+from repro.graph import Graph, gnp_graph
+
+
+class TestBasics:
+    def test_empty_graph(self):
+        result = sctl_star(SCTIndex.build(Graph(4)), 3)
+        assert result.vertices == []
+        assert result.algorithm == "SCTL*"
+
+    def test_algorithm_names(self, small_random):
+        index = SCTIndex.build(small_random)
+        assert sctl_star(index, 3).algorithm == "SCTL*"
+        assert sctl_plus(index, 3).algorithm == "SCTL+"
+        assert (
+            sctl_star(index, 3, use_reductions=False, use_batch=False).algorithm
+            == "SCTL"
+        )
+
+    def test_starts_from_max_clique(self, k6_plus_k4):
+        # even 1 iteration cannot fall below the max-clique density
+        index = SCTIndex.build(k6_plus_k4)
+        result = sctl_star(index, 3, iterations=1)
+        assert result.density >= 20 / 6 - 1e-9
+
+    def test_reported_count_is_true_count(self, caveman):
+        index = SCTIndex.build(caveman)
+        result = sctl_star(index, 3, iterations=5)
+        sub, _ = caveman.induced_subgraph(result.vertices)
+        assert count_k_cliques_naive(sub, 3) == result.clique_count
+
+
+class TestOptimisationsPreserveQuality:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("k", [3, 4])
+    def test_all_variants_bounded_by_optimum(self, seed, k):
+        g = gnp_graph(11, 0.55, seed=seed)
+        index = SCTIndex.build(g)
+        if index.max_clique_size < k:
+            pytest.skip("no k-clique")
+        _, optimal = densest_subgraph_bruteforce(g, k)
+        for variant in (
+            sctl_star(index, k, iterations=20),
+            sctl_plus(index, k, iterations=20),
+            sctl_star(index, k, iterations=20, use_reductions=False),
+        ):
+            assert variant.density <= optimal + 1e-9
+            assert variant.upper_bound >= optimal - 1e-9
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_star_at_least_as_good_as_max_clique_and_near_sctl(self, seed):
+        g = gnp_graph(12, 0.5, seed=seed)
+        index = SCTIndex.build(g)
+        if index.max_clique_size < 3:
+            pytest.skip("no triangle")
+        base = sctl(index, 3, iterations=25)
+        star = sctl_star(index, 3, iterations=25)
+        # reductions+batch change update order, but quality stays comparable
+        assert star.density >= 0.9 * base.density
+
+    def test_batch_reduces_update_count(self, caveman):
+        index = SCTIndex.build(caveman)
+        with_batch = sctl_star(index, 3, iterations=5)
+        without = sctl_plus(index, 3, iterations=5)
+        assert (
+            with_batch.stats["total_weight_updates"]
+            <= without.stats["total_weight_updates"]
+        )
+
+    def test_reductions_shrink_processed_cliques(self, two_partitions):
+        index = SCTIndex.build(two_partitions)
+        reduced = sctl_star(index, 3, iterations=8)
+        plain = sctl_star(index, 3, iterations=8, use_reductions=False)
+        assert (
+            reduced.stats["total_cliques_processed"]
+            <= plain.stats["total_cliques_processed"]
+        )
+
+
+class TestInstrumentation:
+    def test_iteration_stats_collected(self, caveman):
+        index = SCTIndex.build(caveman)
+        result = sctl_star(
+            index, 3, iterations=4, graph=caveman, collect_stats=True
+        )
+        stats = result.stats["iterations"]
+        assert len(stats) == 4
+        for entry in stats:
+            assert entry.scope_vertices <= caveman.n
+            assert entry.scope_edges is not None
+            assert entry.scope_cliques is not None
+            assert entry.weight_updates <= max(entry.cliques_processed, 1)
+
+    def test_scope_shrinks_over_iterations(self, two_partitions):
+        index = SCTIndex.build(two_partitions)
+        result = sctl_star(
+            index, 3, iterations=6, graph=two_partitions, collect_stats=True
+        )
+        stats = result.stats["iterations"]
+        assert stats[-1].scope_vertices <= stats[0].scope_vertices

@@ -1,0 +1,86 @@
+"""Graph statistics, differentially tested against networkx."""
+
+import pytest
+
+from repro.graph import Graph, gnp_graph, grid_graph
+from repro.graph.stats import (
+    average_clustering,
+    degree_histogram,
+    edge_density,
+    local_clustering,
+    summarize,
+    transitivity,
+    triangle_counts,
+)
+
+
+def _to_networkx(graph):
+    nx = pytest.importorskip("networkx")
+    g = nx.Graph()
+    g.add_nodes_from(graph.vertices())
+    g.add_edges_from(graph.edges())
+    return nx, g
+
+
+class TestTriangles:
+    def test_complete_graph(self):
+        counts = triangle_counts(Graph.complete(5))
+        assert counts == [6] * 5  # C(4,2) per vertex
+
+    def test_triangle_free(self):
+        assert sum(triangle_counts(grid_graph(5, 5))) == 0
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_networkx(self, seed):
+        g = gnp_graph(30, 0.25, seed=seed)
+        nx, h = _to_networkx(g)
+        expected = nx.triangles(h)
+        counts = triangle_counts(g)
+        for v in g.vertices():
+            assert counts[v] == expected[v]
+
+
+class TestClustering:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_local_matches_networkx(self, seed):
+        g = gnp_graph(25, 0.3, seed=seed)
+        nx, h = _to_networkx(g)
+        expected = nx.clustering(h)
+        got = local_clustering(g)
+        for v in g.vertices():
+            assert got[v] == pytest.approx(expected[v])
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_transitivity_matches_networkx(self, seed):
+        g = gnp_graph(25, 0.3, seed=seed)
+        nx, h = _to_networkx(g)
+        assert transitivity(g) == pytest.approx(nx.transitivity(h))
+
+    def test_average_clustering_empty(self):
+        assert average_clustering(Graph(0)) == 0.0
+
+
+class TestSummaries:
+    def test_degree_histogram(self):
+        g = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        assert degree_histogram(g) == {3: 1, 1: 3}
+
+    def test_edge_density_bounds(self):
+        assert edge_density(Graph.complete(6)) == 1.0
+        assert edge_density(Graph(6)) == 0.0
+        assert edge_density(Graph(1)) == 0.0
+
+    def test_summarize_complete(self):
+        summary = summarize(Graph.complete(5))
+        assert summary.n == 5
+        assert summary.m == 10
+        assert summary.triangles == 10
+        assert summary.average_clustering == pytest.approx(1.0)
+        assert summary.transitivity == pytest.approx(1.0)
+        assert summary.edge_density == pytest.approx(1.0)
+        assert len(summary.as_row()) == 9
+
+    def test_summarize_empty(self):
+        summary = summarize(Graph(0))
+        assert summary.mean_degree == 0.0
+        assert summary.triangles == 0
