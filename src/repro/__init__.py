@@ -40,6 +40,7 @@ from .core import (
     DensityProfile,
     SCTIndex,
     SCTPath,
+    SCTPathView,
     density_profile,
     sctl,
     sctl_plus,
@@ -67,6 +68,7 @@ __all__ = [
     "Hypergraph",
     "SCTIndex",
     "SCTPath",
+    "SCTPathView",
     "DensestSubgraphResult",
     "densest_subgraph",
     "sctl",

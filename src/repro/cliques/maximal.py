@@ -19,43 +19,54 @@ def _iter_maximal_positions(view: OrderedGraphView) -> Iterator[int]:
     """Yield each maximal clique as a bitset of positions.
 
     Bron–Kerbosch with the Tomita max-degree pivot, seeded per vertex along
-    the degeneracy ordering (Eppstein–Löffler–Strash), all on bitsets.
+    the degeneracy ordering (Eppstein–Löffler–Strash), all on bitsets.  The
+    search runs on an explicit frame stack, so cliques deeper than the
+    interpreter's recursion limit enumerate fine.
     """
     n = view.n
     adj = view.adj_bits
     out = view.out_bits
 
-    def expand(r_mask: int, p_mask: int, x_mask: int) -> Iterator[int]:
-        if p_mask == 0 and x_mask == 0:
-            yield r_mask
-            return
-        # pivot: vertex of P ∪ X with most neighbours inside P
-        px = p_mask | x_mask
-        best_u, best_cover = -1, -1
-        mask = px
-        while mask:
-            low = mask & -mask
-            u = low.bit_length() - 1
-            mask ^= low
-            cover = (adj[u] & p_mask).bit_count()
-            if cover > best_cover:
-                best_cover, best_u = cover, u
-        branch = p_mask & ~adj[best_u]
-        while branch:
-            low = branch & -branch
-            v = low.bit_length() - 1
-            branch ^= low
-            v_bit = 1 << v
-            yield from expand(r_mask | v_bit, p_mask & adj[v], x_mask & adj[v])
-            p_mask &= ~v_bit
-            x_mask |= v_bit
-
     for i in range(n):
         i_bit = 1 << i
-        p_mask = out[i]
         # X = earlier neighbours: they would re-generate cliques already seen
-        x_mask = adj[i] & (i_bit - 1)
-        yield from expand(i_bit, p_mask, x_mask)
+        # frames: [r_mask, p_mask, x_mask, branch]; branch is None until the
+        # pivot has been chosen, afterwards the not-yet-expanded branch set
+        stack: List[List] = [[i_bit, out[i], adj[i] & (i_bit - 1), None]]
+        while stack:
+            frame = stack[-1]
+            if frame[3] is None:
+                p_mask, x_mask = frame[1], frame[2]
+                if p_mask == 0 and x_mask == 0:
+                    yield frame[0]
+                    stack.pop()
+                    continue
+                # pivot: vertex of P ∪ X with most neighbours inside P;
+                # covering all of P cannot be beaten, so stop scanning early
+                p_count = p_mask.bit_count()
+                best_u, best_cover = -1, -1
+                mask = p_mask | x_mask
+                while mask:
+                    low = mask & -mask
+                    u = low.bit_length() - 1
+                    mask ^= low
+                    cover = (adj[u] & p_mask).bit_count()
+                    if cover > best_cover:
+                        best_cover, best_u = cover, u
+                        if cover == p_count:
+                            break
+                frame[3] = p_mask & ~adj[best_u]
+            if frame[3]:
+                low = frame[3] & -frame[3]
+                v = low.bit_length() - 1
+                frame[3] ^= low
+                stack.append(
+                    [frame[0] | low, frame[1] & adj[v], frame[2] & adj[v], None]
+                )
+                frame[1] &= ~low
+                frame[2] |= low
+            else:
+                stack.pop()
 
 
 def iter_maximal_cliques(

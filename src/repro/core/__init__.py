@@ -13,7 +13,7 @@ from .reductions import (
 from .multi import top_dense_subgraphs
 from .profile import DensityProfile, density_profile
 from .sampling import sample_k_cliques, sctl_star_sample
-from .sct import HOLD, PIVOT, SCTIndex, SCTPath
+from .sct import HOLD, PIVOT, SCTIndex, SCTPath, SCTPathView
 from .validation import VerificationReport, verify_result
 from .sctl import empty_result, sctl
 from .sctl_star import IterationStats, sctl_plus, sctl_star
@@ -21,6 +21,7 @@ from .sctl_star import IterationStats, sctl_plus, sctl_star
 __all__ = [
     "SCTIndex",
     "SCTPath",
+    "SCTPathView",
     "HOLD",
     "PIVOT",
     "DensestSubgraphResult",

@@ -18,13 +18,14 @@ budget is spread evenly across them; minimum-weight *pivots* are processed
 one at a time.
 
 All weights are integers inside an iteration, so every ``gap`` is >= 1 and
-progress is guaranteed.
+progress is guaranteed.  The split runs on an explicit work stack rather
+than recursion, so paths with thousands of pivots distribute fine.
 """
 
 from __future__ import annotations
 
 from math import comb
-from typing import List, MutableSequence, Optional, Sequence
+from typing import List, MutableSequence, Optional, Sequence, Tuple
 
 __all__ = ["batch_update"]
 
@@ -67,67 +68,101 @@ def batch_update(
 def _distribute(
     weights: MutableSequence[int], h: List[int], p: List[int], k: int, budget: int
 ) -> int:
-    """Core recursion; ``h``/``p`` are working copies mutated and restored."""
+    """Core loop of Algorithm 4 on an explicit work stack.
+
+    ``h``/``p`` are the working lists the former recursion mutated and
+    restored; the same shared-list discipline is replayed here through a
+    continuation stack, one entry per open pivot split, so the weight
+    writes land in *exactly* the order the recursive formulation produced
+    them (including the incidental move-to-back of processed pivots that
+    drives tie-breaking) — but a path with thousands of pivots no longer
+    overflows the interpreter stack.
+    """
     updates = 0
-    while budget > 0:
-        t = k - len(h)
-        if t < 0 or t > len(p):
+    # (pivot, rest_budget, in_with_branch) per open split; unwound like the
+    # recursion's restore sequence when an invocation drains its budget
+    conts: List[Tuple[int, int, bool]] = []
+    while True:
+        while budget > 0:
+            t = k - len(h)
+            if t < 0 or t > len(p):
+                break
+            if t == 0:
+                # exactly one clique (all holds): a single +1 to its minimum
+                v = min(h, key=weights.__getitem__)
+                weights[v] += 1
+                updates += 1
+                break
+            min_hold = min((weights[x] for x in h), default=None)
+            min_pivot = min(weights[x] for x in p)
+            w_min = min_pivot if min_hold is None else min(min_hold, min_pivot)
+            # smallest weight strictly above the minimum (None = all tied)
+            w_next: Optional[int] = None
+            for x in h:
+                w = weights[x]
+                if w > w_min and (w_next is None or w < w_next):
+                    w_next = w
+            for x in p:
+                w = weights[x]
+                if w > w_min and (w_next is None or w < w_next):
+                    w_next = w
+            if min_hold is not None and min_hold < min_pivot:
+                # Cases 1-2: the minimum sits at hold vertices only.  Every
+                # clique contains every hold, so the tied holds absorb
+                # min(budget, ties * gap) units, spread evenly.
+                ties = [x for x in h if weights[x] == w_min]
+                gap = w_next - w_min  # w_next exists: min_pivot > w_min
+                amount = min(budget, len(ties) * gap)
+                base, extra = divmod(amount, len(ties))
+                for i, x in enumerate(ties):
+                    inc = base + (1 if i < extra else 0)
+                    if inc:
+                        weights[x] += inc
+                        updates += 1
+                budget -= amount
+                continue
+            # Cases 3-4: a pivot holds the minimum; process one such pivot.
+            v = next(x for x in p if weights[x] == w_min)
+            containing = comb(len(p) - 1, t - 1)  # cliques that include v
+            with_budget = min(containing, budget)
+            amount = (
+                with_budget if w_next is None else min(w_next - w_min, with_budget)
+            )
+            if amount:
+                weights[v] += amount
+                updates += 1
+            remaining_with_v = with_budget - amount
+            rest_budget = budget - with_budget
+            if remaining_with_v > 0:
+                # v caught up with the second-minimum but still has cliques
+                # left: promote it to a hold and continue on just those
+                p.remove(v)
+                h.append(v)
+                conts.append((v, rest_budget, True))
+                budget = remaining_with_v
+                continue
+            if rest_budget > 0:
+                # the cliques that avoid v form the path without v
+                p.remove(v)
+                conts.append((v, 0, False))
+                budget = rest_budget
+                continue
+            break
+        # the current invocation drained: unwind restores until a deferred
+        # without-v branch resumes, or every split is closed
+        budget = 0
+        while conts:
+            v, rest_budget, in_with = conts.pop()
+            if in_with:
+                h.pop()
+                if rest_budget > 0:
+                    # net effect of the recursion's append+remove pair:
+                    # v stays out of p while its avoiding-cliques run
+                    conts.append((v, 0, False))
+                    budget = rest_budget
+                    break
+                p.append(v)
+            else:
+                p.append(v)
+        if budget == 0:
             return updates
-        if t == 0:
-            # exactly one clique (all holds): a single +1 to its minimum
-            v = min(h, key=weights.__getitem__)
-            weights[v] += 1
-            return updates + 1
-        min_hold = min((weights[x] for x in h), default=None)
-        min_pivot = min(weights[x] for x in p)
-        w_min = min_pivot if min_hold is None else min(min_hold, min_pivot)
-        # smallest weight strictly above the minimum (None = all tied)
-        w_next: Optional[int] = None
-        for x in h:
-            w = weights[x]
-            if w > w_min and (w_next is None or w < w_next):
-                w_next = w
-        for x in p:
-            w = weights[x]
-            if w > w_min and (w_next is None or w < w_next):
-                w_next = w
-        if min_hold is not None and min_hold < min_pivot:
-            # Cases 1-2: the minimum sits at hold vertices only.  Every
-            # clique contains every hold, so the tied holds absorb
-            # min(budget, ties * gap) units, spread evenly.
-            ties = [x for x in h if weights[x] == w_min]
-            gap = w_next - w_min  # w_next exists: min_pivot > w_min
-            amount = min(budget, len(ties) * gap)
-            base, extra = divmod(amount, len(ties))
-            for i, x in enumerate(ties):
-                inc = base + (1 if i < extra else 0)
-                if inc:
-                    weights[x] += inc
-                    updates += 1
-            budget -= amount
-            continue
-        # Cases 3-4: a pivot holds the minimum; process one such pivot.
-        v = next(x for x in p if weights[x] == w_min)
-        containing = comb(len(p) - 1, t - 1)  # cliques that include v
-        with_budget = min(containing, budget)
-        amount = with_budget if w_next is None else min(w_next - w_min, with_budget)
-        if amount:
-            weights[v] += amount
-            updates += 1
-        remaining_with_v = with_budget - amount
-        if remaining_with_v > 0:
-            # v caught up with the second-minimum but still has cliques
-            # left: promote it to a hold and recurse on just those cliques
-            p.remove(v)
-            h.append(v)
-            updates += _distribute(weights, h, p, k, remaining_with_v)
-            h.pop()
-            p.append(v)
-        budget -= with_budget
-        if budget > 0:
-            # the cliques that avoid v form the path without v
-            p.remove(v)
-            updates += _distribute(weights, h, p, k, budget)
-            p.append(v)
-        return updates
-    return updates

@@ -4,7 +4,10 @@ Pipeline, following §6.2:
 
 1. **Warm start** — SCTL*-Sample produces an achieved density ``rho'``
    close to the optimum (falling back on the maximum clique's density when
-   the sample is uninformative).
+   the sample is uninformative).  The sampler and the later SCTL*
+   refinement both stream root-to-leaf paths off their indexes per sweep,
+   so the pipeline never materialises a path list and its memory stays
+   bounded by tree size plus the explicit clique set of the final scope.
 2. **Scope reduction** — Lemma 4: the optimum lies among vertices with
    ``|C_k(v)| >= ceil(rho')``; the engagement recount is iterated inside
    the shrinking scope until a fixed point, all through index queries.

@@ -95,6 +95,10 @@ def best_prefix_from_paths(
     last-ranked chosen pivot; grouping subsets by that pivot gives
     ``C(i, t-1)`` cliques per pivot (``i`` = number of earlier-ranked
     pivots), all without enumeration.
+
+    ``paths`` is swept exactly once, so a streaming
+    :class:`~repro.core.sct.SCTPathView` costs one tree traversal and no
+    path-list memory.
     """
     n = len(weights)
     order, rank = _weight_ranking(weights)

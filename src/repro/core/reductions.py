@@ -59,7 +59,7 @@ class KCliquePartition:
 def kp_computation(
     index: SCTIndex,
     k: int,
-    paths: Optional[Sequence[SCTPath]] = None,
+    paths: Optional[Iterable[SCTPath]] = None,
 ) -> KCliquePartition:
     """Compute the k-clique-isolating partition (Algorithm 3).
 
@@ -74,7 +74,8 @@ def kp_computation(
     k:
         Clique size.
     paths:
-        Pre-collected valid paths to reuse (else taken from the index).
+        Pre-collected valid paths to reuse (else streamed off the index in
+        a single sweep — no path list is materialised).
     """
     ds = DisjointSet(index.n_vertices)
     if paths is None:

@@ -23,7 +23,7 @@ from __future__ import annotations
 import random
 from fractions import Fraction
 from math import comb
-from typing import List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from ..errors import InvalidParameterError
 from .density import DensestSubgraphResult
@@ -74,7 +74,7 @@ def _sample_from_path(
 
 
 def sample_k_cliques(
-    paths: Sequence[SCTPath],
+    paths: Iterable[SCTPath],
     k: int,
     sample_size: int,
     rng: random.Random,
@@ -85,16 +85,22 @@ def sample_k_cliques(
     the budget; systematic rounding (floor of the running product) makes
     the shares sum to ``sample_size`` exactly.  If the budget covers every
     clique, all cliques are returned.
+
+    ``paths`` is swept at most twice (once for the global count, once to
+    allocate), so a streaming :class:`~repro.core.sct.SCTPathView` works as
+    well as a materialised list and draws the identical sample.
     """
-    counts = [p.clique_count(k) for p in paths]
-    total = sum(counts)
+    total = 0
+    for p in paths:
+        total += p.clique_count(k)
     if total == 0:
         return []
     if sample_size >= total:
         return [c for p in paths for c in p.iter_cliques(k)]
     out: List[Tuple[int, ...]] = []
     accumulated = 0
-    for path, count in zip(paths, counts):
+    for path in paths:
+        count = path.clique_count(k)
         if not count:
             continue
         want = (accumulated + count) * sample_size // total - (
@@ -115,7 +121,7 @@ def sctl_star_sample(
     iterations: int = 10,
     seed: int = 0,
     use_reduction: bool = True,
-    paths: Optional[Sequence[SCTPath]] = None,
+    paths: Optional[Iterable[SCTPath]] = None,
 ) -> DensestSubgraphResult:
     """Run SCTL*-Sample (Algorithm 6).
 
@@ -136,7 +142,10 @@ def sctl_star_sample(
     use_reduction:
         Apply the clique-engagement reduction inside the sampled subgraph.
     paths:
-        Pre-collected valid paths to reuse.
+        Pre-collected valid paths to reuse.  When omitted, paths are
+        **streamed** off the index (two sweeps: global count + allocation),
+        so no path list is ever materialised; the drawn sample is identical
+        to the pre-collected mode for the same seed.
     """
     if sample_size < 1:
         raise InvalidParameterError(f"sample_size must be >= 1, got {sample_size}")
@@ -148,9 +157,7 @@ def sctl_star_sample(
     # k-cliques in the densest subgraph come from larger cliques"
     partial_approximation = not index.supports_k(k) and k >= 1
     if paths is None:
-        paths = index.collect_paths(k, enforce_support=not partial_approximation)
-    if not paths:
-        return empty_result(k, "SCTL*-Sample")
+        paths = index.path_view(k, enforce_support=not partial_approximation)
     sampled = sample_k_cliques(paths, k, sample_size, rng)
     if not sampled:
         return empty_result(k, "SCTL*-Sample")

@@ -33,7 +33,7 @@ from ..cliques.ordered_view import OrderedGraphView, build_ordered_view
 from ..errors import IndexBuildError, IndexQueryError
 from ..graph.graph import Graph
 
-__all__ = ["SCTPath", "SCTIndex", "HOLD", "PIVOT"]
+__all__ = ["SCTPath", "SCTPathView", "SCTIndex", "HOLD", "PIVOT"]
 
 HOLD = 0
 PIVOT = 1
@@ -165,63 +165,85 @@ class SCTIndex:
         vertex: List[int] = [-1]
         label: List[int] = [-1]
         children: List[List[int]] = [[]]
-        max_depth: List[int] = [0]
+        parent: List[int] = [0]
+        depth_of: List[int] = [0]
 
-        def new_node(orig_vertex: int, node_label: int, parent: int) -> int:
+        def new_node(orig_vertex: int, node_label: int, par: int, depth: int) -> int:
             node = len(vertex)
             vertex.append(orig_vertex)
             label.append(node_label)
             children.append([])
-            max_depth.append(0)
-            children[parent].append(node)
+            parent.append(par)
+            depth_of.append(depth)
+            children[par].append(node)
             return node
 
-        def expand(node: int, cand: int, depth: int) -> int:
-            """Pivoter recursion; returns the subtree's max path depth."""
-            if cand == 0:
-                max_depth[node] = depth
-                return depth
-            # pivot: candidate with the most neighbours inside cand
-            best_p, best_cover = -1, -1
-            mask = cand
-            while mask:
-                low = mask & -mask
-                x = low.bit_length() - 1
-                mask ^= low
-                cover = (adj[x] & cand).bit_count()
-                if cover > best_cover:
-                    best_cover, best_p = cover, x
-            p = best_p
-            deepest = depth
-            # pivot branch: cliques avoiding every non-neighbour of p
-            child = new_node(order[p], PIVOT, node)
-            deepest = max(deepest, expand(child, cand & adj[p], depth + 1))
-            # hold branches: each non-neighbour v_i of p gets the cliques
-            # whose smallest excluded vertex is v_i
-            rest = cand & ~adj[p] & ~(1 << p)
-            removed = 1 << p
-            while rest:
-                low = rest & -rest
-                x = low.bit_length() - 1
-                rest ^= low
-                removed |= low
-                child = new_node(order[x], HOLD, node)
-                deepest = max(
-                    deepest, expand(child, (cand & ~removed) & adj[x], depth + 1)
-                )
-            max_depth[node] = deepest
-            return deepest
-
-        overall = 0
         for i in range(n):
             if threshold:
                 if out[i].bit_count() + 1 < threshold:
                     continue  # out-degree pre-pruning
                 if core[i] + 1 < threshold:
                     continue  # degeneracy pre-pruning
-            root_child = new_node(order[i], HOLD, 0)
-            overall = max(overall, expand(root_child, out[i], 1))
-        max_depth[0] = overall
+            root_child = new_node(order[i], HOLD, 0, 1)
+            # Pivoter expansion on an explicit frame stack, so clique trees
+            # deeper than the interpreter's recursion limit build fine.
+            # Frame layout: [node, cand, depth, rest, removed]; ``rest`` is
+            # None until the pivot branch has been spawned, afterwards it
+            # holds the not-yet-branched non-neighbours of the pivot.
+            stack: List[List] = [[root_child, out[i], 1, None, 0]]
+            while stack:
+                frame = stack[-1]
+                node, cand, depth = frame[0], frame[1], frame[2]
+                if frame[3] is None:
+                    if cand == 0:
+                        stack.pop()  # leaf
+                        continue
+                    # pivot: candidate with the most neighbours inside cand;
+                    # nothing can beat covering all other candidates, so a
+                    # full cover ends the scan early (near-clique subtrees
+                    # then cost O(1) pivot picks per node instead of O(|cand|))
+                    cand_size = cand.bit_count()
+                    best_p, best_cover = -1, -1
+                    mask = cand
+                    while mask:
+                        low = mask & -mask
+                        x = low.bit_length() - 1
+                        mask ^= low
+                        cover = (adj[x] & cand).bit_count()
+                        if cover > best_cover:
+                            best_cover, best_p = cover, x
+                            if cover == cand_size - 1:
+                                break
+                    p = best_p
+                    frame[3] = cand & ~adj[p] & ~(1 << p)
+                    frame[4] = 1 << p
+                    # pivot branch: cliques avoiding every non-neighbour of p
+                    child = new_node(order[p], PIVOT, node, depth + 1)
+                    stack.append([child, cand & adj[p], depth + 1, None, 0])
+                    continue
+                if frame[3]:
+                    # hold branches: each non-neighbour v_i of p gets the
+                    # cliques whose smallest excluded vertex is v_i
+                    low = frame[3] & -frame[3]
+                    x = low.bit_length() - 1
+                    frame[3] ^= low
+                    frame[4] |= low
+                    child = new_node(order[x], HOLD, node, depth + 1)
+                    stack.append(
+                        [child, (cand & ~frame[4]) & adj[x], depth + 1, None, 0]
+                    )
+                    continue
+                stack.pop()
+
+        # max-depth in one backward sweep: children always have larger ids
+        # than their parent, so by the time a node propagates upward its own
+        # subtree maximum is final
+        max_depth = depth_of[:]
+        max_depth[0] = 0
+        for node in range(len(vertex) - 1, 0, -1):
+            par = parent[node]
+            if max_depth[node] > max_depth[par]:
+                max_depth[par] = max_depth[node]
         return cls(
             n_vertices=graph.n,
             vertex=vertex,
@@ -336,6 +358,54 @@ class SCTIndex:
     # path traversal
     # ------------------------------------------------------------------
 
+    def _iter_traversal(
+        self, k: Optional[int]
+    ) -> Iterator[Tuple[int, List[int], List[int]]]:
+        """Shared pruned-DFS core behind path listing and node counting.
+
+        Yields ``(node, holds, pivots)`` for every *visited* non-root node,
+        in the order the recursive formulation would visit them.  ``holds``
+        and ``pivots`` are live buffers maintained in place — appended on
+        entry, popped on backtrack, O(1) amortised per tree edge —
+        so consumers must snapshot them before storing.
+
+        With ``k`` given, subtrees whose max-depth is below ``k`` are
+        skipped (they cannot contain a k-clique), and so are hold branches
+        entered with ``k`` holds already on the path (every k-clique of a
+        path must contain *all* its holds).
+        """
+        vertex = self._vertex
+        label = self._label
+        children = self._children
+        max_depth = self._max_depth
+        holds: List[int] = []
+        pivots: List[int] = []
+        # frames: [node, next-child index]
+        stack: List[List[int]] = [[0, 0]]
+        while stack:
+            frame = stack[-1]
+            node = frame[0]
+            kids = children[node]
+            descended = False
+            while frame[1] < len(kids):
+                child = kids[frame[1]]
+                frame[1] += 1
+                if k is not None:
+                    if max_depth[child] < k:
+                        continue
+                    if label[child] == HOLD and len(holds) >= k:
+                        continue
+                buf = holds if label[child] == HOLD else pivots
+                buf.append(vertex[child])
+                stack.append([child, 0])
+                yield child, holds, pivots
+                descended = True
+                break
+            if not descended:
+                stack.pop()
+                if node:
+                    (holds if label[node] == HOLD else pivots).pop()
+
     def iter_paths(
         self, k: Optional[int] = None, enforce_support: bool = True
     ) -> Iterator[SCTPath]:
@@ -347,6 +417,11 @@ class SCTIndex:
         must contain *all* its holds).  Only paths with at least one
         k-clique are yielded.
 
+        The walk is fully iterative (arbitrarily deep clique trees are fine)
+        and uses O(tree depth) memory; each path is snapshotted from in-place
+        hold/pivot buffers, so the per-path cost is the path length itself,
+        not the recursion depth.
+
         ``enforce_support=False`` lets a *partial* SCT*-k'-Index answer
         ``k`` below its threshold; the paths then cover only the k-cliques
         living inside unpruned subtrees — the approximation §6.1 of the
@@ -355,31 +430,16 @@ class SCTIndex:
         """
         if k is not None and enforce_support:
             self._require_k(k)
-        vertex = self._vertex
-        label = self._label
         children = self._children
-        max_depth = self._max_depth
-        holds: List[int] = []
-        pivots: List[int] = []
-
-        def descend(node: int) -> Iterator[SCTPath]:
-            kids = children[node]
-            if not kids:
+        if not children[0]:
+            # empty tree: the virtual root is itself the only "path"
+            if k is None or k == 0:
+                yield SCTPath((), ())
+            return
+        for node, holds, pivots in self._iter_traversal(k):
+            if not children[node]:
                 if k is None or len(holds) <= k <= len(holds) + len(pivots):
                     yield SCTPath(tuple(holds), tuple(pivots))
-                return
-            for child in kids:
-                if k is not None:
-                    if max_depth[child] < k:
-                        continue
-                    if label[child] == HOLD and len(holds) >= k:
-                        continue
-                stack = holds if label[child] == HOLD else pivots
-                stack.append(vertex[child])
-                yield from descend(child)
-                stack.pop()
-
-        yield from descend(0)
 
     def collect_paths(
         self, k: Optional[int] = None, enforce_support: bool = True
@@ -387,29 +447,31 @@ class SCTIndex:
         """Materialise :meth:`iter_paths` into a list."""
         return list(self.iter_paths(k, enforce_support=enforce_support))
 
+    def path_view(
+        self, k: Optional[int] = None, enforce_support: bool = True
+    ) -> "SCTPathView":
+        """A re-iterable, zero-materialisation view over the valid paths.
+
+        Every ``iter()`` walks the tree afresh via :meth:`iter_paths`, so
+        memory stays bounded by tree depth instead of path-list size.  This
+        is what the streaming mode of SCTL/SCTL*/SCTL*-Sample consumes:
+        algorithms that sweep the paths once per refinement pass re-traverse
+        instead of holding every :class:`SCTPath` alive.  Prefer
+        :meth:`collect_paths` reuse only when the path list comfortably fits
+        in memory and is swept many times.
+        """
+        if k is not None and enforce_support:
+            self._require_k(k)
+        return SCTPathView(self, k, enforce_support)
+
     def traversal_node_count(self, k: Optional[int] = None) -> int:
         """Number of tree nodes visited when listing k-cliques.
 
         The ablation metric for max-depth pruning: compare ``k=None``
-        (full traversal) with a specific ``k``.
+        (full traversal) with a specific ``k``.  Shares the traversal core
+        with :meth:`iter_paths`, so the two always agree on pruning.
         """
-        children = self._children
-        max_depth = self._max_depth
-        label = self._label
-        count = 0
-        # (node, holds_so_far)
-        stack: List[Tuple[int, int]] = [(0, 0)]
-        while stack:
-            node, h = stack.pop()
-            count += 1
-            for child in children[node]:
-                if k is not None:
-                    if max_depth[child] < k:
-                        continue
-                    if label[child] == HOLD and h >= k:
-                        continue
-                stack.append((child, h + (1 if label[child] == HOLD else 0)))
-        return count - 1  # exclude the virtual root
+        return sum(1 for _ in self._iter_traversal(k))
 
     # ------------------------------------------------------------------
     # counting queries
@@ -516,7 +578,8 @@ class SCTIndex:
         """Persist the index to ``path``.
 
         Format: one JSON header line, then one line per tree node in
-        preorder-compatible id order: ``vertex label n_children child_ids``.
+        preorder-compatible id order:
+        ``vertex label max_depth n_children child_ids``.
         Plain text keeps the file portable and diff-able; indexes are built
         offline, so load speed dominates and stays linear.
         """
@@ -545,13 +608,22 @@ class SCTIndex:
                         f"unsupported index format {header.get('format')!r}"
                     )
                 n_nodes = header["n_nodes"]
+                n_vertices = header["n_vertices"]
                 vertex: List[int] = []
                 label: List[int] = []
                 children: List[List[int]] = []
                 max_depth: List[int] = []
-                for _ in range(n_nodes):
-                    fields = handle.readline().split()
-                    vertex.append(int(fields[0]))
+                for node_id in range(n_nodes):
+                    line = handle.readline()
+                    fields = line.split()
+                    v = int(fields[0])
+                    if not (0 <= v < n_vertices or (node_id == 0 and v == -1)):
+                        raise IndexBuildError(
+                            f"vertex id {v} out of range for "
+                            f"{n_vertices}-vertex graph in {path!s}: "
+                            f"{line.strip()!r}"
+                        )
+                    vertex.append(v)
                     label.append(int(fields[1]))
                     max_depth.append(int(fields[2]))
                     n_kids = int(fields[3])
@@ -586,3 +658,31 @@ class SCTIndex:
             f"tree_nodes={self.n_tree_nodes}, threshold={self._threshold}, "
             f"max_clique={self.max_clique_size})"
         )
+
+
+class SCTPathView:
+    """Re-iterable streaming view of an index's valid root-to-leaf paths.
+
+    Obtained from :meth:`SCTIndex.path_view`.  Each ``iter()`` re-traverses
+    the tree with the same pruning, yielding :class:`SCTPath` objects in a
+    deterministic order, so sweeping the view twice sees the identical
+    sequence a :meth:`SCTIndex.collect_paths` list would hold — without
+    ever materialising it.
+    """
+
+    __slots__ = ("_index", "_k", "_enforce_support")
+
+    def __init__(
+        self, index: SCTIndex, k: Optional[int], enforce_support: bool = True
+    ):
+        self._index = index
+        self._k = k
+        self._enforce_support = enforce_support
+
+    def __iter__(self) -> Iterator[SCTPath]:
+        return self._index.iter_paths(
+            self._k, enforce_support=self._enforce_support
+        )
+
+    def __repr__(self) -> str:
+        return f"SCTPathView(k={self._k}, index={self._index!r})"

@@ -15,7 +15,7 @@ we have ``sum_{v in S*} r(v)/T >= rho_opt * |S*|``, hence
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Iterable, List, Optional
 
 from ..errors import InvalidParameterError
 from .density import DensestSubgraphResult
@@ -36,7 +36,7 @@ def sctl(
     index: SCTIndex,
     k: int,
     iterations: int = 10,
-    paths: Optional[Sequence[SCTPath]] = None,
+    paths: Optional[Iterable[SCTPath]] = None,
     track_convergence: bool = False,
 ) -> DensestSubgraphResult:
     """Run SCTL for ``iterations`` rounds and extract the densest prefix.
@@ -51,6 +51,10 @@ def sctl(
         Number of full passes over the k-cliques (the paper's ``T``).
     paths:
         Pre-collected valid root-to-leaf paths to reuse across calls.
+        When omitted, the paths are **streamed** off the index on every
+        pass, bounding memory by tree depth instead of path-list size;
+        pass ``index.collect_paths(k)`` explicitly to trade memory for the
+        one-traversal-total behaviour.
     track_convergence:
         Extract after *every* pass and record the achieved density and
         the certified upper bound per iteration (slower; used for
@@ -64,12 +68,16 @@ def sctl(
     if iterations < 1:
         raise InvalidParameterError(f"iterations must be >= 1, got {iterations}")
     if paths is None:
-        paths = index.collect_paths(k)
-    if not paths:
-        return empty_result(k, "SCTL")
+        paths = index.path_view(k)  # streaming: re-traverse per pass
     n = index.n_vertices
+    n_paths = 0
+    cliques_per_iteration = 0
+    for p in paths:
+        n_paths += 1
+        cliques_per_iteration += p.clique_count(k)
+    if not n_paths:
+        return empty_result(k, "SCTL")
     weights = [0] * n
-    cliques_per_iteration = sum(p.clique_count(k) for p in paths)
     density_history = []
     upper_history = []
     for round_number in range(1, iterations + 1):
@@ -88,7 +96,7 @@ def sctl(
     stats = {
         "weights": weights,
         "cliques_per_iteration": cliques_per_iteration,
-        "paths": len(paths),
+        "paths": n_paths,
     }
     if track_convergence:
         stats["density_history"] = density_history

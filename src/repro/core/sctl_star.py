@@ -24,7 +24,7 @@ import logging
 from dataclasses import dataclass
 from fractions import Fraction
 from math import comb
-from typing import List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 from ..errors import InvalidParameterError
 from ..graph.graph import Graph
@@ -67,7 +67,7 @@ def sctl_star(
     use_reductions: bool = True,
     use_batch: bool = True,
     collect_stats: bool = False,
-    paths: Optional[Sequence[SCTPath]] = None,
+    paths: Optional[Iterable[SCTPath]] = None,
     algorithm_name: Optional[str] = None,
 ) -> DensestSubgraphResult:
     """Run SCTL* (Algorithm 5) and return the best extracted subgraph.
@@ -90,7 +90,11 @@ def sctl_star(
         Record :class:`IterationStats` per iteration (slower: it counts
         scope edges and cliques); stored in ``result.stats["iterations"]``.
     paths:
-        Pre-collected valid paths to reuse.
+        Pre-collected valid paths to reuse.  When omitted, paths are
+        **streamed** off the index on every sweep (engagement, partition,
+        refinement, extraction), keeping memory bounded by tree depth; the
+        results are identical to the pre-collected mode because traversal
+        order is deterministic.
     algorithm_name:
         Override the reported algorithm label.
     """
@@ -103,8 +107,8 @@ def sctl_star(
         else "SCTL"
     )
     if paths is None:
-        paths = index.collect_paths(k)
-    if not paths:
+        paths = index.path_view(k)  # streaming: re-traverse per sweep
+    if next(iter(paths), None) is None:
         return empty_result(k, name)
     n = index.n_vertices
 
@@ -126,6 +130,7 @@ def sctl_star(
     per_iteration: List[IterationStats] = []
     total_updates = 0
     total_processed = 0
+    n_paths = 0
     for t in range(1, iterations + 1):
         threshold = engagement_threshold(best_density)
         stats_entry = None
@@ -137,7 +142,9 @@ def sctl_star(
         new_engagement = [0] * n if use_reductions else []
         updates = 0
         processed = 0
+        n_paths = 0
         for path in paths:
+            n_paths += 1
             if use_reductions:
                 if bounds[partition_of[path.holds[0]]] <= best_density:
                     continue  # clique-connectivity reduction
@@ -201,7 +208,7 @@ def sctl_star(
         upper_bound=upper,
         stats={
             "weights": weights,
-            "paths": len(paths),
+            "paths": n_paths,
             "total_weight_updates": total_updates,
             "total_cliques_processed": total_processed,
         },
@@ -217,7 +224,7 @@ def sctl_plus(
     iterations: int = 10,
     graph: Optional[Graph] = None,
     collect_stats: bool = False,
-    paths: Optional[Sequence[SCTPath]] = None,
+    paths: Optional[Iterable[SCTPath]] = None,
 ) -> DensestSubgraphResult:
     """SCTL+ — SCTL with graph reductions but per-clique weight updates."""
     return sctl_star(
@@ -234,7 +241,7 @@ def sctl_plus(
 
 
 def _engagement_from_paths(
-    paths: Sequence[SCTPath], k: int, n: int
+    paths: Iterable[SCTPath], k: int, n: int
 ) -> List[int]:
     """Global ``|C_k(v, G)|`` accumulated from the collected paths."""
     engagement = [0] * n

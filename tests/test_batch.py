@@ -8,6 +8,95 @@ import pytest
 from repro.core import batch_update
 
 
+def _distribute_recursive(weights, h, p, k, budget):
+    """The original recursive Algorithm 4 — parity oracle for the
+    work-stack implementation that replaced it."""
+    updates = 0
+    while budget > 0:
+        t = k - len(h)
+        if t < 0 or t > len(p):
+            return updates
+        if t == 0:
+            v = min(h, key=weights.__getitem__)
+            weights[v] += 1
+            return updates + 1
+        min_hold = min((weights[x] for x in h), default=None)
+        min_pivot = min(weights[x] for x in p)
+        w_min = min_pivot if min_hold is None else min(min_hold, min_pivot)
+        w_next = None
+        for x in h:
+            w = weights[x]
+            if w > w_min and (w_next is None or w < w_next):
+                w_next = w
+        for x in p:
+            w = weights[x]
+            if w > w_min and (w_next is None or w < w_next):
+                w_next = w
+        if min_hold is not None and min_hold < min_pivot:
+            ties = [x for x in h if weights[x] == w_min]
+            gap = w_next - w_min
+            amount = min(budget, len(ties) * gap)
+            base, extra = divmod(amount, len(ties))
+            for i, x in enumerate(ties):
+                inc = base + (1 if i < extra else 0)
+                if inc:
+                    weights[x] += inc
+                    updates += 1
+            budget -= amount
+            continue
+        v = next(x for x in p if weights[x] == w_min)
+        containing = comb(len(p) - 1, t - 1)
+        with_budget = min(containing, budget)
+        amount = with_budget if w_next is None else min(w_next - w_min, with_budget)
+        if amount:
+            weights[v] += amount
+            updates += 1
+        remaining_with_v = with_budget - amount
+        if remaining_with_v > 0:
+            p.remove(v)
+            h.append(v)
+            updates += _distribute_recursive(weights, h, p, k, remaining_with_v)
+            h.pop()
+            p.append(v)
+        budget -= with_budget
+        if budget > 0:
+            p.remove(v)
+            updates += _distribute_recursive(weights, h, p, k, budget)
+            p.append(v)
+        return updates
+    return updates
+
+
+class TestIterativeRecursiveParity:
+    """The explicit work-stack must replay the recursion write-for-write."""
+
+    @pytest.mark.parametrize("trial", range(120))
+    def test_randomized_paths_match_exactly(self, trial):
+        rng = random.Random(9000 + trial)
+        n_holds = rng.randint(1, 3)
+        n_pivots = rng.randint(0, 10)
+        k = rng.randint(0, n_holds + n_pivots + 1)
+        holds = list(range(n_holds))
+        pivots = list(range(n_holds, n_holds + n_pivots))
+        start = [rng.randint(0, 8) for _ in range(n_holds + n_pivots)]
+        total = comb(n_pivots, k - n_holds) if 0 <= k - n_holds <= n_pivots else 0
+        lim = rng.choice([None, rng.randint(0, total + 2)])
+
+        got = list(start)
+        got_updates = batch_update(got, holds, pivots, k, lim=lim)
+
+        want = list(start)
+        budget = total if lim is None else min(lim, total)
+        want_updates = 0
+        if budget > 0 and 0 <= k - n_holds <= n_pivots:
+            want_updates = _distribute_recursive(
+                want, list(holds), list(pivots), k, budget
+            )
+
+        assert got == want
+        assert got_updates == want_updates
+
+
 class TestMassConservation:
     @pytest.mark.parametrize("trial", range(60))
     def test_total_mass_equals_clique_count(self, trial):

@@ -1,0 +1,100 @@
+"""Deep-clique regression suite: no RecursionError anywhere in the stack.
+
+A planted clique larger than CPython's default recursion limit (~1000
+frames) used to kill ``SCTIndex.build``, path traversal, Bron-Kerbosch and
+``batch_update`` — exactly the "scaling up" regime the paper targets.  All
+of those now run on explicit stacks; these tests pin that down, and a
+dedicated CI job keeps them from silently regressing.
+
+The graph is module-scoped: building it is the expensive part, every test
+shares one instance.
+"""
+
+import sys
+from math import comb
+
+import pytest
+
+from repro.core import SCTIndex, batch_update, sctl_star
+from repro.cliques.maximal import max_clique_size
+from repro.graph.generators import planted_clique_graph
+
+CLIQUE = 1150  # comfortably above the default ~1000-frame recursion limit
+N = 1200
+
+
+@pytest.fixture(scope="module")
+def deep_graph():
+    assert CLIQUE > sys.getrecursionlimit()
+    return planted_clique_graph(N, CLIQUE, 0.001, seed=7)
+
+
+@pytest.fixture(scope="module")
+def deep_index(deep_graph):
+    return SCTIndex.build(deep_graph)
+
+
+class TestDeepCliqueTree:
+    def test_build_reaches_full_depth(self, deep_index):
+        assert deep_index.max_clique_size == CLIQUE
+
+    def test_iter_paths_streams_deep_paths(self, deep_index):
+        k = CLIQUE - 5
+        longest = 0
+        for path in deep_index.iter_paths(k):
+            assert len(path.holds) <= k
+            longest = max(longest, len(path))
+        assert longest >= CLIQUE
+
+    def test_count_k_cliques_deep(self, deep_index):
+        k = CLIQUE - 2
+        # every k-clique of the planted clique is a k-subset of it; the
+        # sparse background cannot reach this k
+        assert deep_index.count_k_cliques(k) == comb(CLIQUE, k)
+
+    def test_a_maximum_clique_is_the_planted_one(self, deep_index):
+        clique = deep_index.a_maximum_clique()
+        assert len(clique) == CLIQUE
+        assert clique == list(range(CLIQUE))
+
+    def test_traversal_node_count_deep(self, deep_index):
+        pruned = deep_index.traversal_node_count(CLIQUE)
+        full = deep_index.traversal_node_count(None)
+        assert 0 < pruned < full
+
+    def test_sctl_star_streaming_on_deep_clique(self, deep_index):
+        k = CLIQUE - 5
+        result = sctl_star(deep_index, k, iterations=2)
+        assert result.vertices == list(range(CLIQUE))
+        assert result.clique_count == comb(CLIQUE, k)
+
+    def test_bron_kerbosch_deep(self, deep_graph):
+        assert max_clique_size(deep_graph) == CLIQUE
+
+
+class TestDeepBatchUpdate:
+    def test_long_path_distributes_without_recursion(self):
+        n_pivots = 3000
+        weights = [0] * (n_pivots + 1)
+        k = 2
+        total = comb(n_pivots, k - 1)
+        # staircase weights force a pivot promotion cascade: every pivot in
+        # turn becomes the minimum, is capped by the next gap, and splits
+        weights[1:] = list(range(n_pivots))
+        batch_update(weights, [0], list(range(1, n_pivots + 1)), k)
+        assert sum(weights) == sum(range(n_pivots)) + total
+
+
+class TestNoRecursionLimitHacks:
+    def test_src_never_touches_setrecursionlimit(self):
+        import pathlib
+
+        import repro
+
+        src_root = pathlib.Path(repro.__file__).parent
+        offenders = [
+            str(path)
+            for path in src_root.rglob("*.py")
+            if "setrecursionlimit" in path.read_text(encoding="utf-8")
+        ]
+        assert offenders == []

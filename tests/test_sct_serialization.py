@@ -47,8 +47,55 @@ class TestRoundTrip:
         assert loaded.n_vertices == 3
         assert loaded.count_k_cliques(1) == 3
 
+    def test_max_depth_and_statistics_preserved(self, tmp_path):
+        g = relaxed_caveman_graph(5, 6, 0.15, seed=9)
+        index = SCTIndex.build(g)
+        file = tmp_path / "stats.sct"
+        index.save(file)
+        loaded = SCTIndex.load(file)
+        assert loaded.max_clique_size == index.max_clique_size
+        assert loaded.statistics() == index.statistics()
+
     def test_bad_format_version_rejected(self, tmp_path):
         file = tmp_path / "bad.sct"
         file.write_text('{"format": 999, "n_vertices": 0, "n_nodes": 0, "threshold": 0}\n')
         with pytest.raises(IndexBuildError):
             SCTIndex.load(file)
+
+
+class TestLoadValidation:
+    @pytest.mark.parametrize("bad_vertex", ["99", "-1"])
+    def test_out_of_range_vertex_rejected(self, tmp_path, bad_vertex):
+        g = gnp_graph(8, 0.5, seed=4)
+        SCTIndex.build(g).save(tmp_path / "corrupt.sct")
+        file = tmp_path / "corrupt.sct"
+        lines = file.read_text(encoding="utf-8").splitlines()
+        # line 0 is the JSON header, line 1 the virtual root; corrupt the
+        # first real tree node with a vertex id the graph cannot contain
+        fields = lines[2].split()
+        fields[0] = bad_vertex
+        lines[2] = " ".join(fields)
+        file.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(IndexBuildError, match=f"vertex id {bad_vertex} out of range"):
+            SCTIndex.load(file)
+
+    def test_error_message_names_the_offending_line(self, tmp_path):
+        g = gnp_graph(8, 0.5, seed=4)
+        file = tmp_path / "corrupt.sct"
+        SCTIndex.build(g).save(file)
+        lines = file.read_text(encoding="utf-8").splitlines()
+        fields = lines[2].split()
+        fields[0] = "123456"
+        lines[2] = " ".join(fields)
+        file.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(IndexBuildError) as excinfo:
+            SCTIndex.load(file)
+        assert lines[2] in str(excinfo.value)
+
+    def test_root_keeps_its_sentinel_vertex(self, tmp_path):
+        # the virtual root legitimately stores -1; a round-trip must accept it
+        g = gnp_graph(8, 0.5, seed=4)
+        file = tmp_path / "ok.sct"
+        index = SCTIndex.build(g)
+        index.save(file)
+        assert SCTIndex.load(file).count_k_cliques(3) == index.count_k_cliques(3)
