@@ -60,8 +60,9 @@ from .errors import (
 )
 from .graph import Graph
 from .hypergraph import Hypergraph
+from .obs import NULL_RECORDER, MetricsRecorder, NullRecorder, Recorder
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Graph",
@@ -85,6 +86,10 @@ __all__ = [
     "density_profile",
     "DensityProfile",
     "top_dense_subgraphs",
+    "Recorder",
+    "NullRecorder",
+    "MetricsRecorder",
+    "NULL_RECORDER",
     "ReproError",
     "GraphError",
     "InvalidParameterError",
@@ -107,6 +112,7 @@ def densest_subgraph(
     index: Optional[SCTIndex] = None,
     sample_size: Optional[int] = None,
     seed: int = 0,
+    recorder: Recorder = NULL_RECORDER,
 ) -> DensestSubgraphResult:
     """One-call facade over every algorithm in the package.
 
@@ -129,26 +135,35 @@ def densest_subgraph(
         Sample size for the ``*-sample`` methods (default ``10_000``).
     seed:
         RNG seed for sampling methods.
+    recorder:
+        Observability hook (``repro.obs``): forwarded to the index build
+        and to every SCT-based method.  The baselines (KCL, CoreApp, ...)
+        predate the SCT pipeline and ignore it.
     """
     name = method.lower()
     needs_index = name in {"sctl", "sctl+", "sctl*", "sctl*-sample", "sctl*-exact"}
     if needs_index and index is None:
-        index = SCTIndex.build(graph)
+        index = SCTIndex.build(graph, recorder=recorder)
     sigma = sample_size if sample_size is not None else 10_000
     if name == "sctl":
-        return sctl(index, k, iterations=iterations)
+        return sctl(index, k, iterations=iterations, recorder=recorder)
     if name == "sctl+":
-        return sctl_plus(index, k, iterations=iterations, graph=graph)
+        return sctl_plus(
+            index, k, iterations=iterations, graph=graph, recorder=recorder
+        )
     if name == "sctl*":
-        return sctl_star(index, k, iterations=iterations, graph=graph)
+        return sctl_star(
+            index, k, iterations=iterations, graph=graph, recorder=recorder
+        )
     if name == "sctl*-sample":
         return sctl_star_sample(
-            index, k, sample_size=sigma, iterations=iterations, seed=seed
+            index, k, sample_size=sigma, iterations=iterations, seed=seed,
+            recorder=recorder,
         )
     if name == "sctl*-exact":
         return sctl_star_exact(
             graph, k, index=index, sample_size=sigma,
-            iterations=iterations, seed=seed,
+            iterations=iterations, seed=seed, recorder=recorder,
         )
     if name == "kcl":
         return kcl(graph, k, iterations=iterations)

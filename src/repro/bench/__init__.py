@@ -9,6 +9,7 @@ from .harness import (
     timed,
     timed_hard,
     timed_with_memory,
+    timed_with_metrics,
 )
 
 __all__ = [
@@ -18,6 +19,7 @@ __all__ = [
     "timed",
     "timed_hard",
     "timed_with_memory",
+    "timed_with_metrics",
     "format_table",
     "format_series",
 ]

@@ -15,6 +15,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..obs import MetricsRecorder, Recorder
+
 __all__ = [
     "Timed",
     "TimedWithMemory",
@@ -22,6 +24,7 @@ __all__ = [
     "timed",
     "timed_hard",
     "timed_with_memory",
+    "timed_with_metrics",
     "format_table",
     "format_series",
 ]
@@ -29,16 +32,64 @@ __all__ = [
 
 @dataclass
 class Timed:
-    """Outcome of one timed call."""
+    """Outcome of one timed call.
+
+    ``metrics`` is a :meth:`repro.obs.MetricsRecorder.snapshot` when the
+    call was made through :func:`timed_with_metrics`, ``None`` otherwise.
+    """
 
     result: Any
     seconds: float
     timed_out: bool = False
+    metrics: Optional[Dict[str, Any]] = None
 
     @property
     def cell(self) -> str:
-        """Table cell: seconds or ``time out``."""
-        return "time out" if self.timed_out else f"{self.seconds:.3f}"
+        """Table cell: seconds or ``time out``.
+
+        Sub-millisecond runs render as ``<0.001`` — a literal ``0.000``
+        would misread as "did not run at all" in the paper-style tables.
+        """
+        if self.timed_out:
+            return "time out"
+        rendered = f"{self.seconds:.3f}"
+        return "<0.001" if rendered == "0.000" else rendered
+
+    def stage_seconds(self, span: str) -> Optional[float]:
+        """Total seconds recorded under ``span`` (and its sub-spans).
+
+        Matches any span path equal to ``span``, starting with
+        ``span + "/"`` — or *ending* with either, so a nested stage like
+        ``"index/build"`` is found inside ``exact/scope_index/index/build``
+        too.  ``None`` when no metrics were collected or nothing matched.
+        """
+        if self.metrics is None:
+            return None
+        total = None
+        lead = span + "/"
+        for entry in self.metrics.get("spans", []):
+            path = entry["span"]
+            if (
+                path == span
+                or path.startswith(lead)
+                or path.endswith("/" + span)
+                or ("/" + lead) in path
+            ):
+                total = (total or 0.0) + entry["seconds"]
+        return total
+
+    def stage_cell(self, span: str) -> str:
+        """Table cell for one pipeline stage, e.g. ``exact/flow_round``.
+
+        Renders like :attr:`cell`; ``-`` when the stage never ran or no
+        recorder was attached.  This is what lets a benchmark row carry
+        stage breakdowns next to its wall-clock column.
+        """
+        seconds = self.stage_seconds(span)
+        if seconds is None:
+            return "-"
+        rendered = f"{seconds:.3f}"
+        return "<0.001" if rendered == "0.000" else rendered
 
 
 def timed(fn: Callable[[], Any], budget: Optional[float] = None) -> Timed:
@@ -56,6 +107,37 @@ def timed(fn: Callable[[], Any], budget: Optional[float] = None) -> Timed:
         result=result,
         seconds=seconds,
         timed_out=budget is not None and seconds > budget,
+    )
+
+
+def timed_with_metrics(
+    fn: Callable[[Recorder], Any],
+    budget: Optional[float] = None,
+    recorder: Optional[MetricsRecorder] = None,
+) -> Timed:
+    """Run ``fn`` with a metrics recorder attached and keep its snapshot.
+
+    ``fn`` receives a fresh :class:`~repro.obs.MetricsRecorder` (or the
+    one supplied) and should pass it through as the ``recorder=`` of
+    whatever it calls.  The returned :class:`Timed` carries the recorder's
+    aggregate snapshot in ``metrics``, so one benchmark row can print the
+    wall-clock :attr:`~Timed.cell` alongside per-stage
+    :meth:`~Timed.stage_cell` breakdowns.
+
+    The recorder itself adds measurable (if small) overhead; when
+    comparing against plain :func:`timed` wall-clocks, report the stage
+    *shares*, not absolute seconds.
+    """
+    if recorder is None:
+        recorder = MetricsRecorder()
+    start = time.perf_counter()
+    result = fn(recorder)
+    seconds = time.perf_counter() - start
+    return Timed(
+        result=result,
+        seconds=seconds,
+        timed_out=budget is not None and seconds > budget,
+        metrics=recorder.snapshot(),
     )
 
 

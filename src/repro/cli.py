@@ -6,18 +6,27 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli build-index dataset:email -o email.sct
     python -m repro.cli query dataset:email -k 7 --method sctl*
     python -m repro.cli query graph.txt -k 4 --index graph.sct --method sctl*-exact
+    python -m repro.cli query dataset:email -k 7 --metrics run.json --trace run.jsonl
     python -m repro.cli profile dataset:pokec --iterations 10
+    python -m repro.cli stats dataset:email --json
 
 Graph arguments accept either a path to an edge-list file or
 ``dataset:<name>`` for one of the bundled synthetic datasets.
+
+The index/query/profile subcommands expose the ``repro.obs`` layer:
+``--metrics`` prints a stage-breakdown table (or writes a JSON snapshot
+when given a path) and ``--trace PATH`` writes the JSON-lines event log
+that ``python -m repro.obs.validate`` checks.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
-from typing import Optional
+from contextlib import contextmanager
+from typing import Iterator, Optional
 
 from . import densest_subgraph
 from .analysis import extract_near_clique
@@ -28,6 +37,7 @@ from .datasets import dataset_names, get_spec, load_dataset
 from .errors import ReproError
 from .graph import Graph, read_edge_list
 from .graph.stats import summarize
+from .obs import NULL_RECORDER, MetricsRecorder, Recorder
 
 __all__ = ["main", "build_parser"]
 
@@ -37,6 +47,62 @@ def _load_graph(spec: str) -> Graph:
     if spec.startswith("dataset:"):
         return load_dataset(spec.split(":", 1)[1])
     return read_edge_list(spec)
+
+
+def _add_obs_flags(subparser: argparse.ArgumentParser) -> None:
+    """Attach the shared observability flags to a subcommand."""
+    subparser.add_argument(
+        "--metrics", nargs="?", const="-", metavar="PATH",
+        help="collect stage metrics; print a summary table, or write a "
+             "JSON snapshot when PATH is given",
+    )
+    subparser.add_argument(
+        "--trace", metavar="PATH",
+        help="write a JSON-lines event trace of the run to PATH",
+    )
+
+
+def _metrics_report(recorder: MetricsRecorder) -> str:
+    """Human-readable table of everything an enabled recorder collected."""
+    rows = []
+    for name, value in sorted(recorder.counters.items()):
+        rows.append(["counter", name, value])
+    for name, value in sorted(recorder.gauges.items()):
+        rows.append(["gauge", name, value])
+    for path, (count, seconds) in sorted(recorder.span_totals().items()):
+        rendered = f"{seconds:.3f}"
+        if rendered == "0.000":  # sub-ms: don't misread as "never ran"
+            rendered = "<0.001"
+        rows.append(
+            ["span", path, f"{rendered}s" + (f" x{count}" if count > 1 else "")]
+        )
+    return format_table(["kind", "name", "value"], rows, title="metrics")
+
+
+@contextmanager
+def _observability(args: argparse.Namespace) -> Iterator[Recorder]:
+    """Build the recorder the subcommand's flags ask for.
+
+    Yields :data:`NULL_RECORDER` when neither ``--metrics`` nor ``--trace``
+    was given; otherwise yields a :class:`MetricsRecorder` and, on exit,
+    closes the trace sink and prints or writes the metrics snapshot.
+    """
+    metrics = getattr(args, "metrics", None)
+    trace = getattr(args, "trace", None)
+    if metrics is None and trace is None:
+        yield NULL_RECORDER
+        return
+    sink = open(trace, "w", encoding="utf-8") if trace else None
+    recorder = MetricsRecorder(sink=sink)
+    try:
+        yield recorder
+    finally:
+        if sink is not None:
+            sink.close()
+        if metrics == "-":
+            print(_metrics_report(recorder))
+        elif metrics is not None:
+            recorder.write_json(metrics)
 
 
 def _cmd_datasets(_args: argparse.Namespace) -> int:
@@ -54,10 +120,13 @@ def _cmd_datasets(_args: argparse.Namespace) -> int:
 
 def _cmd_build_index(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph)
-    start = time.perf_counter()
-    index = SCTIndex.build(graph, threshold=args.threshold)
-    elapsed = time.perf_counter() - start
-    index.save(args.output)
+    with _observability(args) as recorder:
+        start = time.perf_counter()
+        index = SCTIndex.build(
+            graph, threshold=args.threshold, recorder=recorder
+        )
+        elapsed = time.perf_counter() - start
+        index.save(args.output)
     print(f"built {index!r} in {elapsed:.3f}s -> {args.output}")
     return 0
 
@@ -74,45 +143,61 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-    start = time.perf_counter()
-    result = densest_subgraph(
-        graph,
-        args.k,
-        method=args.method,
-        iterations=args.iterations,
-        index=index,
-        sample_size=args.sample_size,
-        seed=args.seed,
-    )
-    elapsed = time.perf_counter() - start
-    print(result.summary())
-    if result.upper_bound is not None:
-        print(f"upper bound on optimal density: {result.upper_bound:.6f}")
-    print(f"query time: {elapsed:.3f}s")
-    if args.show_vertices:
-        print(f"vertices: {result.vertices}")
+    with _observability(args) as recorder:
+        start = time.perf_counter()
+        result = densest_subgraph(
+            graph,
+            args.k,
+            method=args.method,
+            iterations=args.iterations,
+            index=index,
+            sample_size=args.sample_size,
+            seed=args.seed,
+            recorder=recorder,
+        )
+        elapsed = time.perf_counter() - start
+        print(result.summary())
+        if result.upper_bound is not None:
+            print(f"upper bound on optimal density: {result.upper_bound:.6f}")
+        print(f"query time: {elapsed:.3f}s")
+        if args.show_vertices:
+            print(f"vertices: {result.vertices}")
     return 0
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph)
-    index = SCTIndex.load(args.index) if args.index else SCTIndex.build(graph)
-    profile = density_profile(index, iterations=args.iterations)
-    rows = [
-        [k, size, count, f"{density:.4f}"]
-        for k, size, count, density in profile.as_rows()
-    ]
-    print(format_table(
-        ["k", "|S|", "k-cliques", "density"], rows,
-        title=f"density profile (k_max={index.max_clique_size})",
-    ))
-    print(f"best k by density: {profile.densest_k()}")
+    with _observability(args) as recorder:
+        index = (
+            SCTIndex.load(args.index) if args.index
+            else SCTIndex.build(graph, recorder=recorder)
+        )
+        profile = density_profile(
+            index, iterations=args.iterations, recorder=recorder
+        )
+        rows = [
+            [k, size, count, f"{density:.4f}"]
+            for k, size, count, density in profile.as_rows()
+        ]
+        print(format_table(
+            ["k", "|S|", "k-cliques", "density"], rows,
+            title=f"density profile (k_max={index.max_clique_size})",
+        ))
+        print(f"best k by density: {profile.densest_k()}")
     return 0
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph)
     summary = summarize(graph)
+    if args.json:
+        payload = summary.to_dict()
+        if args.kmax:
+            index = SCTIndex.build(graph)
+            payload["k_max"] = index.max_clique_size
+            payload["sct_tree_nodes"] = index.n_tree_nodes
+        print(json.dumps(payload, indent=2))
+        return 0
     rows = [
         ["vertices", summary.n],
         ["edges", summary.m],
@@ -192,6 +277,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--threshold", type=int, default=0,
         help="partial SCT*-k'-Index threshold (0 = complete index)",
     )
+    _add_obs_flags(build)
 
     query = sub.add_parser("query", help="find a k-clique densest subgraph")
     query.add_argument("graph", help="edge-list path or dataset:<name>")
@@ -209,6 +295,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--show-vertices", action="store_true",
         help="print the vertex ids of the reported subgraph",
     )
+    _add_obs_flags(query)
 
     profile = sub.add_parser(
         "profile", help="densest subgraph for every k from one index"
@@ -216,12 +303,17 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("graph", help="edge-list path or dataset:<name>")
     profile.add_argument("--index", help="pre-built index file to reuse")
     profile.add_argument("--iterations", type=int, default=10)
+    _add_obs_flags(profile)
 
     stats = sub.add_parser("stats", help="descriptive statistics of a graph")
     stats.add_argument("graph", help="edge-list path or dataset:<name>")
     stats.add_argument(
         "--kmax", action="store_true",
         help="also build the SCT*-Index and report k_max",
+    )
+    stats.add_argument(
+        "--json", action="store_true",
+        help="emit the statistics as machine-readable JSON",
     )
 
     near = sub.add_parser(

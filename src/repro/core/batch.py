@@ -27,6 +27,8 @@ from __future__ import annotations
 from math import comb
 from typing import List, MutableSequence, Optional, Sequence, Tuple
 
+from ..obs import NULL_RECORDER, Recorder
+
 __all__ = ["batch_update"]
 
 
@@ -36,6 +38,7 @@ def batch_update(
     pivots: Sequence[int],
     k: int,
     lim: Optional[int] = None,
+    recorder: Recorder = NULL_RECORDER,
 ) -> int:
     """Distribute one unit per k-clique of the path onto ``weights``.
 
@@ -49,6 +52,12 @@ def batch_update(
         Clique size.
     lim:
         Number of cliques to process (defaults to all cliques of the path).
+    recorder:
+        Observability hook: tallies ``batch/calls``, ``batch/cliques`` and
+        ``batch/weight_updates``.  The SCTL* refinement loop does *not*
+        pass its recorder here — it reports per-iteration aggregates
+        instead, keeping traces at iteration granularity — so these
+        counters appear only for direct instrumented calls.
 
     Returns the number of weight-write operations performed — the metric
     Table 4 of the paper reports as ``#updates``.
@@ -62,7 +71,12 @@ def batch_update(
     budget = total if lim is None else min(lim, total)
     if budget <= 0:
         return 0
-    return _distribute(weights, h, p, k, budget)
+    updates = _distribute(weights, h, p, k, budget)
+    if recorder.enabled:
+        recorder.counter("batch/calls")
+        recorder.counter("batch/cliques", budget)
+        recorder.counter("batch/weight_updates", updates)
+    return updates
 
 
 def _distribute(

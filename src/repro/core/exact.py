@@ -29,6 +29,7 @@ from typing import List, Optional
 from ..errors import SolverError
 from ..flow.densest import count_cliques_inside, find_denser_subgraph
 from ..graph.graph import Graph
+from ..obs import NULL_RECORDER, Recorder
 from .density import DensestSubgraphResult
 from .reductions import engagement_threshold
 from .sampling import sctl_star_sample
@@ -49,6 +50,7 @@ def sctl_star_exact(
     iterations: int = 10,
     seed: int = 0,
     max_rounds: int = 30,
+    recorder: Recorder = NULL_RECORDER,
 ) -> DensestSubgraphResult:
     """Exact k-clique densest subgraph via Algorithm 7.
 
@@ -68,25 +70,37 @@ def sctl_star_exact(
     max_rounds:
         Safety valve on verification rounds; each failed round still makes
         strict progress, so this is never reached in practice.
+    recorder:
+        Observability hook (``repro.obs``).  An enabled recorder gets the
+        pipeline's stage spans — ``index/build`` (when the index is built
+        here), ``exact/warm_start``, ``exact/scope_reduction``,
+        ``exact/scope_index`` and one ``exact/flow_round/<i>`` per
+        verification round (the nested SCTL* refinement and its
+        reduction spans land underneath) — plus scope/drop counters and
+        the running density gauge.
     """
     if index is None:
-        index = SCTIndex.build(graph)
+        index = SCTIndex.build(graph, recorder=recorder)
     if index.max_clique_size < k:
         return empty_result(k, "SCTL*-Exact", exact=True)
 
     # ---- stage 1: warm start ------------------------------------------
-    warm = sctl_star_sample(
-        index, k, sample_size=sample_size, iterations=iterations, seed=seed
-    )
-    best_vertices = warm.vertices
-    best_count = warm.clique_count
-    best_density = warm.density_fraction
-    max_clique = index.a_maximum_clique()
-    clique_density = Fraction(comb(len(max_clique), k), len(max_clique))
-    if clique_density > best_density:
-        best_vertices = max_clique
-        best_count = comb(len(max_clique), k)
-        best_density = clique_density
+    with recorder.span("exact/warm_start"):
+        warm = sctl_star_sample(
+            index, k, sample_size=sample_size, iterations=iterations,
+            seed=seed, recorder=recorder,
+        )
+        best_vertices = warm.vertices
+        best_count = warm.clique_count
+        best_density = warm.density_fraction
+        max_clique = index.a_maximum_clique()
+        clique_density = Fraction(comb(len(max_clique), k), len(max_clique))
+        if clique_density > best_density:
+            best_vertices = max_clique
+            best_count = comb(len(max_clique), k)
+            best_density = clique_density
+    if recorder.enabled:
+        recorder.gauge("exact/warm_density", float(best_density))
 
     logger.debug(
         "warm start: density %.6f (sample %.6f, max clique %.6f)",
@@ -94,15 +108,22 @@ def sctl_star_exact(
     )
 
     # ---- stage 2: engagement scope reduction to a fixed point ----------
-    threshold = engagement_threshold(best_density)
-    engagement = index.per_vertex_counts(k)
-    scope = [v for v in graph.vertices() if engagement[v] >= threshold]
-    while True:
-        inside = index.per_vertex_counts_in_subset(k, scope)
-        reduced = [v for v in scope if inside[v] >= threshold]
-        if len(reduced) == len(scope):
-            break
-        scope = reduced
+    with recorder.span("exact/scope_reduction"):
+        threshold = engagement_threshold(best_density)
+        engagement = index.per_vertex_counts(k)
+        scope = [v for v in graph.vertices() if engagement[v] >= threshold]
+        fixed_point_rounds = 0
+        while True:
+            fixed_point_rounds += 1
+            inside = index.per_vertex_counts_in_subset(k, scope)
+            reduced = [v for v in scope if inside[v] >= threshold]
+            if len(reduced) == len(scope):
+                break
+            scope = reduced
+    if recorder.enabled:
+        recorder.counter("exact/scope_vertices", len(scope))
+        recorder.counter("exact/vertices_dropped", graph.n - len(scope))
+        recorder.counter("exact/fixed_point_rounds", fixed_point_rounds)
     logger.debug(
         "scope reduced to %d/%d vertices (threshold %d)",
         len(scope), graph.n, threshold,
@@ -114,26 +135,41 @@ def sctl_star_exact(
         )
 
     # ---- stage 3: refine + verify ---------------------------------------
-    subgraph, originals = graph.induced_subgraph(scope)
-    sub_index = SCTIndex.build(subgraph)
-    cliques = [
-        tuple(originals[v] for v in clique)
-        for clique in sub_index.iter_k_cliques(k)
-    ]
+    with recorder.span("exact/scope_index"):
+        subgraph, originals = graph.induced_subgraph(scope)
+        sub_index = SCTIndex.build(subgraph, recorder=recorder)
+        cliques = [
+            tuple(originals[v] for v in clique)
+            for clique in sub_index.iter_k_cliques(k)
+        ]
+    if recorder.enabled:
+        recorder.counter("exact/scope_cliques", len(cliques))
     flow_rounds = 0
     current_iterations = iterations
     for _ in range(max_rounds):
-        refined = sctl_star(sub_index, k, iterations=current_iterations)
-        if refined.density_fraction > best_density:
-            best_vertices = sorted(originals[v] for v in refined.vertices)
-            best_count = refined.clique_count
-            best_density = refined.density_fraction
-        flow_rounds += 1
-        logger.debug(
-            "flow round %d: checking optimality of density %.6f over %d cliques",
-            flow_rounds, float(best_density), len(cliques),
-        )
-        denser = find_denser_subgraph(cliques, scope, best_density)
+        with recorder.span(f"exact/flow_round/{flow_rounds + 1}"):
+            refined = sctl_star(
+                sub_index, k, iterations=current_iterations, recorder=recorder
+            )
+            if refined.density_fraction > best_density:
+                best_vertices = sorted(originals[v] for v in refined.vertices)
+                best_count = refined.clique_count
+                best_density = refined.density_fraction
+            flow_rounds += 1
+            logger.debug(
+                "flow round %d: checking optimality of density %.6f over %d cliques",
+                flow_rounds, float(best_density), len(cliques),
+            )
+            denser = find_denser_subgraph(cliques, scope, best_density)
+        if recorder.enabled:
+            recorder.counter("exact/flow_rounds")
+            recorder.gauge("exact/density", float(best_density))
+            recorder.event(
+                "flow_round",
+                round=flow_rounds,
+                density=float(best_density),
+                certified=denser is None,
+            )
         if denser is None:
             return DensestSubgraphResult(
                 vertices=sorted(best_vertices),

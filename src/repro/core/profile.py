@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
 from ..errors import InvalidParameterError
+from ..obs import NULL_RECORDER, Recorder
 from .density import DensestSubgraphResult
 from .sct import SCTIndex
 from .sctl_star import sctl_star
@@ -49,6 +50,7 @@ def density_profile(
     index: SCTIndex,
     k_values: Optional[Iterable[int]] = None,
     iterations: int = 10,
+    recorder: Recorder = NULL_RECORDER,
 ) -> DensityProfile:
     """Run SCTL* for every requested k on one index.
 
@@ -62,6 +64,9 @@ def density_profile(
         ``max(3, threshold)`` up to the index's maximum clique size.
     iterations:
         SCTL* refinement passes per k.
+    recorder:
+        Observability hook: each k's SCTL* run lands under a
+        ``profile/k/<k>`` span.
     """
     if k_values is None:
         lo = max(3, index.threshold)
@@ -70,5 +75,8 @@ def density_profile(
     for k in k_values:
         if k < 1:
             raise InvalidParameterError(f"k must be >= 1, got {k}")
-        results[k] = sctl_star(index, k, iterations=iterations)
+        with recorder.span(f"profile/k/{k}"):
+            results[k] = sctl_star(
+                index, k, iterations=iterations, recorder=recorder
+            )
     return DensityProfile(results=results)

@@ -23,6 +23,7 @@ from fractions import Fraction
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..graph.disjoint_set import DisjointSet
+from ..obs import NULL_RECORDER, Recorder
 from .sct import SCTIndex, SCTPath
 
 __all__ = [
@@ -60,6 +61,7 @@ def kp_computation(
     index: SCTIndex,
     k: int,
     paths: Optional[Iterable[SCTPath]] = None,
+    recorder: Recorder = NULL_RECORDER,
 ) -> KCliquePartition:
     """Compute the k-clique-isolating partition (Algorithm 3).
 
@@ -76,19 +78,35 @@ def kp_computation(
     paths:
         Pre-collected valid paths to reuse (else streamed off the index in
         a single sweep — no path list is materialised).
+    recorder:
+        Observability hook: an enabled recorder gets a
+        ``reductions/kp_computation`` span plus ``reductions/paths_merged``
+        and ``reductions/partitions`` counters.
     """
-    ds = DisjointSet(index.n_vertices)
-    if paths is None:
-        paths = index.iter_paths(k)
-    for path in paths:
-        ds.union_many(path.vertices)
-    return KCliquePartition(
-        partition_of=[ds.find(v) for v in range(index.n_vertices)]
-    )
+    with recorder.span("reductions/kp_computation"):
+        ds = DisjointSet(index.n_vertices)
+        if paths is None:
+            paths = index.iter_paths(k)
+        if recorder.enabled:
+            n_paths = 0
+            for path in paths:
+                ds.union_many(path.vertices)
+                n_paths += 1
+            recorder.counter("reductions/paths_merged", n_paths)
+        else:
+            for path in paths:
+                ds.union_many(path.vertices)
+        partition_of = [ds.find(v) for v in range(index.n_vertices)]
+        if recorder.enabled:
+            recorder.counter("reductions/partitions", len(set(partition_of)))
+        return KCliquePartition(partition_of=partition_of)
 
 
 def partition_density_bounds(
-    partition: KCliquePartition, engagement: Sequence[int], k: int
+    partition: KCliquePartition,
+    engagement: Sequence[int],
+    k: int,
+    recorder: Recorder = NULL_RECORDER,
 ) -> Dict[int, Fraction]:
     """Per-partition upper bound on the maximum k-clique density (Lemma 3).
 
@@ -103,13 +121,22 @@ def partition_density_bounds(
         Global per-vertex k-clique counts ``|C_k(v, G)|``.
     k:
         Clique size.
+    recorder:
+        Observability hook: records the number of bounded partitions and
+        the largest Lemma 3 bound.
     """
     best: Dict[int, int] = {}
     for v, root in enumerate(partition.partition_of):
         count = engagement[v]
         if count > best.get(root, -1):
             best[root] = count
-    return {root: Fraction(count, k) for root, count in best.items()}
+    bounds = {root: Fraction(count, k) for root, count in best.items()}
+    if recorder.enabled and bounds:
+        recorder.counter("reductions/partitions_bounded", len(bounds))
+        recorder.gauge(
+            "reductions/max_partition_bound", float(max(bounds.values()))
+        )
+    return bounds
 
 
 def engagement_threshold(density: Fraction) -> int:

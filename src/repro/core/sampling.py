@@ -26,6 +26,7 @@ from math import comb
 from typing import Iterable, List, Optional, Tuple
 
 from ..errors import InvalidParameterError
+from ..obs import NULL_RECORDER, Recorder
 from .density import DensestSubgraphResult
 from .extraction import best_prefix_from_cliques
 from .reductions import engagement_threshold
@@ -78,6 +79,7 @@ def sample_k_cliques(
     k: int,
     sample_size: int,
     rng: random.Random,
+    recorder: Recorder = NULL_RECORDER,
 ) -> List[Tuple[int, ...]]:
     """Stage 1: a proportional, distinct-per-path sample of k-cliques.
 
@@ -89,29 +91,44 @@ def sample_k_cliques(
     ``paths`` is swept at most twice (once for the global count, once to
     allocate), so a streaming :class:`~repro.core.sct.SCTPathView` works as
     well as a materialised list and draws the identical sample.
+
+    An enabled ``recorder`` gets a ``sample/draw`` span plus counters for
+    the clique population, the paths that received samples, and the
+    cliques actually drawn.
     """
-    total = 0
-    for p in paths:
-        total += p.clique_count(k)
-    if total == 0:
-        return []
-    if sample_size >= total:
-        return [c for p in paths for c in p.iter_cliques(k)]
-    out: List[Tuple[int, ...]] = []
-    accumulated = 0
-    for path in paths:
-        count = path.clique_count(k)
-        if not count:
-            continue
-        want = (accumulated + count) * sample_size // total - (
-            accumulated * sample_size // total
-        )
-        accumulated += count
-        if want:
-            out.extend(_sample_from_path(path, k, want, rng))
-        if len(out) >= sample_size:
-            break
-    return out
+    with recorder.span("sample/draw"):
+        total = 0
+        for p in paths:
+            total += p.clique_count(k)
+        if total == 0:
+            return []
+        if recorder.enabled:
+            recorder.counter("sample/clique_population", total)
+        if sample_size >= total:
+            out = [c for p in paths for c in p.iter_cliques(k)]
+            if recorder.enabled:
+                recorder.counter("sample/cliques_drawn", len(out))
+            return out
+        out = []
+        accumulated = 0
+        paths_sampled = 0
+        for path in paths:
+            count = path.clique_count(k)
+            if not count:
+                continue
+            want = (accumulated + count) * sample_size // total - (
+                accumulated * sample_size // total
+            )
+            accumulated += count
+            if want:
+                out.extend(_sample_from_path(path, k, want, rng))
+                paths_sampled += 1
+            if len(out) >= sample_size:
+                break
+        if recorder.enabled:
+            recorder.counter("sample/paths_sampled", paths_sampled)
+            recorder.counter("sample/cliques_drawn", len(out))
+        return out
 
 
 def sctl_star_sample(
@@ -122,6 +139,7 @@ def sctl_star_sample(
     seed: int = 0,
     use_reduction: bool = True,
     paths: Optional[Iterable[SCTPath]] = None,
+    recorder: Recorder = NULL_RECORDER,
 ) -> DensestSubgraphResult:
     """Run SCTL*-Sample (Algorithm 6).
 
@@ -146,6 +164,10 @@ def sctl_star_sample(
         **streamed** off the index (two sweeps: global count + allocation),
         so no path list is ever materialised; the drawn sample is identical
         to the pre-collected mode for the same seed.
+    recorder:
+        Observability hook (``repro.obs``): ``sample/draw``,
+        ``sample/refine`` and ``sample/recover`` spans with draw/visit
+        counters and the sampled vs. recovered density gauges.
     """
     if sample_size < 1:
         raise InvalidParameterError(f"sample_size must be >= 1, got {sample_size}")
@@ -158,51 +180,63 @@ def sctl_star_sample(
     partial_approximation = not index.supports_k(k) and k >= 1
     if paths is None:
         paths = index.path_view(k, enforce_support=not partial_approximation)
-    sampled = sample_k_cliques(paths, k, sample_size, rng)
+    sampled = sample_k_cliques(paths, k, sample_size, rng, recorder=recorder)
     if not sampled:
         return empty_result(k, "SCTL*-Sample")
     n = index.n_vertices
 
     # stage 2: weight refinement on the sampled subgraph
-    weights = [0] * n
-    engagement = [0] * n
-    for clique in sampled:
-        for v in clique:
-            engagement[v] += 1
-    sampled_vertices = sorted({v for c in sampled for v in c})
-    rho_sample = Fraction(0)
-    visited_total = 0
-    for _ in range(iterations):
-        threshold = (
-            engagement_threshold(rho_sample)
-            if use_reduction and rho_sample > 0
-            else 0
-        )
-        new_engagement = [0] * n if use_reduction else engagement
+    with recorder.span("sample/refine"):
+        weights = [0] * n
+        engagement = [0] * n
         for clique in sampled:
-            if threshold and any(engagement[v] < threshold for v in clique):
-                continue
-            u = min(clique, key=weights.__getitem__)
-            weights[u] += 1
-            visited_total += 1
-            if use_reduction:
-                for v in clique:
-                    new_engagement[v] += 1
-        engagement = new_engagement
+            for v in clique:
+                engagement[v] += 1
+        sampled_vertices = sorted({v for c in sampled for v in c})
+        rho_sample = Fraction(0)
+        visited_total = 0
+        for _ in range(iterations):
+            threshold = (
+                engagement_threshold(rho_sample)
+                if use_reduction and rho_sample > 0
+                else 0
+            )
+            new_engagement = [0] * n if use_reduction else engagement
+            for clique in sampled:
+                if threshold and any(engagement[v] < threshold for v in clique):
+                    continue
+                u = min(clique, key=weights.__getitem__)
+                weights[u] += 1
+                visited_total += 1
+                if use_reduction:
+                    for v in clique:
+                        new_engagement[v] += 1
+            engagement = new_engagement
+            prefix = best_prefix_from_cliques(
+                sampled, weights, restrict_to=sampled_vertices
+            )
+            if prefix.density_fraction > rho_sample:
+                rho_sample = prefix.density_fraction
+        if recorder.enabled:
+            recorder.counter("sample/clique_visits", visited_total)
+            recorder.counter("sample/vertices", len(sampled_vertices))
+            recorder.gauge("sample/sample_density", float(rho_sample))
+
+    # stage 3: recovery of the true density through the index
+    with recorder.span("sample/recover"):
         prefix = best_prefix_from_cliques(
             sampled, weights, restrict_to=sampled_vertices
         )
-        if prefix.density_fraction > rho_sample:
-            rho_sample = prefix.density_fraction
-
-    # stage 3: recovery of the true density through the index
-    prefix = best_prefix_from_cliques(sampled, weights, restrict_to=sampled_vertices)
-    chosen = sorted(prefix.vertices)
-    if not chosen:
-        return empty_result(k, "SCTL*-Sample")
-    true_count = index.count_in_subset(
-        k, chosen, enforce_support=not partial_approximation
-    )
+        chosen = sorted(prefix.vertices)
+        if not chosen:
+            return empty_result(k, "SCTL*-Sample")
+        true_count = index.count_in_subset(
+            k, chosen, enforce_support=not partial_approximation
+        )
+        if recorder.enabled and chosen:
+            recorder.gauge(
+                "sample/recovered_density", true_count / len(chosen)
+            )
     return DensestSubgraphResult(
         vertices=chosen,
         clique_count=true_count,

@@ -32,6 +32,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tupl
 from ..cliques.ordered_view import OrderedGraphView, build_ordered_view
 from ..errors import IndexBuildError, IndexQueryError
 from ..graph.graph import Graph
+from ..obs import NULL_RECORDER, Recorder
 
 __all__ = ["SCTPath", "SCTPathView", "SCTIndex", "HOLD", "PIVOT"]
 
@@ -135,6 +136,7 @@ class SCTIndex:
         graph: Graph,
         threshold: int = 0,
         view: Optional[OrderedGraphView] = None,
+        recorder: Recorder = NULL_RECORDER,
     ) -> "SCTIndex":
         """Build the SCT*-Index of ``graph``.
 
@@ -151,11 +153,28 @@ class SCTIndex:
             answers every ``k``.
         view:
             Optional pre-built ordered view to reuse.
+        recorder:
+            Observability hook (``repro.obs``).  An enabled recorder gets
+            an ``index/build`` span, node/label counters and the
+            per-lemma root-pruning tallies; the default null recorder
+            costs nothing.
         """
         if threshold < 0:
             raise IndexBuildError(f"threshold must be >= 0, got {threshold}")
+        with recorder.span("index/build"):
+            return cls._build(graph, threshold, view, recorder)
+
+    @classmethod
+    def _build(
+        cls,
+        graph: Graph,
+        threshold: int,
+        view: Optional[OrderedGraphView],
+        recorder: Recorder,
+    ) -> "SCTIndex":
         if view is None:
-            view = build_ordered_view(graph)
+            with recorder.span("ordered_view"):
+                view = build_ordered_view(graph)
         n = view.n
         adj = view.adj_bits
         out = view.out_bits
@@ -167,6 +186,8 @@ class SCTIndex:
         children: List[List[int]] = [[]]
         parent: List[int] = [0]
         depth_of: List[int] = [0]
+        pruned_outdeg = 0
+        pruned_core = 0
 
         def new_node(orig_vertex: int, node_label: int, par: int, depth: int) -> int:
             node = len(vertex)
@@ -181,8 +202,10 @@ class SCTIndex:
         for i in range(n):
             if threshold:
                 if out[i].bit_count() + 1 < threshold:
+                    pruned_outdeg += 1
                     continue  # out-degree pre-pruning
                 if core[i] + 1 < threshold:
+                    pruned_core += 1
                     continue  # degeneracy pre-pruning
             root_child = new_node(order[i], HOLD, 0, 1)
             # Pivoter expansion on an explicit frame stack, so clique trees
@@ -244,6 +267,18 @@ class SCTIndex:
             par = parent[node]
             if max_depth[node] > max_depth[par]:
                 max_depth[par] = max_depth[node]
+        if recorder.enabled:
+            n_nodes = len(vertex) - 1
+            n_holds = sum(1 for lab in label[1:] if lab == HOLD)
+            recorder.counter("build/nodes", n_nodes)
+            recorder.counter("build/holds", n_holds)
+            recorder.counter("build/pivots", n_nodes - n_holds)
+            recorder.counter("build/roots", len(children[0]))
+            if threshold:
+                recorder.counter("build/roots_pruned_outdeg", pruned_outdeg)
+                recorder.counter("build/roots_pruned_core", pruned_core)
+            recorder.gauge("build/max_depth", max_depth[0])
+            recorder.gauge("build/threshold", threshold)
         return cls(
             n_vertices=graph.n,
             vertex=vertex,
@@ -407,7 +442,10 @@ class SCTIndex:
                     (holds if label[node] == HOLD else pivots).pop()
 
     def iter_paths(
-        self, k: Optional[int] = None, enforce_support: bool = True
+        self,
+        k: Optional[int] = None,
+        enforce_support: bool = True,
+        recorder: Recorder = NULL_RECORDER,
     ) -> Iterator[SCTPath]:
         """Yield root-to-leaf paths as :class:`SCTPath` objects.
 
@@ -427,7 +465,14 @@ class SCTIndex:
         living inside unpruned subtrees — the approximation §6.1 of the
         paper relies on ("most k-cliques in the densest subgraph come from
         larger cliques").
+
+        An enabled ``recorder`` tallies ``paths/yielded`` and (with ``k``)
+        ``paths/cliques`` — the number of k-cliques the yielded paths
+        represent — once the traversal finishes or is closed.
         """
+        if recorder.enabled:
+            yield from self._iter_paths_recorded(k, enforce_support, recorder)
+            return
         if k is not None and enforce_support:
             self._require_k(k)
         children = self._children
@@ -441,6 +486,27 @@ class SCTIndex:
                 if k is None or len(holds) <= k <= len(holds) + len(pivots):
                     yield SCTPath(tuple(holds), tuple(pivots))
 
+    def _iter_paths_recorded(
+        self, k: Optional[int], enforce_support: bool, recorder: Recorder
+    ) -> Iterator[SCTPath]:
+        """Counting wrapper behind :meth:`iter_paths` with a live recorder.
+
+        Kept out of the plain traversal so the no-recorder path pays
+        nothing; totals are flushed even on early ``close()``.
+        """
+        n_paths = 0
+        n_cliques = 0
+        try:
+            for path in self.iter_paths(k, enforce_support):
+                n_paths += 1
+                if k is not None:
+                    n_cliques += path.clique_count(k)
+                yield path
+        finally:
+            recorder.counter("paths/yielded", n_paths)
+            if k is not None:
+                recorder.counter("paths/cliques", n_cliques)
+
     def collect_paths(
         self, k: Optional[int] = None, enforce_support: bool = True
     ) -> List[SCTPath]:
@@ -448,7 +514,10 @@ class SCTIndex:
         return list(self.iter_paths(k, enforce_support=enforce_support))
 
     def path_view(
-        self, k: Optional[int] = None, enforce_support: bool = True
+        self,
+        k: Optional[int] = None,
+        enforce_support: bool = True,
+        recorder: Recorder = NULL_RECORDER,
     ) -> "SCTPathView":
         """A re-iterable, zero-materialisation view over the valid paths.
 
@@ -462,7 +531,7 @@ class SCTIndex:
         """
         if k is not None and enforce_support:
             self._require_k(k)
-        return SCTPathView(self, k, enforce_support)
+        return SCTPathView(self, k, enforce_support, recorder)
 
     def traversal_node_count(self, k: Optional[int] = None) -> int:
         """Number of tree nodes visited when listing k-cliques.
@@ -670,18 +739,25 @@ class SCTPathView:
     ever materialising it.
     """
 
-    __slots__ = ("_index", "_k", "_enforce_support")
+    __slots__ = ("_index", "_k", "_enforce_support", "_recorder")
 
     def __init__(
-        self, index: SCTIndex, k: Optional[int], enforce_support: bool = True
+        self,
+        index: SCTIndex,
+        k: Optional[int],
+        enforce_support: bool = True,
+        recorder: Recorder = NULL_RECORDER,
     ):
         self._index = index
         self._k = k
         self._enforce_support = enforce_support
+        self._recorder = recorder
 
     def __iter__(self) -> Iterator[SCTPath]:
         return self._index.iter_paths(
-            self._k, enforce_support=self._enforce_support
+            self._k,
+            enforce_support=self._enforce_support,
+            recorder=self._recorder,
         )
 
     def __repr__(self) -> str:

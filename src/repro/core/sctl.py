@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Iterable, List, Optional
 
 from ..errors import InvalidParameterError
+from ..obs import NULL_RECORDER, Recorder
 from .density import DensestSubgraphResult
 from .extraction import best_prefix_from_paths
 from .sct import SCTIndex, SCTPath
@@ -38,6 +39,7 @@ def sctl(
     iterations: int = 10,
     paths: Optional[Iterable[SCTPath]] = None,
     track_convergence: bool = False,
+    recorder: Recorder = NULL_RECORDER,
 ) -> DensestSubgraphResult:
     """Run SCTL for ``iterations`` rounds and extract the densest prefix.
 
@@ -60,6 +62,10 @@ def sctl(
         the certified upper bound per iteration (slower; used for
         convergence studies).  Stored in ``stats["density_history"]`` and
         ``stats["upper_bound_history"]``.
+    recorder:
+        Observability hook (``repro.obs``): per-pass
+        ``refine/iteration/<t>`` spans, ``refine/*`` counters and the L1
+        weight-change gauge; the default null recorder is free.
 
     Returns a :class:`DensestSubgraphResult` whose ``stats`` carry the raw
     vertex weights (``"weights"``) and the per-pass clique count
@@ -77,20 +83,43 @@ def sctl(
         cliques_per_iteration += p.clique_count(k)
     if not n_paths:
         return empty_result(k, "SCTL")
+    track = recorder.enabled
     weights = [0] * n
     density_history = []
     upper_history = []
     for round_number in range(1, iterations + 1):
-        for path in paths:
-            for clique in path.iter_cliques(k):
-                u = min(clique, key=weights.__getitem__)
-                weights[u] += 1
+        prev_weights = weights[:] if track else None
+        with recorder.span(f"refine/iteration/{round_number}"):
+            for path in paths:
+                for clique in path.iter_cliques(k):
+                    u = min(clique, key=weights.__getitem__)
+                    weights[u] += 1
+        if track:
+            # in SCTL every clique performs exactly one +1, so the update
+            # count needs no in-loop tally
+            weight_change = sum(
+                abs(w - pw) for w, pw in zip(weights, prev_weights)
+            )
+            recorder.counter("refine/iterations")
+            recorder.counter("refine/paths_swept", n_paths)
+            recorder.counter("refine/cliques_processed", cliques_per_iteration)
+            recorder.counter("refine/weight_updates", cliques_per_iteration)
+            recorder.gauge("refine/weight_change_l1", weight_change)
+            recorder.event(
+                "refine_iteration",
+                algorithm="SCTL",
+                iteration=round_number,
+                weight_change_l1=weight_change,
+                cliques_processed=cliques_per_iteration,
+            )
         if track_convergence:
             snapshot = best_prefix_from_paths(paths, weights, k)
             density_history.append(snapshot.density)
             upper_history.append(
                 max(max(weights) / round_number, snapshot.density)
             )
+            if track:
+                recorder.gauge("refine/density", snapshot.density)
     prefix = best_prefix_from_paths(paths, weights, k)
     upper = max(max(weights) / iterations, prefix.density)
     stats = {

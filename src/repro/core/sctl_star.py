@@ -28,6 +28,7 @@ from typing import Iterable, List, Optional, Sequence
 
 from ..errors import InvalidParameterError
 from ..graph.graph import Graph
+from ..obs import NULL_RECORDER, Recorder
 from .batch import batch_update
 from .density import DensestSubgraphResult
 from .extraction import best_prefix_from_paths
@@ -69,6 +70,7 @@ def sctl_star(
     collect_stats: bool = False,
     paths: Optional[Iterable[SCTPath]] = None,
     algorithm_name: Optional[str] = None,
+    recorder: Recorder = NULL_RECORDER,
 ) -> DensestSubgraphResult:
     """Run SCTL* (Algorithm 5) and return the best extracted subgraph.
 
@@ -97,6 +99,14 @@ def sctl_star(
         order is deterministic.
     algorithm_name:
         Override the reported algorithm label.
+    recorder:
+        Observability hook (``repro.obs``).  An enabled recorder gets one
+        ``refine/iteration/<t>`` span per pass, ``refine/*`` counters
+        (paths swept, cliques processed, weight updates),
+        ``reductions/*`` pruning tallies, and per-iteration convergence
+        telemetry: the achieved density and the L1 norm of the weight
+        change.  The default null recorder leaves behaviour and output
+        byte-identical.
     """
     if iterations < 1:
         raise InvalidParameterError(f"iterations must be >= 1, got {iterations}")
@@ -122,12 +132,16 @@ def sctl_star(
     bounds = {}
     engagement: List[int] = []
     if use_reductions:
-        engagement = _engagement_from_paths(paths, k, n)
-        partition = kp_computation(index, k, paths=paths)
+        with recorder.span("reductions/engagement"):
+            engagement = _engagement_from_paths(paths, k, n)
+        partition = kp_computation(index, k, paths=paths, recorder=recorder)
         partition_of = partition.partition_of
-        bounds = partition_density_bounds(partition, engagement, k)
+        bounds = partition_density_bounds(
+            partition, engagement, k, recorder=recorder
+        )
 
     per_iteration: List[IterationStats] = []
+    track = recorder.enabled
     total_updates = 0
     total_processed = 0
     n_paths = 0
@@ -143,45 +157,60 @@ def sctl_star(
         updates = 0
         processed = 0
         n_paths = 0
-        for path in paths:
-            n_paths += 1
+        pruned_connectivity = 0
+        pruned_engagement = 0
+        pivots_dropped = 0
+        prev_weights = weights[:] if track else None
+        with recorder.span(f"refine/iteration/{t}"):
+            for path in paths:
+                n_paths += 1
+                if use_reductions:
+                    if bounds[partition_of[path.holds[0]]] <= best_density:
+                        if track:
+                            pruned_connectivity += 1
+                        continue  # clique-connectivity reduction
+                    holds = [
+                        v for v in path.holds if engagement[v] >= threshold
+                    ]
+                    if len(holds) != len(path.holds):
+                        if track:
+                            pruned_engagement += 1
+                        continue  # a hold left the scope: no clique survives
+                    pivots = [
+                        v for v in path.pivots if engagement[v] >= threshold
+                    ]
+                    need = k - len(holds)
+                    if need < 0 or need > len(pivots):
+                        if track:
+                            pruned_engagement += 1
+                        continue
+                    if track:
+                        pivots_dropped += len(path.pivots) - len(pivots)
+                    count = comb(len(pivots), need)
+                    for v in holds:
+                        new_engagement[v] += count
+                    if need >= 1:
+                        pivot_count = comb(len(pivots) - 1, need - 1)
+                        if pivot_count:
+                            for v in pivots:
+                                new_engagement[v] += pivot_count
+                else:
+                    holds, pivots = path.holds, path.pivots
+                    count = path.clique_count(k)
+                processed += count
+                if use_batch:
+                    updates += batch_update(weights, holds, pivots, k)
+                else:
+                    for clique in SCTPath(
+                        tuple(holds), tuple(pivots)
+                    ).iter_cliques(k):
+                        u = min(clique, key=weights.__getitem__)
+                        weights[u] += 1
+                        updates += 1
             if use_reductions:
-                if bounds[partition_of[path.holds[0]]] <= best_density:
-                    continue  # clique-connectivity reduction
-                holds = [
-                    v for v in path.holds if engagement[v] >= threshold
-                ]
-                if len(holds) != len(path.holds):
-                    continue  # a hold left the scope: no clique survives
-                pivots = [
-                    v for v in path.pivots if engagement[v] >= threshold
-                ]
-                need = k - len(holds)
-                if need < 0 or need > len(pivots):
-                    continue
-                count = comb(len(pivots), need)
-                for v in holds:
-                    new_engagement[v] += count
-                if need >= 1:
-                    pivot_count = comb(len(pivots) - 1, need - 1)
-                    if pivot_count:
-                        for v in pivots:
-                            new_engagement[v] += pivot_count
-            else:
-                holds, pivots = path.holds, path.pivots
-                count = path.clique_count(k)
-            processed += count
-            if use_batch:
-                updates += batch_update(weights, holds, pivots, k)
-            else:
-                for clique in SCTPath(tuple(holds), tuple(pivots)).iter_cliques(k):
-                    u = min(clique, key=weights.__getitem__)
-                    weights[u] += 1
-                    updates += 1
-        if use_reductions:
-            engagement = new_engagement
-        # re-extract to tighten the achieved density (Line 12)
-        prefix = best_prefix_from_paths(paths, weights, k)
+                engagement = new_engagement
+            # re-extract to tighten the achieved density (Line 12)
+            prefix = best_prefix_from_paths(paths, weights, k)
         if prefix.density_fraction > best_density:
             best_density = prefix.density_fraction
             best_vertices = sorted(prefix.vertices)
@@ -192,6 +221,33 @@ def sctl_star(
             "%s iteration %d/%d: %d cliques, %d weight updates, density %.6f",
             name, t, iterations, processed, updates, float(best_density),
         )
+        if track:
+            weight_change = sum(
+                abs(w - pw) for w, pw in zip(weights, prev_weights)
+            )
+            recorder.counter("refine/iterations")
+            recorder.counter("refine/paths_swept", n_paths)
+            recorder.counter("refine/cliques_processed", processed)
+            recorder.counter("refine/weight_updates", updates)
+            if use_reductions:
+                recorder.counter(
+                    "reductions/paths_pruned_connectivity", pruned_connectivity
+                )
+                recorder.counter(
+                    "reductions/paths_pruned_engagement", pruned_engagement
+                )
+                recorder.counter("reductions/pivots_dropped", pivots_dropped)
+            recorder.gauge("refine/density", float(best_density))
+            recorder.gauge("refine/weight_change_l1", weight_change)
+            recorder.event(
+                "refine_iteration",
+                algorithm=name,
+                iteration=t,
+                density=float(best_density),
+                weight_change_l1=weight_change,
+                cliques_processed=processed,
+                weight_updates=updates,
+            )
         if stats_entry is not None:
             stats_entry.cliques_processed = processed
             stats_entry.weight_updates = updates
@@ -225,6 +281,7 @@ def sctl_plus(
     graph: Optional[Graph] = None,
     collect_stats: bool = False,
     paths: Optional[Iterable[SCTPath]] = None,
+    recorder: Recorder = NULL_RECORDER,
 ) -> DensestSubgraphResult:
     """SCTL+ — SCTL with graph reductions but per-clique weight updates."""
     return sctl_star(
@@ -237,6 +294,7 @@ def sctl_plus(
         collect_stats=collect_stats,
         paths=paths,
         algorithm_name="SCTL+",
+        recorder=recorder,
     )
 
 

@@ -95,6 +95,20 @@ class GraphSummary:
     transitivity: float
     edge_density: float
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready mapping of every summary field (full precision)."""
+        return {
+            "vertices": self.n,
+            "edges": self.m,
+            "min_degree": self.min_degree,
+            "max_degree": self.max_degree,
+            "mean_degree": self.mean_degree,
+            "triangles": self.triangles,
+            "average_clustering": self.average_clustering,
+            "transitivity": self.transitivity,
+            "edge_density": self.edge_density,
+        }
+
     def as_row(self) -> List:
         """Flat row for table rendering."""
         return [

@@ -1,0 +1,27 @@
+"""Structured metrics and tracing (`repro.obs`).
+
+Every instrumented entry point in the library takes ``recorder=``,
+defaulting to the no-op :data:`NULL_RECORDER`; pass a
+:class:`MetricsRecorder` to collect counters, gauges and nested phase
+spans — optionally mirrored as a JSON-lines trace.  See
+``docs/observability.md`` for the event schema and the CLI flags.
+"""
+
+from .recorder import (
+    NULL_RECORDER,
+    MetricsRecorder,
+    NullRecorder,
+    Recorder,
+    SpanRecord,
+)
+from .validate import validate_metrics, validate_trace_lines
+
+__all__ = [
+    "Recorder",
+    "NullRecorder",
+    "MetricsRecorder",
+    "SpanRecord",
+    "NULL_RECORDER",
+    "validate_trace_lines",
+    "validate_metrics",
+]

@@ -1,0 +1,304 @@
+"""Structured metrics and tracing for the SCTL* pipeline.
+
+The paper's evaluation (§7) is entirely about *where* time and cliques go
+— index build vs. refinement vs. flow verification, paths pruned by
+max-depth, vertices dropped by the Lemma 3/4 reductions.  This module
+gives every stage of the pipeline a first-class way to report those
+numbers:
+
+* :class:`Recorder` — the protocol every instrumented function accepts
+  through an explicit ``recorder=`` keyword;
+* :class:`NullRecorder` — the default.  Every method is a no-op and
+  ``enabled`` is ``False``, so instrumented code guards any measurement
+  work behind ``if recorder.enabled:`` and library behaviour stays
+  byte-identical (and effectively free) when nobody is listening;
+* :class:`MetricsRecorder` — collects named **counters** (monotonic
+  integer totals), **gauges** (last-written values) and **spans**
+  (monotonic-clock phase timers that nest, e.g. ``exact/flow_round/2``),
+  and can mirror everything as JSON-lines events to a writable sink for
+  machine-readable traces.
+
+Instrumentation style: hot loops accumulate plain local integers and
+report aggregates once per phase or iteration — recorder calls happen at
+phase granularity, never per clique.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Callable, Dict, IO, Iterator, List, Optional, Tuple
+
+try:  # Protocol is typing-only; runtime never dispatches on it
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover - py<3.8 fallback
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
+
+
+__all__ = [
+    "Recorder",
+    "NullRecorder",
+    "MetricsRecorder",
+    "SpanRecord",
+    "NULL_RECORDER",
+]
+
+
+@runtime_checkable
+class Recorder(Protocol):
+    """What instrumented code may call on a ``recorder=`` argument.
+
+    ``enabled`` gates any non-trivial measurement work (norm computations,
+    O(n) scans, per-item tallies): instrumented code must skip it entirely
+    when ``enabled`` is ``False``.
+    """
+
+    enabled: bool
+
+    def counter(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to the named monotonic counter."""
+
+    def gauge(self, name: str, value: Any) -> None:
+        """Set the named gauge to ``value`` (last write wins)."""
+
+    def event(self, name: str, **fields: Any) -> None:
+        """Emit a free-form trace event."""
+
+    def span(self, name: str) -> "Any":
+        """Context manager timing a named (nestable) phase."""
+
+
+class _NullSpan:
+    """Context manager that does nothing; shared singleton."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullRecorder:
+    """The zero-overhead default recorder: every operation is a no-op.
+
+    A single shared instance, :data:`NULL_RECORDER`, is the default for
+    every ``recorder=`` keyword in the library; passing it explicitly is
+    equivalent to not passing a recorder at all.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+
+    def counter(self, name: str, amount: int = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: Any) -> None:
+        pass
+
+    def event(self, name: str, **fields: Any) -> None:
+        pass
+
+    def span(self, name: str) -> _NullSpan:
+        return _NULL_SPAN
+
+
+NULL_RECORDER = NullRecorder()
+
+
+class SpanRecord:
+    """One completed span: its full nested path and elapsed seconds."""
+
+    __slots__ = ("path", "seconds")
+
+    def __init__(self, path: str, seconds: float):
+        self.path = path
+        self.seconds = seconds
+
+    def __repr__(self) -> str:
+        return f"SpanRecord({self.path!r}, {self.seconds:.6f}s)"
+
+
+class _Span:
+    """Active span context manager handed out by :meth:`MetricsRecorder.span`."""
+
+    __slots__ = ("_recorder", "_name", "_path", "_start")
+
+    def __init__(self, recorder: "MetricsRecorder", name: str):
+        self._recorder = recorder
+        self._name = name
+        self._path = ""
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._path = self._recorder._enter_span(self._name)
+        self._start = self._recorder._clock()
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        elapsed = self._recorder._clock() - self._start
+        self._recorder._exit_span(self._path, elapsed)
+        return False
+
+
+class MetricsRecorder:
+    """Collecting recorder: counters, gauges, nested spans, JSONL events.
+
+    Parameters
+    ----------
+    sink:
+        Optional writable text stream.  When given, every counter
+        increment, gauge write, span boundary and free-form event is
+        mirrored as one JSON object per line (the trace format validated
+        by :mod:`repro.obs.validate`).  Aggregates are collected either
+        way; the sink only adds the event log.
+    clock:
+        Monotonic time source (injectable for tests); defaults to
+        :func:`time.perf_counter`.
+
+    Span names nest: entering ``span("flow_round/2")`` while inside
+    ``span("exact")`` records the path ``exact/flow_round/2``.  Counter
+    and gauge names are global (not span-scoped) so the same counter can
+    be accumulated across phases.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        sink: Optional[IO[str]] = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, Any] = {}
+        self.spans: List[SpanRecord] = []
+        self._sink = sink
+        self._clock = clock
+        self._t0 = clock()
+        self._stack: List[str] = []
+
+    # -- recording ------------------------------------------------------
+
+    def counter(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to the named monotonic counter."""
+        total = self.counters.get(name, 0) + amount
+        self.counters[name] = total
+        if self._sink is not None:
+            self._emit({"event": "counter", "name": name,
+                        "delta": amount, "value": total})
+
+    def gauge(self, name: str, value: Any) -> None:
+        """Set the named gauge (last write wins)."""
+        self.gauges[name] = value
+        if self._sink is not None:
+            self._emit({"event": "gauge", "name": name, "value": value})
+
+    def event(self, name: str, **fields: Any) -> None:
+        """Emit a free-form event (trace-only; not aggregated)."""
+        if self._sink is not None:
+            payload = {"event": "point", "name": name}
+            if fields:
+                payload["fields"] = fields
+            self._emit(payload)
+
+    def span(self, name: str) -> _Span:
+        """Context manager timing the named phase (nests with ``/``)."""
+        return _Span(self, name)
+
+    # -- span plumbing --------------------------------------------------
+
+    def _enter_span(self, name: str) -> str:
+        path = f"{self._stack[-1]}/{name}" if self._stack else name
+        self._stack.append(path)
+        if self._sink is not None:
+            self._emit({"event": "span_start", "span": path})
+        return path
+
+    def _exit_span(self, path: str, seconds: float) -> None:
+        if self._stack and self._stack[-1] == path:
+            self._stack.pop()
+        self.spans.append(SpanRecord(path, seconds))
+        if self._sink is not None:
+            self._emit({"event": "span_end", "span": path,
+                        "seconds": round(seconds, 9)})
+
+    @property
+    def current_span(self) -> str:
+        """The active span path (empty string at the top level)."""
+        return self._stack[-1] if self._stack else ""
+
+    def _emit(self, payload: Dict[str, Any]) -> None:
+        payload["t"] = round(self._clock() - self._t0, 9)
+        self._sink.write(json.dumps(payload, default=_jsonable) + "\n")
+
+    # -- reading back ---------------------------------------------------
+
+    def span_totals(self) -> Dict[str, Tuple[int, float]]:
+        """Mapping span path -> ``(occurrences, total seconds)``."""
+        totals: Dict[str, Tuple[int, float]] = {}
+        for record in self.spans:
+            count, seconds = totals.get(record.path, (0, 0.0))
+            totals[record.path] = (count + 1, seconds + record.seconds)
+        return totals
+
+    def span_seconds(self, prefix: str) -> float:
+        """Total seconds of spans whose path equals ``prefix`` or starts
+        with ``prefix + "/"`` — e.g. ``span_seconds("exact/flow_round")``
+        sums every flow round."""
+        total = 0.0
+        lead = prefix + "/"
+        for record in self.spans:
+            if record.path == prefix or record.path.startswith(lead):
+                total += record.seconds
+        return total
+
+    def iter_span_paths(self) -> Iterator[str]:
+        """Completed span paths in completion order."""
+        for record in self.spans:
+            yield record.path
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-serialisable aggregate view of everything recorded."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": {k: _jsonable_value(v)
+                       for k, v in sorted(self.gauges.items())},
+            "spans": [
+                {"span": path, "count": count, "seconds": round(seconds, 9)}
+                for path, (count, seconds) in sorted(self.span_totals().items())
+            ],
+        }
+
+    def write_json(self, path) -> None:
+        """Write :meth:`snapshot` to ``path`` as pretty-printed JSON."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.snapshot(), handle, indent=2, default=_jsonable)
+            handle.write("\n")
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRecorder(counters={len(self.counters)}, "
+            f"gauges={len(self.gauges)}, spans={len(self.spans)})"
+        )
+
+
+def _jsonable(value: Any) -> Any:
+    """json.dumps ``default`` hook for non-JSON-native gauge values."""
+    return _jsonable_value(value)
+
+
+def _jsonable_value(value: Any) -> Any:
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    try:  # Fraction and friends
+        return float(value)
+    except (TypeError, ValueError):
+        return str(value)

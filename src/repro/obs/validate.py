@@ -1,0 +1,202 @@
+"""Schema validation for ``repro.obs`` trace and metrics files.
+
+A **trace** is JSON-lines: one event object per line, as emitted by a
+:class:`~repro.obs.MetricsRecorder` with a sink attached.  The schema:
+
+* every line is a JSON object with an ``event`` field in
+  ``{"counter", "gauge", "span_start", "span_end", "point"}`` and a
+  numeric ``t`` (seconds since the recorder started, non-decreasing);
+* ``counter`` events carry ``name`` (str), ``delta`` (int) and the
+  running ``value`` (int);
+* ``gauge`` events carry ``name`` and ``value``;
+* ``span_start`` / ``span_end`` carry the nested ``span`` path, and
+  ``span_end`` adds non-negative ``seconds``; starts and ends must
+  balance like a well-formed bracket sequence (spans strictly nest);
+* ``point`` events carry ``name`` and optional ``fields``.
+
+A **metrics** file is one JSON object — a
+:meth:`~repro.obs.MetricsRecorder.snapshot`: ``counters`` (str -> int),
+``gauges`` (str -> JSON value), ``spans`` (list of
+``{"span", "count", "seconds"}``).
+
+Used by the CI observability job and usable standalone::
+
+    python -m repro.obs.validate trace.jsonl --metrics metrics.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Iterable, List, Optional
+
+__all__ = ["validate_trace_lines", "validate_metrics", "main"]
+
+_EVENT_TYPES = {"counter", "gauge", "span_start", "span_end", "point"}
+
+
+def validate_trace_lines(lines: Iterable[str]) -> List[str]:
+    """Validate a JSON-lines trace; return a list of error strings.
+
+    An empty list means the trace conforms to the schema.  Blank lines
+    are rejected (a truncated write is a real failure mode for traces).
+    """
+    errors: List[str] = []
+    open_spans: List[str] = []
+    last_t = 0.0
+    n_lines = 0
+    for lineno, line in enumerate(lines, start=1):
+        n_lines += 1
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"line {lineno}: not valid JSON ({exc})")
+            continue
+        if not isinstance(payload, dict):
+            errors.append(f"line {lineno}: expected a JSON object")
+            continue
+        kind = payload.get("event")
+        if kind not in _EVENT_TYPES:
+            errors.append(f"line {lineno}: unknown event type {kind!r}")
+            continue
+        t = payload.get("t")
+        if not isinstance(t, (int, float)) or isinstance(t, bool) or t < 0:
+            errors.append(f"line {lineno}: missing or negative timestamp 't'")
+        else:
+            if t < last_t:
+                errors.append(
+                    f"line {lineno}: timestamp {t} precedes previous {last_t}"
+                )
+            last_t = float(t)
+        if kind in ("counter", "gauge", "point"):
+            if not isinstance(payload.get("name"), str) or not payload["name"]:
+                errors.append(f"line {lineno}: {kind} event without a 'name'")
+        if kind == "counter":
+            for field in ("delta", "value"):
+                v = payload.get(field)
+                if not isinstance(v, int) or isinstance(v, bool):
+                    errors.append(
+                        f"line {lineno}: counter field {field!r} must be an int"
+                    )
+        if kind == "gauge" and "value" not in payload:
+            errors.append(f"line {lineno}: gauge event without a 'value'")
+        if kind in ("span_start", "span_end"):
+            span = payload.get("span")
+            if not isinstance(span, str) or not span:
+                errors.append(f"line {lineno}: {kind} without a 'span' path")
+                continue
+            if kind == "span_start":
+                open_spans.append(span)
+            else:
+                seconds = payload.get("seconds")
+                if (
+                    not isinstance(seconds, (int, float))
+                    or isinstance(seconds, bool)
+                    or seconds < 0
+                ):
+                    errors.append(
+                        f"line {lineno}: span_end without non-negative 'seconds'"
+                    )
+                if not open_spans:
+                    errors.append(
+                        f"line {lineno}: span_end {span!r} with no open span"
+                    )
+                elif open_spans[-1] != span:
+                    errors.append(
+                        f"line {lineno}: span_end {span!r} does not match "
+                        f"innermost open span {open_spans[-1]!r}"
+                    )
+                    open_spans.pop()
+                else:
+                    open_spans.pop()
+    for span in open_spans:
+        errors.append(f"span {span!r} was started but never ended")
+    if n_lines == 0:
+        errors.append("trace is empty")
+    return errors
+
+
+def validate_metrics(payload: Any) -> List[str]:
+    """Validate a metrics snapshot object; return a list of error strings."""
+    errors: List[str] = []
+    if not isinstance(payload, dict):
+        return ["metrics snapshot must be a JSON object"]
+    counters = payload.get("counters")
+    if not isinstance(counters, dict):
+        errors.append("'counters' must be an object")
+    else:
+        for name, value in counters.items():
+            if not isinstance(value, int) or isinstance(value, bool):
+                errors.append(f"counter {name!r} must be an int, got {value!r}")
+    if not isinstance(payload.get("gauges"), dict):
+        errors.append("'gauges' must be an object")
+    spans = payload.get("spans")
+    if not isinstance(spans, list):
+        errors.append("'spans' must be a list")
+    else:
+        for i, entry in enumerate(spans):
+            if not isinstance(entry, dict):
+                errors.append(f"spans[{i}] must be an object")
+                continue
+            if not isinstance(entry.get("span"), str) or not entry["span"]:
+                errors.append(f"spans[{i}] needs a non-empty 'span' path")
+            count = entry.get("count")
+            if not isinstance(count, int) or isinstance(count, bool) or count < 1:
+                errors.append(f"spans[{i}] needs a positive integer 'count'")
+            seconds = entry.get("seconds")
+            if (
+                not isinstance(seconds, (int, float))
+                or isinstance(seconds, bool)
+                or seconds < 0
+            ):
+                errors.append(f"spans[{i}] needs non-negative 'seconds'")
+    return errors
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point: exit 0 when every given file validates."""
+    parser = argparse.ArgumentParser(
+        prog="repro.obs.validate",
+        description="validate repro.obs trace (JSON-lines) and metrics files",
+    )
+    parser.add_argument("trace", nargs="?", help="JSON-lines trace file")
+    parser.add_argument("--metrics", help="metrics snapshot JSON file")
+    args = parser.parse_args(argv)
+    if not args.trace and not args.metrics:
+        parser.error("give a trace file and/or --metrics")
+    failed = False
+    if args.trace:
+        with open(args.trace, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        errors = validate_trace_lines(lines)
+        if errors:
+            failed = True
+            for err in errors:
+                print(f"{args.trace}: {err}", file=sys.stderr)
+        else:
+            n_spans = sum(1 for l in lines if '"span_end"' in l)
+            print(f"{args.trace}: OK ({len(lines)} events, {n_spans} spans)")
+    if args.metrics:
+        with open(args.metrics, "r", encoding="utf-8") as handle:
+            try:
+                payload = json.load(handle)
+            except json.JSONDecodeError as exc:
+                payload = None
+                errors = [f"not valid JSON ({exc})"]
+            else:
+                errors = validate_metrics(payload)
+        if errors:
+            failed = True
+            for err in errors:
+                print(f"{args.metrics}: {err}", file=sys.stderr)
+        else:
+            print(
+                f"{args.metrics}: OK ({len(payload['counters'])} counters, "
+                f"{len(payload['spans'])} span paths)"
+            )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

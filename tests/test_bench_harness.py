@@ -2,7 +2,14 @@
 
 import time
 
-from repro.bench import TimeoutTracker, format_series, format_table, timed
+from repro.bench import (
+    Timed,
+    TimeoutTracker,
+    format_series,
+    format_table,
+    timed,
+    timed_with_metrics,
+)
 
 
 class TestTimed:
@@ -17,6 +24,45 @@ class TestTimed:
         outcome = timed(lambda: time.sleep(0.02), budget=0.001)
         assert outcome.timed_out
         assert outcome.cell == "time out"
+
+    def test_sub_millisecond_cell(self):
+        # 0.000 would misread as "did not run"; render <0.001 instead
+        assert Timed(result=None, seconds=0.0004).cell == "<0.001"
+        assert Timed(result=None, seconds=0.0).cell == "<0.001"
+        assert Timed(result=None, seconds=0.0015).cell == "0.002"
+        assert Timed(result=None, seconds=1.25).cell == "1.250"
+
+
+class TestTimedWithMetrics:
+    def test_attaches_recorder_and_snapshot(self):
+        def work(recorder):
+            with recorder.span("stage"):
+                recorder.counter("items", 3)
+            return "done"
+
+        outcome = timed_with_metrics(work)
+        assert outcome.result == "done"
+        assert outcome.metrics["counters"] == {"items": 3}
+        assert outcome.metrics["spans"][0]["span"] == "stage"
+
+    def test_stage_seconds_matches_nested_paths(self):
+        def work(recorder):
+            with recorder.span("exact"):
+                with recorder.span("flow_round/1"):
+                    time.sleep(0.002)
+
+        outcome = timed_with_metrics(work)
+        assert outcome.stage_seconds("exact") is not None
+        # nested stage found by its own name too
+        assert outcome.stage_seconds("flow_round/1") is not None
+        assert outcome.stage_seconds("absent") is None
+        assert outcome.stage_cell("absent") == "-"
+        assert outcome.stage_cell("exact") not in ("-", "time out")
+
+    def test_plain_timed_has_no_metrics(self):
+        outcome = timed(lambda: 1)
+        assert outcome.metrics is None
+        assert outcome.stage_seconds("anything") is None
 
 
 class TestTimeoutTracker:

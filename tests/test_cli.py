@@ -96,3 +96,55 @@ class TestProfile:
         out = capsys.readouterr().out
         assert "density profile" in out
         assert "best k by density" in out
+
+
+class TestObservabilityFlags:
+    def test_query_metrics_table(self, graph_file, capsys):
+        assert main(["query", graph_file, "-k", "3", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "counter" in out
+        assert "refine/iterations" in out
+        assert "span" in out
+
+    def test_query_metrics_to_file(self, graph_file, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_metrics
+
+        metrics_file = tmp_path / "metrics.json"
+        assert main(
+            ["query", graph_file, "-k", "3", "--metrics", str(metrics_file)]
+        ) == 0
+        payload = json.loads(metrics_file.read_text())
+        assert validate_metrics(payload) == []
+        assert payload["counters"]["refine/iterations"] > 0
+
+    def test_query_trace_is_valid_jsonl(self, graph_file, tmp_path):
+        from repro.obs import validate_trace_lines
+
+        trace_file = tmp_path / "trace.jsonl"
+        assert main(
+            [
+                "query", graph_file, "-k", "3",
+                "--method", "sctl*-exact", "--trace", str(trace_file),
+            ]
+        ) == 0
+        lines = trace_file.read_text().splitlines()
+        assert validate_trace_lines(lines) == []
+
+    def test_build_index_metrics(self, graph_file, tmp_path, capsys):
+        out_file = str(tmp_path / "g.sct")
+        assert main(
+            ["build-index", graph_file, "-o", out_file, "--metrics"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "build/nodes" in out
+
+    def test_profile_metrics(self, graph_file, capsys):
+        assert main(["profile", graph_file, "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "profile/k/" in out
+
+    def test_no_flags_prints_no_metrics(self, graph_file, capsys):
+        assert main(["query", graph_file, "-k", "3"]) == 0
+        assert "refine/iterations" not in capsys.readouterr().out

@@ -37,6 +37,24 @@ class TestStats:
         assert main(["stats", "dataset:road"]) == 0
         assert "edge density" in capsys.readouterr().out
 
+    def test_json_output(self, blocks_file, capsys):
+        import json
+
+        assert main(["stats", blocks_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["vertices"] > 0
+        assert payload["edges"] > 0
+        assert "transitivity" in payload
+        assert "k_max" not in payload
+
+    def test_json_with_kmax(self, blocks_file, capsys):
+        import json
+
+        assert main(["stats", blocks_file, "--kmax", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["k_max"] >= 3
+        assert payload["sct_tree_nodes"] > 0
+
 
 class TestNearClique:
     def test_detects_and_predicts(self, blocks_file, capsys):

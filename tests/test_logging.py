@@ -33,3 +33,17 @@ class TestDebugLogging:
         captured = capsys.readouterr()
         assert captured.out == ""
         assert captured.err == ""
+
+    def test_metrics_layer_silent_too(self, capsys):
+        # the observability layer honours the same guarantee: a recorder
+        # without a sink aggregates in memory and prints nothing
+        from repro.obs import MetricsRecorder
+
+        g = gnp_graph(12, 0.45, seed=3)
+        recorder = MetricsRecorder()
+        index = SCTIndex.build(g, recorder=recorder)
+        sctl_star(index, 3, iterations=2, recorder=recorder)
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err == ""
+        assert recorder.counters  # it did record, just silently
