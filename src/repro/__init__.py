@@ -49,18 +49,31 @@ from .core import (
     sctl_star_sample,
     top_dense_subgraphs,
 )
+from .core.density import PartialResult
 from .errors import (
+    BudgetExhausted,
+    CheckpointError,
     DatasetError,
+    EdgeListParseError,
     GraphError,
     IndexBuildError,
     IndexQueryError,
     InvalidParameterError,
     ReproError,
     SolverError,
+    TimeoutExceeded,
 )
 from .graph import Graph
 from .hypergraph import Hypergraph
 from .obs import NULL_RECORDER, MetricsRecorder, NullRecorder, Recorder
+from .resilience import (
+    NULL_BUDGET,
+    Budget,
+    Checkpointer,
+    FaultPlan,
+    NullBudget,
+    RunBudget,
+)
 
 __version__ = "1.1.0"
 
@@ -90,13 +103,24 @@ __all__ = [
     "NullRecorder",
     "MetricsRecorder",
     "NULL_RECORDER",
+    "PartialResult",
+    "Budget",
+    "NullBudget",
+    "RunBudget",
+    "NULL_BUDGET",
+    "Checkpointer",
+    "FaultPlan",
     "ReproError",
     "GraphError",
     "InvalidParameterError",
     "IndexBuildError",
     "IndexQueryError",
     "DatasetError",
+    "EdgeListParseError",
     "SolverError",
+    "BudgetExhausted",
+    "TimeoutExceeded",
+    "CheckpointError",
     "__version__",
 ]
 
@@ -113,6 +137,9 @@ def densest_subgraph(
     sample_size: Optional[int] = None,
     seed: int = 0,
     recorder: Recorder = NULL_RECORDER,
+    budget: Budget = NULL_BUDGET,
+    checkpoint=None,
+    resume: bool = False,
 ) -> DensestSubgraphResult:
     """One-call facade over every algorithm in the package.
 
@@ -139,31 +166,61 @@ def densest_subgraph(
         Observability hook (``repro.obs``): forwarded to the index build
         and to every SCT-based method.  The baselines (KCL, CoreApp, ...)
         predate the SCT pipeline and ignore it.
+    budget:
+        Optional :class:`~repro.resilience.RunBudget`, forwarded to the
+        index build and every SCT-based method.  On exhaustion the call
+        returns a :class:`PartialResult` instead of raising — invalid
+        (empty) when the budget ran out before anything was achieved,
+        best-so-far otherwise.  The baselines ignore it.
+    checkpoint / resume:
+        A checkpoint directory (or :class:`~repro.resilience.Checkpointer`)
+        and the restart switch, forwarded to the index build and the
+        SCTL-family refinements.  The baselines ignore them.
     """
     name = method.lower()
     needs_index = name in {"sctl", "sctl+", "sctl*", "sctl*-sample", "sctl*-exact"}
     if needs_index and index is None:
-        index = SCTIndex.build(graph, recorder=recorder)
+        try:
+            index = SCTIndex.build(
+                graph, recorder=recorder, budget=budget,
+                checkpoint=checkpoint, resume=resume,
+            )
+        except BudgetExhausted as exc:
+            return PartialResult(
+                vertices=[],
+                clique_count=0,
+                k=k,
+                algorithm=method,
+                valid=False,
+                reason=exc.reason,
+                stage=exc.stage or "index/build",
+            )
     sigma = sample_size if sample_size is not None else 10_000
     if name == "sctl":
-        return sctl(index, k, iterations=iterations, recorder=recorder)
+        return sctl(
+            index, k, iterations=iterations, recorder=recorder,
+            budget=budget, checkpoint=checkpoint, resume=resume,
+        )
     if name == "sctl+":
         return sctl_plus(
-            index, k, iterations=iterations, graph=graph, recorder=recorder
+            index, k, iterations=iterations, graph=graph, recorder=recorder,
+            budget=budget, checkpoint=checkpoint, resume=resume,
         )
     if name == "sctl*":
         return sctl_star(
-            index, k, iterations=iterations, graph=graph, recorder=recorder
+            index, k, iterations=iterations, graph=graph, recorder=recorder,
+            budget=budget, checkpoint=checkpoint, resume=resume,
         )
     if name == "sctl*-sample":
         return sctl_star_sample(
             index, k, sample_size=sigma, iterations=iterations, seed=seed,
-            recorder=recorder,
+            recorder=recorder, budget=budget,
         )
     if name == "sctl*-exact":
         return sctl_star_exact(
             graph, k, index=index, sample_size=sigma,
             iterations=iterations, seed=seed, recorder=recorder,
+            budget=budget,
         )
     if name == "kcl":
         return kcl(graph, k, iterations=iterations)

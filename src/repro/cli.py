@@ -17,6 +17,13 @@ The index/query/profile subcommands expose the ``repro.obs`` layer:
 ``--metrics`` prints a stage-breakdown table (or writes a JSON snapshot
 when given a path) and ``--trace PATH`` writes the JSON-lines event log
 that ``python -m repro.obs.validate`` checks.
+
+The build-index/query subcommands expose the ``repro.resilience`` layer:
+``--time-budget SECONDS`` arms a wall-clock budget (SIGINT/SIGTERM cancel
+it cooperatively), ``--checkpoint DIR`` snapshots progress atomically and
+``--resume`` restarts from those snapshots.  Exit codes: 0 success,
+1 error, 2 usage or index/graph mismatch, 3 budget exhausted with nothing
+usable, 4 budget exhausted but a valid best-so-far result was printed.
 """
 
 from __future__ import annotations
@@ -25,8 +32,8 @@ import argparse
 import json
 import sys
 import time
-from contextlib import contextmanager
-from typing import Iterator, Optional
+from contextlib import contextmanager, nullcontext
+from typing import ContextManager, Iterator, Optional, Tuple
 
 from . import densest_subgraph
 from .analysis import extract_near_clique
@@ -34,12 +41,19 @@ from .bench import format_table
 from .core import SCTIndex, top_dense_subgraphs
 from .core.profile import density_profile
 from .datasets import dataset_names, get_spec, load_dataset
-from .errors import ReproError
+from .errors import BudgetExhausted, ReproError
 from .graph import Graph, read_edge_list
 from .graph.stats import summarize
 from .obs import NULL_RECORDER, MetricsRecorder, Recorder
+from .resilience import NULL_BUDGET, Budget, RunBudget
 
 __all__ = ["main", "build_parser"]
+
+# Exit codes: 0 success, 1 error, 2 usage / input mismatch,
+# EXIT_EXHAUSTED when a run budget expired with nothing usable,
+# EXIT_PARTIAL when it expired but a valid best-so-far result was printed.
+EXIT_EXHAUSTED = 3
+EXIT_PARTIAL = 4
 
 
 def _load_graph(spec: str) -> Graph:
@@ -60,6 +74,37 @@ def _add_obs_flags(subparser: argparse.ArgumentParser) -> None:
         "--trace", metavar="PATH",
         help="write a JSON-lines event trace of the run to PATH",
     )
+
+
+def _add_resilience_flags(subparser: argparse.ArgumentParser) -> None:
+    """Attach the shared run-budget / checkpoint flags to a subcommand."""
+    subparser.add_argument(
+        "--time-budget", type=float, metavar="SECONDS", default=None,
+        help="wall-clock budget; on expiry the run degrades to its best "
+             "result so far instead of running to completion",
+    )
+    subparser.add_argument(
+        "--checkpoint", metavar="DIR", default=None,
+        help="directory for periodic atomic state snapshots",
+    )
+    subparser.add_argument(
+        "--resume", action="store_true",
+        help="resume from the snapshots in --checkpoint DIR",
+    )
+
+
+def _budget_from(args: argparse.Namespace) -> Tuple[Budget, ContextManager]:
+    """The budget a subcommand's flags ask for, plus its signal scope.
+
+    With ``--time-budget`` a :class:`RunBudget` is armed and SIGINT/SIGTERM
+    cancel it cooperatively (first signal degrades gracefully); without it
+    the free :data:`NULL_BUDGET` is returned with a no-op scope.
+    """
+    seconds = getattr(args, "time_budget", None)
+    if seconds is None:
+        return NULL_BUDGET, nullcontext()
+    budget = RunBudget(wall_seconds=seconds)
+    return budget, budget.on_signal()
 
 
 def _metrics_report(recorder: MetricsRecorder) -> str:
@@ -120,11 +165,24 @@ def _cmd_datasets(_args: argparse.Namespace) -> int:
 
 def _cmd_build_index(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph)
-    with _observability(args) as recorder:
+    budget, signal_scope = _budget_from(args)
+    with _observability(args) as recorder, signal_scope:
         start = time.perf_counter()
-        index = SCTIndex.build(
-            graph, threshold=args.threshold, recorder=recorder
-        )
+        try:
+            index = SCTIndex.build(
+                graph, threshold=args.threshold, recorder=recorder,
+                budget=budget, checkpoint=args.checkpoint,
+                resume=args.resume,
+            )
+        except BudgetExhausted as exc:
+            print(f"budget exhausted: {exc}", file=sys.stderr)
+            if args.checkpoint:
+                print(
+                    f"partial build state saved under {args.checkpoint}; "
+                    "rerun with --resume to continue",
+                    file=sys.stderr,
+                )
+            return EXIT_EXHAUSTED
         elapsed = time.perf_counter() - start
         index.save(args.output)
     print(f"built {index!r} in {elapsed:.3f}s -> {args.output}")
@@ -143,7 +201,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-    with _observability(args) as recorder:
+    budget, signal_scope = _budget_from(args)
+    with _observability(args) as recorder, signal_scope:
         start = time.perf_counter()
         result = densest_subgraph(
             graph,
@@ -154,6 +213,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
             sample_size=args.sample_size,
             seed=args.seed,
             recorder=recorder,
+            budget=budget,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
         )
         elapsed = time.perf_counter() - start
         print(result.summary())
@@ -162,6 +224,20 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print(f"query time: {elapsed:.3f}s")
         if args.show_vertices:
             print(f"vertices: {result.vertices}")
+        if result.is_partial:
+            if not result.valid:
+                print(
+                    f"budget exhausted at {result.stage or 'startup'} "
+                    "before any usable result",
+                    file=sys.stderr,
+                )
+                return EXIT_EXHAUSTED
+            print(
+                "budget exhausted: reported the best result achieved "
+                f"within the budget ({result.reason})",
+                file=sys.stderr,
+            )
+            return EXIT_PARTIAL
     return 0
 
 
@@ -278,6 +354,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="partial SCT*-k'-Index threshold (0 = complete index)",
     )
     _add_obs_flags(build)
+    _add_resilience_flags(build)
 
     query = sub.add_parser("query", help="find a k-clique densest subgraph")
     query.add_argument("graph", help="edge-list path or dataset:<name>")
@@ -296,6 +373,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the vertex ids of the reported subgraph",
     )
     _add_obs_flags(query)
+    _add_resilience_flags(query)
 
     profile = sub.add_parser(
         "profile", help="densest subgraph for every k from one index"
@@ -358,6 +436,9 @@ def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
+    except BudgetExhausted as exc:
+        print(f"budget exhausted: {exc}", file=sys.stderr)
+        return EXIT_EXHAUSTED
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Any, Dict, List, Optional
 
-__all__ = ["DensestSubgraphResult"]
+__all__ = ["DensestSubgraphResult", "PartialResult"]
 
 
 @dataclass
@@ -72,6 +72,12 @@ class DensestSubgraphResult:
             return 1.0 if self.density_fraction == 0 else float("inf")
         return float(self.density_fraction / optimal_density)
 
+    @property
+    def is_partial(self) -> bool:
+        """Whether this is a degraded best-so-far result (see
+        :class:`PartialResult`)."""
+        return False
+
     def summary(self) -> str:
         """One-line human-readable summary."""
         flag = "exact" if self.exact else "approx"
@@ -79,3 +85,44 @@ class DensestSubgraphResult:
             f"{self.algorithm} (k={self.k}, {flag}): |S|={self.size}, "
             f"cliques={self.clique_count}, density={self.density:.4f}"
         )
+
+
+@dataclass
+class PartialResult(DensestSubgraphResult):
+    """Best-so-far outcome of a budget-exhausted or cancelled run.
+
+    Every result-returning stage of the pipeline degrades to this instead
+    of crashing when its :class:`~repro.resilience.RunBudget` runs out:
+    the inherited fields carry the best *achieved* subgraph at the last
+    completed boundary (weights included in ``stats`` where the full run
+    would include them), and three extra fields describe the degradation:
+
+    Attributes
+    ----------
+    valid:
+        ``True`` when ``vertices``/``clique_count`` describe a genuine
+        subgraph of the input with its true k-clique count — usable as an
+        approximation.  ``False`` when the run stopped before producing
+        anything usable (e.g. during the index build); the result is then
+        empty and only ``reason``/``stage`` are meaningful.
+    reason:
+        Why the run stopped: ``"deadline"``, ``"max_iterations"`` or
+        ``"cancelled"`` (mirroring
+        :attr:`~repro.errors.BudgetExhausted.reason`).
+    stage:
+        The pipeline stage (obs span name) that observed the exhaustion.
+    """
+
+    valid: bool = True
+    reason: str = ""
+    stage: str = ""
+
+    @property
+    def is_partial(self) -> bool:
+        return True
+
+    def summary(self) -> str:
+        base = super().summary()
+        tag = "partial" if self.valid else "partial, no usable result"
+        where = f" at {self.stage}" if self.stage else ""
+        return f"{base} [{tag}: {self.reason}{where}]"

@@ -26,11 +26,12 @@ from fractions import Fraction
 from math import comb
 from typing import List, Optional
 
-from ..errors import SolverError
+from ..errors import BudgetExhausted, SolverError
 from ..flow.densest import count_cliques_inside, find_denser_subgraph
 from ..graph.graph import Graph
 from ..obs import NULL_RECORDER, Recorder
-from .density import DensestSubgraphResult
+from ..resilience.budget import NULL_BUDGET, Budget
+from .density import DensestSubgraphResult, PartialResult
 from .reductions import engagement_threshold
 from .sampling import sctl_star_sample
 from .sct import SCTIndex
@@ -51,6 +52,9 @@ def sctl_star_exact(
     seed: int = 0,
     max_rounds: int = 30,
     recorder: Recorder = NULL_RECORDER,
+    budget: Budget = NULL_BUDGET,
+    checkpoint=None,
+    resume: bool = False,
 ) -> DensestSubgraphResult:
     """Exact k-clique densest subgraph via Algorithm 7.
 
@@ -78,9 +82,37 @@ def sctl_star_exact(
         verification round (the nested SCTL* refinement and its
         reduction spans land underneath) — plus scope/drop counters and
         the running density gauge.
+    budget:
+        Optional :class:`~repro.resilience.RunBudget`, polled at every
+        stage boundary and threaded into the warm start, the nested index
+        builds and the nested SCTL* refinement.  On exhaustion the run
+        falls back from the flow-certified exact answer to its best
+        achieved estimate (sampling warm start or better), returned as a
+        *valid* non-exact :class:`~repro.core.density.PartialResult`;
+        only exhaustion during the initial index build — before anything
+        is achieved — yields an invalid one.
+    checkpoint / resume:
+        Forwarded to the initial :meth:`SCTIndex.build` (kind
+        ``"sct-build"``) when the index is built here; nested sub-scope
+        builds and refinements run budget-only to keep checkpoint kinds
+        unambiguous.
     """
     if index is None:
-        index = SCTIndex.build(graph, recorder=recorder)
+        try:
+            index = SCTIndex.build(
+                graph, recorder=recorder, budget=budget,
+                checkpoint=checkpoint, resume=resume,
+            )
+        except BudgetExhausted as exc:
+            return PartialResult(
+                vertices=[],
+                clique_count=0,
+                k=k,
+                algorithm="SCTL*-Exact",
+                valid=False,
+                reason=exc.reason,
+                stage=exc.stage or "index/build",
+            )
     if index.max_clique_size < k:
         return empty_result(k, "SCTL*-Exact", exact=True)
 
@@ -88,7 +120,7 @@ def sctl_star_exact(
     with recorder.span("exact/warm_start"):
         warm = sctl_star_sample(
             index, k, sample_size=sample_size, iterations=iterations,
-            seed=seed, recorder=recorder,
+            seed=seed, recorder=recorder, budget=budget,
         )
         best_vertices = warm.vertices
         best_count = warm.clique_count
@@ -102,6 +134,33 @@ def sctl_star_exact(
     if recorder.enabled:
         recorder.gauge("exact/warm_density", float(best_density))
 
+    def _degrade(reason: str, stage: str, flow_rounds: int = 0) -> PartialResult:
+        # the warm start (or a later flow round) already achieved a genuine
+        # subgraph, so exhaustion degrades to its best density, un-certified
+        if recorder.enabled:
+            recorder.counter("budget/exhausted")
+            recorder.gauge("budget/reason", reason)
+            recorder.gauge("budget/stage", stage)
+        return PartialResult(
+            vertices=sorted(best_vertices),
+            clique_count=best_count,
+            k=k,
+            algorithm="SCTL*-Exact",
+            upper_bound=None,
+            exact=False,
+            stats={
+                "warm_density": float(warm.density_fraction),
+                "flow_rounds": flow_rounds,
+            },
+            reason=reason,
+            stage=stage,
+        )
+
+    if budget.active:
+        reason = budget.exceeded()
+        if reason:
+            return _degrade(reason, "exact/scope_reduction")
+
     logger.debug(
         "warm start: density %.6f (sample %.6f, max clique %.6f)",
         float(best_density), float(warm.density_fraction), float(clique_density),
@@ -114,6 +173,10 @@ def sctl_star_exact(
         scope = [v for v in graph.vertices() if engagement[v] >= threshold]
         fixed_point_rounds = 0
         while True:
+            if budget.active:
+                reason = budget.exceeded()
+                if reason:
+                    return _degrade(reason, "exact/scope_reduction")
             fixed_point_rounds += 1
             inside = index.per_vertex_counts_in_subset(k, scope)
             reduced = [v for v in scope if inside[v] >= threshold]
@@ -135,26 +198,44 @@ def sctl_star_exact(
         )
 
     # ---- stage 3: refine + verify ---------------------------------------
-    with recorder.span("exact/scope_index"):
-        subgraph, originals = graph.induced_subgraph(scope)
-        sub_index = SCTIndex.build(subgraph, recorder=recorder)
-        cliques = [
-            tuple(originals[v] for v in clique)
-            for clique in sub_index.iter_k_cliques(k)
-        ]
+    try:
+        with recorder.span("exact/scope_index"):
+            subgraph, originals = graph.induced_subgraph(scope)
+            sub_index = SCTIndex.build(subgraph, recorder=recorder, budget=budget)
+            cliques = [
+                tuple(originals[v] for v in clique)
+                for clique in sub_index.iter_k_cliques(k)
+            ]
+    except BudgetExhausted as exc:
+        return _degrade(exc.reason, "exact/scope_index")
     if recorder.enabled:
         recorder.counter("exact/scope_cliques", len(cliques))
     flow_rounds = 0
     current_iterations = iterations
     for _ in range(max_rounds):
+        if budget.active:
+            reason = budget.exceeded()
+            if reason:
+                return _degrade(
+                    reason, f"exact/flow_round/{flow_rounds + 1}", flow_rounds
+                )
         with recorder.span(f"exact/flow_round/{flow_rounds + 1}"):
             refined = sctl_star(
-                sub_index, k, iterations=current_iterations, recorder=recorder
+                sub_index, k, iterations=current_iterations,
+                recorder=recorder, budget=budget,
             )
             if refined.density_fraction > best_density:
                 best_vertices = sorted(originals[v] for v in refined.vertices)
                 best_count = refined.clique_count
                 best_density = refined.density_fraction
+            if refined.is_partial:
+                # the nested refinement ran out mid-round: fold in whatever
+                # it achieved and degrade instead of paying for a flow check
+                return _degrade(
+                    refined.reason or "deadline",
+                    f"exact/flow_round/{flow_rounds + 1}",
+                    flow_rounds,
+                )
             flow_rounds += 1
             logger.debug(
                 "flow round %d: checking optimality of density %.6f over %d cliques",

@@ -25,9 +25,10 @@ from fractions import Fraction
 from math import comb
 from typing import Iterable, List, Optional, Tuple
 
-from ..errors import InvalidParameterError
+from ..errors import BudgetExhausted, InvalidParameterError
 from ..obs import NULL_RECORDER, Recorder
-from .density import DensestSubgraphResult
+from ..resilience.budget import NULL_BUDGET, Budget
+from .density import DensestSubgraphResult, PartialResult
 from .extraction import best_prefix_from_cliques
 from .reductions import engagement_threshold
 from .sct import SCTIndex, SCTPath
@@ -80,6 +81,7 @@ def sample_k_cliques(
     sample_size: int,
     rng: random.Random,
     recorder: Recorder = NULL_RECORDER,
+    budget: Budget = NULL_BUDGET,
 ) -> List[Tuple[int, ...]]:
     """Stage 1: a proportional, distinct-per-path sample of k-cliques.
 
@@ -95,24 +97,43 @@ def sample_k_cliques(
     An enabled ``recorder`` gets a ``sample/draw`` span plus counters for
     the clique population, the paths that received samples, and the
     cliques actually drawn.
+
+    A ``budget`` is polled per path; on exhaustion the partially drawn
+    sample is useless (its shares no longer sum correctly), so this
+    function raises :class:`~repro.errors.BudgetExhausted` and the caller
+    degrades.
     """
     with recorder.span("sample/draw"):
         total = 0
+        seen = 0
         for p in paths:
+            seen += 1
+            if budget.active and not seen % 1024:
+                budget.check("sample/draw")
             total += p.clique_count(k)
         if total == 0:
             return []
         if recorder.enabled:
             recorder.counter("sample/clique_population", total)
         if sample_size >= total:
-            out = [c for p in paths for c in p.iter_cliques(k)]
+            out = []
+            seen = 0
+            for p in paths:
+                seen += 1
+                if budget.active and not seen % 1024:
+                    budget.check("sample/draw")
+                out.extend(p.iter_cliques(k))
             if recorder.enabled:
                 recorder.counter("sample/cliques_drawn", len(out))
             return out
         out = []
         accumulated = 0
         paths_sampled = 0
+        seen = 0
         for path in paths:
+            seen += 1
+            if budget.active and not seen % 1024:
+                budget.check("sample/draw")
             count = path.clique_count(k)
             if not count:
                 continue
@@ -140,6 +161,7 @@ def sctl_star_sample(
     use_reduction: bool = True,
     paths: Optional[Iterable[SCTPath]] = None,
     recorder: Recorder = NULL_RECORDER,
+    budget: Budget = NULL_BUDGET,
 ) -> DensestSubgraphResult:
     """Run SCTL*-Sample (Algorithm 6).
 
@@ -168,6 +190,14 @@ def sctl_star_sample(
         Observability hook (``repro.obs``): ``sample/draw``,
         ``sample/refine`` and ``sample/recover`` spans with draw/visit
         counters and the sampled vs. recovered density gauges.
+    budget:
+        Optional :class:`~repro.resilience.RunBudget`.  Exhaustion during
+        the draw stage yields an *invalid*
+        :class:`~repro.core.density.PartialResult` (a partial sample's
+        shares are biased, so nothing usable exists yet); exhaustion
+        during refinement rolls the half-swept pass back and degrades to
+        a *valid* partial result — recovery still measures the true
+        density of the extracted prefix on the original graph.
     """
     if sample_size < 1:
         raise InvalidParameterError(f"sample_size must be >= 1, got {sample_size}")
@@ -180,12 +210,31 @@ def sctl_star_sample(
     partial_approximation = not index.supports_k(k) and k >= 1
     if paths is None:
         paths = index.path_view(k, enforce_support=not partial_approximation)
-    sampled = sample_k_cliques(paths, k, sample_size, rng, recorder=recorder)
+    try:
+        sampled = sample_k_cliques(
+            paths, k, sample_size, rng, recorder=recorder, budget=budget
+        )
+    except BudgetExhausted as exc:
+        if recorder.enabled:
+            recorder.counter("budget/exhausted")
+            recorder.gauge("budget/reason", exc.reason)
+            recorder.gauge("budget/stage", "sample/draw")
+        return PartialResult(
+            vertices=[],
+            clique_count=0,
+            k=k,
+            algorithm="SCTL*-Sample",
+            valid=False,
+            reason=exc.reason,
+            stage="sample/draw",
+        )
     if not sampled:
         return empty_result(k, "SCTL*-Sample")
     n = index.n_vertices
 
     # stage 2: weight refinement on the sampled subgraph
+    exhausted: Optional[str] = None
+    completed = 0
     with recorder.span("sample/refine"):
         weights = [0] * n
         engagement = [0] * n
@@ -196,13 +245,27 @@ def sctl_star_sample(
         rho_sample = Fraction(0)
         visited_total = 0
         for _ in range(iterations):
+            if budget.active:
+                exhausted = budget.exceeded()
+                if exhausted:
+                    break
+            # snapshot whenever a real budget is threaded, not just when it
+            # is already active: a cancel (signal, fault) can arm it mid-pass
+            iter_weights = weights[:] if budget is not NULL_BUDGET else None
+            iter_visited = visited_total
             threshold = (
                 engagement_threshold(rho_sample)
                 if use_reduction and rho_sample > 0
                 else 0
             )
             new_engagement = [0] * n if use_reduction else engagement
+            swept = 0
             for clique in sampled:
+                swept += 1
+                if budget.active and not swept % 4096:
+                    exhausted = budget.exceeded()
+                    if exhausted:
+                        break
                 if threshold and any(engagement[v] < threshold for v in clique):
                     continue
                 u = min(clique, key=weights.__getitem__)
@@ -211,12 +274,20 @@ def sctl_star_sample(
                 if use_reduction:
                     for v in clique:
                         new_engagement[v] += 1
+            if exhausted:
+                # roll the half-swept pass back to its entry state
+                weights = iter_weights
+                visited_total = iter_visited
+                break
             engagement = new_engagement
             prefix = best_prefix_from_cliques(
                 sampled, weights, restrict_to=sampled_vertices
             )
             if prefix.density_fraction > rho_sample:
                 rho_sample = prefix.density_fraction
+            completed += 1
+            if budget.active:
+                budget.tick()
         if recorder.enabled:
             recorder.counter("sample/clique_visits", visited_total)
             recorder.counter("sample/vertices", len(sampled_vertices))
@@ -229,6 +300,16 @@ def sctl_star_sample(
         )
         chosen = sorted(prefix.vertices)
         if not chosen:
+            if exhausted:
+                return PartialResult(
+                    vertices=[],
+                    clique_count=0,
+                    k=k,
+                    algorithm="SCTL*-Sample",
+                    valid=False,
+                    reason=exhausted,
+                    stage="sample/refine",
+                )
             return empty_result(k, "SCTL*-Sample")
         true_count = index.count_in_subset(
             k, chosen, enforce_support=not partial_approximation
@@ -237,18 +318,34 @@ def sctl_star_sample(
             recorder.gauge(
                 "sample/recovered_density", true_count / len(chosen)
             )
+    run_stats = {
+        "sampled_cliques": len(sampled),
+        "sampled_vertices": len(sampled_vertices),
+        "sample_density": float(rho_sample),
+        "clique_visits": visited_total,
+        "weights": weights,
+        "partial_index_approximation": partial_approximation,
+    }
+    if exhausted:
+        if recorder.enabled:
+            recorder.counter("budget/exhausted")
+            recorder.gauge("budget/reason", exhausted)
+            recorder.gauge("budget/stage", "sample/refine")
+        return PartialResult(
+            vertices=chosen,
+            clique_count=true_count,
+            k=k,
+            algorithm="SCTL*-Sample",
+            iterations=completed,
+            stats=run_stats,
+            reason=exhausted,
+            stage="sample/refine",
+        )
     return DensestSubgraphResult(
         vertices=chosen,
         clique_count=true_count,
         k=k,
         algorithm="SCTL*-Sample",
         iterations=iterations,
-        stats={
-            "sampled_cliques": len(sampled),
-            "sampled_vertices": len(sampled_vertices),
-            "sample_density": float(rho_sample),
-            "clique_visits": visited_total,
-            "weights": weights,
-            "partial_index_approximation": partial_approximation,
-        },
+        stats=run_stats,
     )

@@ -27,14 +27,22 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from math import comb
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, IO, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..cliques.ordered_view import OrderedGraphView, build_ordered_view
 from ..errors import IndexBuildError, IndexQueryError
 from ..graph.graph import Graph
 from ..obs import NULL_RECORDER, Recorder
+from ..resilience.budget import NULL_BUDGET, Budget
+from ..resilience.checkpoint import Checkpointer, atomic_writer, require_match
 
 __all__ = ["SCTPath", "SCTPathView", "SCTIndex", "HOLD", "PIVOT"]
+
+# during a budgeted build, poll the budget every this many new tree nodes
+# (roots are always polled; this bounds the latency inside one huge subtree)
+_BUILD_POLL_NODES = 4096
+
+_BUILD_CHECKPOINT_KIND = "sct-build"
 
 HOLD = 0
 PIVOT = 1
@@ -137,6 +145,9 @@ class SCTIndex:
         threshold: int = 0,
         view: Optional[OrderedGraphView] = None,
         recorder: Recorder = NULL_RECORDER,
+        budget: Budget = NULL_BUDGET,
+        checkpoint=None,
+        resume: bool = False,
     ) -> "SCTIndex":
         """Build the SCT*-Index of ``graph``.
 
@@ -158,11 +169,31 @@ class SCTIndex:
             an ``index/build`` span, node/label counters and the
             per-lemma root-pruning tallies; the default null recorder
             costs nothing.
+        budget:
+            Optional :class:`~repro.resilience.RunBudget`.  The build
+            polls it per root subtree (and every few thousand nodes
+            inside one) and, on exhaustion, saves a checkpoint when one
+            is configured and raises the matching
+            :class:`~repro.errors.BudgetExhausted` — a build cannot
+            return a partial index, but it can resume.  The default
+            :data:`~repro.resilience.NULL_BUDGET` costs nothing.
+        checkpoint:
+            A :class:`~repro.resilience.Checkpointer` or a directory
+            path.  When set, the build frontier (the flat node arrays
+            plus the next root to expand) is snapshotted atomically at
+            root-subtree boundaries whenever the checkpointer says a save
+            is due, and cleared once the build completes.
+        resume:
+            Restart from the ``checkpoint`` directory's build snapshot
+            (validated against the graph's ``n``/``m`` and the
+            ``threshold``).  A resumed build is bit-identical to an
+            uninterrupted one.  No snapshot present means a fresh build.
         """
         if threshold < 0:
             raise IndexBuildError(f"threshold must be >= 0, got {threshold}")
+        ckpt = Checkpointer.ensure(checkpoint)
         with recorder.span("index/build"):
-            return cls._build(graph, threshold, view, recorder)
+            return cls._build(graph, threshold, view, recorder, budget, ckpt, resume)
 
     @classmethod
     def _build(
@@ -171,6 +202,9 @@ class SCTIndex:
         threshold: int,
         view: Optional[OrderedGraphView],
         recorder: Recorder,
+        budget: Budget = NULL_BUDGET,
+        ckpt: Optional[Checkpointer] = None,
+        resume: bool = False,
     ) -> "SCTIndex":
         if view is None:
             with recorder.span("ordered_view"):
@@ -188,6 +222,51 @@ class SCTIndex:
         depth_of: List[int] = [0]
         pruned_outdeg = 0
         pruned_core = 0
+        start_root = 0
+        if resume and ckpt is not None:
+            payload = ckpt.load(_BUILD_CHECKPOINT_KIND)
+            if payload is not None:
+                require_match(
+                    payload,
+                    {"n": graph.n, "m": graph.m, "threshold": threshold},
+                    _BUILD_CHECKPOINT_KIND,
+                )
+                vertex = payload["vertex"]
+                label = payload["label"]
+                children = payload["children"]
+                parent = payload["parent"]
+                depth_of = payload["depth_of"]
+                pruned_outdeg = payload["pruned_outdeg"]
+                pruned_core = payload["pruned_core"]
+                start_root = payload["next_root"]
+                if recorder.enabled:
+                    recorder.counter("checkpoint/resumed")
+
+        def frontier_state(next_root: int) -> Dict[str, object]:
+            return {
+                "n": graph.n,
+                "m": graph.m,
+                "threshold": threshold,
+                "next_root": next_root,
+                "vertex": vertex,
+                "label": label,
+                "children": children,
+                "parent": parent,
+                "depth_of": depth_of,
+                "pruned_outdeg": pruned_outdeg,
+                "pruned_core": pruned_core,
+            }
+
+        def exhaust(reason: str, next_root: int):
+            if ckpt is not None:
+                ckpt.save(_BUILD_CHECKPOINT_KIND, frontier_state(next_root))
+                if recorder.enabled:
+                    recorder.counter("checkpoint/saves")
+            if recorder.enabled:
+                recorder.counter("budget/exhausted")
+                recorder.gauge("budget/reason", reason)
+                recorder.gauge("budget/stage", "index/build")
+            return budget.error(reason, stage="index/build")
 
         def new_node(orig_vertex: int, node_label: int, par: int, depth: int) -> int:
             node = len(vertex)
@@ -199,7 +278,12 @@ class SCTIndex:
             children[par].append(node)
             return node
 
-        for i in range(n):
+        nodes_since_poll = 0
+        for i in range(start_root, n):
+            if budget.active:
+                reason = budget.exceeded()
+                if reason:
+                    raise exhaust(reason, i)
             if threshold:
                 if out[i].bit_count() + 1 < threshold:
                     pruned_outdeg += 1
@@ -207,6 +291,7 @@ class SCTIndex:
                 if core[i] + 1 < threshold:
                     pruned_core += 1
                     continue  # degeneracy pre-pruning
+            root_start = len(vertex)
             root_child = new_node(order[i], HOLD, 0, 1)
             # Pivoter expansion on an explicit frame stack, so clique trees
             # deeper than the interpreter's recursion limit build fine.
@@ -215,6 +300,21 @@ class SCTIndex:
             # holds the not-yet-branched non-neighbours of the pivot.
             stack: List[List] = [[root_child, out[i], 1, None, 0]]
             while stack:
+                if budget.active:
+                    nodes_since_poll += 1
+                    if nodes_since_poll >= _BUILD_POLL_NODES:
+                        nodes_since_poll = 0
+                        reason = budget.exceeded()
+                        if reason:
+                            # roll the current root's partial subtree back so
+                            # the checkpoint sits exactly on a root boundary
+                            del vertex[root_start:]
+                            del label[root_start:]
+                            del children[root_start:]
+                            del parent[root_start:]
+                            del depth_of[root_start:]
+                            children[0].pop()
+                            raise exhaust(reason, i)
                 frame = stack[-1]
                 node, cand, depth = frame[0], frame[1], frame[2]
                 if frame[3] is None:
@@ -257,6 +357,14 @@ class SCTIndex:
                     )
                     continue
                 stack.pop()
+            if ckpt is not None and ckpt.due(_BUILD_CHECKPOINT_KIND):
+                ckpt.save(_BUILD_CHECKPOINT_KIND, frontier_state(i + 1))
+                if recorder.enabled:
+                    recorder.counter("checkpoint/saves")
+        if ckpt is not None:
+            # the frontier snapshot only describes an unfinished build;
+            # leaving it behind would make a later resume= skip real work
+            ckpt.clear(_BUILD_CHECKPOINT_KIND)
 
         # max-depth in one backward sweep: children always have larger ids
         # than their parent, so by the time a node propagates upward its own
@@ -446,6 +554,7 @@ class SCTIndex:
         k: Optional[int] = None,
         enforce_support: bool = True,
         recorder: Recorder = NULL_RECORDER,
+        budget: Budget = NULL_BUDGET,
     ) -> Iterator[SCTPath]:
         """Yield root-to-leaf paths as :class:`SCTPath` objects.
 
@@ -469,9 +578,14 @@ class SCTIndex:
         An enabled ``recorder`` tallies ``paths/yielded`` and (with ``k``)
         ``paths/cliques`` — the number of k-cliques the yielded paths
         represent — once the traversal finishes or is closed.
+
+        An active ``budget`` is polled once per yielded path; on
+        exhaustion the iterator raises the matching
+        :class:`~repro.errors.BudgetExhausted` (a generator cannot
+        degrade to a partial result — its consumers do).
         """
         if recorder.enabled:
-            yield from self._iter_paths_recorded(k, enforce_support, recorder)
+            yield from self._iter_paths_recorded(k, enforce_support, recorder, budget)
             return
         if k is not None and enforce_support:
             self._require_k(k)
@@ -484,10 +598,16 @@ class SCTIndex:
         for node, holds, pivots in self._iter_traversal(k):
             if not children[node]:
                 if k is None or len(holds) <= k <= len(holds) + len(pivots):
+                    if budget.active:
+                        budget.check("index/paths")
                     yield SCTPath(tuple(holds), tuple(pivots))
 
     def _iter_paths_recorded(
-        self, k: Optional[int], enforce_support: bool, recorder: Recorder
+        self,
+        k: Optional[int],
+        enforce_support: bool,
+        recorder: Recorder,
+        budget: Budget = NULL_BUDGET,
     ) -> Iterator[SCTPath]:
         """Counting wrapper behind :meth:`iter_paths` with a live recorder.
 
@@ -497,7 +617,7 @@ class SCTIndex:
         n_paths = 0
         n_cliques = 0
         try:
-            for path in self.iter_paths(k, enforce_support):
+            for path in self.iter_paths(k, enforce_support, budget=budget):
                 n_paths += 1
                 if k is not None:
                     n_cliques += path.clique_count(k)
@@ -518,6 +638,7 @@ class SCTIndex:
         k: Optional[int] = None,
         enforce_support: bool = True,
         recorder: Recorder = NULL_RECORDER,
+        budget: Budget = NULL_BUDGET,
     ) -> "SCTPathView":
         """A re-iterable, zero-materialisation view over the valid paths.
 
@@ -531,7 +652,7 @@ class SCTIndex:
         """
         if k is not None and enforce_support:
             self._require_k(k)
-        return SCTPathView(self, k, enforce_support, recorder)
+        return SCTPathView(self, k, enforce_support, recorder, budget)
 
     def traversal_node_count(self, k: Optional[int] = None) -> int:
         """Number of tree nodes visited when listing k-cliques.
@@ -651,20 +772,29 @@ class SCTIndex:
         ``vertex label max_depth n_children child_ids``.
         Plain text keeps the file portable and diff-able; indexes are built
         offline, so load speed dominates and stays linear.
+
+        The write is crash-safe: content goes to a temporary file in the
+        same directory which then atomically replaces ``path``, so a
+        crash (or injected fault) mid-save leaves any previous index at
+        ``path`` intact and readable.
         """
-        with open(path, "w", encoding="utf-8") as handle:
-            header = {
-                "format": _FORMAT_VERSION,
-                "n_vertices": self._n_vertices,
-                "n_nodes": len(self._vertex),
-                "threshold": self._threshold,
-            }
-            handle.write(json.dumps(header) + "\n")
-            for i in range(len(self._vertex)):
-                kids = self._children[i]
-                fields = [self._vertex[i], self._label[i], self._max_depth[i], len(kids)]
-                fields.extend(kids)
-                handle.write(" ".join(map(str, fields)) + "\n")
+        with atomic_writer(path) as handle:
+            self._write(handle)
+
+    def _write(self, handle: IO[str]) -> None:
+        """Serialise the index onto an open text handle."""
+        header = {
+            "format": _FORMAT_VERSION,
+            "n_vertices": self._n_vertices,
+            "n_nodes": len(self._vertex),
+            "threshold": self._threshold,
+        }
+        handle.write(json.dumps(header) + "\n")
+        for i in range(len(self._vertex)):
+            kids = self._children[i]
+            fields = [self._vertex[i], self._label[i], self._max_depth[i], len(kids)]
+            fields.extend(kids)
+            handle.write(" ".join(map(str, fields)) + "\n")
 
     @classmethod
     def load(cls, path) -> "SCTIndex":
@@ -739,7 +869,7 @@ class SCTPathView:
     ever materialising it.
     """
 
-    __slots__ = ("_index", "_k", "_enforce_support", "_recorder")
+    __slots__ = ("_index", "_k", "_enforce_support", "_recorder", "_budget")
 
     def __init__(
         self,
@@ -747,17 +877,20 @@ class SCTPathView:
         k: Optional[int],
         enforce_support: bool = True,
         recorder: Recorder = NULL_RECORDER,
+        budget: Budget = NULL_BUDGET,
     ):
         self._index = index
         self._k = k
         self._enforce_support = enforce_support
         self._recorder = recorder
+        self._budget = budget
 
     def __iter__(self) -> Iterator[SCTPath]:
         return self._index.iter_paths(
             self._k,
             enforce_support=self._enforce_support,
             recorder=self._recorder,
+            budget=self._budget,
         )
 
     def __repr__(self) -> str:

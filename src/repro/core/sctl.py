@@ -19,11 +19,15 @@ from typing import Iterable, List, Optional
 
 from ..errors import InvalidParameterError
 from ..obs import NULL_RECORDER, Recorder
-from .density import DensestSubgraphResult
+from ..resilience.budget import NULL_BUDGET, Budget
+from ..resilience.checkpoint import Checkpointer, require_match
+from .density import DensestSubgraphResult, PartialResult
 from .extraction import best_prefix_from_paths
 from .sct import SCTIndex, SCTPath
 
 __all__ = ["sctl", "empty_result"]
+
+_CHECKPOINT_KIND = "sctl-weights"
 
 
 def empty_result(k: int, algorithm: str, exact: bool = False) -> DensestSubgraphResult:
@@ -40,6 +44,9 @@ def sctl(
     paths: Optional[Iterable[SCTPath]] = None,
     track_convergence: bool = False,
     recorder: Recorder = NULL_RECORDER,
+    budget: Budget = NULL_BUDGET,
+    checkpoint=None,
+    resume: bool = False,
 ) -> DensestSubgraphResult:
     """Run SCTL for ``iterations`` rounds and extract the densest prefix.
 
@@ -66,6 +73,21 @@ def sctl(
         Observability hook (``repro.obs``): per-pass
         ``refine/iteration/<t>`` spans, ``refine/*`` counters and the L1
         weight-change gauge; the default null recorder is free.
+    budget:
+        Optional :class:`~repro.resilience.RunBudget`, polled at round
+        boundaries and per path inside a round.  On exhaustion the
+        function degrades to a :class:`~repro.core.density.PartialResult`
+        extracted from the weights of the last *completed* round (a
+        half-swept round is rolled back, so resumed runs keep exact
+        parity); with no completed rounds the partial result is empty
+        and flagged invalid.
+    checkpoint:
+        A :class:`~repro.resilience.Checkpointer` or directory path.
+        The weight vector is snapshotted atomically at round boundaries
+        whenever a save is due, and cleared once the run completes.
+    resume:
+        Restore the weight vector (validated against ``k``, the vertex
+        count and the algorithm) and continue from the next round.
 
     Returns a :class:`DensestSubgraphResult` whose ``stats`` carry the raw
     vertex weights (``"weights"``) and the per-pass clique count
@@ -73,6 +95,7 @@ def sctl(
     """
     if iterations < 1:
         raise InvalidParameterError(f"iterations must be >= 1, got {iterations}")
+    ckpt = Checkpointer.ensure(checkpoint)
     if paths is None:
         paths = index.path_view(k)  # streaming: re-traverse per pass
     n = index.n_vertices
@@ -80,20 +103,73 @@ def sctl(
     cliques_per_iteration = 0
     for p in paths:
         n_paths += 1
+        if budget.active and not n_paths % 1024:
+            reason = budget.exceeded()
+            if reason:
+                return _partial_sctl(
+                    k, reason, "refine/setup", recorder,
+                )
         cliques_per_iteration += p.clique_count(k)
     if not n_paths:
         return empty_result(k, "SCTL")
     track = recorder.enabled
     weights = [0] * n
+    start_round = 1
+    if resume and ckpt is not None:
+        payload = ckpt.load(_CHECKPOINT_KIND)
+        if payload is not None:
+            require_match(
+                payload, {"algorithm": "SCTL", "k": k, "n": n}, _CHECKPOINT_KIND
+            )
+            weights = payload["weights"]
+            start_round = payload["iteration"] + 1
+            if track:
+                recorder.counter("checkpoint/resumed")
     density_history = []
     upper_history = []
-    for round_number in range(1, iterations + 1):
+    completed = start_round - 1
+    exhausted: Optional[str] = None
+    for round_number in range(start_round, iterations + 1):
+        if budget.active:
+            exhausted = budget.exceeded()
+            if exhausted:
+                break
+        # snapshot whenever a real budget is threaded, not just when it is
+        # already active: a cancel (signal, fault) can arm it mid-sweep
+        round_start = weights[:] if budget is not NULL_BUDGET else None
         prev_weights = weights[:] if track else None
         with recorder.span(f"refine/iteration/{round_number}"):
+            swept = 0
             for path in paths:
+                swept += 1
+                if budget.active and not swept % 1024:
+                    exhausted = budget.exceeded()
+                    if exhausted:
+                        break
                 for clique in path.iter_cliques(k):
                     u = min(clique, key=weights.__getitem__)
                     weights[u] += 1
+            if exhausted:
+                # roll the half-swept round back to its entry state so the
+                # reported weights sit exactly on a round boundary
+                weights = round_start
+                break
+        completed = round_number
+        if budget.active:
+            budget.tick()
+        if ckpt is not None and ckpt.due(_CHECKPOINT_KIND):
+            ckpt.save(
+                _CHECKPOINT_KIND,
+                {
+                    "algorithm": "SCTL",
+                    "k": k,
+                    "n": n,
+                    "iteration": round_number,
+                    "weights": weights,
+                },
+            )
+            if track:
+                recorder.counter("checkpoint/saves")
         if track:
             # in SCTL every clique performs exactly one +1, so the update
             # count needs no in-loop tally
@@ -120,8 +196,26 @@ def sctl(
             )
             if track:
                 recorder.gauge("refine/density", snapshot.density)
+    if exhausted and not completed:
+        return _partial_sctl(k, exhausted, "refine/iteration/1", recorder)
+    if ckpt is not None:
+        if exhausted:
+            # persist the last completed round unconditionally so a resume
+            # continues exactly where this run degraded
+            ckpt.save(
+                _CHECKPOINT_KIND,
+                {
+                    "algorithm": "SCTL",
+                    "k": k,
+                    "n": n,
+                    "iteration": completed,
+                    "weights": weights,
+                },
+            )
+        else:
+            ckpt.clear(_CHECKPOINT_KIND)
     prefix = best_prefix_from_paths(paths, weights, k)
-    upper = max(max(weights) / iterations, prefix.density)
+    upper = max(max(weights) / completed, prefix.density)
     stats = {
         "weights": weights,
         "cliques_per_iteration": cliques_per_iteration,
@@ -130,6 +224,21 @@ def sctl(
     if track_convergence:
         stats["density_history"] = density_history
         stats["upper_bound_history"] = upper_history
+    if exhausted:
+        if track:
+            recorder.counter("budget/exhausted")
+            recorder.gauge("budget/reason", exhausted)
+        return PartialResult(
+            vertices=sorted(prefix.vertices),
+            clique_count=prefix.clique_count,
+            k=k,
+            algorithm="SCTL",
+            iterations=completed,
+            upper_bound=upper,
+            stats=stats,
+            reason=exhausted,
+            stage=f"refine/iteration/{completed + 1}",
+        )
     return DensestSubgraphResult(
         vertices=sorted(prefix.vertices),
         clique_count=prefix.clique_count,
@@ -138,4 +247,23 @@ def sctl(
         iterations=iterations,
         upper_bound=upper,
         stats=stats,
+    )
+
+
+def _partial_sctl(
+    k: int, reason: str, stage: str, recorder: Recorder
+) -> PartialResult:
+    """The empty, invalid partial result for pre-refinement exhaustion."""
+    if recorder.enabled:
+        recorder.counter("budget/exhausted")
+        recorder.gauge("budget/reason", reason)
+        recorder.gauge("budget/stage", stage)
+    return PartialResult(
+        vertices=[],
+        clique_count=0,
+        k=k,
+        algorithm="SCTL",
+        valid=False,
+        reason=reason,
+        stage=stage,
     )

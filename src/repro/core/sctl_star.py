@@ -29,8 +29,10 @@ from typing import Iterable, List, Optional, Sequence
 from ..errors import InvalidParameterError
 from ..graph.graph import Graph
 from ..obs import NULL_RECORDER, Recorder
+from ..resilience.budget import NULL_BUDGET, Budget
+from ..resilience.checkpoint import Checkpointer, require_match
 from .batch import batch_update
-from .density import DensestSubgraphResult
+from .density import DensestSubgraphResult, PartialResult
 from .extraction import best_prefix_from_paths
 from .reductions import engagement_threshold, kp_computation, partition_density_bounds
 from .sct import SCTIndex, SCTPath
@@ -39,6 +41,8 @@ from .sctl import empty_result
 __all__ = ["IterationStats", "sctl_star", "sctl_plus"]
 
 logger = logging.getLogger(__name__)
+
+_CHECKPOINT_KIND = "sctl-star-weights"
 
 
 @dataclass
@@ -71,6 +75,9 @@ def sctl_star(
     paths: Optional[Iterable[SCTPath]] = None,
     algorithm_name: Optional[str] = None,
     recorder: Recorder = NULL_RECORDER,
+    budget: Budget = NULL_BUDGET,
+    checkpoint=None,
+    resume: bool = False,
 ) -> DensestSubgraphResult:
     """Run SCTL* (Algorithm 5) and return the best extracted subgraph.
 
@@ -107,9 +114,30 @@ def sctl_star(
         telemetry: the achieved density and the L1 norm of the weight
         change.  The default null recorder leaves behaviour and output
         byte-identical.
+    budget:
+        Optional :class:`~repro.resilience.RunBudget`, polled at iteration
+        boundaries and per path inside a sweep.  On exhaustion the run
+        degrades to a :class:`~repro.core.density.PartialResult` carrying
+        the best subgraph achieved so far (a half-swept iteration is
+        rolled back to its entry state, so resumed runs keep exact
+        parity) — the result is always ``valid`` because SCTL* starts
+        from an achieved maximum clique.
+    checkpoint:
+        A :class:`~repro.resilience.Checkpointer` or directory path.
+        The full refinement state (weights, evolving engagement, best
+        subgraph, tallies) is snapshotted atomically at iteration
+        boundaries whenever a save is due, force-saved on exhaustion and
+        cleared once the run completes.
+    resume:
+        Restore the refinement state (validated against the algorithm
+        variant, ``k`` and the vertex count) and continue from the next
+        iteration.  Partition labels and density bounds are recomputed —
+        they derive deterministically from the initial engagement, so the
+        resumed run matches an uninterrupted one exactly.
     """
     if iterations < 1:
         raise InvalidParameterError(f"iterations must be >= 1, got {iterations}")
+    ckpt = Checkpointer.ensure(checkpoint)
     name = algorithm_name or (
         "SCTL*" if (use_reductions and use_batch)
         else "SCTL+" if use_reductions
@@ -145,7 +173,63 @@ def sctl_star(
     total_updates = 0
     total_processed = 0
     n_paths = 0
-    for t in range(1, iterations + 1):
+    start_iteration = 1
+    if resume and ckpt is not None:
+        payload = ckpt.load(_CHECKPOINT_KIND)
+        if payload is not None:
+            require_match(
+                payload,
+                {
+                    "algorithm": name,
+                    "k": k,
+                    "n": n,
+                    "use_reductions": use_reductions,
+                    "use_batch": use_batch,
+                },
+                _CHECKPOINT_KIND,
+            )
+            weights = payload["weights"]
+            if use_reductions:
+                engagement = payload["engagement"]
+            best_vertices = payload["best_vertices"]
+            best_count = payload["best_count"]
+            best_density = Fraction(
+                payload["best_density_num"], payload["best_density_den"]
+            )
+            total_updates = payload["total_updates"]
+            total_processed = payload["total_processed"]
+            start_iteration = payload["iteration"] + 1
+            if track:
+                recorder.counter("checkpoint/resumed")
+
+    def _state(iteration: int) -> dict:
+        return {
+            "algorithm": name,
+            "k": k,
+            "n": n,
+            "use_reductions": use_reductions,
+            "use_batch": use_batch,
+            "iteration": iteration,
+            "weights": weights,
+            "engagement": engagement if use_reductions else [],
+            "best_vertices": best_vertices,
+            "best_count": best_count,
+            "best_density_num": best_density.numerator,
+            "best_density_den": best_density.denominator,
+            "total_updates": total_updates,
+            "total_processed": total_processed,
+        }
+
+    completed = start_iteration - 1
+    exhausted: Optional[str] = None
+    for t in range(start_iteration, iterations + 1):
+        if budget.active:
+            exhausted = budget.exceeded()
+            if exhausted:
+                break
+        # snapshot whenever a real budget is threaded, not just when it is
+        # already active: a cancel (signal, fault) can arm it mid-sweep
+        iter_start_weights = weights[:] if budget is not NULL_BUDGET else None
         threshold = engagement_threshold(best_density)
         stats_entry = None
         if collect_stats:
@@ -164,6 +248,10 @@ def sctl_star(
         with recorder.span(f"refine/iteration/{t}"):
             for path in paths:
                 n_paths += 1
+                if budget.active:
+                    exhausted = budget.exceeded()
+                    if exhausted:
+                        break
                 if use_reductions:
                     if bounds[partition_of[path.holds[0]]] <= best_density:
                         if track:
@@ -207,6 +295,11 @@ def sctl_star(
                         u = min(clique, key=weights.__getitem__)
                         weights[u] += 1
                         updates += 1
+            if exhausted:
+                # roll the half-swept iteration back to its entry state so
+                # the reported weights sit exactly on an iteration boundary
+                weights = iter_start_weights
+                break
             if use_reductions:
                 engagement = new_engagement
             # re-extract to tighten the achieved density (Line 12)
@@ -217,6 +310,13 @@ def sctl_star(
             best_count = prefix.clique_count
         total_updates += updates
         total_processed += processed
+        completed = t
+        if budget.active:
+            budget.tick()
+        if ckpt is not None and ckpt.due(_CHECKPOINT_KIND):
+            ckpt.save(_CHECKPOINT_KIND, _state(t))
+            if track:
+                recorder.counter("checkpoint/saves")
         logger.debug(
             "%s iteration %d/%d: %d cliques, %d weight updates, density %.6f",
             name, t, iterations, processed, updates, float(best_density),
@@ -254,6 +354,42 @@ def sctl_star(
             stats_entry.rho = float(best_density)
             per_iteration.append(stats_entry)
 
+    run_stats = {
+        "weights": weights,
+        "paths": n_paths,
+        "total_weight_updates": total_updates,
+        "total_cliques_processed": total_processed,
+    }
+    if exhausted:
+        if ckpt is not None:
+            # persist the last completed iteration unconditionally so a
+            # resume continues exactly where this run degraded
+            ckpt.save(_CHECKPOINT_KIND, _state(completed))
+        if track:
+            recorder.counter("budget/exhausted")
+            recorder.gauge("budget/reason", exhausted)
+            recorder.gauge("budget/stage", f"refine/iteration/{completed + 1}")
+        upper = (
+            max(max(weights) / completed, float(best_density))
+            if completed
+            else None
+        )
+        result = PartialResult(
+            vertices=best_vertices,
+            clique_count=best_count,
+            k=k,
+            algorithm=name,
+            iterations=completed,
+            upper_bound=upper,
+            stats=run_stats,
+            reason=exhausted,
+            stage=f"refine/iteration/{completed + 1}",
+        )
+        if collect_stats:
+            result.stats["iterations"] = per_iteration
+        return result
+    if ckpt is not None:
+        ckpt.clear(_CHECKPOINT_KIND)
     upper = max(max(weights) / iterations, float(best_density))
     result = DensestSubgraphResult(
         vertices=best_vertices,
@@ -262,12 +398,7 @@ def sctl_star(
         algorithm=name,
         iterations=iterations,
         upper_bound=upper,
-        stats={
-            "weights": weights,
-            "paths": n_paths,
-            "total_weight_updates": total_updates,
-            "total_cliques_processed": total_processed,
-        },
+        stats=run_stats,
     )
     if collect_stats:
         result.stats["iterations"] = per_iteration
@@ -282,6 +413,9 @@ def sctl_plus(
     collect_stats: bool = False,
     paths: Optional[Iterable[SCTPath]] = None,
     recorder: Recorder = NULL_RECORDER,
+    budget: Budget = NULL_BUDGET,
+    checkpoint=None,
+    resume: bool = False,
 ) -> DensestSubgraphResult:
     """SCTL+ — SCTL with graph reductions but per-clique weight updates."""
     return sctl_star(
@@ -295,6 +429,9 @@ def sctl_plus(
         paths=paths,
         algorithm_name="SCTL+",
         recorder=recorder,
+        budget=budget,
+        checkpoint=checkpoint,
+        resume=resume,
     )
 
 

@@ -36,14 +36,62 @@ class DatasetError(ReproError):
     """Unknown dataset name or malformed dataset file."""
 
 
+class EdgeListParseError(DatasetError, GraphError):
+    """A malformed line in an edge-list file.
+
+    Carries the 1-based ``lineno`` and the offending ``text`` so callers
+    (and the CLI) can point at the exact input that failed.  Subclasses
+    both :class:`DatasetError` (it is a malformed dataset file) and
+    :class:`GraphError` (it surfaces from graph I/O), so either family
+    catches it.
+    """
+
+    def __init__(self, lineno: int, text: str, message: str = ""):
+        self.lineno = lineno
+        self.text = text
+        detail = message or (
+            f"line {lineno}: expected two vertex tokens, got {text!r}"
+        )
+        super().__init__(detail)
+
+
 class SolverError(ReproError):
     """An exact solver failed to converge or verify optimality."""
 
 
-class TimeoutExceeded(ReproError):
-    """A benchmark run exceeded its wall-clock budget."""
+class BudgetExhausted(ReproError):
+    """A :class:`~repro.resilience.RunBudget` ran out or was cancelled.
 
-    def __init__(self, budget_seconds: float, message: str = ""):
+    ``reason`` is one of ``"deadline"``, ``"max_iterations"`` or
+    ``"cancelled"``; ``stage`` names the pipeline stage (obs span name)
+    that observed the exhaustion, when known.  Result-returning entry
+    points catch this internally and degrade to a
+    :class:`~repro.core.density.PartialResult`; only non-result producers
+    (``SCTIndex.build``, ``iter_paths``) let it propagate.
+    """
+
+    def __init__(self, message: str = "run budget exhausted",
+                 reason: str = "deadline", stage: str = ""):
+        self.reason = reason
+        self.stage = stage
+        super().__init__(message)
+
+
+class CheckpointError(ReproError):
+    """A checkpoint snapshot is missing fields, corrupt, or incompatible
+    with the run attempting to resume from it."""
+
+
+class TimeoutExceeded(BudgetExhausted):
+    """A run exceeded its wall-clock budget.
+
+    Historically the bench harness's soft-timeout type; it is now the
+    ``reason == "deadline"`` case of :class:`BudgetExhausted`, so bench
+    and core share one exhaustion family.
+    """
+
+    def __init__(self, budget_seconds: float, message: str = "",
+                 stage: str = ""):
         self.budget_seconds = budget_seconds
         detail = message or f"exceeded time budget of {budget_seconds:.3f}s"
-        super().__init__(detail)
+        super().__init__(detail, reason="deadline", stage=stage)

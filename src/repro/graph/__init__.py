@@ -16,7 +16,7 @@ from .generators import (
     relaxed_caveman_graph,
 )
 from .graph import Graph, iter_bits
-from .io import read_edge_list, write_edge_list
+from .io import parse_edge_lines, read_edge_list, write_edge_list
 from .orientation import DegeneracyDAG, build_degeneracy_dag
 
 __all__ = [
@@ -32,6 +32,7 @@ __all__ = [
     "connected_components",
     "component_of",
     "is_connected",
+    "parse_edge_lines",
     "read_edge_list",
     "write_edge_list",
     "gnp_graph",

@@ -10,7 +10,7 @@ from __future__ import annotations
 import os
 from typing import Iterable, List, Tuple, Union
 
-from ..errors import GraphError
+from ..errors import EdgeListParseError
 from .graph import Graph
 
 __all__ = ["read_edge_list", "write_edge_list", "parse_edge_lines"]
@@ -18,11 +18,15 @@ __all__ = ["read_edge_list", "write_edge_list", "parse_edge_lines"]
 PathLike = Union[str, "os.PathLike[str]"]
 
 
-def parse_edge_lines(lines: Iterable[str]) -> List[Tuple[str, str]]:
+def parse_edge_lines(
+    lines: Iterable[str], source: str = ""
+) -> List[Tuple[str, str]]:
     """Parse edge-list text lines into ``(u, v)`` label pairs.
 
     Blank lines and lines starting with ``#`` or ``%`` are skipped.
-    Raises :class:`GraphError` on malformed lines.
+    Raises :class:`~repro.errors.EdgeListParseError` on malformed lines,
+    carrying the 1-based line number and the offending text (prefixed
+    with ``source`` when given, e.g. the file path).
     """
     edges: List[Tuple[str, str]] = []
     for lineno, raw in enumerate(lines, start=1):
@@ -31,7 +35,11 @@ def parse_edge_lines(lines: Iterable[str]) -> List[Tuple[str, str]]:
             continue
         parts = line.split()
         if len(parts) < 2:
-            raise GraphError(f"line {lineno}: expected two vertex tokens, got {line!r}")
+            where = f"{source}, line {lineno}" if source else f"line {lineno}"
+            raise EdgeListParseError(
+                lineno, line,
+                f"{where}: expected two vertex tokens, got {line!r}",
+            )
         u, v = parts[0], parts[1]
         if u == v:
             continue  # SNAP files occasionally contain self-loops; drop them
@@ -52,7 +60,7 @@ def read_edge_list(path: PathLike, directed_as_undirected: bool = True) -> Graph
     """
     del directed_as_undirected  # undirected is the only supported mode
     with open(path, "r", encoding="utf-8") as handle:
-        pairs = parse_edge_lines(handle)
+        pairs = parse_edge_lines(handle, source=str(path))
     return Graph.from_edges(pairs)
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import GraphError
+from repro.errors import DatasetError, EdgeListParseError, GraphError
 from repro.graph import Graph, gnp_graph, read_edge_list, write_edge_list
 from repro.graph.io import parse_edge_lines
 
@@ -21,6 +21,40 @@ class TestParse:
     def test_malformed_line_raises(self):
         with pytest.raises(GraphError):
             parse_edge_lines(["justone"])
+
+
+class TestParseErrors:
+    def test_error_carries_line_number_and_text(self):
+        lines = ["# header", "1 2", "broken"]
+        with pytest.raises(EdgeListParseError) as excinfo:
+            parse_edge_lines(lines)
+        assert excinfo.value.lineno == 3
+        assert excinfo.value.text == "broken"
+        assert "line 3" in str(excinfo.value)
+        assert "'broken'" in str(excinfo.value)
+
+    def test_line_numbers_count_skipped_lines(self):
+        # comments and blanks still advance the reported line number
+        lines = ["", "# c", "%", "1 2", "", "oops"]
+        with pytest.raises(EdgeListParseError) as excinfo:
+            parse_edge_lines(lines)
+        assert excinfo.value.lineno == 6
+
+    def test_error_is_both_dataset_and_graph_error(self):
+        # old callers catch GraphError, the dataset layer catches
+        # DatasetError — the parse error satisfies both
+        with pytest.raises(DatasetError):
+            parse_edge_lines(["nope"])
+        with pytest.raises(GraphError):
+            parse_edge_lines(["nope"])
+
+    def test_read_edge_list_names_the_file(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("a b\nonlyone\n")
+        with pytest.raises(EdgeListParseError) as excinfo:
+            read_edge_list(path)
+        assert excinfo.value.lineno == 2
+        assert str(path) in str(excinfo.value)
 
 
 class TestRoundTrip:

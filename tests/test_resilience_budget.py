@@ -1,0 +1,138 @@
+"""Unit tests for repro.resilience.budget (RunBudget / NullBudget)."""
+
+import itertools
+import signal
+
+import pytest
+
+from repro.errors import BudgetExhausted, ReproError, TimeoutExceeded
+from repro.resilience import NULL_BUDGET, Budget, NullBudget, RunBudget
+
+
+def counting_clock(start: int = 0):
+    """A deterministic clock: each call advances time by one second."""
+    counter = itertools.count(start)
+    return lambda: next(counter)
+
+
+class TestNullBudget:
+    def test_never_active_never_exceeded(self):
+        assert NULL_BUDGET.active is False
+        assert NULL_BUDGET.exceeded() is None
+        NULL_BUDGET.check("anywhere")  # no-op
+        NULL_BUDGET.tick()
+        assert NULL_BUDGET.remaining() is None
+
+    def test_error_builds_generic_exception(self):
+        exc = NULL_BUDGET.error("deadline", stage="s")
+        assert isinstance(exc, BudgetExhausted)
+
+    def test_satisfies_protocol(self):
+        assert isinstance(NULL_BUDGET, Budget)
+        assert isinstance(RunBudget(wall_seconds=1), Budget)
+
+    def test_shared_instance(self):
+        assert isinstance(NULL_BUDGET, NullBudget)
+
+
+class TestRunBudgetActivation:
+    def test_no_limits_means_inactive(self):
+        assert RunBudget().active is False
+
+    def test_any_limit_activates(self):
+        assert RunBudget(wall_seconds=10).active is True
+        assert RunBudget(max_iterations=3).active is True
+
+    def test_cancel_activates(self):
+        budget = RunBudget()
+        budget.cancel("user request")
+        assert budget.active is True
+        assert budget.exceeded() == "cancelled"
+        assert budget.cancel_reason == "user request"
+
+    def test_invalid_limits_rejected(self):
+        with pytest.raises(ValueError):
+            RunBudget(wall_seconds=-1)
+        with pytest.raises(ValueError):
+            RunBudget(max_iterations=0)
+
+
+class TestDeadline:
+    def test_deterministic_deadline(self):
+        # construction consumes tick 0; deadline is at clock time 5
+        budget = RunBudget(wall_seconds=5, clock=counting_clock())
+        assert budget.exceeded() is None  # t=1
+        assert budget.exceeded() is None  # t=2
+        assert budget.exceeded() is None  # t=3
+        assert budget.exceeded() is None  # t=4
+        assert budget.exceeded() == "deadline"  # t=5
+
+    def test_remaining_counts_down(self):
+        budget = RunBudget(wall_seconds=10, clock=counting_clock())
+        first = budget.remaining()
+        second = budget.remaining()
+        assert first == 10 - 1
+        assert second == 10 - 2
+
+    def test_check_raises_timeout(self):
+        budget = RunBudget(wall_seconds=0)
+        with pytest.raises(TimeoutExceeded) as excinfo:
+            budget.check("index/build")
+        assert excinfo.value.reason == "deadline"
+        assert excinfo.value.stage == "index/build"
+        assert excinfo.value.budget_seconds == 0
+
+
+class TestIterationCap:
+    def test_exceeded_after_cap_ticks(self):
+        budget = RunBudget(max_iterations=2)
+        assert budget.exceeded() is None
+        budget.tick()
+        assert budget.exceeded() is None
+        budget.tick()
+        assert budget.exceeded() == "max_iterations"
+        assert budget.iterations == 2
+
+    def test_check_raises_budget_exhausted(self):
+        budget = RunBudget(max_iterations=1)
+        budget.tick()
+        with pytest.raises(BudgetExhausted) as excinfo:
+            budget.check("refine/iteration/2")
+        assert excinfo.value.reason == "max_iterations"
+        assert not isinstance(excinfo.value, TimeoutExceeded)
+
+
+class TestErrorTypes:
+    def test_timeout_is_budget_exhausted(self):
+        assert issubclass(TimeoutExceeded, BudgetExhausted)
+        assert issubclass(BudgetExhausted, ReproError)
+
+    def test_error_messages_carry_context(self):
+        budget = RunBudget(wall_seconds=7)
+        exc = budget.error("deadline", stage="exact/flow_round/2")
+        assert "7" in str(exc)
+        assert "exact/flow_round/2" in str(exc)
+        budget.cancel("shutting down")
+        exc = budget.error("cancelled")
+        assert "shutting down" in str(exc)
+
+
+class TestSignalHook:
+    def test_signal_cancels_and_restores_handler(self):
+        budget = RunBudget()
+        previous = signal.getsignal(signal.SIGTERM)
+        with budget.on_signal(signal.SIGTERM):
+            assert signal.getsignal(signal.SIGTERM) is not previous
+            signal.raise_signal(signal.SIGTERM)
+            assert budget.cancelled is True
+            assert "SIGTERM" in budget.cancel_reason
+        assert signal.getsignal(signal.SIGTERM) is previous
+        assert budget.exceeded() == "cancelled"
+
+    def test_handlers_restored_on_exception(self):
+        budget = RunBudget()
+        previous = signal.getsignal(signal.SIGTERM)
+        with pytest.raises(RuntimeError):
+            with budget.on_signal(signal.SIGTERM):
+                raise RuntimeError("boom")
+        assert signal.getsignal(signal.SIGTERM) is previous
