@@ -66,6 +66,14 @@ from .errors import (
 from .graph import Graph
 from .hypergraph import Hypergraph
 from .obs import NULL_RECORDER, MetricsRecorder, NullRecorder, Recorder
+from .options import RunOptions
+from .parallel import ParallelConfig
+from .registry import (
+    MethodSpec,
+    available_methods,
+    get_method,
+    register_method,
+)
 from .resilience import (
     NULL_BUDGET,
     Budget,
@@ -75,7 +83,7 @@ from .resilience import (
     RunBudget,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Graph",
@@ -99,6 +107,12 @@ __all__ = [
     "density_profile",
     "DensityProfile",
     "top_dense_subgraphs",
+    "RunOptions",
+    "ParallelConfig",
+    "MethodSpec",
+    "available_methods",
+    "get_method",
+    "register_method",
     "Recorder",
     "NullRecorder",
     "MetricsRecorder",
@@ -124,10 +138,6 @@ __all__ = [
     "__version__",
 ]
 
-_APPROX_METHODS = {"sctl", "sctl+", "sctl*", "kcl", "coreapp"}
-_EXACT_METHODS = {"sctl*-exact", "kcl-exact", "coreexact"}
-
-
 def densest_subgraph(
     graph: Graph,
     k: int,
@@ -140,8 +150,10 @@ def densest_subgraph(
     budget: Budget = NULL_BUDGET,
     checkpoint=None,
     resume: bool = False,
+    parallel=None,
+    options: Optional[RunOptions] = None,
 ) -> DensestSubgraphResult:
-    """One-call facade over every algorithm in the package.
+    """One-call facade over every algorithm in the registry.
 
     Parameters
     ----------
@@ -150,9 +162,13 @@ def densest_subgraph(
     k:
         Clique size (``>= 3`` for the paper's setting).
     method:
-        One of ``"sctl"``, ``"sctl+"``, ``"sctl*"``, ``"sctl*-sample"``,
-        ``"sctl*-exact"``, ``"kcl"``, ``"kcl-sample"``, ``"kcl-exact"``,
-        ``"coreapp"``, ``"coreexact"`` (case-insensitive).
+        Any name from :func:`available_methods` — built in: ``"sctl"``,
+        ``"sctl+"``, ``"sctl*"``, ``"sctl*-sample"``, ``"sctl*-exact"``,
+        ``"kcl"``, ``"kcl-sample"``, ``"kcl-exact"``, ``"coreapp"``,
+        ``"coreexact"``, ``"peel"`` — or anything added through
+        :func:`register_method`.  Matching is case-insensitive, ignores
+        whitespace and underscores, and accepts spelled-out aliases such
+        as ``"sctl-star"``.
     iterations:
         Refinement passes for the iterative methods.
     index:
@@ -165,77 +181,56 @@ def densest_subgraph(
     recorder:
         Observability hook (``repro.obs``): forwarded to the index build
         and to every SCT-based method.  The baselines (KCL, CoreApp, ...)
-        predate the SCT pipeline and ignore it.
+        predate the SCT pipeline and warn once that they ignore it.
     budget:
         Optional :class:`~repro.resilience.RunBudget`, forwarded to the
         index build and every SCT-based method.  On exhaustion the call
         returns a :class:`PartialResult` instead of raising — invalid
         (empty) when the budget ran out before anything was achieved,
-        best-so-far otherwise.  The baselines ignore it.
+        best-so-far otherwise.
     checkpoint / resume:
         A checkpoint directory (or :class:`~repro.resilience.Checkpointer`)
         and the restart switch, forwarded to the index build and the
-        SCTL-family refinements.  The baselines ignore them.
+        SCTL-family refinements.
+    parallel:
+        ``None`` (serial), an int worker count, or a
+        :class:`ParallelConfig` — shards the index build and the path
+        sweeps over a process pool while keeping every result
+        byte-identical to serial.
+    options:
+        A :class:`RunOptions` bundling the five knobs above; the
+        individual keywords remain as aliases (conflicting assignments
+        raise :class:`InvalidParameterError`).
     """
-    name = method.lower()
-    needs_index = name in {"sctl", "sctl+", "sctl*", "sctl*-sample", "sctl*-exact"}
-    if needs_index and index is None:
+    spec = get_method(method)
+    opts = RunOptions.resolve(
+        options,
+        recorder=recorder,
+        budget=budget,
+        checkpoint=checkpoint,
+        resume=resume,
+        parallel=parallel,
+    )
+    if spec.needs_index and index is None:
         try:
-            index = SCTIndex.build(
-                graph, recorder=recorder, budget=budget,
-                checkpoint=checkpoint, resume=resume,
-            )
+            index = SCTIndex.build(graph, options=opts)
         except BudgetExhausted as exc:
             return PartialResult(
                 vertices=[],
                 clique_count=0,
                 k=k,
-                algorithm=method,
+                algorithm=spec.name,
                 valid=False,
                 reason=exc.reason,
                 stage=exc.stage or "index/build",
             )
     sigma = sample_size if sample_size is not None else 10_000
-    if name == "sctl":
-        return sctl(
-            index, k, iterations=iterations, recorder=recorder,
-            budget=budget, checkpoint=checkpoint, resume=resume,
-        )
-    if name == "sctl+":
-        return sctl_plus(
-            index, k, iterations=iterations, graph=graph, recorder=recorder,
-            budget=budget, checkpoint=checkpoint, resume=resume,
-        )
-    if name == "sctl*":
-        return sctl_star(
-            index, k, iterations=iterations, graph=graph, recorder=recorder,
-            budget=budget, checkpoint=checkpoint, resume=resume,
-        )
-    if name == "sctl*-sample":
-        return sctl_star_sample(
-            index, k, sample_size=sigma, iterations=iterations, seed=seed,
-            recorder=recorder, budget=budget,
-        )
-    if name == "sctl*-exact":
-        return sctl_star_exact(
-            graph, k, index=index, sample_size=sigma,
-            iterations=iterations, seed=seed, recorder=recorder,
-            budget=budget,
-        )
-    if name == "kcl":
-        return kcl(graph, k, iterations=iterations)
-    if name == "kcl-sample":
-        return kcl_sample(graph, k, sample_size=sigma, iterations=iterations, seed=seed)
-    if name == "kcl-exact":
-        return kcl_exact(graph, k, initial_iterations=iterations)
-    if name == "coreapp":
-        return core_app(graph, k)
-    if name == "coreexact":
-        return core_exact(graph, k)
-    if name == "peel":
-        return greedy_peeling(graph, k)
-    raise InvalidParameterError(
-        f"unknown method {method!r}; expected one of: sctl, sctl+, sctl*, "
-        "sctl*-sample, sctl*-exact, kcl, kcl-sample, kcl-exact, coreapp, "
-        "coreexact, peel"
+    return spec.fn(
+        graph,
+        k,
+        index=index,
+        iterations=iterations,
+        sample_size=sigma,
+        seed=seed,
+        options=opts,
     )

@@ -27,6 +27,7 @@ from ..errors import InvalidParameterError
 from ..flow.densest import count_cliques_inside, exact_densest_from_cliques
 from ..graph.components import connected_components
 from ..graph.graph import Graph
+from ..options import RunOptions, warn_unsupported
 from ..core.density import DensestSubgraphResult
 from ..core.reductions import engagement_threshold
 from ..core.sctl import empty_result
@@ -90,9 +91,17 @@ def _discount_neighbours(
 
 
 def core_app(
-    graph: Graph, k: int, view: Optional[OrderedGraphView] = None
+    graph: Graph,
+    k: int,
+    view: Optional[OrderedGraphView] = None,
+    options: Optional[RunOptions] = None,
 ) -> DensestSubgraphResult:
-    """CoreApp: return the (k'_max, Psi)-core as the approximate answer."""
+    """CoreApp: return the (k'_max, Psi)-core as the approximate answer.
+
+    ``options`` is accepted for facade uniformity and ignored (one
+    :class:`UserWarning` names any non-default knobs).
+    """
+    warn_unsupported(RunOptions.resolve(options), "CoreApp")
     if view is None:
         view = build_ordered_view(graph)
     core = psi_core_decomposition(graph, k, view=view)
@@ -112,7 +121,10 @@ def core_app(
 
 
 def core_exact(
-    graph: Graph, k: int, view: Optional[OrderedGraphView] = None
+    graph: Graph,
+    k: int,
+    view: Optional[OrderedGraphView] = None,
+    options: Optional[RunOptions] = None,
 ) -> DensestSubgraphResult:
     """CoreExact: core-reduced, per-component exact search.
 
@@ -120,7 +132,10 @@ def core_exact(
     by core nesting lies inside the (ceil(l), Psi)-core for any achieved
     density ``l``; every connected component of that core is then solved
     exactly with the min-cut oracle unless its Lemma 3 bound is dominated.
+    ``options`` is accepted for facade uniformity and ignored (one
+    :class:`UserWarning` names any non-default knobs).
     """
+    warn_unsupported(RunOptions.resolve(options), "CoreExact")
     if view is None:
         view = build_ordered_view(graph)
     app = core_app(graph, k, view=view)

@@ -22,6 +22,7 @@ from ..cliques.kclist import count_k_cliques, iter_k_cliques
 from ..cliques.ordered_view import OrderedGraphView, build_ordered_view
 from ..errors import InvalidParameterError
 from ..graph.graph import Graph
+from ..options import RunOptions, warn_unsupported
 from ..core.density import DensestSubgraphResult
 from ..core.extraction import best_prefix_from_cliques
 from ..core.sctl import empty_result
@@ -34,6 +35,7 @@ def kcl(
     k: int,
     iterations: int = 10,
     view: Optional[OrderedGraphView] = None,
+    options: Optional[RunOptions] = None,
 ) -> DensestSubgraphResult:
     """Run KCL (Algorithm 1): ``T`` enumeration rounds plus extraction.
 
@@ -48,9 +50,14 @@ def kcl(
     view:
         Optional pre-built ordered view (the orientation is the one piece
         of preprocessing KCL legitimately shares across rounds).
+    options:
+        Accepted for facade uniformity; KCL predates the SCT pipeline,
+        so every :class:`~repro.options.RunOptions` knob is ignored (one
+        :class:`UserWarning` names any non-default knobs).
     """
     if iterations < 1:
         raise InvalidParameterError(f"iterations must be >= 1, got {iterations}")
+    warn_unsupported(RunOptions.resolve(options), "KCL")
     if view is None:
         view = build_ordered_view(graph)
     weights = [0] * graph.n
@@ -84,18 +91,21 @@ def kcl_sample(
     iterations: int = 10,
     seed: int = 0,
     view: Optional[OrderedGraphView] = None,
+    options: Optional[RunOptions] = None,
 ) -> DensestSubgraphResult:
     """KCL on a uniform reservoir sample of ``sample_size`` k-cliques.
 
     One full enumeration pass fills the reservoir; refinement then touches
     only sampled cliques.  Density recovery enumerates the cliques of the
     chosen induced subgraph (the step SCTL*-Sample replaces with an index
-    lookup).
+    lookup).  ``options`` is accepted for facade uniformity and ignored
+    (one :class:`UserWarning` names any non-default knobs).
     """
     if sample_size < 1:
         raise InvalidParameterError(f"sample_size must be >= 1, got {sample_size}")
     if iterations < 1:
         raise InvalidParameterError(f"iterations must be >= 1, got {iterations}")
+    warn_unsupported(RunOptions.resolve(options), "KCL-Sample")
     if view is None:
         view = build_ordered_view(graph)
     rng = random.Random(seed)

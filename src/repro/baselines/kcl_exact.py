@@ -31,6 +31,7 @@ from ..flow.densest import (
     find_denser_subgraph,
 )
 from ..graph.graph import Graph
+from ..options import RunOptions, warn_unsupported
 from ..core.density import DensestSubgraphResult
 from ..core.extraction import best_prefix_from_cliques
 from ..core.frank_wolfe import frank_wolfe
@@ -47,6 +48,7 @@ def kcl_exact(
     initial_iterations: int = 10,
     max_total_iterations: int = 640,
     view: Optional[OrderedGraphView] = None,
+    options: Optional[RunOptions] = None,
 ) -> DensestSubgraphResult:
     """Exact k-clique densest subgraph via the Frank–Wolfe baseline.
 
@@ -62,11 +64,16 @@ def kcl_exact(
         Cap on total Frank–Wolfe rounds before the exact fallback engages.
     view:
         Optional pre-built ordered view.
+    options:
+        Accepted for facade uniformity; every
+        :class:`~repro.options.RunOptions` knob is ignored (one
+        :class:`UserWarning` names any non-default knobs).
     """
     if initial_iterations < 1:
         raise InvalidParameterError(
             f"initial_iterations must be >= 1, got {initial_iterations}"
         )
+    warn_unsupported(RunOptions.resolve(options), "KCL-Exact")
     if view is None:
         view = build_ordered_view(graph)
     cliques: List[Tuple[int, ...]] = list(iter_k_cliques(graph, k, view=view))

@@ -23,6 +23,7 @@ from ..cliques.kclist import iter_k_cliques, per_vertex_counts
 from ..cliques.ordered_view import OrderedGraphView, build_ordered_view
 from ..errors import InvalidParameterError
 from ..graph.graph import Graph
+from ..options import RunOptions, warn_unsupported
 from ..core.density import DensestSubgraphResult
 from ..core.sctl import empty_result
 
@@ -30,7 +31,10 @@ __all__ = ["greedy_peeling"]
 
 
 def greedy_peeling(
-    graph: Graph, k: int, view: Optional[OrderedGraphView] = None
+    graph: Graph,
+    k: int,
+    view: Optional[OrderedGraphView] = None,
+    options: Optional[RunOptions] = None,
 ) -> DensestSubgraphResult:
     """Peel by minimum k-clique engagement; return the best suffix.
 
@@ -40,10 +44,13 @@ def greedy_peeling(
     its remaining neighbourhood), so the density of every suffix is known
     exactly and the best one is returned.
 
-    Guarantees ``density >= optimal / k``.
+    Guarantees ``density >= optimal / k``.  ``options`` is accepted for
+    facade uniformity and ignored (one :class:`UserWarning` names any
+    non-default knobs).
     """
     if k < 2:
         raise InvalidParameterError(f"k must be >= 2, got {k}")
+    warn_unsupported(RunOptions.resolve(options), "Peel")
     n = graph.n
     if view is None:
         view = build_ordered_view(graph)

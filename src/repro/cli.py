@@ -24,6 +24,10 @@ it cooperatively), ``--checkpoint DIR`` snapshots progress atomically and
 ``--resume`` restarts from those snapshots.  Exit codes: 0 success,
 1 error, 2 usage or index/graph mismatch, 3 budget exhausted with nothing
 usable, 4 budget exhausted but a valid best-so-far result was printed.
+
+The build-index/query/profile subcommands also take ``--workers N`` to
+shard the index build and the per-iteration path sweeps over a process
+pool (``repro.parallel``); results stay byte-identical to serial runs.
 """
 
 from __future__ import annotations
@@ -45,6 +49,8 @@ from .errors import BudgetExhausted, ReproError
 from .graph import Graph, read_edge_list
 from .graph.stats import summarize
 from .obs import NULL_RECORDER, MetricsRecorder, Recorder
+from .options import RunOptions
+from .registry import available_methods
 from .resilience import NULL_BUDGET, Budget, RunBudget
 
 __all__ = ["main", "build_parser"]
@@ -74,6 +80,20 @@ def _add_obs_flags(subparser: argparse.ArgumentParser) -> None:
         "--trace", metavar="PATH",
         help="write a JSON-lines event trace of the run to PATH",
     )
+
+
+def _add_parallel_flag(subparser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--workers`` flag to a subcommand."""
+    subparser.add_argument(
+        "--workers", type=int, metavar="N", default=None,
+        help="shard the index build and path sweeps over N worker "
+             "processes (results stay byte-identical to serial)",
+    )
+
+
+def _parallel_from(args: argparse.Namespace):
+    """The ``parallel=`` value a subcommand's flags ask for."""
+    return getattr(args, "workers", None)
 
 
 def _add_resilience_flags(subparser: argparse.ArgumentParser) -> None:
@@ -172,7 +192,7 @@ def _cmd_build_index(args: argparse.Namespace) -> int:
             index = SCTIndex.build(
                 graph, threshold=args.threshold, recorder=recorder,
                 budget=budget, checkpoint=args.checkpoint,
-                resume=args.resume,
+                resume=args.resume, parallel=_parallel_from(args),
             )
         except BudgetExhausted as exc:
             print(f"budget exhausted: {exc}", file=sys.stderr)
@@ -216,6 +236,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
             budget=budget,
             checkpoint=args.checkpoint,
             resume=args.resume,
+            parallel=_parallel_from(args),
         )
         elapsed = time.perf_counter() - start
         print(result.summary())
@@ -244,12 +265,13 @@ def _cmd_query(args: argparse.Namespace) -> int:
 def _cmd_profile(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph)
     with _observability(args) as recorder:
+        opts = RunOptions(recorder=recorder, parallel=_parallel_from(args))
         index = (
             SCTIndex.load(args.index) if args.index
-            else SCTIndex.build(graph, recorder=recorder)
+            else SCTIndex.build(graph, options=opts)
         )
         profile = density_profile(
-            index, iterations=args.iterations, recorder=recorder
+            index, iterations=args.iterations, options=opts
         )
         rows = [
             [k, size, count, f"{density:.4f}"]
@@ -355,14 +377,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_flags(build)
     _add_resilience_flags(build)
+    _add_parallel_flag(build)
 
     query = sub.add_parser("query", help="find a k-clique densest subgraph")
     query.add_argument("graph", help="edge-list path or dataset:<name>")
     query.add_argument("-k", type=int, required=True, help="clique size")
     query.add_argument(
         "--method", default="sctl*",
-        help="algorithm (sctl, sctl+, sctl*, sctl*-sample, sctl*-exact, "
-             "kcl, kcl-sample, kcl-exact, coreapp, coreexact)",
+        help="algorithm from the method registry: "
+             + ", ".join(available_methods())
+             + " (aliases like sctl-star work too; extend with "
+             "repro.register_method)",
     )
     query.add_argument("--index", help="pre-built index file to reuse")
     query.add_argument("--iterations", type=int, default=10)
@@ -374,6 +399,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_flags(query)
     _add_resilience_flags(query)
+    _add_parallel_flag(query)
 
     profile = sub.add_parser(
         "profile", help="densest subgraph for every k from one index"
@@ -382,6 +408,7 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--index", help="pre-built index file to reuse")
     profile.add_argument("--iterations", type=int, default=10)
     _add_obs_flags(profile)
+    _add_parallel_flag(profile)
 
     stats = sub.add_parser("stats", help="descriptive statistics of a graph")
     stats.add_argument("graph", help="edge-list path or dataset:<name>")

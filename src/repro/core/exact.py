@@ -30,6 +30,7 @@ from ..errors import BudgetExhausted, SolverError
 from ..flow.densest import count_cliques_inside, find_denser_subgraph
 from ..graph.graph import Graph
 from ..obs import NULL_RECORDER, Recorder
+from ..options import RunOptions
 from ..resilience.budget import NULL_BUDGET, Budget
 from .density import DensestSubgraphResult, PartialResult
 from .reductions import engagement_threshold
@@ -55,6 +56,8 @@ def sctl_star_exact(
     budget: Budget = NULL_BUDGET,
     checkpoint=None,
     resume: bool = False,
+    parallel=None,
+    options: Optional[RunOptions] = None,
 ) -> DensestSubgraphResult:
     """Exact k-clique densest subgraph via Algorithm 7.
 
@@ -96,13 +99,29 @@ def sctl_star_exact(
         ``"sct-build"``) when the index is built here; nested sub-scope
         builds and refinements run budget-only to keep checkpoint kinds
         unambiguous.
+    parallel:
+        ``None`` (serial), an int worker count, or a
+        :class:`~repro.parallel.ParallelConfig`; forwarded into the
+        initial index build, the warm-start sampler, the sub-scope index
+        build and the nested SCTL* refinements — every stage keeps its
+        byte-for-byte serial parity, so the certified answer does too.
+    options:
+        A :class:`~repro.options.RunOptions` bundling the knobs; the
+        individual keywords remain as aliases.
     """
+    opts = RunOptions.resolve(
+        options,
+        recorder=recorder,
+        budget=budget,
+        checkpoint=checkpoint,
+        resume=resume,
+        parallel=parallel,
+    )
+    recorder = opts.recorder
+    budget = opts.budget
     if index is None:
         try:
-            index = SCTIndex.build(
-                graph, recorder=recorder, budget=budget,
-                checkpoint=checkpoint, resume=resume,
-            )
+            index = SCTIndex.build(graph, options=opts)
         except BudgetExhausted as exc:
             return PartialResult(
                 vertices=[],
@@ -121,6 +140,7 @@ def sctl_star_exact(
         warm = sctl_star_sample(
             index, k, sample_size=sample_size, iterations=iterations,
             seed=seed, recorder=recorder, budget=budget,
+            parallel=opts.parallel,
         )
         best_vertices = warm.vertices
         best_count = warm.clique_count
@@ -201,7 +221,10 @@ def sctl_star_exact(
     try:
         with recorder.span("exact/scope_index"):
             subgraph, originals = graph.induced_subgraph(scope)
-            sub_index = SCTIndex.build(subgraph, recorder=recorder, budget=budget)
+            sub_index = SCTIndex.build(
+                subgraph, recorder=recorder, budget=budget,
+                parallel=opts.parallel,
+            )
             cliques = [
                 tuple(originals[v] for v in clique)
                 for clique in sub_index.iter_k_cliques(k)
@@ -222,7 +245,7 @@ def sctl_star_exact(
         with recorder.span(f"exact/flow_round/{flow_rounds + 1}"):
             refined = sctl_star(
                 sub_index, k, iterations=current_iterations,
-                recorder=recorder, budget=budget,
+                recorder=recorder, budget=budget, parallel=opts.parallel,
             )
             if refined.density_fraction > best_density:
                 best_vertices = sorted(originals[v] for v in refined.vertices)

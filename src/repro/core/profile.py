@@ -14,6 +14,7 @@ from typing import Dict, Iterable, List, Optional
 
 from ..errors import InvalidParameterError
 from ..obs import NULL_RECORDER, Recorder
+from ..options import RunOptions
 from .density import DensestSubgraphResult
 from .sct import SCTIndex
 from .sctl_star import sctl_star
@@ -51,6 +52,7 @@ def density_profile(
     k_values: Optional[Iterable[int]] = None,
     iterations: int = 10,
     recorder: Recorder = NULL_RECORDER,
+    options: Optional[RunOptions] = None,
 ) -> DensityProfile:
     """Run SCTL* for every requested k on one index.
 
@@ -67,7 +69,15 @@ def density_profile(
     recorder:
         Observability hook: each k's SCTL* run lands under a
         ``profile/k/<k>`` span.
+    options:
+        A :class:`~repro.options.RunOptions`; the recorder, budget and
+        parallel knobs are forwarded into each per-k SCTL* run.  The
+        checkpoint/resume knobs are stripped — the per-k runs would
+        otherwise overwrite each other's snapshots.
     """
+    opts = RunOptions.resolve(options, recorder=recorder)
+    run_opts = opts.replace(checkpoint=None, resume=False)
+    recorder = opts.recorder
     if k_values is None:
         lo = max(3, index.threshold)
         k_values = range(lo, index.max_clique_size + 1)
@@ -77,6 +87,6 @@ def density_profile(
             raise InvalidParameterError(f"k must be >= 1, got {k}")
         with recorder.span(f"profile/k/{k}"):
             results[k] = sctl_star(
-                index, k, iterations=iterations, recorder=recorder
+                index, k, iterations=iterations, options=run_opts
             )
     return DensityProfile(results=results)

@@ -24,6 +24,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..graph.disjoint_set import DisjointSet
 from ..obs import NULL_RECORDER, Recorder
+from ..options import RunOptions
 from .sct import SCTIndex, SCTPath
 
 __all__ = [
@@ -62,6 +63,7 @@ def kp_computation(
     k: int,
     paths: Optional[Iterable[SCTPath]] = None,
     recorder: Recorder = NULL_RECORDER,
+    options: Optional[RunOptions] = None,
 ) -> KCliquePartition:
     """Compute the k-clique-isolating partition (Algorithm 3).
 
@@ -82,24 +84,45 @@ def kp_computation(
         Observability hook: an enabled recorder gets a
         ``reductions/kp_computation`` span plus ``reductions/paths_merged``
         and ``reductions/partitions`` counters.
+    options:
+        A :class:`~repro.options.RunOptions`; only the recorder and
+        parallel knobs apply here.  With workers the path sweep is
+        sharded across a process pool, but the unions are applied in the
+        serial path order, so the representatives are identical.
     """
-    with recorder.span("reductions/kp_computation"):
-        ds = DisjointSet(index.n_vertices)
-        if paths is None:
-            paths = index.iter_paths(k)
-        if recorder.enabled:
-            n_paths = 0
-            for path in paths:
-                ds.union_many(path.vertices)
-                n_paths += 1
-            recorder.counter("reductions/paths_merged", n_paths)
+    opts = RunOptions.resolve(options, recorder=recorder)
+    recorder = opts.recorder
+    engine = None
+    if paths is None and opts.parallel is not None and opts.parallel.enabled:
+        from ..parallel.engine import PathShardEngine
+
+        candidate = PathShardEngine(index, opts.parallel, recorder=recorder)
+        if candidate.has_chunks:
+            engine = candidate
+            paths = candidate.path_view(k)
         else:
-            for path in paths:
-                ds.union_many(path.vertices)
-        partition_of = [ds.find(v) for v in range(index.n_vertices)]
-        if recorder.enabled:
-            recorder.counter("reductions/partitions", len(set(partition_of)))
-        return KCliquePartition(partition_of=partition_of)
+            candidate.close()
+    try:
+        with recorder.span("reductions/kp_computation"):
+            ds = DisjointSet(index.n_vertices)
+            if paths is None:
+                paths = index.iter_paths(k)
+            if recorder.enabled:
+                n_paths = 0
+                for path in paths:
+                    ds.union_many(path.vertices)
+                    n_paths += 1
+                recorder.counter("reductions/paths_merged", n_paths)
+            else:
+                for path in paths:
+                    ds.union_many(path.vertices)
+            partition_of = [ds.find(v) for v in range(index.n_vertices)]
+            if recorder.enabled:
+                recorder.counter("reductions/partitions", len(set(partition_of)))
+            return KCliquePartition(partition_of=partition_of)
+    finally:
+        if engine is not None:
+            engine.close()
 
 
 def partition_density_bounds(

@@ -27,6 +27,7 @@ from typing import Iterable, List, Optional, Tuple
 
 from ..errors import BudgetExhausted, InvalidParameterError
 from ..obs import NULL_RECORDER, Recorder
+from ..options import RunOptions
 from ..resilience.budget import NULL_BUDGET, Budget
 from .density import DensestSubgraphResult, PartialResult
 from .extraction import best_prefix_from_cliques
@@ -82,6 +83,7 @@ def sample_k_cliques(
     rng: random.Random,
     recorder: Recorder = NULL_RECORDER,
     budget: Budget = NULL_BUDGET,
+    options: Optional[RunOptions] = None,
 ) -> List[Tuple[int, ...]]:
     """Stage 1: a proportional, distinct-per-path sample of k-cliques.
 
@@ -102,7 +104,14 @@ def sample_k_cliques(
     sample is useless (its shares no longer sum correctly), so this
     function raises :class:`~repro.errors.BudgetExhausted` and the caller
     degrades.
+
+    ``options=`` carries the same recorder/budget as a bundle; the
+    checkpoint and parallel knobs do not apply here (``paths`` is given
+    by the caller, who decides how it is produced).
     """
+    opts = RunOptions.resolve(options, recorder=recorder, budget=budget)
+    recorder = opts.recorder
+    budget = opts.budget
     with recorder.span("sample/draw"):
         total = 0
         seen = 0
@@ -162,6 +171,8 @@ def sctl_star_sample(
     paths: Optional[Iterable[SCTPath]] = None,
     recorder: Recorder = NULL_RECORDER,
     budget: Budget = NULL_BUDGET,
+    parallel=None,
+    options: Optional[RunOptions] = None,
 ) -> DensestSubgraphResult:
     """Run SCTL*-Sample (Algorithm 6).
 
@@ -198,18 +209,45 @@ def sctl_star_sample(
         during refinement rolls the half-swept pass back and degrades to
         a *valid* partial result — recovery still measures the true
         density of the extracted prefix on the original graph.
+    parallel:
+        ``None`` (serial), an int worker count, or a
+        :class:`~repro.parallel.ParallelConfig`; shards the two drawing
+        sweeps over a process pool.  The paths arrive in serial order,
+        so the drawn sample — and everything downstream — is identical
+        for any worker count and the same seed.
+    options:
+        A :class:`~repro.options.RunOptions` bundling the knobs; the
+        individual keywords remain as aliases.  Checkpoint/resume do not
+        apply to sampling and are ignored.
     """
     if sample_size < 1:
         raise InvalidParameterError(f"sample_size must be >= 1, got {sample_size}")
     if iterations < 1:
         raise InvalidParameterError(f"iterations must be >= 1, got {iterations}")
+    opts = RunOptions.resolve(
+        options, recorder=recorder, budget=budget, parallel=parallel
+    )
+    recorder = opts.recorder
+    budget = opts.budget
     rng = random.Random(seed)
     # §6.1: a partial SCT*-k'-Index may be queried below its threshold;
     # the sample then misses cliques in pruned subtrees, but "most
     # k-cliques in the densest subgraph come from larger cliques"
     partial_approximation = not index.supports_k(k) and k >= 1
+    engine = None
     if paths is None:
-        paths = index.path_view(k, enforce_support=not partial_approximation)
+        enforce = not partial_approximation
+        if opts.parallel is not None and opts.parallel.enabled:
+            from ..parallel.engine import PathShardEngine
+
+            candidate = PathShardEngine(index, opts.parallel, recorder=recorder)
+            if candidate.has_chunks:
+                engine = candidate
+                paths = engine.path_view(k, enforce_support=enforce)
+            else:
+                candidate.close()
+        if paths is None:
+            paths = index.path_view(k, enforce_support=enforce)
     try:
         sampled = sample_k_cliques(
             paths, k, sample_size, rng, recorder=recorder, budget=budget
@@ -228,6 +266,11 @@ def sctl_star_sample(
             reason=exc.reason,
             stage="sample/draw",
         )
+    finally:
+        # the engine only feeds the draw stage; stages 2-3 work on the
+        # materialised sample
+        if engine is not None:
+            engine.close()
     if not sampled:
         return empty_result(k, "SCTL*-Sample")
     n = index.n_vertices

@@ -33,6 +33,7 @@ from ..cliques.ordered_view import OrderedGraphView, build_ordered_view
 from ..errors import IndexBuildError, IndexQueryError
 from ..graph.graph import Graph
 from ..obs import NULL_RECORDER, Recorder
+from ..options import RunOptions
 from ..resilience.budget import NULL_BUDGET, Budget
 from ..resilience.checkpoint import Checkpointer, atomic_writer, require_match
 
@@ -48,6 +49,151 @@ HOLD = 0
 PIVOT = 1
 
 _FORMAT_VERSION = 1
+
+
+def _expand_root_subtree(
+    vertex: List[int],
+    label: List[int],
+    children: List[List[int]],
+    parent: List[int],
+    depth_of: List[int],
+    adj: Sequence[int],
+    order: Sequence[int],
+    root_pos: int,
+    cand0: int,
+    attach_to: int,
+    poll=None,
+) -> Optional[str]:
+    """Expand one seed vertex's subtree onto the flat node arrays.
+
+    This is the Pivoter expansion for the root at degeneracy position
+    ``root_pos``; it appends the root child (a HOLD at depth 1, attached
+    to ``attach_to``) and its whole subtree.  The serial build calls it
+    once per unpruned root; the parallel build workers call it with
+    per-worker arrays and ``attach_to=0``, then the parent splices the
+    arrays together — same code, so the node layout cannot drift.
+
+    ``poll``, when given, is invoked once per expansion step; a truthy
+    return value (a budget-exhaustion reason) rolls the partial subtree
+    back — the arrays are left exactly on the preceding root boundary —
+    and is returned to the caller.
+    """
+    root_start = len(vertex)
+
+    def new_node(orig_vertex: int, node_label: int, par: int, depth: int) -> int:
+        node = len(vertex)
+        vertex.append(orig_vertex)
+        label.append(node_label)
+        children.append([])
+        parent.append(par)
+        depth_of.append(depth)
+        children[par].append(node)
+        return node
+
+    root_child = new_node(order[root_pos], HOLD, attach_to, 1)
+    # Pivoter expansion on an explicit frame stack, so clique trees
+    # deeper than the interpreter's recursion limit build fine.
+    # Frame layout: [node, cand, depth, rest, removed]; ``rest`` is
+    # None until the pivot branch has been spawned, afterwards it
+    # holds the not-yet-branched non-neighbours of the pivot.
+    stack: List[List] = [[root_child, cand0, 1, None, 0]]
+    while stack:
+        if poll is not None:
+            reason = poll()
+            if reason:
+                # roll the current root's partial subtree back so the
+                # frontier sits exactly on a root boundary
+                del vertex[root_start:]
+                del label[root_start:]
+                del children[root_start:]
+                del parent[root_start:]
+                del depth_of[root_start:]
+                children[attach_to].pop()
+                return reason
+        frame = stack[-1]
+        node, cand, depth = frame[0], frame[1], frame[2]
+        if frame[3] is None:
+            if cand == 0:
+                stack.pop()  # leaf
+                continue
+            # pivot: candidate with the most neighbours inside cand;
+            # nothing can beat covering all other candidates, so a
+            # full cover ends the scan early (near-clique subtrees
+            # then cost O(1) pivot picks per node instead of O(|cand|))
+            cand_size = cand.bit_count()
+            best_p, best_cover = -1, -1
+            mask = cand
+            while mask:
+                low = mask & -mask
+                x = low.bit_length() - 1
+                mask ^= low
+                cover = (adj[x] & cand).bit_count()
+                if cover > best_cover:
+                    best_cover, best_p = cover, x
+                    if cover == cand_size - 1:
+                        break
+            p = best_p
+            frame[3] = cand & ~adj[p] & ~(1 << p)
+            frame[4] = 1 << p
+            # pivot branch: cliques avoiding every non-neighbour of p
+            child = new_node(order[p], PIVOT, node, depth + 1)
+            stack.append([child, cand & adj[p], depth + 1, None, 0])
+            continue
+        if frame[3]:
+            # hold branches: each non-neighbour v_i of p gets the
+            # cliques whose smallest excluded vertex is v_i
+            low = frame[3] & -frame[3]
+            x = low.bit_length() - 1
+            frame[3] ^= low
+            frame[4] |= low
+            child = new_node(order[x], HOLD, node, depth + 1)
+            stack.append(
+                [child, (cand & ~frame[4]) & adj[x], depth + 1, None, 0]
+            )
+            continue
+        stack.pop()
+    return None
+
+
+def _compute_max_depth(parent: List[int], depth_of: List[int]) -> List[int]:
+    """Subtree max-depth per node, in one backward sweep.
+
+    Children always have larger ids than their parent, so by the time a
+    node propagates upward its own subtree maximum is final.
+    """
+    max_depth = depth_of[:]
+    max_depth[0] = 0
+    for node in range(len(parent) - 1, 0, -1):
+        par = parent[node]
+        if max_depth[node] > max_depth[par]:
+            max_depth[par] = max_depth[node]
+    return max_depth
+
+
+def _record_build_tallies(
+    recorder: Recorder,
+    vertex: List[int],
+    label: List[int],
+    children: List[List[int]],
+    max_depth: List[int],
+    threshold: int,
+    pruned_outdeg: int,
+    pruned_core: int,
+) -> None:
+    """Emit the standard build counters/gauges (serial and parallel alike)."""
+    if not recorder.enabled:
+        return
+    n_nodes = len(vertex) - 1
+    n_holds = sum(1 for lab in label[1:] if lab == HOLD)
+    recorder.counter("build/nodes", n_nodes)
+    recorder.counter("build/holds", n_holds)
+    recorder.counter("build/pivots", n_nodes - n_holds)
+    recorder.counter("build/roots", len(children[0]))
+    if threshold:
+        recorder.counter("build/roots_pruned_outdeg", pruned_outdeg)
+        recorder.counter("build/roots_pruned_core", pruned_core)
+    recorder.gauge("build/max_depth", max_depth[0])
+    recorder.gauge("build/threshold", threshold)
 
 
 @dataclass(frozen=True)
@@ -148,6 +294,8 @@ class SCTIndex:
         budget: Budget = NULL_BUDGET,
         checkpoint=None,
         resume: bool = False,
+        parallel=None,
+        options: Optional[RunOptions] = None,
     ) -> "SCTIndex":
         """Build the SCT*-Index of ``graph``.
 
@@ -188,12 +336,46 @@ class SCTIndex:
             (validated against the graph's ``n``/``m`` and the
             ``threshold``).  A resumed build is bit-identical to an
             uninterrupted one.  No snapshot present means a fresh build.
+        parallel:
+            ``None`` (serial), an int worker count, or a
+            :class:`~repro.parallel.ParallelConfig`.  With more than one
+            worker the per-root subtrees are expanded in a process pool
+            and merged in seed order, producing a byte-identical index.
+        options:
+            A :class:`~repro.options.RunOptions` bundling the recorder /
+            budget / checkpoint / resume / parallel knobs; the individual
+            keywords remain as aliases (conflicts raise
+            :class:`~repro.errors.InvalidParameterError`).
         """
         if threshold < 0:
             raise IndexBuildError(f"threshold must be >= 0, got {threshold}")
-        ckpt = Checkpointer.ensure(checkpoint)
-        with recorder.span("index/build"):
-            return cls._build(graph, threshold, view, recorder, budget, ckpt, resume)
+        opts = RunOptions.resolve(
+            options,
+            recorder=recorder,
+            budget=budget,
+            checkpoint=checkpoint,
+            resume=resume,
+            parallel=parallel,
+        )
+        ckpt = Checkpointer.ensure(opts.checkpoint)
+        with opts.recorder.span("index/build"):
+            if opts.parallel is not None and opts.parallel.enabled:
+                from ..parallel.build import parallel_build
+
+                return parallel_build(
+                    cls,
+                    graph,
+                    threshold,
+                    view,
+                    opts.recorder,
+                    opts.budget,
+                    ckpt,
+                    opts.resume,
+                    opts.parallel,
+                )
+            return cls._build(
+                graph, threshold, view, opts.recorder, opts.budget, ckpt, opts.resume
+            )
 
     @classmethod
     def _build(
@@ -268,17 +450,21 @@ class SCTIndex:
                 recorder.gauge("budget/stage", "index/build")
             return budget.error(reason, stage="index/build")
 
-        def new_node(orig_vertex: int, node_label: int, par: int, depth: int) -> int:
-            node = len(vertex)
-            vertex.append(orig_vertex)
-            label.append(node_label)
-            children.append([])
-            parent.append(par)
-            depth_of.append(depth)
-            children[par].append(node)
-            return node
-
         nodes_since_poll = 0
+
+        def poll() -> Optional[str]:
+            # one check per expansion step; actual budget reads every
+            # _BUILD_POLL_NODES steps, with the tally carried across roots
+            nonlocal nodes_since_poll
+            if not budget.active:
+                return None
+            nodes_since_poll += 1
+            if nodes_since_poll >= _BUILD_POLL_NODES:
+                nodes_since_poll = 0
+                return budget.exceeded()
+            return None
+
+        step_poll = None if budget is NULL_BUDGET else poll
         for i in range(start_root, n):
             if budget.active:
                 reason = budget.exceeded()
@@ -291,72 +477,12 @@ class SCTIndex:
                 if core[i] + 1 < threshold:
                     pruned_core += 1
                     continue  # degeneracy pre-pruning
-            root_start = len(vertex)
-            root_child = new_node(order[i], HOLD, 0, 1)
-            # Pivoter expansion on an explicit frame stack, so clique trees
-            # deeper than the interpreter's recursion limit build fine.
-            # Frame layout: [node, cand, depth, rest, removed]; ``rest`` is
-            # None until the pivot branch has been spawned, afterwards it
-            # holds the not-yet-branched non-neighbours of the pivot.
-            stack: List[List] = [[root_child, out[i], 1, None, 0]]
-            while stack:
-                if budget.active:
-                    nodes_since_poll += 1
-                    if nodes_since_poll >= _BUILD_POLL_NODES:
-                        nodes_since_poll = 0
-                        reason = budget.exceeded()
-                        if reason:
-                            # roll the current root's partial subtree back so
-                            # the checkpoint sits exactly on a root boundary
-                            del vertex[root_start:]
-                            del label[root_start:]
-                            del children[root_start:]
-                            del parent[root_start:]
-                            del depth_of[root_start:]
-                            children[0].pop()
-                            raise exhaust(reason, i)
-                frame = stack[-1]
-                node, cand, depth = frame[0], frame[1], frame[2]
-                if frame[3] is None:
-                    if cand == 0:
-                        stack.pop()  # leaf
-                        continue
-                    # pivot: candidate with the most neighbours inside cand;
-                    # nothing can beat covering all other candidates, so a
-                    # full cover ends the scan early (near-clique subtrees
-                    # then cost O(1) pivot picks per node instead of O(|cand|))
-                    cand_size = cand.bit_count()
-                    best_p, best_cover = -1, -1
-                    mask = cand
-                    while mask:
-                        low = mask & -mask
-                        x = low.bit_length() - 1
-                        mask ^= low
-                        cover = (adj[x] & cand).bit_count()
-                        if cover > best_cover:
-                            best_cover, best_p = cover, x
-                            if cover == cand_size - 1:
-                                break
-                    p = best_p
-                    frame[3] = cand & ~adj[p] & ~(1 << p)
-                    frame[4] = 1 << p
-                    # pivot branch: cliques avoiding every non-neighbour of p
-                    child = new_node(order[p], PIVOT, node, depth + 1)
-                    stack.append([child, cand & adj[p], depth + 1, None, 0])
-                    continue
-                if frame[3]:
-                    # hold branches: each non-neighbour v_i of p gets the
-                    # cliques whose smallest excluded vertex is v_i
-                    low = frame[3] & -frame[3]
-                    x = low.bit_length() - 1
-                    frame[3] ^= low
-                    frame[4] |= low
-                    child = new_node(order[x], HOLD, node, depth + 1)
-                    stack.append(
-                        [child, (cand & ~frame[4]) & adj[x], depth + 1, None, 0]
-                    )
-                    continue
-                stack.pop()
+            reason = _expand_root_subtree(
+                vertex, label, children, parent, depth_of,
+                adj, order, i, out[i], 0, step_poll,
+            )
+            if reason:
+                raise exhaust(reason, i)
             if ckpt is not None and ckpt.due(_BUILD_CHECKPOINT_KIND):
                 ckpt.save(_BUILD_CHECKPOINT_KIND, frontier_state(i + 1))
                 if recorder.enabled:
@@ -366,27 +492,11 @@ class SCTIndex:
             # leaving it behind would make a later resume= skip real work
             ckpt.clear(_BUILD_CHECKPOINT_KIND)
 
-        # max-depth in one backward sweep: children always have larger ids
-        # than their parent, so by the time a node propagates upward its own
-        # subtree maximum is final
-        max_depth = depth_of[:]
-        max_depth[0] = 0
-        for node in range(len(vertex) - 1, 0, -1):
-            par = parent[node]
-            if max_depth[node] > max_depth[par]:
-                max_depth[par] = max_depth[node]
-        if recorder.enabled:
-            n_nodes = len(vertex) - 1
-            n_holds = sum(1 for lab in label[1:] if lab == HOLD)
-            recorder.counter("build/nodes", n_nodes)
-            recorder.counter("build/holds", n_holds)
-            recorder.counter("build/pivots", n_nodes - n_holds)
-            recorder.counter("build/roots", len(children[0]))
-            if threshold:
-                recorder.counter("build/roots_pruned_outdeg", pruned_outdeg)
-                recorder.counter("build/roots_pruned_core", pruned_core)
-            recorder.gauge("build/max_depth", max_depth[0])
-            recorder.gauge("build/threshold", threshold)
+        max_depth = _compute_max_depth(parent, depth_of)
+        _record_build_tallies(
+            recorder, vertex, label, children, max_depth,
+            threshold, pruned_outdeg, pruned_core,
+        )
         return cls(
             n_vertices=graph.n,
             vertex=vertex,
@@ -502,7 +612,9 @@ class SCTIndex:
     # ------------------------------------------------------------------
 
     def _iter_traversal(
-        self, k: Optional[int]
+        self,
+        k: Optional[int],
+        root_slice: Optional[Tuple[int, int]] = None,
     ) -> Iterator[Tuple[int, List[int], List[int]]]:
         """Shared pruned-DFS core behind path listing and node counting.
 
@@ -516,6 +628,11 @@ class SCTIndex:
         skipped (they cannot contain a k-clique), and so are hold branches
         entered with ``k`` holds already on the path (every k-clique of a
         path must contain *all* its holds).
+
+        ``root_slice=(lo, hi)`` restricts the walk to the virtual root's
+        children with positions ``lo <= pos < hi`` — the sharding handle
+        of :mod:`repro.parallel`: concatenating the traversals of
+        consecutive slices reproduces the full traversal exactly.
         """
         vertex = self._vertex
         label = self._label
@@ -523,14 +640,22 @@ class SCTIndex:
         max_depth = self._max_depth
         holds: List[int] = []
         pivots: List[int] = []
+        root_limit = None
         # frames: [node, next-child index]
-        stack: List[List[int]] = [[0, 0]]
+        if root_slice is None:
+            stack: List[List[int]] = [[0, 0]]
+        else:
+            stack = [[0, root_slice[0]]]
+            root_limit = root_slice[1]
         while stack:
             frame = stack[-1]
             node = frame[0]
             kids = children[node]
+            limit = len(kids)
+            if root_limit is not None and node == 0 and root_limit < limit:
+                limit = root_limit
             descended = False
-            while frame[1] < len(kids):
+            while frame[1] < limit:
                 child = kids[frame[1]]
                 frame[1] += 1
                 if k is not None:
@@ -555,6 +680,9 @@ class SCTIndex:
         enforce_support: bool = True,
         recorder: Recorder = NULL_RECORDER,
         budget: Budget = NULL_BUDGET,
+        parallel=None,
+        options: Optional[RunOptions] = None,
+        _root_slice: Optional[Tuple[int, int]] = None,
     ) -> Iterator[SCTPath]:
         """Yield root-to-leaf paths as :class:`SCTPath` objects.
 
@@ -583,19 +711,41 @@ class SCTIndex:
         exhaustion the iterator raises the matching
         :class:`~repro.errors.BudgetExhausted` (a generator cannot
         degrade to a partial result — its consumers do).
+
+        ``parallel=`` (or ``options=`` carrying a parallel config with
+        more than one worker) shards the walk across a process pool; the
+        chunks are merged in order, so the yielded sequence is identical
+        to a serial walk.
         """
+        if options is not None or parallel is not None:
+            opts = RunOptions.resolve(
+                options, recorder=recorder, budget=budget, parallel=parallel
+            )
+            recorder = opts.recorder
+            budget = opts.budget
+            if (
+                opts.parallel is not None
+                and opts.parallel.enabled
+                and _root_slice is None
+            ):
+                yield from self._iter_paths_parallel(
+                    k, enforce_support, recorder, budget, opts.parallel
+                )
+                return
         if recorder.enabled:
-            yield from self._iter_paths_recorded(k, enforce_support, recorder, budget)
+            yield from self._iter_paths_recorded(
+                k, enforce_support, recorder, budget, _root_slice
+            )
             return
         if k is not None and enforce_support:
             self._require_k(k)
         children = self._children
         if not children[0]:
             # empty tree: the virtual root is itself the only "path"
-            if k is None or k == 0:
+            if _root_slice is None and (k is None or k == 0):
                 yield SCTPath((), ())
             return
-        for node, holds, pivots in self._iter_traversal(k):
+        for node, holds, pivots in self._iter_traversal(k, _root_slice):
             if not children[node]:
                 if k is None or len(holds) <= k <= len(holds) + len(pivots):
                     if budget.active:
@@ -608,6 +758,7 @@ class SCTIndex:
         enforce_support: bool,
         recorder: Recorder,
         budget: Budget = NULL_BUDGET,
+        _root_slice: Optional[Tuple[int, int]] = None,
     ) -> Iterator[SCTPath]:
         """Counting wrapper behind :meth:`iter_paths` with a live recorder.
 
@@ -617,7 +768,9 @@ class SCTIndex:
         n_paths = 0
         n_cliques = 0
         try:
-            for path in self.iter_paths(k, enforce_support, budget=budget):
+            for path in self.iter_paths(
+                k, enforce_support, budget=budget, _root_slice=_root_slice
+            ):
                 n_paths += 1
                 if k is not None:
                     n_cliques += path.clique_count(k)
@@ -626,6 +779,61 @@ class SCTIndex:
             recorder.counter("paths/yielded", n_paths)
             if k is not None:
                 recorder.counter("paths/cliques", n_cliques)
+
+    def _iter_paths_parallel(
+        self,
+        k: Optional[int],
+        enforce_support: bool,
+        recorder: Recorder,
+        budget: Budget,
+        config,
+    ) -> Iterator[SCTPath]:
+        """Pool-backed :meth:`iter_paths`: chunked shards, merged in order.
+
+        The engine owns a short-lived pool for this one traversal; the
+        budget is polled once per merged chunk (cancellation latency is
+        one chunk, not one path).  Totals mirror the recorded serial walk.
+        """
+        from ..parallel.engine import PathShardEngine
+
+        if k is not None and enforce_support:
+            self._require_k(k)
+        n_paths = 0
+        n_cliques = 0
+        engine = PathShardEngine(self, config, recorder=recorder)
+        try:
+            if not engine.has_chunks:
+                yield from self.iter_paths(
+                    k, enforce_support, recorder=recorder, budget=budget
+                )
+                return
+            tally_cliques = recorder.enabled and k is not None
+            for chunk in engine.map("paths", k, enforce_support):
+                if budget.active:
+                    budget.check("index/paths")
+                for holds, pivots in chunk:
+                    n_paths += 1
+                    path = SCTPath(holds, pivots)
+                    if tally_cliques:
+                        n_cliques += path.clique_count(k)
+                    yield path
+        finally:
+            engine.close()
+            if recorder.enabled:
+                recorder.counter("paths/yielded", n_paths)
+                if k is not None:
+                    recorder.counter("paths/cliques", n_cliques)
+
+    def _array_state(self) -> Tuple:
+        """Internal flat-array state, the broadcast payload of the engine."""
+        return (
+            self._n_vertices,
+            self._vertex,
+            self._label,
+            self._children,
+            self._max_depth,
+            self._threshold,
+        )
 
     def collect_paths(
         self, k: Optional[int] = None, enforce_support: bool = True
@@ -639,6 +847,8 @@ class SCTIndex:
         enforce_support: bool = True,
         recorder: Recorder = NULL_RECORDER,
         budget: Budget = NULL_BUDGET,
+        parallel=None,
+        options: Optional[RunOptions] = None,
     ) -> "SCTPathView":
         """A re-iterable, zero-materialisation view over the valid paths.
 
@@ -649,10 +859,21 @@ class SCTIndex:
         instead of holding every :class:`SCTPath` alive.  Prefer
         :meth:`collect_paths` reuse only when the path list comfortably fits
         in memory and is swept many times.
+
+        With a parallel config (``parallel=`` or inside ``options=``),
+        each ``iter()`` runs through a short-lived process pool; the path
+        order is unchanged.  Algorithms that sweep a view many times hold
+        one long-lived engine instead — prefer passing ``options=`` to
+        them over iterating a parallel view repeatedly.
         """
+        opts = RunOptions.resolve(
+            options, recorder=recorder, budget=budget, parallel=parallel
+        )
         if k is not None and enforce_support:
             self._require_k(k)
-        return SCTPathView(self, k, enforce_support, recorder, budget)
+        return SCTPathView(
+            self, k, enforce_support, opts.recorder, opts.budget, opts.parallel
+        )
 
     def traversal_node_count(self, k: Optional[int] = None) -> int:
         """Number of tree nodes visited when listing k-cliques.
@@ -667,10 +888,22 @@ class SCTIndex:
     # counting queries
     # ------------------------------------------------------------------
 
-    def count_k_cliques(self, k: int) -> int:
+    def count_k_cliques(self, k: int, options: Optional[RunOptions] = None) -> int:
         """Total number of k-cliques in the graph, straight off the index."""
+        opts = RunOptions.resolve(options)
         self._require_k(k)
-        return sum(path.clique_count(k) for path in self.iter_paths(k))
+        if opts.parallel is not None and opts.parallel.enabled:
+            from ..parallel.engine import PathShardEngine
+
+            with PathShardEngine(self, opts.parallel, recorder=opts.recorder) as engine:
+                if engine.has_chunks:
+                    return engine.count_cliques(k)[1]
+        return sum(
+            path.clique_count(k)
+            for path in self.iter_paths(
+                k, recorder=opts.recorder, budget=opts.budget
+            )
+        )
 
     def clique_counts_by_size(self) -> Dict[int, int]:
         """Clique counts for every size from ``max(threshold, 1)`` up to
@@ -683,14 +916,23 @@ class SCTIndex:
                 totals[k] = totals.get(k, 0) + comb(p, k - h)
         return {k: totals[k] for k in sorted(totals) if totals[k]}
 
-    def per_vertex_counts(self, k: int) -> List[int]:
+    def per_vertex_counts(
+        self, k: int, options: Optional[RunOptions] = None
+    ) -> List[int]:
         """k-clique engagement ``|C_k(v, G)|`` for every vertex.
 
         Each path contributes ``C(|P|, k-|H|)`` to every hold and
         ``C(|P|-1, k-|H|-1)`` to every pivot (a pivot is optional, so it
         misses the cliques that skip it).
         """
+        opts = RunOptions.resolve(options)
         self._require_k(k)
+        if opts.parallel is not None and opts.parallel.enabled:
+            from ..parallel.engine import PathShardEngine
+
+            with PathShardEngine(self, opts.parallel, recorder=opts.recorder) as engine:
+                if engine.has_chunks:
+                    return engine.vertex_counts(k)
         counts = [0] * self._n_vertices
         for path in self.iter_paths(k):
             total = path.clique_count(k)
@@ -869,7 +1111,9 @@ class SCTPathView:
     ever materialising it.
     """
 
-    __slots__ = ("_index", "_k", "_enforce_support", "_recorder", "_budget")
+    __slots__ = (
+        "_index", "_k", "_enforce_support", "_recorder", "_budget", "_parallel"
+    )
 
     def __init__(
         self,
@@ -878,12 +1122,14 @@ class SCTPathView:
         enforce_support: bool = True,
         recorder: Recorder = NULL_RECORDER,
         budget: Budget = NULL_BUDGET,
+        parallel=None,
     ):
         self._index = index
         self._k = k
         self._enforce_support = enforce_support
         self._recorder = recorder
         self._budget = budget
+        self._parallel = parallel
 
     def __iter__(self) -> Iterator[SCTPath]:
         return self._index.iter_paths(
@@ -891,6 +1137,7 @@ class SCTPathView:
             enforce_support=self._enforce_support,
             recorder=self._recorder,
             budget=self._budget,
+            parallel=self._parallel,
         )
 
     def __repr__(self) -> str:

@@ -19,6 +19,7 @@ from typing import Iterable, List, Optional
 
 from ..errors import InvalidParameterError
 from ..obs import NULL_RECORDER, Recorder
+from ..options import RunOptions
 from ..resilience.budget import NULL_BUDGET, Budget
 from ..resilience.checkpoint import Checkpointer, require_match
 from .density import DensestSubgraphResult, PartialResult
@@ -47,6 +48,8 @@ def sctl(
     budget: Budget = NULL_BUDGET,
     checkpoint=None,
     resume: bool = False,
+    parallel=None,
+    options: Optional[RunOptions] = None,
 ) -> DensestSubgraphResult:
     """Run SCTL for ``iterations`` rounds and extract the densest prefix.
 
@@ -88,6 +91,16 @@ def sctl(
     resume:
         Restore the weight vector (validated against ``k``, the vertex
         count and the algorithm) and continue from the next round.
+    parallel:
+        ``None`` (serial), an int worker count, or a
+        :class:`~repro.parallel.ParallelConfig`.  With more than one
+        worker each pass streams the paths through a process pool while
+        the per-clique weight updates stay in this process, applied in
+        the serial path order — the result is byte-identical to serial.
+    options:
+        A :class:`~repro.options.RunOptions` bundling the five
+        cross-cutting knobs; the individual keywords remain as aliases
+        (conflicts raise :class:`~repro.errors.InvalidParameterError`).
 
     Returns a :class:`DensestSubgraphResult` whose ``stats`` carry the raw
     vertex weights (``"weights"``) and the per-pass clique count
@@ -95,21 +108,76 @@ def sctl(
     """
     if iterations < 1:
         raise InvalidParameterError(f"iterations must be >= 1, got {iterations}")
-    ckpt = Checkpointer.ensure(checkpoint)
+    opts = RunOptions.resolve(
+        options,
+        recorder=recorder,
+        budget=budget,
+        checkpoint=checkpoint,
+        resume=resume,
+        parallel=parallel,
+    )
+    recorder = opts.recorder
+    budget = opts.budget
+    resume = opts.resume
+    ckpt = Checkpointer.ensure(opts.checkpoint)
+    engine = None
     if paths is None:
-        paths = index.path_view(k)  # streaming: re-traverse per pass
+        if opts.parallel is not None and opts.parallel.enabled:
+            from ..parallel.engine import PathShardEngine
+
+            candidate = PathShardEngine(index, opts.parallel, recorder=recorder)
+            if candidate.has_chunks:
+                engine = candidate
+                paths = engine.path_view(k)
+            else:
+                candidate.close()
+        if paths is None:
+            paths = index.path_view(k)  # streaming: re-traverse per pass
+    try:
+        return _sctl_run(
+            index, k, iterations, paths, track_convergence,
+            recorder, budget, ckpt, resume, engine,
+        )
+    finally:
+        if engine is not None:
+            engine.close()
+
+
+def _sctl_run(
+    index: SCTIndex,
+    k: int,
+    iterations: int,
+    paths: Iterable[SCTPath],
+    track_convergence: bool,
+    recorder: Recorder,
+    budget: Budget,
+    ckpt: Optional[Checkpointer],
+    resume: bool,
+    engine,
+) -> DensestSubgraphResult:
     n = index.n_vertices
     n_paths = 0
     cliques_per_iteration = 0
-    for p in paths:
-        n_paths += 1
-        if budget.active and not n_paths % 1024:
-            reason = budget.exceeded()
-            if reason:
-                return _partial_sctl(
-                    k, reason, "refine/setup", recorder,
-                )
-        cliques_per_iteration += p.clique_count(k)
+    if engine is not None:
+        # the engine counts in the workers; the parent polls the budget
+        # once per merged chunk instead of once per 1024 paths
+        for chunk_paths, chunk_cliques in engine.map("count", k):
+            if budget.active:
+                reason = budget.exceeded()
+                if reason:
+                    return _partial_sctl(k, reason, "refine/setup", recorder)
+            n_paths += chunk_paths
+            cliques_per_iteration += chunk_cliques
+    else:
+        for p in paths:
+            n_paths += 1
+            if budget.active and not n_paths % 1024:
+                reason = budget.exceeded()
+                if reason:
+                    return _partial_sctl(
+                        k, reason, "refine/setup", recorder,
+                    )
+            cliques_per_iteration += p.clique_count(k)
     if not n_paths:
         return empty_result(k, "SCTL")
     track = recorder.enabled

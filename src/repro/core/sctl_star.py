@@ -29,6 +29,7 @@ from typing import Iterable, List, Optional, Sequence
 from ..errors import InvalidParameterError
 from ..graph.graph import Graph
 from ..obs import NULL_RECORDER, Recorder
+from ..options import RunOptions
 from ..resilience.budget import NULL_BUDGET, Budget
 from ..resilience.checkpoint import Checkpointer, require_match
 from .batch import batch_update
@@ -78,6 +79,8 @@ def sctl_star(
     budget: Budget = NULL_BUDGET,
     checkpoint=None,
     resume: bool = False,
+    parallel=None,
+    options: Optional[RunOptions] = None,
 ) -> DensestSubgraphResult:
     """Run SCTL* (Algorithm 5) and return the best extracted subgraph.
 
@@ -134,19 +137,80 @@ def sctl_star(
         iteration.  Partition labels and density bounds are recomputed —
         they derive deterministically from the initial engagement, so the
         resumed run matches an uninterrupted one exactly.
+    parallel:
+        ``None`` (serial), an int worker count, or a
+        :class:`~repro.parallel.ParallelConfig`.  With more than one
+        worker each sweep's path filtering and counting (phase A) runs
+        over disjoint contiguous path shards in a process pool while the
+        weight updates (phase B) are applied here in serial path order —
+        byte-identical results for any worker count.  The budget is then
+        polled per merged chunk instead of per path.
+    options:
+        A :class:`~repro.options.RunOptions` bundling the five
+        cross-cutting knobs; the individual keywords remain as aliases
+        (conflicts raise :class:`~repro.errors.InvalidParameterError`).
     """
     if iterations < 1:
         raise InvalidParameterError(f"iterations must be >= 1, got {iterations}")
-    ckpt = Checkpointer.ensure(checkpoint)
+    opts = RunOptions.resolve(
+        options,
+        recorder=recorder,
+        budget=budget,
+        checkpoint=checkpoint,
+        resume=resume,
+        parallel=parallel,
+    )
+    ckpt = Checkpointer.ensure(opts.checkpoint)
     name = algorithm_name or (
         "SCTL*" if (use_reductions and use_batch)
         else "SCTL+" if use_reductions
         else "SCTL(batch)" if use_batch
         else "SCTL"
     )
+    engine = None
     if paths is None:
-        paths = index.path_view(k)  # streaming: re-traverse per sweep
-    if next(iter(paths), None) is None:
+        if opts.parallel is not None and opts.parallel.enabled:
+            from ..parallel.engine import PathShardEngine
+
+            candidate = PathShardEngine(index, opts.parallel, recorder=opts.recorder)
+            if candidate.has_chunks:
+                engine = candidate
+                paths = engine.path_view(k)
+            else:
+                candidate.close()
+        if paths is None:
+            paths = index.path_view(k)  # streaming: re-traverse per sweep
+    try:
+        return _sctl_star_run(
+            index, k, iterations, graph, use_reductions, use_batch,
+            collect_stats, paths, name, opts.recorder, opts.budget,
+            ckpt, opts.resume, engine,
+        )
+    finally:
+        if engine is not None:
+            engine.close()
+
+
+def _sctl_star_run(
+    index: SCTIndex,
+    k: int,
+    iterations: int,
+    graph: Optional[Graph],
+    use_reductions: bool,
+    use_batch: bool,
+    collect_stats: bool,
+    paths: Iterable[SCTPath],
+    name: str,
+    recorder: Recorder,
+    budget: Budget,
+    ckpt: Optional[Checkpointer],
+    resume: bool,
+    engine,
+) -> DensestSubgraphResult:
+    # emptiness probe: with an engine, a cheap serial peek — iterating the
+    # parallel view would launch a full pooled sweep just to test for one path
+    probe = index.iter_paths(k) if engine is not None else iter(paths)
+    if next(probe, None) is None:
         return empty_result(k, name)
     n = index.n_vertices
 
@@ -246,55 +310,65 @@ def sctl_star(
         pivots_dropped = 0
         prev_weights = weights[:] if track else None
         with recorder.span(f"refine/iteration/{t}"):
-            for path in paths:
-                n_paths += 1
-                if budget.active:
-                    exhausted = budget.exceeded()
-                    if exhausted:
-                        break
-                if use_reductions:
-                    if bounds[partition_of[path.holds[0]]] <= best_density:
+            if engine is not None:
+                (
+                    n_paths, processed, updates, pruned_connectivity,
+                    pruned_engagement, pivots_dropped, exhausted,
+                ) = _parallel_refine_sweep(
+                    engine, k, weights, use_reductions, use_batch,
+                    engagement, threshold, partition_of, bounds,
+                    best_density, new_engagement, budget,
+                )
+            else:
+                for path in paths:
+                    n_paths += 1
+                    if budget.active:
+                        exhausted = budget.exceeded()
+                        if exhausted:
+                            break
+                    if use_reductions:
+                        if bounds[partition_of[path.holds[0]]] <= best_density:
+                            if track:
+                                pruned_connectivity += 1
+                            continue  # clique-connectivity reduction
+                        holds = [
+                            v for v in path.holds if engagement[v] >= threshold
+                        ]
+                        if len(holds) != len(path.holds):
+                            if track:
+                                pruned_engagement += 1
+                            continue  # a hold left the scope: no clique survives
+                        pivots = [
+                            v for v in path.pivots if engagement[v] >= threshold
+                        ]
+                        need = k - len(holds)
+                        if need < 0 or need > len(pivots):
+                            if track:
+                                pruned_engagement += 1
+                            continue
                         if track:
-                            pruned_connectivity += 1
-                        continue  # clique-connectivity reduction
-                    holds = [
-                        v for v in path.holds if engagement[v] >= threshold
-                    ]
-                    if len(holds) != len(path.holds):
-                        if track:
-                            pruned_engagement += 1
-                        continue  # a hold left the scope: no clique survives
-                    pivots = [
-                        v for v in path.pivots if engagement[v] >= threshold
-                    ]
-                    need = k - len(holds)
-                    if need < 0 or need > len(pivots):
-                        if track:
-                            pruned_engagement += 1
-                        continue
-                    if track:
-                        pivots_dropped += len(path.pivots) - len(pivots)
-                    count = comb(len(pivots), need)
-                    for v in holds:
-                        new_engagement[v] += count
-                    if need >= 1:
-                        pivot_count = comb(len(pivots) - 1, need - 1)
-                        if pivot_count:
-                            for v in pivots:
-                                new_engagement[v] += pivot_count
-                else:
-                    holds, pivots = path.holds, path.pivots
-                    count = path.clique_count(k)
-                processed += count
-                if use_batch:
-                    updates += batch_update(weights, holds, pivots, k)
-                else:
-                    for clique in SCTPath(
-                        tuple(holds), tuple(pivots)
-                    ).iter_cliques(k):
-                        u = min(clique, key=weights.__getitem__)
-                        weights[u] += 1
-                        updates += 1
+                            pivots_dropped += len(path.pivots) - len(pivots)
+                        count = comb(len(pivots), need)
+                        for v in holds:
+                            new_engagement[v] += count
+                        if need >= 1:
+                            pivot_count = comb(len(pivots) - 1, need - 1)
+                            if pivot_count:
+                                for v in pivots:
+                                    new_engagement[v] += pivot_count
+                    else:
+                        holds, pivots = path.holds, path.pivots
+                        count = path.clique_count(k)
+                    processed += count
+                    if use_batch:
+                        updates += batch_update(weights, holds, pivots, k)
+                    else:
+                        for clique in SCTPath(
+                            tuple(holds), tuple(pivots)
+                        ).iter_cliques(k):
+                            u = min(clique, key=weights.__getitem__)
+                            weights[u] += 1
+                            updates += 1
             if exhausted:
                 # roll the half-swept iteration back to its entry state so
                 # the reported weights sit exactly on an iteration boundary
@@ -416,6 +490,8 @@ def sctl_plus(
     budget: Budget = NULL_BUDGET,
     checkpoint=None,
     resume: bool = False,
+    parallel=None,
+    options: Optional[RunOptions] = None,
 ) -> DensestSubgraphResult:
     """SCTL+ — SCTL with graph reductions but per-clique weight updates."""
     return sctl_star(
@@ -432,6 +508,77 @@ def sctl_plus(
         budget=budget,
         checkpoint=checkpoint,
         resume=resume,
+        parallel=parallel,
+        options=options,
+    )
+
+
+def _parallel_refine_sweep(
+    engine,
+    k: int,
+    weights: List[int],
+    use_reductions: bool,
+    use_batch: bool,
+    engagement: Sequence[int],
+    threshold: int,
+    partition_of: Sequence[int],
+    bounds,
+    best_density: Fraction,
+    new_engagement: List[int],
+    budget: Budget,
+):
+    """One SCTL* sweep, phase A pooled and phase B applied in order.
+
+    The per-vertex scope tests are precomputed here (``in_scope`` /
+    ``bound_ok`` boolean tables, O(n)) so the workers replicate the
+    serial per-path filtering bit for bit without holding the evolving
+    weight vector.  Workers return survivors in path order plus additive
+    engagement deltas; this parent loop applies the weight updates over
+    the merged, ordered survivor stream — the update sequence is the
+    serial one, so the weights are byte-identical for any worker count.
+
+    The budget is polled once per merged chunk; exhaustion abandons the
+    sweep (the caller rolls the weights back to the iteration entry, the
+    same contract as the serial per-path poll).
+    """
+    in_scope = None
+    bound_ok = None
+    if use_reductions:
+        in_scope = [e >= threshold for e in engagement]
+        bound_ok = [bounds[p] > best_density for p in partition_of]
+    n_paths = 0
+    processed = 0
+    updates = 0
+    pruned_connectivity = 0
+    pruned_engagement = 0
+    pivots_dropped = 0
+    exhausted: Optional[str] = None
+    for surviving, engagement_delta, tallies in engine.refine_sweep(
+        k, in_scope, bound_ok
+    ):
+        if budget.active:
+            exhausted = budget.exceeded()
+            if exhausted:
+                break
+        for holds, pivots, count in surviving:
+            processed += count
+            if use_batch:
+                updates += batch_update(weights, holds, pivots, k)
+            else:
+                for clique in SCTPath(holds, pivots).iter_cliques(k):
+                    u = min(clique, key=weights.__getitem__)
+                    weights[u] += 1
+                    updates += 1
+        if use_reductions:
+            for v, delta in engagement_delta.items():
+                new_engagement[v] += delta
+        n_paths += tallies[0]
+        pruned_connectivity += tallies[1]
+        pruned_engagement += tallies[2]
+        pivots_dropped += tallies[3]
+    return (
+        n_paths, processed, updates, pruned_connectivity,
+        pruned_engagement, pivots_dropped, exhausted,
     )
 
 

@@ -239,6 +239,34 @@ class MetricsRecorder:
         payload["t"] = round(self._clock() - self._t0, 9)
         self._sink.write(json.dumps(payload, default=_jsonable) + "\n")
 
+    # -- merging --------------------------------------------------------
+
+    def absorb(self, snapshot: Dict[str, Any], prefix: str = "") -> None:
+        """Fold another recorder's :meth:`snapshot` into this one.
+
+        Used by the parallel engine to merge worker-side measurements
+        into the parent trace: counters are summed, gauges take the
+        incoming value (last write wins, like a local ``gauge`` call)
+        and each span aggregate lands as one completed span nested under
+        the *current* span path (plus an optional ``prefix`` segment).
+        The sink, when present, sees the merged spans as immediately
+        closed ``span_start``/``span_end`` pairs, which keeps the trace
+        well-bracketed for :mod:`repro.obs.validate`.
+        """
+        for name, total in snapshot.get("counters", {}).items():
+            self.counter(name, total)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name, value)
+        base = self.current_span
+        for entry in snapshot.get("spans", ()):
+            path = "/".join(p for p in (base, prefix, entry["span"]) if p)
+            if self._sink is not None:
+                self._emit({"event": "span_start", "span": path})
+            self.spans.append(SpanRecord(path, entry["seconds"]))
+            if self._sink is not None:
+                self._emit({"event": "span_end", "span": path,
+                            "seconds": round(entry["seconds"], 9)})
+
     # -- reading back ---------------------------------------------------
 
     def span_totals(self) -> Dict[str, Tuple[int, float]]:

@@ -1,0 +1,131 @@
+"""Configuration for the process-pool execution engine.
+
+:class:`ParallelConfig` is the value behind the ``parallel=`` knob of
+:class:`~repro.options.RunOptions`: it says how many worker processes to
+use and how the root-to-leaf path work is chunked across them.  It is a
+plain frozen dataclass with no multiprocessing state, so it pickles
+freely and can sit inside :class:`~repro.options.RunOptions` (which is
+itself shipped around the pipeline).
+
+``workers=1`` (the default) is the documented "serial" setting: every
+engine entry point checks :attr:`ParallelConfig.enabled` and falls back
+to the exact single-process code path, so passing ``parallel=1`` is
+byte-identical to passing nothing at all.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import InvalidParameterError
+
+__all__ = ["ParallelConfig"]
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """How to shard SCT* path work across worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count.  ``1`` means serial: no pool is ever
+        created and results are byte-identical to the pre-parallel code.
+    chunks_per_worker:
+        Target number of work chunks handed to each worker per sweep.
+        More chunks balance skewed subtrees better; fewer chunks lower
+        dispatch overhead.  Chunks are contiguous root ranges, so the
+        ordered merge of chunk results always reproduces serial order.
+    max_tasks_per_child:
+        Recycle a worker process after this many tasks (``None`` keeps
+        workers for the pool's lifetime).  Recycling bounds the memory a
+        long sweep can pin in any single worker.
+    start_method:
+        ``multiprocessing`` start method (``"fork"``, ``"spawn"``,
+        ``"forkserver"``).  ``None`` picks ``fork`` when the platform
+        offers it (cheapest: the index is inherited, not pickled) and
+        the platform default otherwise.
+    """
+
+    workers: int = 1
+    chunks_per_worker: int = 4
+    max_tasks_per_child: Optional[int] = None
+    start_method: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if (
+            not isinstance(self.workers, int)
+            or isinstance(self.workers, bool)
+            or self.workers < 1
+        ):
+            raise InvalidParameterError(
+                f"workers must be an int >= 1, got {self.workers!r}"
+            )
+        if (
+            not isinstance(self.chunks_per_worker, int)
+            or isinstance(self.chunks_per_worker, bool)
+            or self.chunks_per_worker < 1
+        ):
+            raise InvalidParameterError(
+                f"chunks_per_worker must be an int >= 1, "
+                f"got {self.chunks_per_worker!r}"
+            )
+        if self.max_tasks_per_child is not None and (
+            not isinstance(self.max_tasks_per_child, int)
+            or isinstance(self.max_tasks_per_child, bool)
+            or self.max_tasks_per_child < 1
+        ):
+            raise InvalidParameterError(
+                f"max_tasks_per_child must be None or an int >= 1, "
+                f"got {self.max_tasks_per_child!r}"
+            )
+        if self.start_method is not None:
+            available = multiprocessing.get_all_start_methods()
+            if self.start_method not in available:
+                raise InvalidParameterError(
+                    f"start_method {self.start_method!r} not available; "
+                    f"expected one of: {', '.join(available)}"
+                )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this configuration actually spawns a pool."""
+        return self.workers > 1
+
+    @classmethod
+    def normalize(cls, value) -> Optional["ParallelConfig"]:
+        """Coerce a ``parallel=`` argument to a config (or ``None``).
+
+        Accepts ``None`` (serial, the default), a bare int worker count,
+        or a ready :class:`ParallelConfig`.  Anything else — including
+        booleans, which are almost certainly a bug — is rejected with
+        :class:`~repro.errors.InvalidParameterError`.
+        """
+        if value is None:
+            return None
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, bool):
+            raise InvalidParameterError(
+                "parallel must be None, an int worker count or a "
+                f"ParallelConfig, got {value!r} (pass workers=N, not a flag)"
+            )
+        if isinstance(value, int):
+            return cls(workers=value)
+        raise InvalidParameterError(
+            "parallel must be None, an int worker count or a ParallelConfig, "
+            f"got {type(value).__name__}"
+        )
+
+    def context(self):
+        """The ``multiprocessing`` context this config asks for."""
+        method = self.start_method
+        if method is None:
+            method = (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else None
+            )
+        return multiprocessing.get_context(method)

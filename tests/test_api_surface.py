@@ -1,0 +1,144 @@
+"""Public-API surface snapshot: names and signatures are a contract.
+
+If a change here is intentional, update the snapshot in the same commit
+and call it out in the changelog — downstream code imports these names
+and passes these keywords.
+"""
+
+import inspect
+
+import repro
+
+EXPECTED_ALL = sorted([
+    "Graph",
+    "Hypergraph",
+    "SCTIndex",
+    "SCTPath",
+    "SCTPathView",
+    "DensestSubgraphResult",
+    "densest_subgraph",
+    "sctl",
+    "sctl_plus",
+    "sctl_star",
+    "sctl_star_sample",
+    "sctl_star_exact",
+    "kcl",
+    "kcl_sample",
+    "kcl_exact",
+    "core_app",
+    "core_exact",
+    "greedy_peeling",
+    "density_profile",
+    "DensityProfile",
+    "top_dense_subgraphs",
+    "RunOptions",
+    "ParallelConfig",
+    "MethodSpec",
+    "available_methods",
+    "get_method",
+    "register_method",
+    "Recorder",
+    "NullRecorder",
+    "MetricsRecorder",
+    "NULL_RECORDER",
+    "PartialResult",
+    "Budget",
+    "NullBudget",
+    "RunBudget",
+    "NULL_BUDGET",
+    "Checkpointer",
+    "FaultPlan",
+    "ReproError",
+    "GraphError",
+    "InvalidParameterError",
+    "IndexBuildError",
+    "IndexQueryError",
+    "DatasetError",
+    "EdgeListParseError",
+    "SolverError",
+    "BudgetExhausted",
+    "TimeoutExceeded",
+    "CheckpointError",
+    "__version__",
+])
+
+# parameter-name tuples, in declaration order
+EXPECTED_SIGNATURES = {
+    "densest_subgraph": (
+        "graph", "k", "method", "iterations", "index", "sample_size",
+        "seed", "recorder", "budget", "checkpoint", "resume", "parallel",
+        "options",
+    ),
+    "sctl": (
+        "index", "k", "iterations", "paths", "track_convergence",
+        "recorder", "budget", "checkpoint", "resume", "parallel", "options",
+    ),
+    "sctl_star": (
+        "index", "k", "iterations", "graph", "use_reductions", "use_batch",
+        "collect_stats", "paths", "algorithm_name", "recorder", "budget",
+        "checkpoint", "resume", "parallel", "options",
+    ),
+    "sctl_star_sample": (
+        "index", "k", "sample_size", "iterations", "seed", "use_reduction",
+        "paths", "recorder", "budget", "parallel", "options",
+    ),
+    "sctl_star_exact": (
+        "graph", "k", "index", "sample_size", "iterations", "seed",
+        "max_rounds", "recorder", "budget", "checkpoint", "resume",
+        "parallel", "options",
+    ),
+    "kcl": ("graph", "k", "iterations", "view", "options"),
+    "kcl_sample": (
+        "graph", "k", "sample_size", "iterations", "seed", "view", "options",
+    ),
+    "kcl_exact": (
+        "graph", "k", "initial_iterations", "max_total_iterations", "view",
+        "options",
+    ),
+    "core_app": ("graph", "k", "view", "options"),
+    "core_exact": ("graph", "k", "view", "options"),
+    "greedy_peeling": ("graph", "k", "view", "options"),
+    "register_method": (
+        "name", "fn", "aliases", "needs_index", "description", "overwrite",
+    ),
+}
+
+
+def test_all_is_exactly_the_published_surface():
+    assert sorted(repro.__all__) == EXPECTED_ALL
+
+
+def test_every_published_name_resolves():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_entry_point_signatures():
+    for name, expected in EXPECTED_SIGNATURES.items():
+        fn = getattr(repro, name)
+        actual = tuple(inspect.signature(fn).parameters)
+        assert actual == expected, f"{name}: {actual} != {expected}"
+
+
+def test_build_signature():
+    actual = tuple(inspect.signature(repro.SCTIndex.build).parameters)
+    assert actual == (
+        "graph", "threshold", "view", "recorder", "budget", "checkpoint",
+        "resume", "parallel", "options",
+    )
+
+
+def test_run_options_fields():
+    actual = tuple(
+        f.name for f in repro.RunOptions.__dataclass_fields__.values()
+    )
+    assert actual == ("recorder", "budget", "checkpoint", "resume", "parallel")
+
+
+def test_parallel_config_fields():
+    actual = tuple(
+        f.name for f in repro.ParallelConfig.__dataclass_fields__.values()
+    )
+    assert actual == (
+        "workers", "chunks_per_worker", "max_tasks_per_child", "start_method",
+    )

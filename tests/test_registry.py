@@ -1,0 +1,132 @@
+"""The facade method registry: lookups, aliases, extension."""
+
+import pytest
+
+from repro import (
+    InvalidParameterError,
+    available_methods,
+    densest_subgraph,
+    get_method,
+    greedy_peeling,
+    register_method,
+)
+from repro.registry import MethodSpec, normalize_method_name
+
+BUILTINS = [
+    "sctl", "sctl+", "sctl*", "sctl*-sample", "sctl*-exact",
+    "kcl", "kcl-sample", "kcl-exact", "coreapp", "coreexact", "peel",
+]
+
+
+@pytest.fixture(autouse=True)
+def _restore_registry():
+    """Keep test registrations from leaking across tests."""
+    from repro import registry
+
+    saved_methods = dict(registry._REGISTRY)
+    saved_aliases = dict(registry._ALIASES)
+    yield
+    registry._REGISTRY.clear()
+    registry._REGISTRY.update(saved_methods)
+    registry._ALIASES.clear()
+    registry._ALIASES.update(saved_aliases)
+
+
+class TestBuiltins:
+    def test_every_legacy_method_name_registered(self):
+        names = available_methods()
+        for name in BUILTINS:
+            assert name in names, name
+
+    def test_available_methods_sorted(self):
+        names = available_methods()
+        assert names == sorted(names)
+
+    def test_specs_carry_descriptions(self):
+        for name in BUILTINS:
+            spec = get_method(name)
+            assert isinstance(spec, MethodSpec)
+            assert spec.description
+
+    def test_needs_index_partition(self):
+        for name in BUILTINS:
+            expected = name.startswith("sctl")
+            assert get_method(name).needs_index is expected, name
+
+
+class TestLookup:
+    def test_normalization(self):
+        assert normalize_method_name(" SCTL * ") == "sctl*"
+        assert normalize_method_name("sctl_star") == "sctl-star"
+        assert normalize_method_name("CoreApp") == "coreapp"
+
+    @pytest.mark.parametrize(
+        "alias,canonical",
+        [
+            ("sctl-star", "sctl*"),
+            ("sctl_star", "sctl*"),
+            ("SCTL-Star-Sample", "sctl*-sample"),
+            ("sctl-star-exact", "sctl*-exact"),
+            ("sctl-plus", "sctl+"),
+            ("core-app", "coreapp"),
+            ("core_exact", "coreexact"),
+            ("peeling", "peel"),
+            ("greedy-peeling", "peel"),
+        ],
+    )
+    def test_aliases(self, alias, canonical):
+        assert get_method(alias).name == canonical
+
+    def test_unknown_method_lists_valid_names(self):
+        with pytest.raises(InvalidParameterError) as excinfo:
+            get_method("does-not-exist")
+        message = str(excinfo.value)
+        for name in BUILTINS:
+            assert name in message
+
+    def test_non_string_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            get_method(42)
+
+
+class TestRegistration:
+    @staticmethod
+    def _fn(graph, k, index=None, iterations=10, sample_size=None, seed=0,
+            options=None):
+        return greedy_peeling(graph, k)
+
+    def test_register_and_dispatch(self, caveman):
+        register_method("custom", self._fn, aliases=("my-custom",),
+                        description="test method")
+        assert "custom" in available_methods()
+        expected = greedy_peeling(caveman, 3).vertices
+        assert densest_subgraph(caveman, 3, method="custom").vertices == expected
+        assert densest_subgraph(caveman, 3, method="My_Custom").vertices == expected
+
+    def test_duplicate_rejected_without_overwrite(self):
+        register_method("custom", self._fn)
+        with pytest.raises(InvalidParameterError, match="already registered"):
+            register_method("custom", self._fn)
+        with pytest.raises(InvalidParameterError, match="already registered"):
+            register_method("other", self._fn, aliases=("custom",))
+
+    def test_overwrite_replaces(self):
+        register_method("custom", self._fn, aliases=("old-alias",))
+        replacement = register_method(
+            "custom", self._fn, aliases=("new-alias",), overwrite=True
+        )
+        assert get_method("new-alias") is replacement
+        with pytest.raises(InvalidParameterError):
+            get_method("old-alias")  # retired with the replaced spec
+
+    def test_overwrite_cannot_steal_other_methods_name(self):
+        with pytest.raises(InvalidParameterError, match="different method"):
+            register_method("peeling", self._fn, overwrite=True)
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            register_method("bad", "not-a-function")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            register_method("  ", self._fn)

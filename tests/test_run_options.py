@@ -1,0 +1,239 @@
+"""RunOptions: construction, resolve() merging and entry-point parity."""
+
+import io
+
+import pytest
+
+from repro import (
+    InvalidParameterError,
+    MetricsRecorder,
+    ParallelConfig,
+    RunOptions,
+    core_app,
+    densest_subgraph,
+    greedy_peeling,
+    kcl,
+    kcl_exact,
+    kcl_sample,
+)
+from repro.core import SCTIndex, sctl, sctl_plus, sctl_star
+from repro.core.profile import density_profile
+from repro.core.reductions import kp_computation
+from repro.core.sampling import sctl_star_sample
+from repro.obs import NULL_RECORDER
+from repro.options import warn_unsupported
+from repro.resilience import NULL_BUDGET, RunBudget
+
+
+class TestConstruction:
+    def test_defaults(self):
+        opts = RunOptions()
+        assert opts.recorder is NULL_RECORDER
+        assert opts.budget is NULL_BUDGET
+        assert opts.checkpoint is None
+        assert opts.resume is False
+        assert opts.parallel is None
+        assert opts.workers == 1
+        for name in ("recorder", "budget", "checkpoint", "resume", "parallel"):
+            assert opts.is_default(name)
+
+    def test_none_normalised_to_null_objects(self):
+        opts = RunOptions(recorder=None, budget=None)
+        assert opts.recorder is NULL_RECORDER
+        assert opts.budget is NULL_BUDGET
+
+    def test_int_parallel_normalised_to_config(self):
+        opts = RunOptions(parallel=4)
+        assert isinstance(opts.parallel, ParallelConfig)
+        assert opts.parallel.workers == 4
+        assert opts.workers == 4
+
+    def test_parallel_one_is_non_default_but_disabled(self):
+        opts = RunOptions(parallel=1)
+        assert opts.parallel.workers == 1
+        assert not opts.parallel.enabled
+
+    def test_bool_parallel_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            RunOptions(parallel=True)
+
+    def test_bad_resume_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            RunOptions(resume=1)
+
+    def test_frozen(self):
+        opts = RunOptions()
+        with pytest.raises(Exception):
+            opts.resume = True
+
+    def test_replace(self):
+        opts = RunOptions(parallel=2)
+        changed = opts.replace(resume=True)
+        assert changed.resume is True
+        assert changed.parallel == opts.parallel
+        assert opts.resume is False
+
+
+class TestResolve:
+    def test_no_arguments(self):
+        assert RunOptions.resolve() == RunOptions()
+
+    def test_legacy_only(self):
+        rec = MetricsRecorder()
+        opts = RunOptions.resolve(None, recorder=rec, parallel=3)
+        assert opts.recorder is rec
+        assert opts.workers == 3
+
+    def test_options_only(self):
+        given = RunOptions(parallel=2, resume=False)
+        assert RunOptions.resolve(given) == given
+
+    def test_disjoint_merge(self):
+        rec = MetricsRecorder()
+        opts = RunOptions.resolve(RunOptions(parallel=2), recorder=rec)
+        assert opts.recorder is rec
+        assert opts.workers == 2
+
+    def test_agreeing_values_merge(self):
+        rec = MetricsRecorder()
+        opts = RunOptions.resolve(
+            RunOptions(recorder=rec, parallel=2), recorder=rec, parallel=2
+        )
+        assert opts.recorder is rec
+        assert opts.workers == 2
+
+    def test_conflicting_values_raise(self):
+        with pytest.raises(InvalidParameterError, match="conflicting"):
+            RunOptions.resolve(
+                RunOptions(recorder=MetricsRecorder()),
+                recorder=MetricsRecorder(),
+            )
+
+    def test_conflicting_parallel_raises(self):
+        with pytest.raises(InvalidParameterError, match="parallel"):
+            RunOptions.resolve(RunOptions(parallel=2), parallel=4)
+
+    def test_default_legacy_never_conflicts(self):
+        given = RunOptions(recorder=MetricsRecorder(), parallel=2)
+        opts = RunOptions.resolve(
+            given, recorder=NULL_RECORDER, budget=NULL_BUDGET,
+            checkpoint=None, resume=False, parallel=None,
+        )
+        assert opts == given
+
+    def test_unknown_keyword_rejected(self):
+        with pytest.raises(InvalidParameterError, match="workerz"):
+            RunOptions.resolve(workerz=2)
+
+    def test_non_runoptions_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            RunOptions.resolve({"parallel": 2})
+
+
+class TestParallelConfig:
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ParallelConfig(workers=0)
+        with pytest.raises(InvalidParameterError):
+            ParallelConfig(workers=2, chunks_per_worker=0)
+        with pytest.raises(InvalidParameterError):
+            ParallelConfig(workers=2, start_method="no-such-method")
+
+    def test_normalize(self):
+        assert ParallelConfig.normalize(None) is None
+        cfg = ParallelConfig(workers=2)
+        assert ParallelConfig.normalize(cfg) is cfg
+        assert ParallelConfig.normalize(3).workers == 3
+        with pytest.raises(InvalidParameterError):
+            ParallelConfig.normalize(True)
+
+
+class TestEntryPointParity:
+    """options= must behave exactly like the legacy keywords."""
+
+    def test_sctl_family(self, caveman):
+        index = SCTIndex.build(caveman)
+        for fn, kwargs in (
+            (sctl, {}),
+            (sctl_plus, {"graph": caveman}),
+            (sctl_star, {"graph": caveman}),
+        ):
+            rec_a, rec_b = MetricsRecorder(), MetricsRecorder()
+            legacy = fn(index, 3, iterations=4, recorder=rec_a, **kwargs)
+            new = fn(
+                index, 3, iterations=4,
+                options=RunOptions(recorder=rec_b), **kwargs
+            )
+            assert legacy.vertices == new.vertices
+            assert legacy.stats["weights"] == new.stats["weights"]
+            assert rec_a.counters == rec_b.counters
+
+    def test_build_options_equals_legacy(self, caveman):
+        rec_a, rec_b = MetricsRecorder(), MetricsRecorder()
+        a = SCTIndex.build(caveman, recorder=rec_a)
+        b = SCTIndex.build(caveman, options=RunOptions(recorder=rec_b))
+        buf_a, buf_b = io.StringIO(), io.StringIO()
+        a._write(buf_a)
+        b._write(buf_b)
+        assert buf_a.getvalue() == buf_b.getvalue()
+        assert rec_a.counters == rec_b.counters
+
+    def test_sample_options_equals_legacy(self, caveman):
+        index = SCTIndex.build(caveman)
+        legacy = sctl_star_sample(index, 3, sample_size=50, seed=7)
+        new = sctl_star_sample(
+            index, 3, sample_size=50, seed=7, options=RunOptions()
+        )
+        assert legacy.vertices == new.vertices
+
+    def test_profile_and_kp_accept_options(self, caveman):
+        index = SCTIndex.build(caveman)
+        prof_a = density_profile(index, k_values=[3], iterations=2)
+        prof_b = density_profile(
+            index, k_values=[3], iterations=2, options=RunOptions(parallel=2)
+        )
+        assert prof_a.results[3].vertices == prof_b.results[3].vertices
+        part_a = kp_computation(index, 3)
+        part_b = kp_computation(index, 3, options=RunOptions(parallel=2))
+        assert part_a.partition_of == part_b.partition_of
+
+    def test_facade_conflict_raises(self, caveman):
+        with pytest.raises(InvalidParameterError, match="conflicting"):
+            densest_subgraph(
+                caveman, 3, parallel=2, options=RunOptions(parallel=4)
+            )
+
+    def test_facade_options_equals_legacy_kwargs(self, caveman, tmp_path):
+        budget = RunBudget(wall_seconds=1e6)
+        legacy = densest_subgraph(
+            caveman, 3, method="sctl*", iterations=3,
+            budget=budget, checkpoint=str(tmp_path / "a"),
+        )
+        new = densest_subgraph(
+            caveman, 3, method="sctl*", iterations=3,
+            options=RunOptions(budget=budget, checkpoint=str(tmp_path / "b")),
+        )
+        assert legacy.vertices == new.vertices
+        assert legacy.stats["weights"] == new.stats["weights"]
+
+
+class TestBaselineWarnings:
+    def test_each_baseline_warns_once_on_nondefault_knobs(self, caveman):
+        opts = RunOptions(parallel=2)
+        for fn in (kcl, greedy_peeling, core_app):
+            with pytest.warns(UserWarning, match="ignored"):
+                fn(caveman, 3, options=opts)
+        with pytest.warns(UserWarning, match="KCL-Sample"):
+            kcl_sample(caveman, 3, sample_size=20, options=opts)
+        with pytest.warns(UserWarning, match="KCL-Exact"):
+            kcl_exact(caveman, 3, options=opts)
+
+    def test_default_options_do_not_warn(self, caveman, recwarn):
+        kcl(caveman, 3, options=RunOptions())
+        greedy_peeling(caveman, 3, options=None)
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, UserWarning)]
+
+    def test_warn_unsupported_supported_knobs_exempt(self):
+        opts = RunOptions(parallel=2)
+        warn_unsupported(opts, "X", supported=("parallel",))  # no warning
