@@ -25,6 +25,7 @@ The top-level :func:`densest_subgraph` facade picks the algorithm by name.
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 from .baselines import (
@@ -50,6 +51,7 @@ from .core import (
     top_dense_subgraphs,
 )
 from .core.density import PartialResult
+from .results import RESULT_SCHEMA, DenseSubgraphResult
 from .errors import (
     BudgetExhausted,
     CheckpointError,
@@ -91,7 +93,9 @@ __all__ = [
     "SCTIndex",
     "SCTPath",
     "SCTPathView",
+    "DenseSubgraphResult",
     "DensestSubgraphResult",
+    "RESULT_SCHEMA",
     "densest_subgraph",
     "sctl",
     "sctl_plus",
@@ -202,6 +206,7 @@ def densest_subgraph(
         individual keywords remain as aliases (conflicting assignments
         raise :class:`InvalidParameterError`).
     """
+    t0 = time.perf_counter()
     spec = get_method(method)
     opts = RunOptions.resolve(
         options,
@@ -211,11 +216,12 @@ def densest_subgraph(
         resume=resume,
         parallel=parallel,
     )
+    index_build_s = None
     if spec.needs_index and index is None:
         try:
             index = SCTIndex.build(graph, options=opts)
         except BudgetExhausted as exc:
-            return PartialResult(
+            result = PartialResult(
                 vertices=[],
                 clique_count=0,
                 k=k,
@@ -224,8 +230,11 @@ def densest_subgraph(
                 reason=exc.reason,
                 stage=exc.stage or "index/build",
             )
+            result.timings["total_s"] = time.perf_counter() - t0
+            return result
+        index_build_s = time.perf_counter() - t0
     sigma = sample_size if sample_size is not None else 10_000
-    return spec.fn(
+    result = spec.fn(
         graph,
         k,
         index=index,
@@ -234,3 +243,7 @@ def densest_subgraph(
         seed=seed,
         options=opts,
     )
+    if index_build_s is not None:
+        result.timings.setdefault("index_build_s", index_build_s)
+    result.timings["total_s"] = time.perf_counter() - t0
+    return result

@@ -9,6 +9,13 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli query dataset:email -k 7 --metrics run.json --trace run.jsonl
     python -m repro.cli profile dataset:pokec --iterations 10
     python -m repro.cli stats dataset:email --json
+    python -m repro.cli serve --port 8642
+
+Machine-readable outputs (``query --json``, ``profile --json``,
+``stats --json``) carry a versioned ``"schema"`` field
+(``repro/result-v1``, ``repro/profile-v1``, ``repro/stats-v1``) that
+``python -m repro.obs.validate --result`` checks.  ``serve`` runs the
+:mod:`repro.service` daemon (see ``docs/service.md``).
 
 Graph arguments accept either a path to an edge-list file or
 ``dataset:<name>`` for one of the bundled synthetic datasets.
@@ -52,6 +59,7 @@ from .obs import NULL_RECORDER, MetricsRecorder, Recorder
 from .options import RunOptions
 from .registry import available_methods
 from .resilience import NULL_BUDGET, Budget, RunBudget
+from .results import PROFILE_SCHEMA, STATS_SCHEMA
 
 __all__ = ["main", "build_parser"]
 
@@ -190,9 +198,12 @@ def _cmd_build_index(args: argparse.Namespace) -> int:
         start = time.perf_counter()
         try:
             index = SCTIndex.build(
-                graph, threshold=args.threshold, recorder=recorder,
-                budget=budget, checkpoint=args.checkpoint,
-                resume=args.resume, parallel=_parallel_from(args),
+                graph, threshold=args.threshold,
+                options=RunOptions(
+                    recorder=recorder, budget=budget,
+                    checkpoint=args.checkpoint, resume=args.resume,
+                    parallel=_parallel_from(args),
+                ),
             )
         except BudgetExhausted as exc:
             print(f"budget exhausted: {exc}", file=sys.stderr)
@@ -232,19 +243,26 @@ def _cmd_query(args: argparse.Namespace) -> int:
             index=index,
             sample_size=args.sample_size,
             seed=args.seed,
-            recorder=recorder,
-            budget=budget,
-            checkpoint=args.checkpoint,
-            resume=args.resume,
-            parallel=_parallel_from(args),
+            options=RunOptions(
+                recorder=recorder, budget=budget,
+                checkpoint=args.checkpoint, resume=args.resume,
+                parallel=_parallel_from(args),
+            ),
         )
         elapsed = time.perf_counter() - start
-        print(result.summary())
-        if result.upper_bound is not None:
-            print(f"upper bound on optimal density: {result.upper_bound:.6f}")
-        print(f"query time: {elapsed:.3f}s")
-        if args.show_vertices:
-            print(f"vertices: {result.vertices}")
+        if args.json:
+            payload = result.to_dict()
+            payload["query_time_s"] = elapsed
+            print(json.dumps(payload, indent=2))
+        else:
+            print(result.summary())
+            if result.upper_bound is not None:
+                print(
+                    f"upper bound on optimal density: {result.upper_bound:.6f}"
+                )
+            print(f"query time: {elapsed:.3f}s")
+            if args.show_vertices:
+                print(f"vertices: {result.vertices}")
         if result.is_partial:
             if not result.valid:
                 print(
@@ -273,6 +291,23 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         profile = density_profile(
             index, iterations=args.iterations, options=opts
         )
+        if args.json:
+            payload = {
+                "schema": PROFILE_SCHEMA,
+                "k_max": index.max_clique_size,
+                "densest_k": profile.densest_k(),
+                "rows": [
+                    {
+                        "k": k,
+                        "size": size,
+                        "clique_count": count,
+                        "density": density,
+                    }
+                    for k, size, count, density in profile.as_rows()
+                ],
+            }
+            print(json.dumps(payload, indent=2))
+            return 0
         rows = [
             [k, size, count, f"{density:.4f}"]
             for k, size, count, density in profile.as_rows()
@@ -289,7 +324,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph)
     summary = summarize(graph)
     if args.json:
-        payload = summary.to_dict()
+        payload = {"schema": STATS_SCHEMA}
+        payload.update(summary.to_dict())
         if args.kmax:
             index = SCTIndex.build(graph)
             payload["k_max"] = index.max_clique_size
@@ -312,6 +348,22 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         rows.append(["SCT*-Index tree nodes", index.n_tree_nodes])
     print(format_table(["statistic", "value"], rows, title="graph statistics"))
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # lazy: the daemon pulls in threading/http machinery no other
+    # subcommand needs
+    from .service import serve_forever
+
+    return serve_forever(
+        host=args.host,
+        port=args.port,
+        cache_size=args.cache_size,
+        result_cache_size=args.result_cache_size,
+        default_timeout_s=args.default_timeout,
+        workers=_parallel_from(args),
+        trace_path=args.trace,
+    )
 
 
 def _cmd_near_clique(args: argparse.Namespace) -> int:
@@ -397,6 +449,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--show-vertices", action="store_true",
         help="print the vertex ids of the reported subgraph",
     )
+    query.add_argument(
+        "--json", action="store_true",
+        help="emit the result as a versioned repro/result-v1 JSON payload",
+    )
     _add_obs_flags(query)
     _add_resilience_flags(query)
     _add_parallel_flag(query)
@@ -407,6 +463,10 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("graph", help="edge-list path or dataset:<name>")
     profile.add_argument("--index", help="pre-built index file to reuse")
     profile.add_argument("--iterations", type=int, default=10)
+    profile.add_argument(
+        "--json", action="store_true",
+        help="emit the profile as a versioned repro/profile-v1 JSON payload",
+    )
     _add_obs_flags(profile)
     _add_parallel_flag(profile)
 
@@ -432,6 +492,37 @@ def build_parser() -> argparse.ArgumentParser:
     near.add_argument("--seed", type=int, default=0)
     near.add_argument("--max-predictions", type=int, default=10)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-lived query daemon (repro.service)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8642,
+        help="TCP port; 0 picks a free one and announces it (default 8642)",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=4,
+        help="max SCTIndex objects held in the LRU cache (default 4)",
+    )
+    serve.add_argument(
+        "--result-cache-size", type=int, default=128,
+        help="max finished query results kept for reuse (default 128)",
+    )
+    serve.add_argument(
+        "--default-timeout", type=float, default=None,
+        help="per-request wall-clock budget in seconds when the client "
+             "sends none (default: unlimited)",
+    )
+    serve.add_argument(
+        "--trace", metavar="PATH",
+        help="write the server-wide JSON-lines trace to PATH",
+    )
+    _add_parallel_flag(serve)
+
     top = sub.add_parser(
         "top", help="extract the top-s disjoint dense regions"
     )
@@ -453,6 +544,7 @@ _COMMANDS = {
     "query": _cmd_query,
     "profile": _cmd_profile,
     "stats": _cmd_stats,
+    "serve": _cmd_serve,
     "near-clique": _cmd_near_clique,
     "top": _cmd_top,
 }

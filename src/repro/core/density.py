@@ -1,128 +1,25 @@
-"""Result types shared by every densest-subgraph algorithm."""
+"""Result types shared by every densest-subgraph algorithm.
+
+The classes now live in :mod:`repro.results` — the stable, versioned
+result contract (``repro/result-v1``) that the facade, the CLI and the
+:mod:`repro.service` daemon all speak.  This module remains the
+historical import location: ``DensestSubgraphResult`` is the legacy name
+for :class:`repro.results.DenseSubgraphResult` (the same class, not a
+copy), and :class:`repro.results.PartialResult` is re-exported
+unchanged.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from fractions import Fraction
-from typing import Any, Dict, List, Optional
+from ..results import RESULT_SCHEMA, DenseSubgraphResult, PartialResult
 
-__all__ = ["DensestSubgraphResult", "PartialResult"]
+# legacy alias: identical class object, kept for one deprecation cycle of
+# documentation churn — `repro.DensestSubgraphResult is repro.DenseSubgraphResult`
+DensestSubgraphResult = DenseSubgraphResult
 
-
-@dataclass
-class DensestSubgraphResult:
-    """Outcome of a k-clique densest subgraph computation.
-
-    Densities are kept exact: ``clique_count`` and ``len(vertices)`` are
-    integers, so :attr:`density_fraction` has no floating-point error.
-
-    Attributes
-    ----------
-    vertices:
-        Sorted vertex ids of the reported subgraph (empty when the graph
-        has no k-clique).
-    clique_count:
-        Number of k-cliques inside the reported subgraph, measured on the
-        *original* graph.
-    k:
-        The clique size queried.
-    algorithm:
-        Human-readable algorithm name (``"SCTL*"``, ``"KCL"``, ...).
-    iterations:
-        Weight-refinement iterations actually performed.
-    upper_bound:
-        A certified upper bound on the optimal density, when the algorithm
-        produces one (see Remark 1 of the paper); ``None`` otherwise.
-    exact:
-        ``True`` when the result is verified optimal.
-    stats:
-        Free-form instrumentation (per-iteration scope sizes, update
-        counts, timings...), used by the benchmark harness.
-    """
-
-    vertices: List[int]
-    clique_count: int
-    k: int
-    algorithm: str
-    iterations: int = 0
-    upper_bound: Optional[float] = None
-    exact: bool = False
-    stats: Dict[str, Any] = field(default_factory=dict)
-
-    @property
-    def size(self) -> int:
-        """Number of vertices in the reported subgraph."""
-        return len(self.vertices)
-
-    @property
-    def density_fraction(self) -> Fraction:
-        """Exact k-clique density ``clique_count / size`` (0 when empty)."""
-        if not self.vertices:
-            return Fraction(0)
-        return Fraction(self.clique_count, len(self.vertices))
-
-    @property
-    def density(self) -> float:
-        """k-clique density as a float."""
-        return float(self.density_fraction)
-
-    def approximation_ratio(self, optimal_density: Fraction) -> float:
-        """``density / optimal_density`` against a known optimum."""
-        if optimal_density <= 0:
-            return 1.0 if self.density_fraction == 0 else float("inf")
-        return float(self.density_fraction / optimal_density)
-
-    @property
-    def is_partial(self) -> bool:
-        """Whether this is a degraded best-so-far result (see
-        :class:`PartialResult`)."""
-        return False
-
-    def summary(self) -> str:
-        """One-line human-readable summary."""
-        flag = "exact" if self.exact else "approx"
-        return (
-            f"{self.algorithm} (k={self.k}, {flag}): |S|={self.size}, "
-            f"cliques={self.clique_count}, density={self.density:.4f}"
-        )
-
-
-@dataclass
-class PartialResult(DensestSubgraphResult):
-    """Best-so-far outcome of a budget-exhausted or cancelled run.
-
-    Every result-returning stage of the pipeline degrades to this instead
-    of crashing when its :class:`~repro.resilience.RunBudget` runs out:
-    the inherited fields carry the best *achieved* subgraph at the last
-    completed boundary (weights included in ``stats`` where the full run
-    would include them), and three extra fields describe the degradation:
-
-    Attributes
-    ----------
-    valid:
-        ``True`` when ``vertices``/``clique_count`` describe a genuine
-        subgraph of the input with its true k-clique count — usable as an
-        approximation.  ``False`` when the run stopped before producing
-        anything usable (e.g. during the index build); the result is then
-        empty and only ``reason``/``stage`` are meaningful.
-    reason:
-        Why the run stopped: ``"deadline"``, ``"max_iterations"`` or
-        ``"cancelled"`` (mirroring
-        :attr:`~repro.errors.BudgetExhausted.reason`).
-    stage:
-        The pipeline stage (obs span name) that observed the exhaustion.
-    """
-
-    valid: bool = True
-    reason: str = ""
-    stage: str = ""
-
-    @property
-    def is_partial(self) -> bool:
-        return True
-
-    def summary(self) -> str:
-        base = super().summary()
-        tag = "partial" if self.valid else "partial, no usable result"
-        where = f" at {self.stage}" if self.stage else ""
-        return f"{base} [{tag}: {self.reason}{where}]"
+__all__ = [
+    "RESULT_SCHEMA",
+    "DenseSubgraphResult",
+    "DensestSubgraphResult",
+    "PartialResult",
+]

@@ -139,8 +139,7 @@ def sctl_star_exact(
     with recorder.span("exact/warm_start"):
         warm = sctl_star_sample(
             index, k, sample_size=sample_size, iterations=iterations,
-            seed=seed, recorder=recorder, budget=budget,
-            parallel=opts.parallel,
+            seed=seed, options=opts.replace(checkpoint=None, resume=False),
         )
         best_vertices = warm.vertices
         best_count = warm.clique_count
@@ -222,8 +221,7 @@ def sctl_star_exact(
         with recorder.span("exact/scope_index"):
             subgraph, originals = graph.induced_subgraph(scope)
             sub_index = SCTIndex.build(
-                subgraph, recorder=recorder, budget=budget,
-                parallel=opts.parallel,
+                subgraph, options=opts.replace(checkpoint=None, resume=False),
             )
             cliques = [
                 tuple(originals[v] for v in clique)
@@ -245,7 +243,7 @@ def sctl_star_exact(
         with recorder.span(f"exact/flow_round/{flow_rounds + 1}"):
             refined = sctl_star(
                 sub_index, k, iterations=current_iterations,
-                recorder=recorder, budget=budget, parallel=opts.parallel,
+                options=opts.replace(checkpoint=None, resume=False),
             )
             if refined.density_fraction > best_density:
                 best_vertices = sorted(originals[v] for v in refined.vertices)

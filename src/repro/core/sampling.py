@@ -250,7 +250,7 @@ def sctl_star_sample(
             paths = index.path_view(k, enforce_support=enforce)
     try:
         sampled = sample_k_cliques(
-            paths, k, sample_size, rng, recorder=recorder, budget=budget
+            paths, k, sample_size, rng, options=opts
         )
     except BudgetExhausted as exc:
         if recorder.enabled:

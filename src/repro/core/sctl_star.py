@@ -226,7 +226,9 @@ def _sctl_star_run(
     if use_reductions:
         with recorder.span("reductions/engagement"):
             engagement = _engagement_from_paths(paths, k, n)
-        partition = kp_computation(index, k, paths=paths, recorder=recorder)
+        partition = kp_computation(
+            index, k, paths=paths, options=RunOptions(recorder=recorder)
+        )
         partition_of = partition.partition_of
         bounds = partition_density_bounds(
             partition, engagement, k, recorder=recorder
@@ -494,6 +496,14 @@ def sctl_plus(
     options: Optional[RunOptions] = None,
 ) -> DensestSubgraphResult:
     """SCTL+ — SCTL with graph reductions but per-clique weight updates."""
+    opts = RunOptions.resolve(
+        options,
+        recorder=recorder,
+        budget=budget,
+        checkpoint=checkpoint,
+        resume=resume,
+        parallel=parallel,
+    )
     return sctl_star(
         index,
         k,
@@ -504,12 +514,7 @@ def sctl_plus(
         collect_stats=collect_stats,
         paths=paths,
         algorithm_name="SCTL+",
-        recorder=recorder,
-        budget=budget,
-        checkpoint=checkpoint,
-        resume=resume,
-        parallel=parallel,
-        options=options,
+        options=opts,
     )
 
 

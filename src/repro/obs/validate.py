@@ -19,9 +19,19 @@ A **metrics** file is one JSON object — a
 ``gauges`` (str -> JSON value), ``spans`` (list of
 ``{"span", "count", "seconds"}``).
 
-Used by the CI observability job and usable standalone::
+Beyond traces and metrics, the validator checks every versioned
+**payload** the CLI and the :mod:`repro.service` daemon emit, dispatching
+on the ``"schema"`` field: ``repro/result-v1`` (round-tripped through
+:class:`~repro.results.DenseSubgraphResult` plus consistency checks),
+``repro/profile-v1``, ``repro/stats-v1``, the ``repro/service-v1``
+response envelope (nested payloads validated recursively) and
+``repro/service-stats-v1``.
+
+Used by the CI observability and service-smoke jobs and usable
+standalone::
 
     python -m repro.obs.validate trace.jsonl --metrics metrics.json
+    python -m repro.obs.validate --result response.json
 """
 
 from __future__ import annotations
@@ -31,7 +41,12 @@ import json
 import sys
 from typing import Any, Iterable, List, Optional
 
-__all__ = ["validate_trace_lines", "validate_metrics", "main"]
+__all__ = [
+    "validate_trace_lines",
+    "validate_metrics",
+    "validate_result",
+    "main",
+]
 
 _EVENT_TYPES = {"counter", "gauge", "span_start", "span_end", "point"}
 
@@ -154,6 +169,157 @@ def validate_metrics(payload: Any) -> List[str]:
     return errors
 
 
+def _validate_result_v1(payload: dict) -> List[str]:
+    from ..errors import InvalidParameterError
+    from ..results import DenseSubgraphResult
+
+    errors: List[str] = []
+    try:
+        result = DenseSubgraphResult.from_dict(payload)
+    except InvalidParameterError as exc:
+        return [str(exc)]
+    vertices = payload.get("vertices")
+    if not isinstance(vertices, list) or any(
+        not isinstance(v, int) or isinstance(v, bool) for v in vertices
+    ):
+        errors.append("'vertices' must be a list of ints")
+    if payload.get("size") != len(result.vertices):
+        errors.append(
+            f"'size' {payload.get('size')!r} != len(vertices) "
+            f"{len(result.vertices)}"
+        )
+    density = payload.get("density")
+    if not isinstance(density, (int, float)) or isinstance(density, bool):
+        errors.append("'density' must be a number")
+    elif abs(density - result.density) > 1e-9:
+        errors.append(
+            f"'density' {density} != clique_count/size {result.density}"
+        )
+    if result.k < 1:
+        errors.append(f"'k' must be >= 1, got {result.k}")
+    if result.clique_count < 0:
+        errors.append(f"'clique_count' must be >= 0, got {result.clique_count}")
+    if bool(payload.get("partial")) != result.is_partial:
+        errors.append("'partial' flag does not round-trip")
+    if result.is_partial and result.valid is False and result.vertices:
+        errors.append("an invalid partial must not carry vertices")
+    if not result.is_partial and not result.valid:
+        errors.append("a complete result must have valid=true")
+    timings = payload.get("timings", {})
+    if not isinstance(timings, dict) or any(
+        not isinstance(v, (int, float)) or isinstance(v, bool)
+        for v in timings.values()
+    ):
+        errors.append("'timings' must map names to numbers")
+    return errors
+
+
+def _validate_profile_v1(payload: dict) -> List[str]:
+    errors: List[str] = []
+    rows = payload.get("rows")
+    if not isinstance(rows, list) or not rows:
+        return ["'rows' must be a non-empty list"]
+    for i, row in enumerate(rows):
+        if not isinstance(row, dict):
+            errors.append(f"rows[{i}] must be an object")
+            continue
+        for field in ("k", "size", "clique_count"):
+            v = row.get(field)
+            if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                errors.append(
+                    f"rows[{i}].{field} must be a non-negative int"
+                )
+        density = row.get("density")
+        if (
+            not isinstance(density, (int, float))
+            or isinstance(density, bool)
+            or density < 0
+        ):
+            errors.append(f"rows[{i}].density must be a non-negative number")
+    densest = payload.get("densest_k")
+    if densest is not None and densest not in {
+        row.get("k") for row in rows if isinstance(row, dict)
+    }:
+        errors.append(f"'densest_k' {densest!r} is not a row's k")
+    return errors
+
+
+def _validate_stats_v1(payload: dict) -> List[str]:
+    errors: List[str] = []
+    for field in ("vertices", "edges"):
+        v = payload.get(field)
+        if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+            errors.append(f"{field!r} must be a non-negative int")
+    return errors
+
+
+def _validate_service_envelope(payload: dict) -> List[str]:
+    errors: List[str] = []
+    op = payload.get("op")
+    if not isinstance(op, str):
+        errors.append("'op' must be a string")
+    code = payload.get("code")
+    if code not in (0, 1, 2, 3, 4):
+        errors.append(f"'code' must be one of 0-4, got {code!r}")
+    error = payload.get("error")
+    if error is not None and not isinstance(error, str):
+        errors.append("'error' must be null or a string")
+    if code in (1, 2) and not error:
+        errors.append(f"an error response (code {code}) needs an 'error'")
+    for nested_key in ("result", "profile", "stats", "graph"):
+        nested = payload.get(nested_key)
+        if nested is not None:
+            errors.extend(
+                f"{nested_key}: {err}" for err in validate_result(nested)
+            )
+    return errors
+
+
+def _validate_service_stats_v1(payload: dict) -> List[str]:
+    errors: List[str] = []
+    if not isinstance(payload.get("counters"), dict):
+        errors.append("'counters' must be an object")
+    for cache in ("index_cache", "result_cache"):
+        entry = payload.get(cache)
+        if not isinstance(entry, dict):
+            errors.append(f"{cache!r} must be an object")
+            continue
+        for field in ("size", "capacity", "hits", "misses", "evictions"):
+            v = entry.get(field)
+            if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                errors.append(f"{cache}.{field} must be a non-negative int")
+    if not isinstance(payload.get("draining"), bool):
+        errors.append("'draining' must be a bool")
+    return errors
+
+
+def validate_result(payload: Any) -> List[str]:
+    """Validate one versioned payload; return a list of error strings.
+
+    Dispatches on the ``"schema"`` field; unknown schemas are an error
+    (a version this validator does not speak must never pass silently).
+    Unknown *sibling* keys are allowed — v1 payloads are
+    forward-extensible.
+    """
+    if not isinstance(payload, dict):
+        return ["payload must be a JSON object"]
+    schema = payload.get("schema")
+    validators = {
+        "repro/result-v1": _validate_result_v1,
+        "repro/profile-v1": _validate_profile_v1,
+        "repro/stats-v1": _validate_stats_v1,
+        "repro/service-v1": _validate_service_envelope,
+        "repro/service-stats-v1": _validate_service_stats_v1,
+    }
+    checker = validators.get(schema)
+    if checker is None:
+        return [
+            f"unknown payload schema {schema!r}; expected one of: "
+            + ", ".join(sorted(validators))
+        ]
+    return checker(payload)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point: exit 0 when every given file validates."""
     parser = argparse.ArgumentParser(
@@ -162,9 +328,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("trace", nargs="?", help="JSON-lines trace file")
     parser.add_argument("--metrics", help="metrics snapshot JSON file")
+    parser.add_argument(
+        "--result", action="append", metavar="PATH", default=[],
+        help="versioned payload file: a single JSON object (query --json "
+             "output) or ND-JSON lines (service responses); repeatable",
+    )
     args = parser.parse_args(argv)
-    if not args.trace and not args.metrics:
-        parser.error("give a trace file and/or --metrics")
+    if not args.trace and not args.metrics and not args.result:
+        parser.error("give a trace file, --metrics and/or --result")
     failed = False
     if args.trace:
         with open(args.trace, "r", encoding="utf-8") as handle:
@@ -194,6 +365,45 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(
                 f"{args.metrics}: OK ({len(payload['counters'])} counters, "
                 f"{len(payload['spans'])} span paths)"
+            )
+    for result_path in args.result:
+        with open(result_path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        try:  # a single (possibly pretty-printed) JSON object...
+            payloads = [json.loads(text)]
+        except json.JSONDecodeError:
+            payloads = []  # ...else ND-JSON, one payload per line
+            errors = []
+            for lineno, line in enumerate(text.splitlines(), start=1):
+                if not line.strip():
+                    continue
+                try:
+                    payloads.append(json.loads(line))
+                except json.JSONDecodeError as exc:
+                    errors.append(f"line {lineno}: not valid JSON ({exc})")
+            if errors:
+                failed = True
+                for err in errors:
+                    print(f"{result_path}: {err}", file=sys.stderr)
+                continue
+        if not payloads:
+            failed = True
+            print(f"{result_path}: no payloads found", file=sys.stderr)
+            continue
+        file_errors: List[str] = []
+        for i, payload in enumerate(payloads):
+            for err in validate_result(payload):
+                where = f"payload {i + 1}: " if len(payloads) > 1 else ""
+                file_errors.append(f"{where}{err}")
+        if file_errors:
+            failed = True
+            for err in file_errors:
+                print(f"{result_path}: {err}", file=sys.stderr)
+        else:
+            schemas = {p.get("schema") for p in payloads}
+            print(
+                f"{result_path}: OK ({len(payloads)} payload(s), "
+                f"schema(s): {', '.join(sorted(schemas))})"
             )
     return 1 if failed else 0
 

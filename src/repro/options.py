@@ -129,6 +129,9 @@ class RunOptions:
         Every entry point funnels its keywords through here.  The rules:
 
         * a legacy keyword left at its default never participates;
+        * a legacy keyword carrying a non-default value emits a
+          :class:`DeprecationWarning` naming the ``options=`` spelling
+          that replaces it (the run proceeds unchanged);
         * with ``options=None`` the legacy keywords (normalised) win;
         * with both given, any knob set to *different* values through
           both spellings raises
@@ -143,8 +146,22 @@ class RunOptions:
                 f"unknown RunOptions field(s): {', '.join(sorted(unknown))}; "
                 f"expected one of: {', '.join(_FIELDS)}"
             )
+        legacy_probe = cls(**legacy) if legacy else cls()
+        set_knobs = [
+            name
+            for name in _FIELDS
+            if name in legacy and not legacy_probe.is_default(name)
+        ]
+        if set_knobs:
+            spelled = ", ".join(f"{name}=..." for name in set_knobs)
+            warnings.warn(
+                f"the legacy keyword(s) {', '.join(set_knobs)} are "
+                f"deprecated; pass options=RunOptions({spelled}) instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
         if options is None:
-            return cls(**legacy)
+            return legacy_probe
         if not isinstance(options, RunOptions):
             raise InvalidParameterError(
                 f"options must be a RunOptions, got {type(options).__name__}"

@@ -35,6 +35,7 @@ from typing import List, Optional, Tuple
 from .. import densest_subgraph
 from ..core.density import DensestSubgraphResult
 from ..graph import Graph, read_edge_list
+from ..options import RunOptions
 from .budget import RunBudget
 from .faults import PIPELINE_STAGES, FaultInjected, FaultPlan
 
@@ -76,8 +77,11 @@ def _check_crash(
         plan = FaultPlan.raising(stage)
         try:
             result = densest_subgraph(
-                graph, k, method=method, recorder=plan.recorder(),
-                checkpoint=ckpt_dir, **query_kwargs,
+                graph, k, method=method,
+                options=RunOptions(
+                    recorder=plan.recorder(), checkpoint=ckpt_dir
+                ),
+                **query_kwargs,
             )
         except FaultInjected:
             result = None
@@ -88,7 +92,8 @@ def _check_crash(
         if result is None:  # crashed as planned: resume must recover exactly
             try:
                 result = densest_subgraph(
-                    graph, k, method=method, checkpoint=ckpt_dir, resume=True,
+                    graph, k, method=method,
+                    options=RunOptions(checkpoint=ckpt_dir, resume=True),
                     **query_kwargs,
                 )
             except Exception:
@@ -115,7 +120,8 @@ def _check_cancel(
     plan = FaultPlan.cancelling(stage, budget)
     try:
         result = densest_subgraph(
-            graph, k, method=method, recorder=plan.recorder(), budget=budget,
+            graph, k, method=method,
+            options=RunOptions(recorder=plan.recorder(), budget=budget),
             **query_kwargs,
         )
     except Exception:

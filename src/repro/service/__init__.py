@@ -1,0 +1,47 @@
+"""``repro.service`` — the long-lived k-clique density query daemon.
+
+The SCT*-Index is built once and queried for many ``k`` (§4.1 of the
+paper); this package is the process that makes the amortisation real: a
+stdlib-only threaded HTTP server that holds built indices in a bounded
+LRU cache, coalesces concurrent identical requests into one computation
+(single-flight), maps client timeouts onto per-request
+:class:`~repro.resilience.RunBudget`\\ s, folds per-request metrics into
+a server-wide trace, and drains gracefully on SIGTERM.
+
+Start it with ``python -m repro serve`` (or ``python -m repro.service``)
+and speak line-delimited JSON to it::
+
+    curl -s http://127.0.0.1:8642/v1/query \\
+         -d '{"dataset": "email", "k": 5, "method": "sctl*"}'
+
+Every response is a ``repro/service-v1`` envelope; query responses embed
+the versioned ``repro/result-v1`` payload.  ``docs/service.md`` has the
+full protocol, the cache-key rules and the tuning guide.
+"""
+
+from .cache import LRUCache
+from .protocol import (
+    KNOWN_OPS,
+    SERVICE_SCHEMA,
+    SERVICE_STATS_SCHEMA,
+    envelope,
+    error_envelope,
+    parse_request,
+)
+from .server import ReproService, ServiceConfig, make_server, serve_forever
+from .singleflight import SingleFlight
+
+__all__ = [
+    "LRUCache",
+    "SingleFlight",
+    "ReproService",
+    "ServiceConfig",
+    "make_server",
+    "serve_forever",
+    "SERVICE_SCHEMA",
+    "SERVICE_STATS_SCHEMA",
+    "KNOWN_OPS",
+    "envelope",
+    "error_envelope",
+    "parse_request",
+]

@@ -1,0 +1,87 @@
+"""Thread-safe size-bounded LRU cache for the query daemon.
+
+One :class:`LRUCache` holds built :class:`~repro.core.SCTIndex` objects
+(the expensive asset the service amortises), a second one holds finished
+query results.  Both are bounded by entry *count*, not bytes: an index's
+memory footprint is dominated by the input graph, so "how many graphs'
+indices fit on this box" is the number an operator can actually reason
+about (``repro serve --cache-size``).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable, List, Optional, Tuple
+
+__all__ = ["LRUCache"]
+
+
+class LRUCache:
+    """A lock-protected LRU mapping with hit/miss/eviction counters.
+
+    Every operation is O(1); the lock is held only for the dictionary
+    bookkeeping, never while a value is being computed — pair with
+    :class:`~repro.service.singleflight.SingleFlight` to keep N threads
+    from computing the same missing value.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """The cached value (refreshed to most-recent), or ``None``."""
+        with self._lock:
+            if key not in self._entries:
+                self.misses += 1
+                return None
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return self._entries[key]
+
+    def put(self, key: Hashable, value: Any) -> List[Tuple[Hashable, Any]]:
+        """Insert (or refresh) ``key`` and return the evicted pairs."""
+        evicted: List[Tuple[Hashable, Any]] = []
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                evicted.append(self._entries.popitem(last=False))
+                self.evictions += 1
+        return evicted
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def keys(self) -> List[Hashable]:
+        """Current keys, least- to most-recently used."""
+        with self._lock:
+            return list(self._entries.keys())
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict:
+        """Counter snapshot for the ``stats`` endpoint."""
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

@@ -1,0 +1,110 @@
+"""Wire protocol of the query daemon: line-delimited JSON over HTTP.
+
+A **request** is one JSON object per line.  Fields common to every op:
+
+``op``
+    ``"query"`` | ``"profile"`` | ``"stats"`` | ``"build"``.
+``dataset`` / ``path``
+    Graph source: a bundled synthetic dataset name (``repro datasets``)
+    or an edge-list file path readable by the server.  Exactly one is
+    required for every op except ``stats`` (server-wide, no graph).
+``threshold``
+    Partial SCT*-k'-Index threshold (``k'`` in §6.1; default 0 =
+    complete index).  Part of the index cache key.
+``build_options``
+    Free-form JSON object folded into the build fingerprint — two
+    requests whose ``(graph, threshold, build_options)`` agree share one
+    cached index.
+``timeout_s`` / ``max_iterations``
+    Per-request :class:`~repro.resilience.RunBudget`.  On expiry the
+    response carries a valid best-so-far partial (``code`` 4) or, when
+    nothing usable was achieved, an empty invalid partial (``code`` 3) —
+    the same exit codes the CLI uses.
+
+``query`` adds ``k`` (required), ``method``, ``iterations``,
+``sample_size``, ``seed``, ``include_stats``; ``profile`` adds
+``iterations``.
+
+Every **response** is one JSON object per line wrapped in the
+``repro/service-v1`` envelope::
+
+    {"schema": "repro/service-v1", "op": ..., "code": 0, "error": null,
+     ...op-specific payload...}
+
+``code`` mirrors the CLI exit codes: 0 success, 1 internal error,
+2 usage / bad request, 3 budget exhausted with nothing usable, 4 budget
+exhausted but a valid partial result is included.  Query responses embed
+the full ``repro/result-v1`` payload under ``"result"`` plus ``cached``
+(served from the finished-result cache), ``coalesced`` (shared a
+concurrent identical computation) and ``query_time_s``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from ..errors import InvalidParameterError
+from ..results import PROFILE_SCHEMA, RESULT_SCHEMA, STATS_SCHEMA
+
+__all__ = [
+    "SERVICE_SCHEMA",
+    "SERVICE_STATS_SCHEMA",
+    "RESULT_SCHEMA",
+    "PROFILE_SCHEMA",
+    "STATS_SCHEMA",
+    "KNOWN_OPS",
+    "envelope",
+    "error_envelope",
+    "parse_request",
+]
+
+SERVICE_SCHEMA = "repro/service-v1"
+SERVICE_STATS_SCHEMA = "repro/service-stats-v1"
+
+KNOWN_OPS = ("query", "profile", "stats", "build")
+
+
+def envelope(op: str, code: int = 0, **payload: Any) -> Dict[str, Any]:
+    """A well-formed ``repro/service-v1`` response object."""
+    body: Dict[str, Any] = {
+        "schema": SERVICE_SCHEMA,
+        "op": op,
+        "code": code,
+        "error": None,
+    }
+    body.update(payload)
+    return body
+
+
+def error_envelope(op: Optional[str], code: int, message: str) -> Dict[str, Any]:
+    """An error response; ``code`` follows the CLI exit-code convention."""
+    return {
+        "schema": SERVICE_SCHEMA,
+        "op": op or "",
+        "code": code,
+        "error": message,
+    }
+
+
+def parse_request(line: str) -> Dict[str, Any]:
+    """Decode and structurally validate one request line.
+
+    Raises :class:`~repro.errors.InvalidParameterError` (mapped to code 2
+    by the server) on anything malformed; op-specific field validation
+    happens in the handlers, where the error messages can be specific.
+    """
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise InvalidParameterError(f"request is not valid JSON: {exc}")
+    if not isinstance(obj, dict):
+        raise InvalidParameterError(
+            f"request must be a JSON object, got {type(obj).__name__}"
+        )
+    op = obj.get("op")
+    if op not in KNOWN_OPS:
+        raise InvalidParameterError(
+            f"unknown op {op!r}; expected one of: {', '.join(KNOWN_OPS)}"
+        )
+    return obj

@@ -1,0 +1,657 @@
+"""The query daemon: a threaded HTTP server around :class:`ReproService`.
+
+Layering::
+
+    _ServiceHTTPServer / _Handler   transport: HTTP, ND-JSON bodies
+    ReproService                    ops, caches, coalescing, budgets, obs
+    repro.densest_subgraph & co     the actual computations
+
+:class:`ReproService` is transport-free — tests drive
+:meth:`ReproService.handle_request` directly under a thread pool — and
+the HTTP layer contains no logic beyond framing and status mapping.
+
+Composition with the cross-cutting layers:
+
+* **budgets** — each request's ``timeout_s``/``max_iterations`` becomes
+  a private :class:`~repro.resilience.RunBudget`; exhaustion degrades to
+  the same code-3/code-4 outcomes as the CLI.  :meth:`ReproService.drain`
+  cancels every in-flight budget, so active queries return best-so-far
+  :class:`~repro.results.PartialResult`\\ s instead of being dropped.
+* **observability** — every request runs under its own
+  :class:`~repro.obs.MetricsRecorder`; completed request snapshots are
+  folded into one server-wide recorder (per-endpoint request counters,
+  cache hit/miss/eviction counters, queue-depth gauge), optionally
+  mirrored to a ``--trace`` JSONL sink.
+* **parallelism** — ``--workers`` becomes the
+  :class:`~repro.parallel.ParallelConfig` used for cold index builds and
+  path sweeps.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from .. import densest_subgraph
+from ..core import SCTIndex
+from ..core.profile import density_profile
+from ..datasets import load_dataset
+from ..errors import (
+    BudgetExhausted,
+    DatasetError,
+    InvalidParameterError,
+    ReproError,
+)
+from ..graph import read_edge_list
+from ..graph.stats import summarize
+from ..obs import MetricsRecorder
+from ..options import RunOptions
+from ..registry import get_method
+from ..resilience import NULL_BUDGET, RunBudget
+from ..results import PROFILE_SCHEMA, STATS_SCHEMA, PartialResult
+from .cache import LRUCache
+from .protocol import (
+    SERVICE_STATS_SCHEMA,
+    envelope,
+    error_envelope,
+    parse_request,
+)
+from .singleflight import SingleFlight
+
+__all__ = ["ServiceConfig", "ReproService", "serve_forever"]
+
+# response codes mirror the CLI exit codes (see repro.cli)
+CODE_OK = 0
+CODE_ERROR = 1
+CODE_BAD_REQUEST = 2
+CODE_EXHAUSTED = 3
+CODE_PARTIAL = 4
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning knobs of one daemon instance (see ``docs/service.md``)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8642
+    cache_size: int = 4
+    result_cache_size: int = 128
+    default_timeout_s: Optional[float] = None
+    workers: Optional[int] = None
+    trace_path: Optional[str] = None
+
+
+class ReproService:
+    """Transport-free core of the daemon: ops, caches, coalescing, obs."""
+
+    def __init__(self, config: ServiceConfig, sink=None):
+        self.config = config
+        self._indices = LRUCache(config.cache_size)
+        self._results = LRUCache(config.result_cache_size)
+        self._graphs = LRUCache(max(config.cache_size, 2))
+        self._flight = SingleFlight()
+        self._recorder = MetricsRecorder(sink=sink)
+        self._rec_lock = threading.Lock()
+        self._draining = threading.Event()
+        self._budgets_lock = threading.Lock()
+        self._active_budgets: set = set()
+        self._req_lock = threading.Lock()
+        self._active_requests = 0
+        self._started = time.monotonic()
+
+    # -- server-wide observability (the recorder is not thread-safe) ----
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        with self._rec_lock:
+            self._recorder.counter(name, amount)
+
+    def _gauge(self, name: str, value: Any) -> None:
+        with self._rec_lock:
+            self._recorder.gauge(name, value)
+
+    def _absorb(self, recorder: MetricsRecorder, prefix: str) -> None:
+        with self._rec_lock:
+            self._recorder.absorb(recorder.snapshot(), prefix=prefix)
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    def drain(self) -> None:
+        """Stop accepting work and cancel every in-flight budget.
+
+        Active requests observe the cancellation at their next budget
+        poll and respond with their best-so-far partial result; requests
+        arriving afterwards are refused (HTTP 503).
+        """
+        self._draining.set()
+        with self._budgets_lock:
+            budgets = list(self._active_budgets)
+        for budget in budgets:
+            budget.cancel("cancelled")
+
+    # -- request plumbing -----------------------------------------------
+
+    def _budget_for(self, obj: Dict[str, Any]):
+        timeout_s = obj.get("timeout_s", self.config.default_timeout_s)
+        max_iterations = obj.get("max_iterations")
+        if timeout_s is None and max_iterations is None:
+            return NULL_BUDGET
+        return RunBudget(
+            wall_seconds=timeout_s, max_iterations=max_iterations
+        )
+
+    def _track_budget(self, budget):
+        if budget is NULL_BUDGET:
+            return
+        with self._budgets_lock:
+            self._active_budgets.add(budget)
+
+    def _untrack_budget(self, budget) -> None:
+        if budget is NULL_BUDGET:
+            return
+        with self._budgets_lock:
+            self._active_budgets.discard(budget)
+
+    def _options_for(self, recorder: MetricsRecorder, budget) -> RunOptions:
+        return RunOptions(
+            recorder=recorder, budget=budget, parallel=self.config.workers
+        )
+
+    def _graph_for(self, obj: Dict[str, Any]) -> Tuple[Tuple[str, str], Any]:
+        dataset = obj.get("dataset")
+        path = obj.get("path")
+        if (dataset is None) == (path is None):
+            raise InvalidParameterError(
+                "exactly one of 'dataset' or 'path' is required"
+            )
+        key = ("dataset", dataset) if dataset else ("path", path)
+        graph = self._graphs.get(key)
+        if graph is not None:
+            return key, graph
+
+        def load():
+            if dataset is not None:
+                return load_dataset(dataset)
+            return read_edge_list(path)
+
+        graph, leader = self._flight.do(("graph", key), load)
+        if leader:
+            self._graphs.put(key, graph)
+        return key, graph
+
+    @staticmethod
+    def _index_key(graph_key, obj: Dict[str, Any]):
+        threshold = int(obj.get("threshold", 0))
+        build_options = obj.get("build_options") or {}
+        if not isinstance(build_options, dict):
+            raise InvalidParameterError(
+                "build_options must be a JSON object when given"
+            )
+        fingerprint = json.dumps(build_options, sort_keys=True)
+        return (graph_key, threshold, fingerprint)
+
+    def _get_index(
+        self, index_key, graph, recorder: MetricsRecorder, budget
+    ) -> Tuple[SCTIndex, bool]:
+        """The cached index for ``index_key``, building it on a miss.
+
+        Returns ``(index, was_cached)``.  Concurrent misses for the same
+        key coalesce into one build; the first requester's budget governs
+        it (followers inherit the shared outcome, including a
+        :class:`~repro.errors.BudgetExhausted`).
+        """
+        index = self._indices.get(index_key)
+        if index is not None:
+            self._count("service/index_cache/hit")
+            return index, True
+        self._count("service/index_cache/miss")
+        threshold = index_key[1]
+
+        def build():
+            self._count("service/index_builds")
+            return SCTIndex.build(
+                graph,
+                threshold=threshold,
+                options=self._options_for(recorder, budget),
+            )
+
+        index, leader = self._flight.do(("index", index_key), build)
+        if leader:
+            evicted = self._indices.put(index_key, index)
+            if evicted:
+                self._count("service/index_cache/evictions", len(evicted))
+        else:
+            self._count("service/coalesced_builds")
+        return index, False
+
+    # -- ops ------------------------------------------------------------
+
+    def _op_query(self, obj: Dict[str, Any]) -> Dict[str, Any]:
+        t0 = time.perf_counter()
+        if "k" not in obj:
+            raise InvalidParameterError("query requires 'k'")
+        k = int(obj["k"])
+        spec = get_method(obj.get("method", "sctl*"))
+        iterations = int(obj.get("iterations", 10))
+        sample_size = obj.get("sample_size")
+        if sample_size is not None:
+            sample_size = int(sample_size)
+        seed = int(obj.get("seed", 0))
+        include_stats = bool(obj.get("include_stats", False))
+        graph_key, graph = self._graph_for(obj)
+        index_key = self._index_key(graph_key, obj)
+        result_key = (
+            "query", index_key, k, spec.name, iterations, sample_size, seed
+        )
+
+        cached = self._results.get(result_key)
+        if cached is not None:
+            self._count("service/result_cache/hit")
+            return self._query_envelope(
+                cached, include_stats, cached=True, coalesced=False,
+                query_time_s=time.perf_counter() - t0,
+            )
+        self._count("service/result_cache/miss")
+
+        budget = self._budget_for(obj)
+        self._track_budget(budget)
+        try:
+            def compute():
+                self._count("service/computations")
+                recorder = MetricsRecorder()
+                try:
+                    try:
+                        index, _ = self._get_index(
+                            index_key, graph, recorder, budget
+                        )
+                    except BudgetExhausted as exc:
+                        return PartialResult(
+                            vertices=[], clique_count=0, k=k,
+                            algorithm=spec.name, valid=False,
+                            reason=exc.reason,
+                            stage=exc.stage or "index/build",
+                        )
+                    return densest_subgraph(
+                        graph, k, method=spec.name, iterations=iterations,
+                        index=index, sample_size=sample_size, seed=seed,
+                        options=self._options_for(recorder, budget),
+                    )
+                finally:
+                    self._absorb(recorder, prefix="req/query")
+
+            result, leader = self._flight.do(result_key, compute)
+        finally:
+            self._untrack_budget(budget)
+        if not leader:
+            self._count("service/coalesced")
+        elif not result.is_partial:
+            # partials are never cached: a later client with a larger
+            # budget deserves a fresh, complete computation
+            self._results.put(result_key, result)
+        return self._query_envelope(
+            result, include_stats, cached=False, coalesced=not leader,
+            query_time_s=time.perf_counter() - t0,
+        )
+
+    @staticmethod
+    def _query_envelope(
+        result, include_stats: bool, cached: bool, coalesced: bool,
+        query_time_s: float,
+    ) -> Dict[str, Any]:
+        if result.is_partial:
+            code = CODE_PARTIAL if result.valid else CODE_EXHAUSTED
+        else:
+            code = CODE_OK
+        return envelope(
+            "query", code,
+            result=result.to_dict(include_stats=include_stats),
+            cached=cached, coalesced=coalesced,
+            query_time_s=query_time_s,
+        )
+
+    def _op_build(self, obj: Dict[str, Any]) -> Dict[str, Any]:
+        t0 = time.perf_counter()
+        graph_key, graph = self._graph_for(obj)
+        index_key = self._index_key(graph_key, obj)
+        budget = self._budget_for(obj)
+        self._track_budget(budget)
+        recorder = MetricsRecorder()
+        try:
+            index, was_cached = self._get_index(
+                index_key, graph, recorder, budget
+            )
+        finally:
+            self._untrack_budget(budget)
+        if not was_cached:
+            self._absorb(recorder, prefix="req/build")
+        return envelope(
+            "build", CODE_OK,
+            index={
+                "n_vertices": index.n_vertices,
+                "max_clique_size": index.max_clique_size,
+                "tree_nodes": index.n_tree_nodes,
+                "threshold": index_key[1],
+                "cached": was_cached,
+            },
+            build_time_s=time.perf_counter() - t0,
+        )
+
+    def _op_profile(self, obj: Dict[str, Any]) -> Dict[str, Any]:
+        t0 = time.perf_counter()
+        iterations = int(obj.get("iterations", 10))
+        graph_key, graph = self._graph_for(obj)
+        index_key = self._index_key(graph_key, obj)
+        budget = self._budget_for(obj)
+        self._track_budget(budget)
+        recorder = MetricsRecorder()
+        try:
+            index, _ = self._get_index(index_key, graph, recorder, budget)
+            profile = density_profile(
+                index, iterations=iterations,
+                options=self._options_for(recorder, budget),
+            )
+        finally:
+            self._untrack_budget(budget)
+        self._absorb(recorder, prefix="req/profile")
+        return envelope(
+            "profile", CODE_OK,
+            profile={
+                "schema": PROFILE_SCHEMA,
+                "k_max": index.max_clique_size,
+                "densest_k": profile.densest_k(),
+                "rows": [
+                    {
+                        "k": k,
+                        "size": size,
+                        "clique_count": count,
+                        "density": density,
+                    }
+                    for k, size, count, density in profile.as_rows()
+                ],
+            },
+            profile_time_s=time.perf_counter() - t0,
+        )
+
+    def _op_stats(self, obj: Dict[str, Any]) -> Dict[str, Any]:
+        with self._rec_lock:
+            counters = dict(sorted(self._recorder.counters.items()))
+            gauges = {
+                name: value
+                for name, value in sorted(self._recorder.gauges.items())
+            }
+        payload: Dict[str, Any] = {
+            "schema": SERVICE_STATS_SCHEMA,
+            "uptime_s": time.monotonic() - self._started,
+            "draining": self.draining,
+            "queue_depth": self._active_requests,
+            "in_flight": self._flight.in_flight(),
+            "counters": counters,
+            "gauges": gauges,
+            "index_cache": self._indices.stats(),
+            "result_cache": self._results.stats(),
+            "index_keys": [
+                {"graph": list(graph_key), "threshold": threshold}
+                for graph_key, threshold, _ in self._indices.keys()
+            ],
+        }
+        if obj.get("dataset") is not None or obj.get("path") is not None:
+            _, graph = self._graph_for(obj)
+            graph_stats = {"schema": STATS_SCHEMA}
+            graph_stats.update(summarize(graph).to_dict())
+            payload["graph"] = graph_stats
+        return envelope("stats", CODE_OK, stats=payload)
+
+    # -- dispatch -------------------------------------------------------
+
+    _OPS = {
+        "query": _op_query,
+        "build": _op_build,
+        "profile": _op_profile,
+        "stats": _op_stats,
+    }
+
+    def handle_request(self, obj: Dict[str, Any]) -> Dict[str, Any]:
+        """One parsed request object in, one response envelope out.
+
+        Never raises: every failure mode maps to an error envelope whose
+        ``code`` follows the CLI exit-code convention.
+        """
+        op = obj.get("op")
+        if op not in self._OPS:
+            return error_envelope(
+                op, CODE_BAD_REQUEST,
+                f"unknown op {op!r}; expected one of: "
+                + ", ".join(sorted(self._OPS)),
+            )
+        if self.draining:
+            return error_envelope(op, CODE_ERROR, "server is draining")
+        self._count(f"service/requests/{op}")
+        with self._req_lock:
+            self._active_requests += 1
+            depth = self._active_requests
+        self._gauge("service/queue_depth", depth)
+        try:
+            return self._OPS[op](self, obj)
+        except BudgetExhausted as exc:
+            return error_envelope(op, CODE_EXHAUSTED, str(exc))
+        except (InvalidParameterError, DatasetError) as exc:
+            return error_envelope(op, CODE_BAD_REQUEST, str(exc))
+        except FileNotFoundError as exc:
+            return error_envelope(op, CODE_BAD_REQUEST, str(exc))
+        except ReproError as exc:
+            return error_envelope(op, CODE_ERROR, str(exc))
+        except Exception as exc:  # the daemon must survive anything
+            return error_envelope(op, CODE_ERROR, f"internal error: {exc!r}")
+        finally:
+            with self._req_lock:
+                self._active_requests -= 1
+                depth = self._active_requests
+            self._gauge("service/queue_depth", depth)
+
+    def handle_line(self, line: str) -> Dict[str, Any]:
+        """One raw request line in, one response envelope out."""
+        try:
+            obj = parse_request(line)
+        except InvalidParameterError as exc:
+            return error_envelope(None, CODE_BAD_REQUEST, str(exc))
+        return self.handle_request(obj)
+
+    def stats_snapshot(self) -> Dict[str, Any]:
+        """The ``stats`` payload (convenience for tests and tooling)."""
+        return self._op_stats({})["stats"]
+
+
+# ---------------------------------------------------------------------------
+# HTTP transport
+# ---------------------------------------------------------------------------
+
+def _status_for(service: ReproService, code: int) -> int:
+    if code in (CODE_OK, CODE_EXHAUSTED, CODE_PARTIAL):
+        return 200  # the protocol exchange succeeded; 3/4 are outcomes
+    if code == CODE_BAD_REQUEST:
+        return 400
+    if service.draining:
+        return 503
+    return 500
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-service"
+
+    @property
+    def service(self) -> ReproService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # access logging lives in the recorder, not stderr
+
+    def _read_body(self) -> str:
+        length = int(self.headers.get("Content-Length", 0))
+        return self.rfile.read(length).decode("utf-8") if length else ""
+
+    def _respond(self, status: int, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _respond_envelopes(self, envelopes) -> None:
+        body = "".join(
+            json.dumps(env) + "\n" for env in envelopes
+        ).encode("utf-8")
+        status = _status_for(
+            self.service, max((env["code"] for env in envelopes), default=0)
+        )
+        self._respond(status, body)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib dispatch name
+        body = self._read_body()
+        if self.path == "/v1/rpc":
+            lines = [line for line in body.splitlines() if line.strip()]
+            if not lines:
+                env = error_envelope(None, CODE_BAD_REQUEST, "empty request")
+                self._respond_envelopes([env])
+                return
+            self._respond_envelopes(
+                [self.service.handle_line(line) for line in lines]
+            )
+            return
+        op = {
+            "/v1/query": "query",
+            "/v1/build": "build",
+            "/v1/profile": "profile",
+            "/v1/stats": "stats",
+        }.get(self.path)
+        if op is None:
+            self._respond_envelopes(
+                [error_envelope(None, CODE_BAD_REQUEST,
+                                f"unknown path {self.path!r}")]
+            )
+            return
+        try:
+            obj = json.loads(body or "{}")
+        except json.JSONDecodeError as exc:
+            self._respond_envelopes(
+                [error_envelope(op, CODE_BAD_REQUEST,
+                                f"request is not valid JSON: {exc}")]
+            )
+            return
+        if not isinstance(obj, dict):
+            self._respond_envelopes(
+                [error_envelope(op, CODE_BAD_REQUEST,
+                                "request must be a JSON object")]
+            )
+            return
+        obj.setdefault("op", op)  # the path names the op; the body may omit it
+        self._respond_envelopes([self.service.handle_request(obj)])
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib dispatch name
+        if self.path == "/healthz":
+            status = 503 if self.service.draining else 200
+            payload = {"status": "draining" if self.service.draining else "ok"}
+            self._respond(status, (json.dumps(payload) + "\n").encode())
+            return
+        if self.path == "/v1/stats":
+            self._respond_envelopes(
+                [self.service.handle_request({"op": "stats"})]
+            )
+            return
+        self._respond_envelopes(
+            [error_envelope(None, CODE_BAD_REQUEST,
+                            f"unknown path {self.path!r}")]
+        )
+
+
+class _ServiceHTTPServer(ThreadingHTTPServer):
+    # join handler threads on server_close so a drain finishes every
+    # in-flight response before the process exits
+    daemon_threads = False
+    block_on_close = True
+
+    def __init__(self, address, service: ReproService):
+        self.service = service
+        super().__init__(address, _Handler)
+
+
+def make_server(
+    config: ServiceConfig, sink=None
+) -> Tuple[_ServiceHTTPServer, ReproService]:
+    """Bind a server for ``config`` without entering its accept loop.
+
+    Exposed for tests: bind to port 0, read the real port off
+    ``server.server_address``, run ``serve_forever`` in a thread.
+    """
+    service = ReproService(config, sink=sink)
+    server = _ServiceHTTPServer((config.host, config.port), service)
+    return server, service
+
+
+def serve_forever(
+    host: str = "127.0.0.1",
+    port: int = 8642,
+    cache_size: int = 4,
+    result_cache_size: int = 128,
+    default_timeout_s: Optional[float] = None,
+    workers: Optional[int] = None,
+    trace_path: Optional[str] = None,
+) -> int:
+    """Run the daemon until SIGTERM/SIGINT; returns the exit code.
+
+    The first signal drains gracefully: in-flight budgets are cancelled
+    (their requests respond with best-so-far partials), new requests get
+    503, and the accept loop stops once every handler thread finishes.
+    """
+    config = ServiceConfig(
+        host=host, port=port, cache_size=cache_size,
+        result_cache_size=result_cache_size,
+        default_timeout_s=default_timeout_s, workers=workers,
+        trace_path=trace_path,
+    )
+    sink = open(trace_path, "w", encoding="utf-8") if trace_path else None
+    try:
+        server, service = make_server(config, sink=sink)
+    except OSError:
+        if sink is not None:
+            sink.close()
+        raise
+
+    def _on_signal(signum, frame):
+        print(
+            f"signal {signum}: draining, cancelling in-flight budgets",
+            file=sys.stderr, flush=True,
+        )
+        service.drain()
+        # shutdown() blocks until the accept loop exits; calling it on
+        # this (main) thread would deadlock with serve_forever below
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous = {
+        signum: signal.signal(signum, _on_signal)
+        for signum in (signal.SIGTERM, signal.SIGINT)
+    }
+    actual_port = server.server_address[1]
+    print(
+        f"repro service listening on http://{config.host}:{actual_port}",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        if sink is not None:
+            sink.close()
+    print("repro service drained", flush=True)
+    return 0

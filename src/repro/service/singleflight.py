@@ -1,0 +1,76 @@
+"""Single-flight request coalescing.
+
+When N clients concurrently ask the daemon for the same expensive thing
+— the same cold index build, or the same ``densest_subgraph`` query —
+exactly one thread (the *leader*) runs the computation and every
+concurrent duplicate (the *followers*) blocks on an event and shares the
+leader's outcome, success or exception.  This is the classic Go
+``golang.org/x/sync/singleflight`` shape on :mod:`threading` primitives.
+
+The group forgets a key the moment its call completes, so coalescing
+only ever joins *in-flight* work; replaying a finished computation is the
+result cache's job, not this module's.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Hashable, Tuple
+
+__all__ = ["SingleFlight"]
+
+
+class _Call:
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value: Any = None
+        self.error: BaseException = None  # type: ignore[assignment]
+
+
+class SingleFlight:
+    """Coalesce concurrent calls for the same key into one execution."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._calls: Dict[Hashable, _Call] = {}
+
+    def do(self, key: Hashable, fn: Callable[[], Any]) -> Tuple[Any, bool]:
+        """Run ``fn`` once per in-flight ``key``; duplicates share it.
+
+        Returns ``(value, leader)`` where ``leader`` is ``True`` for the
+        thread that actually executed ``fn``.  If the leader raised, every
+        follower re-raises the same exception instance.
+        """
+        with self._lock:
+            call = self._calls.get(key)
+            if call is None:
+                call = _Call()
+                self._calls[key] = call
+                leader = True
+            else:
+                leader = False
+        if not leader:
+            call.event.wait()
+            if call.error is not None:
+                raise call.error
+            return call.value, False
+        try:
+            call.value = fn()
+        except BaseException as exc:
+            call.error = exc
+            raise
+        finally:
+            # drop the key *before* waking followers so a request arriving
+            # after completion starts a fresh flight instead of reading a
+            # stale one
+            with self._lock:
+                self._calls.pop(key, None)
+            call.event.set()
+        return call.value, True
+
+    def in_flight(self) -> int:
+        """Number of distinct keys currently being computed."""
+        with self._lock:
+            return len(self._calls)

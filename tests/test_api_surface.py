@@ -6,6 +6,9 @@ and passes these keywords.
 """
 
 import inspect
+import warnings
+
+import pytest
 
 import repro
 
@@ -15,7 +18,9 @@ EXPECTED_ALL = sorted([
     "SCTIndex",
     "SCTPath",
     "SCTPathView",
+    "DenseSubgraphResult",
     "DensestSubgraphResult",
+    "RESULT_SCHEMA",
     "densest_subgraph",
     "sctl",
     "sctl_plus",
@@ -142,3 +147,59 @@ def test_parallel_config_fields():
     assert actual == (
         "workers", "chunks_per_worker", "max_tasks_per_child", "start_method",
     )
+
+
+# ---------------------------------------------------------------------------
+# Deprecation-warning surface: the legacy per-knob keywords warn exactly
+# once, name the options= replacement, and the new spellings stay silent.
+# ---------------------------------------------------------------------------
+
+LEGACY_KNOB_VALUES = {
+    "recorder": lambda: repro.MetricsRecorder(),
+    "budget": lambda: repro.RunBudget(wall_seconds=60.0),
+    "checkpoint": lambda: "some-dir",
+    "resume": lambda: True,
+    "parallel": lambda: 2,
+}
+
+
+@pytest.mark.parametrize("knob", sorted(LEGACY_KNOB_VALUES))
+def test_legacy_kwarg_warns_and_names_replacement(knob):
+    with pytest.warns(DeprecationWarning) as caught:
+        repro.RunOptions.resolve(None, **{knob: LEGACY_KNOB_VALUES[knob]()})
+    messages = [str(w.message) for w in caught
+                if w.category is DeprecationWarning]
+    assert len(messages) == 1
+    assert knob in messages[0]
+    assert f"options=RunOptions({knob}=...)" in messages[0]
+
+
+def test_legacy_kwarg_at_default_does_not_warn():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        repro.RunOptions.resolve(
+            None, recorder=repro.NULL_RECORDER, budget=repro.NULL_BUDGET,
+            checkpoint=None, resume=False, parallel=None,
+        )
+
+
+def test_options_spelling_does_not_warn():
+    opts = repro.RunOptions(
+        recorder=repro.MetricsRecorder(),
+        budget=repro.RunBudget(wall_seconds=60.0),
+        parallel=2,
+    )
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        resolved = repro.RunOptions.resolve(opts)
+    assert resolved == opts
+
+
+def test_facade_legacy_kwarg_warns_through_entry_point():
+    from repro.graph import relaxed_caveman_graph
+
+    graph = relaxed_caveman_graph(3, 5, 0.1, seed=1)
+    with pytest.warns(DeprecationWarning, match="options=RunOptions"):
+        repro.densest_subgraph(
+            graph, 3, method="sctl", recorder=repro.MetricsRecorder()
+        )

@@ -1,0 +1,475 @@
+"""The query daemon: caches, coalescing, budgets, drain, HTTP transport."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+import repro.service.server as server_mod
+from repro import cli
+from repro.errors import InvalidParameterError
+from repro.obs.validate import validate_result
+from repro.results import DenseSubgraphResult
+from repro.service import (
+    SERVICE_SCHEMA,
+    LRUCache,
+    ReproService,
+    ServiceConfig,
+    SingleFlight,
+    make_server,
+    parse_request,
+)
+
+DATASET = "email"
+
+
+def make_service(**overrides) -> ReproService:
+    kwargs = dict(cache_size=2, result_cache_size=8)
+    kwargs.update(overrides)
+    return ReproService(ServiceConfig(**kwargs))
+
+
+def query(service, **fields):
+    obj = {"op": "query", "dataset": DATASET, "k": 4}
+    obj.update(fields)
+    return service.handle_request(obj)
+
+
+class TestLRUCache:
+    def test_evicts_least_recently_used(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a"
+        evicted = cache.put("c", 3)
+        assert evicted == [("b", 2)]
+        assert cache.get("b") is None
+        assert cache.keys() == ["a", "c"]
+
+    def test_stats_count_hits_misses_evictions(self):
+        cache = LRUCache(1)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("nope")
+        cache.put("b", 2)
+        assert cache.stats() == {
+            "size": 1, "capacity": 1, "hits": 1, "misses": 1, "evictions": 1,
+        }
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+
+class TestSingleFlight:
+    def test_concurrent_callers_share_one_execution(self):
+        flight = SingleFlight()
+        calls = []
+        release = threading.Event()
+
+        def work():
+            calls.append(threading.get_ident())
+            release.wait(5)
+            return "value"
+
+        with ThreadPoolExecutor(8) as pool:
+            futures = [
+                pool.submit(flight.do, "key", work) for _ in range(8)
+            ]
+            while not calls:  # wait for the leader to enter
+                time.sleep(0.01)
+            time.sleep(0.05)  # let the followers queue up on the event
+            release.set()
+            outcomes = [f.result() for f in futures]
+        assert len(calls) == 1
+        assert all(value == "value" for value, _ in outcomes)
+        assert sum(1 for _, leader in outcomes if leader) == 1
+
+    def test_followers_share_the_leaders_exception(self):
+        flight = SingleFlight()
+        entered = threading.Event()
+        release = threading.Event()
+
+        def boom():
+            entered.set()
+            release.wait(5)
+            raise RuntimeError("shared failure")
+
+        with ThreadPoolExecutor(2) as pool:
+            first = pool.submit(flight.do, "key", boom)
+            assert entered.wait(5)
+            second = pool.submit(flight.do, "key", boom)
+            time.sleep(0.05)
+            release.set()
+            for future in (first, second):
+                with pytest.raises(RuntimeError, match="shared failure"):
+                    future.result()
+
+    def test_sequential_calls_do_not_coalesce(self):
+        flight = SingleFlight()
+        assert flight.do("k", lambda: 1) == (1, True)
+        assert flight.do("k", lambda: 2) == (2, True)
+
+
+class TestProtocol:
+    def test_parse_request_rejects_bad_json(self):
+        with pytest.raises(InvalidParameterError, match="not valid JSON"):
+            parse_request("{nope")
+
+    def test_parse_request_rejects_unknown_op(self):
+        with pytest.raises(InvalidParameterError, match="unknown op"):
+            parse_request('{"op": "frobnicate"}')
+
+    def test_parse_request_rejects_non_object(self):
+        with pytest.raises(InvalidParameterError, match="JSON object"):
+            parse_request("[1, 2]")
+
+
+class TestServiceOps:
+    def test_query_speaks_result_v1(self):
+        service = make_service()
+        env = query(service)
+        assert env["schema"] == SERVICE_SCHEMA
+        assert env["code"] == 0
+        assert env["error"] is None
+        assert validate_result(env) == []
+        result = DenseSubgraphResult.from_dict(env["result"])
+        assert result.k == 4
+        assert result.density > 0
+
+    def test_second_identical_query_is_a_result_cache_hit(self):
+        service = make_service()
+        cold = query(service)
+        warm = query(service)
+        assert cold["cached"] is False
+        assert warm["cached"] is True
+        assert warm["result"] == cold["result"]
+        stats = service.stats_snapshot()
+        assert stats["counters"]["service/computations"] == 1
+        assert stats["counters"]["service/result_cache/hit"] == 1
+
+    def test_different_k_shares_the_cached_index(self):
+        service = make_service()
+        query(service, k=4)
+        env = query(service, k=5)
+        assert env["cached"] is False  # different result key...
+        stats = service.stats_snapshot()
+        assert stats["counters"]["service/index_builds"] == 1  # ...same index
+
+    def test_index_cache_evicts_lru(self):
+        service = make_service(cache_size=1)
+        service.handle_request({"op": "build", "dataset": "email"})
+        service.handle_request({"op": "build", "dataset": "dblp"})
+        stats = service.stats_snapshot()
+        assert stats["index_cache"]["size"] == 1
+        assert stats["index_cache"]["evictions"] == 1
+        assert stats["counters"]["service/index_cache/evictions"] == 1
+        # the evicted index rebuilds on demand
+        env = service.handle_request({"op": "build", "dataset": "email"})
+        assert env["index"]["cached"] is False
+        assert service.stats_snapshot()["counters"]["service/index_builds"] == 3
+
+    def test_build_then_query_reuses_the_index(self):
+        service = make_service()
+        first = service.handle_request({"op": "build", "dataset": DATASET})
+        assert first["code"] == 0
+        assert first["index"]["cached"] is False
+        second = service.handle_request({"op": "build", "dataset": DATASET})
+        assert second["index"]["cached"] is True
+        query(service)
+        stats = service.stats_snapshot()
+        assert stats["counters"]["service/index_builds"] == 1
+
+    def test_threshold_is_part_of_the_cache_key(self):
+        service = make_service()
+        service.handle_request({"op": "build", "dataset": DATASET})
+        service.handle_request(
+            {"op": "build", "dataset": DATASET, "threshold": 5}
+        )
+        assert service.stats_snapshot()["counters"]["service/index_builds"] == 2
+
+    def test_profile_speaks_profile_v1(self):
+        service = make_service()
+        env = service.handle_request(
+            {"op": "profile", "dataset": DATASET, "iterations": 2}
+        )
+        assert env["code"] == 0
+        assert env["profile"]["schema"] == "repro/profile-v1"
+        assert env["profile"]["rows"]
+        assert validate_result(env) == []
+
+    def test_stats_speaks_service_stats_v1(self):
+        service = make_service()
+        query(service)
+        env = service.handle_request({"op": "stats"})
+        assert env["stats"]["schema"] == "repro/service-stats-v1"
+        assert env["stats"]["counters"]["service/requests/query"] == 1
+        assert validate_result(env) == []
+
+    def test_unknown_dataset_is_a_bad_request(self):
+        env = query(make_service(), dataset="not-a-dataset")
+        assert env["code"] == 2
+        assert "not-a-dataset" in env["error"]
+
+    def test_unknown_method_is_a_bad_request(self):
+        env = query(make_service(), method="frobnicate")
+        assert env["code"] == 2
+
+    def test_missing_graph_source_is_a_bad_request(self):
+        env = make_service().handle_request({"op": "query", "k": 4})
+        assert env["code"] == 2
+
+    def test_unknown_op_is_a_bad_request(self):
+        env = make_service().handle_request({"op": "nope"})
+        assert env["code"] == 2
+
+
+class TestCoalescing:
+    def test_eight_concurrent_identical_queries_one_computation(
+        self, monkeypatch
+    ):
+        service = make_service()
+        service.handle_request({"op": "build", "dataset": DATASET})
+        computations = []
+        release = threading.Event()
+        real = server_mod.densest_subgraph
+
+        def slow_densest_subgraph(*args, **kwargs):
+            computations.append(threading.get_ident())
+            release.wait(10)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(
+            server_mod, "densest_subgraph", slow_densest_subgraph
+        )
+        with ThreadPoolExecutor(8) as pool:
+            futures = [pool.submit(query, service) for _ in range(8)]
+            while not computations:
+                time.sleep(0.01)
+            time.sleep(0.1)  # give every follower time to join the flight
+            release.set()
+            envelopes = [f.result() for f in futures]
+
+        assert len(computations) == 1, "coalescing must run the query once"
+        leaders = [
+            e for e in envelopes if not e["coalesced"] and not e["cached"]
+        ]
+        assert len(leaders) == 1
+        shared = [e for e in envelopes if e["coalesced"] or e["cached"]]
+        assert len(shared) == 7
+        stats = service.stats_snapshot()
+        assert stats["counters"]["service/computations"] == 1
+        assert (
+            stats["counters"].get("service/coalesced", 0)
+            + stats["counters"].get("service/result_cache/hit", 0)
+        ) == 7
+        for env in envelopes:
+            assert env["code"] == 0
+            assert env["result"] == envelopes[0]["result"]
+
+    def test_concurrent_cold_builds_coalesce(self, monkeypatch):
+        service = make_service()
+        builds = []
+        release = threading.Event()
+        real = server_mod.SCTIndex.build
+
+        def slow_build(*args, **kwargs):
+            builds.append(1)
+            release.wait(10)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(server_mod.SCTIndex, "build", staticmethod(slow_build))
+        with ThreadPoolExecutor(4) as pool:
+            futures = [
+                pool.submit(
+                    service.handle_request,
+                    {"op": "build", "dataset": DATASET},
+                )
+                for _ in range(4)
+            ]
+            while not builds:
+                time.sleep(0.01)
+            time.sleep(0.1)
+            release.set()
+            envelopes = [f.result() for f in futures]
+        assert len(builds) == 1
+        assert all(env["code"] == 0 for env in envelopes)
+
+
+class TestBudgets:
+    def test_zero_timeout_matches_cli_exhausted_exit_code(self):
+        env = query(make_service(), timeout_s=0)
+        assert env["code"] == cli.EXIT_EXHAUSTED == 3
+        result = DenseSubgraphResult.from_dict(env["result"])
+        assert result.is_partial
+        assert not result.valid
+        assert result.vertices == []
+        assert validate_result(env) == []
+
+    def test_iteration_cap_returns_valid_partial_with_cli_exit_code(self):
+        service = make_service()
+        service.handle_request({"op": "build", "dataset": DATASET})
+        env = query(service, max_iterations=1, iterations=10)
+        assert env["code"] == cli.EXIT_PARTIAL == 4
+        result = DenseSubgraphResult.from_dict(env["result"])
+        assert result.is_partial
+        assert result.valid
+        assert result.reason == "max_iterations"
+        assert result.density > 0
+        assert validate_result(env) == []
+
+    def test_partial_results_are_not_cached(self):
+        service = make_service()
+        service.handle_request({"op": "build", "dataset": DATASET})
+        query(service, max_iterations=1, iterations=10)
+        env = query(service, max_iterations=1, iterations=10)
+        assert env["cached"] is False
+        assert service.stats_snapshot()["counters"]["service/computations"] == 2
+
+
+class TestDrain:
+    def test_drain_cancels_inflight_and_returns_valid_partial(
+        self, monkeypatch
+    ):
+        service = make_service()
+        service.handle_request({"op": "build", "dataset": DATASET})
+        entered = threading.Event()
+        real = server_mod.densest_subgraph
+
+        def entering_densest_subgraph(*args, **kwargs):
+            entered.set()
+            time.sleep(0.1)  # stay in flight while the drain lands
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(
+            server_mod, "densest_subgraph", entering_densest_subgraph
+        )
+        with ThreadPoolExecutor(1) as pool:
+            future = pool.submit(query, service, timeout_s=300)
+            assert entered.wait(5)
+            service.drain()
+            env = future.result()
+        assert env["code"] == cli.EXIT_PARTIAL
+        result = DenseSubgraphResult.from_dict(env["result"])
+        assert result.is_partial
+        assert result.valid
+        assert result.reason == "cancelled"
+
+    def test_requests_after_drain_are_refused(self):
+        service = make_service()
+        service.drain()
+        env = query(service)
+        assert env["code"] == 1
+        assert "draining" in env["error"]
+
+
+class TestHTTPTransport:
+    @pytest.fixture()
+    def server(self):
+        httpd, service = make_server(ServiceConfig(port=0, cache_size=2))
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        yield httpd, service
+        httpd.shutdown()
+        httpd.server_close()
+        thread.join(timeout=5)
+
+    @staticmethod
+    def post(port, path, body):
+        data = body if isinstance(body, bytes) else json.dumps(body).encode()
+        req = urllib.request.Request(
+            f"http://127.0.0.1:{port}{path}", data=data, method="POST"
+        )
+        with urllib.request.urlopen(req) as resp:
+            lines = resp.read().decode().splitlines()
+            return resp.status, [json.loads(line) for line in lines]
+
+    def test_query_round_trip(self, server):
+        httpd, _ = server
+        port = httpd.server_address[1]
+        status, envelopes = self.post(
+            port, "/v1/query", {"dataset": DATASET, "k": 4}
+        )
+        assert status == 200
+        assert len(envelopes) == 1
+        assert envelopes[0]["code"] == 0
+        assert validate_result(envelopes[0]) == []
+
+    def test_rpc_batch(self, server):
+        httpd, _ = server
+        port = httpd.server_address[1]
+        body = (
+            json.dumps({"op": "build", "dataset": DATASET}) + "\n"
+            + json.dumps({"op": "query", "dataset": DATASET, "k": 4}) + "\n"
+            + json.dumps({"op": "stats"}) + "\n"
+        ).encode()
+        status, envelopes = self.post(port, "/v1/rpc", body)
+        assert status == 200
+        assert [env["op"] for env in envelopes] == ["build", "query", "stats"]
+        assert all(env["code"] == 0 for env in envelopes)
+        assert envelopes[1]["result"]["schema"] == "repro/result-v1"
+
+    def test_bad_request_is_http_400(self, server):
+        httpd, _ = server
+        port = httpd.server_address[1]
+        req = urllib.request.Request(
+            f"http://127.0.0.1:{port}/v1/query",
+            data=b'{"dataset": "email"}', method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(req)
+        assert excinfo.value.code == 400
+        envelope = json.loads(excinfo.value.read().decode().splitlines()[0])
+        assert envelope["code"] == 2
+
+    def test_healthz_flips_to_503_on_drain(self, server):
+        httpd, service = server
+        port = httpd.server_address[1]
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}/healthz"
+        ) as resp:
+            assert resp.status == 200
+        service.drain()
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"http://127.0.0.1:{port}/healthz")
+        assert excinfo.value.code == 503
+
+
+class TestSigtermDrain:
+    def test_sigterm_drains_and_exits_zero(self, tmp_path):
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            env=env, text=True,
+        )
+        try:
+            announce = proc.stdout.readline()
+            assert "listening on http://" in announce
+            port = int(announce.rsplit(":", 1)[1])
+            req = urllib.request.Request(
+                f"http://127.0.0.1:{port}/v1/query",
+                data=json.dumps({"dataset": DATASET, "k": 4}).encode(),
+                method="POST",
+            )
+            with urllib.request.urlopen(req, timeout=60) as resp:
+                envelope = json.loads(resp.read().decode().splitlines()[0])
+            assert envelope["code"] == 0
+            proc.send_signal(signal.SIGTERM)
+            out, err = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0
+        assert "repro service drained" in out
+        assert "draining" in err
