@@ -1,0 +1,194 @@
+"""Core SCT*-Index benchmark: build, traverse, load, broadcast.
+
+The flat-array v2 pipeline has four costs an operator cares about, and
+this bench measures all of them on a bundled dataset and writes the
+numbers to ``BENCH_index.json`` (uploaded as a CI artifact so trends are
+inspectable per commit):
+
+1. **build** — wall clock of ``SCTIndex.build``; the offline cost.
+2. **path throughput** — valid root-to-leaf paths streamed per second by
+   the window-scan traversal (``iter_paths``), the inner loop of every
+   SCTL-family sweep.
+3. **cold load** — v1 text parse vs v2 mmap, the service's cold-start
+   path.  The v2 load is header + ``mmap`` + column views, so it must be
+   far faster than re-parsing JSON lines; the bench asserts the paper's
+   engineering claim at a conservative ``>= 5x`` on the full dataset.
+4. **broadcast** — copying the columns into a shared-memory block plus
+   spinning up a 4-worker pool against it (``PathShardEngine``), the
+   amortised cost of going parallel.
+
+``--quick`` (and the pytest smoke) uses the small ``email`` graph and a
+single repeat; the 5x load assertion only arms on the full run, where
+the index is big enough that constant overheads do not dominate.
+"""
+
+import json
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from common import dataset
+from repro.bench import format_table
+from repro.core import SCTIndex
+from repro.options import ParallelConfig
+from repro.parallel.engine import PathShardEngine, _share_index
+
+DATASET = "friendster"  # largest bundled graph (|V|=5600, |E|=27259)
+QUICK_DATASET = "email"
+K = 4
+REPEATS = 3
+BROADCAST_WORKERS = 4
+LOAD_SPEEDUP_TARGET = 5.0  # v2 mmap vs v1 text, full dataset only
+ARTIFACT = "BENCH_index.json"
+
+
+def _median(fn, repeats):
+    """Median seconds of ``fn()`` over ``repeats`` runs, and last result."""
+    times, result = [], None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times), result
+
+
+def _time_load(path, repeats):
+    """Median cold-load seconds; every loaded index is closed again."""
+
+    def load():
+        index = SCTIndex.load(path)
+        index.close()
+        return index
+
+    seconds, _ = _median(load, repeats)
+    return seconds
+
+
+def _time_broadcast(index, repeats):
+    """Median seconds to share the columns + spin a 4-worker pool."""
+
+    def broadcast():
+        engine = PathShardEngine(index, ParallelConfig(workers=BROADCAST_WORKERS))
+        try:
+            engine.count_cliques(K)  # forces pool creation + one sweep
+        finally:
+            engine.close()
+
+    share_times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        shm, _meta = _share_index(index)
+        share_times.append(time.perf_counter() - start)
+        shm.close()
+        shm.unlink()
+    pool_s, _ = _median(broadcast, max(1, repeats - 1))
+    return statistics.median(share_times), pool_s
+
+
+def measure(name=DATASET, repeats=REPEATS):
+    graph = dataset(name)
+    build_s, index = _median(lambda: SCTIndex.build(graph), repeats)
+
+    sweep_s, n_paths = _median(
+        lambda: sum(1 for _ in index.iter_paths(K)), repeats
+    )
+    throughput = n_paths / sweep_s if sweep_s else float("inf")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        v1_path = Path(tmp) / "index.sct"
+        v2_path = Path(tmp) / "index.sct2"
+        index.save(v1_path, format=1)
+        index.save(v2_path, format=2)
+        v1_load_s = _time_load(v1_path, repeats)
+        v2_load_s = _time_load(v2_path, repeats)
+        v1_bytes = v1_path.stat().st_size
+        v2_bytes = v2_path.stat().st_size
+
+    share_s, pool_s = _time_broadcast(index, repeats)
+
+    return {
+        "dataset": name,
+        "k": K,
+        "n_vertices": graph.n,
+        "n_nodes": index.n_tree_nodes,
+        "build_s": build_s,
+        "paths_per_s": throughput,
+        "n_valid_paths": n_paths,
+        "load_v1_s": v1_load_s,
+        "load_v2_mmap_s": v2_load_s,
+        "load_speedup": v1_load_s / v2_load_s if v2_load_s else float("inf"),
+        "file_bytes_v1": v1_bytes,
+        "file_bytes_v2": v2_bytes,
+        "broadcast_share_s": share_s,
+        "broadcast_pool_s": pool_s,
+        "broadcast_workers": BROADCAST_WORKERS,
+    }
+
+
+def render(stats) -> str:
+    rows = [
+        ["build", f"{stats['build_s']:.3f} s"],
+        [
+            f"iter_paths(k={stats['k']})",
+            f"{stats['paths_per_s']:,.0f} paths/s "
+            f"({stats['n_valid_paths']} paths)",
+        ],
+        ["cold load v1 (text parse)", f"{stats['load_v1_s'] * 1e3:.2f} ms"],
+        ["cold load v2 (mmap)", f"{stats['load_v2_mmap_s'] * 1e3:.2f} ms"],
+        ["load speedup v2/v1", f"{stats['load_speedup']:.1f}x"],
+        ["file size v1 / v2", f"{stats['file_bytes_v1']:,} / "
+                              f"{stats['file_bytes_v2']:,} bytes"],
+        ["broadcast: column copy", f"{stats['broadcast_share_s'] * 1e3:.2f} ms"],
+        [
+            f"broadcast: pool({stats['broadcast_workers']}) + sweep",
+            f"{stats['broadcast_pool_s'] * 1e3:.2f} ms",
+        ],
+    ]
+    return format_table(
+        ["stage", "measurement"],
+        rows,
+        title=(
+            f"index core on {stats['dataset']} "
+            f"({stats['n_nodes']} tree nodes)"
+        ),
+    )
+
+
+def write_artifact(stats, path=ARTIFACT):
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(stats, handle, indent=2)
+        handle.write("\n")
+
+
+class TestIndexCoreBench:
+    def test_quick_harness_and_artifact(self, tmp_path):
+        stats = measure(QUICK_DATASET, repeats=1)
+        assert stats["n_valid_paths"] > 0
+        assert stats["load_speedup"] > 1.0  # mmap never loses to parsing
+        artifact = tmp_path / ARTIFACT
+        write_artifact(stats, artifact)
+        assert json.loads(artifact.read_text())["dataset"] == QUICK_DATASET
+
+    def test_mmap_load_speedup_on_full_dataset(self):
+        stats = measure(DATASET, repeats=REPEATS)
+        assert stats["load_speedup"] >= LOAD_SPEEDUP_TARGET
+
+
+if __name__ == "__main__":
+    quick = "--quick" in sys.argv
+    stats = measure(
+        QUICK_DATASET if quick else DATASET,
+        1 if quick else REPEATS,
+    )
+    print(render(stats))
+    write_artifact(stats)
+    if not quick and stats["load_speedup"] < LOAD_SPEEDUP_TARGET:
+        print(
+            f"FAIL: v2 mmap load only {stats['load_speedup']:.1f}x faster "
+            f"than v1 (target {LOAD_SPEEDUP_TARGET}x)",
+            file=sys.stderr,
+        )
+        sys.exit(1)
+    print(f"wrote {ARTIFACT}")

@@ -215,7 +215,7 @@ def _cmd_build_index(args: argparse.Namespace) -> int:
                 )
             return EXIT_EXHAUSTED
         elapsed = time.perf_counter() - start
-        index.save(args.output)
+        index.save(args.output, format=args.format)
     print(f"built {index!r} in {elapsed:.3f}s -> {args.output}")
     return 0
 
@@ -363,6 +363,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         default_timeout_s=args.default_timeout,
         workers=_parallel_from(args),
         trace_path=args.trace,
+        index_dir=args.index_dir,
     )
 
 
@@ -426,6 +427,11 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument(
         "--threshold", type=int, default=0,
         help="partial SCT*-k'-Index threshold (0 = complete index)",
+    )
+    build.add_argument(
+        "--format", type=int, choices=(1, 2), default=2,
+        help="on-disk format: 2 = binary columns, mmap-loadable "
+             "(default); 1 = legacy JSON-lines text",
     )
     _add_obs_flags(build)
     _add_resilience_flags(build)
@@ -520,6 +526,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--trace", metavar="PATH",
         help="write the server-wide JSON-lines trace to PATH",
+    )
+    serve.add_argument(
+        "--index-dir", metavar="DIR",
+        help="persist built indices as format-2 files under DIR; cold "
+             "starts mmap them back instead of rebuilding",
     )
     _add_parallel_flag(serve)
 

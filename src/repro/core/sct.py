@@ -17,14 +17,24 @@ vertices ``V_p(P)``; by Lemma 2 the k-cliques under ``P`` are exactly
 represents ``C(|V_p|, k - |V_h|)`` cliques.  All counting queries reduce to
 binomial coefficients over the paths.
 
-The tree is stored in flat parallel arrays (structure-of-arrays) to keep the
-Python object count — and hence memory — proportional to nodes, not Python
-dicts.
+Array-native layout
+-------------------
+The tree is stored as flat integer columns in **DFS pre-order**: node ``i``'s
+subtree is exactly the contiguous window ``[i, i + subtree[i])`` (the
+XPath-accelerator window encoding over pre/post-order and subtree size), so
+traversal is a linear scan with ``O(1)`` subtree skips instead of pointer
+chasing.  Child lists are CSR ranges (``child_off``/``child_ids``), and every
+column is an ``array('q')`` — or a ``memoryview`` cast straight out of an
+``mmap``-ed v2 index file or a ``multiprocessing.shared_memory`` block, so
+the service and the parallel engine share one copy of the index with zero
+pickling (see ``docs/index-format.md``).
 """
 
 from __future__ import annotations
 
 import json
+import mmap as _mmap
+from array import array
 from dataclasses import dataclass
 from math import comb
 from typing import Dict, IO, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
@@ -36,6 +46,7 @@ from ..obs import NULL_RECORDER, Recorder
 from ..options import RunOptions
 from ..resilience.budget import NULL_BUDGET, Budget
 from ..resilience.checkpoint import Checkpointer, atomic_writer, require_match
+from . import sct_format
 
 __all__ = ["SCTPath", "SCTPathView", "SCTIndex", "HOLD", "PIVOT"]
 
@@ -48,13 +59,10 @@ _BUILD_CHECKPOINT_KIND = "sct-build"
 HOLD = 0
 PIVOT = 1
 
-_FORMAT_VERSION = 1
-
 
 def _expand_root_subtree(
     vertex: List[int],
     label: List[int],
-    children: List[List[int]],
     parent: List[int],
     depth_of: List[int],
     adj: Sequence[int],
@@ -68,10 +76,12 @@ def _expand_root_subtree(
 
     This is the Pivoter expansion for the root at degeneracy position
     ``root_pos``; it appends the root child (a HOLD at depth 1, attached
-    to ``attach_to``) and its whole subtree.  The serial build calls it
-    once per unpruned root; the parallel build workers call it with
-    per-worker arrays and ``attach_to=0``, then the parent splices the
-    arrays together — same code, so the node layout cannot drift.
+    to ``attach_to``) and its whole subtree.  Nodes are appended the
+    moment the walk descends into them, so ids are DFS pre-order by
+    construction.  The serial build calls it once per unpruned root; the
+    parallel build workers call it with per-worker arrays and
+    ``attach_to=0``, then the parent splices the arrays together with a
+    constant id offset — same code, so the node layout cannot drift.
 
     ``poll``, when given, is invoked once per expansion step; a truthy
     return value (a budget-exhaustion reason) rolls the partial subtree
@@ -84,10 +94,8 @@ def _expand_root_subtree(
         node = len(vertex)
         vertex.append(orig_vertex)
         label.append(node_label)
-        children.append([])
         parent.append(par)
         depth_of.append(depth)
-        children[par].append(node)
         return node
 
     root_child = new_node(order[root_pos], HOLD, attach_to, 1)
@@ -105,10 +113,8 @@ def _expand_root_subtree(
                 # frontier sits exactly on a root boundary
                 del vertex[root_start:]
                 del label[root_start:]
-                del children[root_start:]
                 del parent[root_start:]
                 del depth_of[root_start:]
-                children[attach_to].pop()
                 return reason
         frame = stack[-1]
         node, cand, depth = frame[0], frame[1], frame[2]
@@ -155,13 +161,13 @@ def _expand_root_subtree(
     return None
 
 
-def _compute_max_depth(parent: List[int], depth_of: List[int]) -> List[int]:
+def _compute_max_depth(parent: Sequence[int], depth_of: Sequence[int]) -> List[int]:
     """Subtree max-depth per node, in one backward sweep.
 
     Children always have larger ids than their parent, so by the time a
     node propagates upward its own subtree maximum is final.
     """
-    max_depth = depth_of[:]
+    max_depth = list(depth_of)
     max_depth[0] = 0
     for node in range(len(parent) - 1, 0, -1):
         par = parent[node]
@@ -170,12 +176,40 @@ def _compute_max_depth(parent: List[int], depth_of: List[int]) -> List[int]:
     return max_depth
 
 
+def _compute_subtree_sizes(parent: Sequence[int]) -> List[int]:
+    """Nodes in each subtree (the node included), in one backward sweep."""
+    subtree = [1] * len(parent)
+    for node in range(len(parent) - 1, 0, -1):
+        subtree[parent[node]] += subtree[node]
+    return subtree
+
+
+def _csr_children(parent: Sequence[int]) -> Tuple[List[int], List[int]]:
+    """CSR child ranges from the parent column.
+
+    Returns ``(child_off, child_ids)``: node ``i``'s children are
+    ``child_ids[child_off[i]:child_off[i + 1]]`` in ascending id order —
+    which, with pre-order ids, is exactly creation (traversal) order.
+    """
+    n = len(parent)
+    counts = [0] * n
+    for node in range(1, n):
+        counts[parent[node]] += 1
+    child_off = [0] * (n + 1)
+    for node in range(n):
+        child_off[node + 1] = child_off[node] + counts[node]
+    cursor = child_off[:n]
+    child_ids = [0] * (n - 1 if n else 0)
+    for node in range(1, n):
+        par = parent[node]
+        child_ids[cursor[par]] = node
+        cursor[par] += 1
+    return child_off, child_ids
+
+
 def _record_build_tallies(
     recorder: Recorder,
-    vertex: List[int],
-    label: List[int],
-    children: List[List[int]],
-    max_depth: List[int],
+    index: "SCTIndex",
     threshold: int,
     pruned_outdeg: int,
     pruned_core: int,
@@ -183,16 +217,17 @@ def _record_build_tallies(
     """Emit the standard build counters/gauges (serial and parallel alike)."""
     if not recorder.enabled:
         return
-    n_nodes = len(vertex) - 1
+    label = index._label
+    n_nodes = index.n_tree_nodes
     n_holds = sum(1 for lab in label[1:] if lab == HOLD)
     recorder.counter("build/nodes", n_nodes)
     recorder.counter("build/holds", n_holds)
     recorder.counter("build/pivots", n_nodes - n_holds)
-    recorder.counter("build/roots", len(children[0]))
+    recorder.counter("build/roots", index._child_off[1] - index._child_off[0])
     if threshold:
         recorder.counter("build/roots_pruned_outdeg", pruned_outdeg)
         recorder.counter("build/roots_pruned_core", pruned_core)
-    recorder.gauge("build/max_depth", max_depth[0])
+    recorder.gauge("build/max_depth", index._max_depth[0])
     recorder.gauge("build/threshold", threshold)
 
 
@@ -255,30 +290,49 @@ class SCTIndex:
     Build with :meth:`SCTIndex.build`; query k-cliques for any
     ``k >= threshold`` without touching the graph again.
 
-    Node arrays (index 0 is the virtual root):
+    Flat columns (node ids are DFS pre-order, 0 is the virtual root; each
+    column is an ``array('q')``, or a ``memoryview('q')`` over an mmap or
+    shared-memory backing):
 
     * ``_vertex[i]`` — original vertex id stored at node ``i`` (-1 for root);
     * ``_label[i]`` — ``HOLD`` or ``PIVOT`` (-1 for root);
-    * ``_children[i]`` — child node ids;
+    * ``_depth[i]`` — distance from the virtual root (its "level");
     * ``_max_depth[i]`` — the largest number of non-root vertices on any
-      root-to-leaf path through node ``i``.
+      root-to-leaf path through node ``i``;
+    * ``_subtree[i]`` — nodes in ``i``'s subtree, itself included, so the
+      subtree occupies the window ``[i, i + _subtree[i])`` and the
+      post-order number is ``i + _subtree[i] - 1``;
+    * ``_child_off`` / ``_child_ids`` — CSR child ranges: node ``i``'s
+      children are ``_child_ids[_child_off[i]:_child_off[i + 1]]``.
     """
+
+    # broadcast/serialisation order of the columns (matches the v2 file)
+    _COLUMN_ORDER = sct_format.COLUMNS
 
     def __init__(
         self,
         n_vertices: int,
-        vertex: List[int],
-        label: List[int],
-        children: List[List[int]],
-        max_depth: List[int],
+        vertex: Sequence[int],
+        label: Sequence[int],
+        depth: Sequence[int],
+        max_depth: Sequence[int],
+        subtree: Sequence[int],
+        child_off: Sequence[int],
+        child_ids: Sequence[int],
         threshold: int,
+        source=None,
     ):
         self._n_vertices = n_vertices
         self._vertex = vertex
         self._label = label
-        self._children = children
+        self._depth = depth
         self._max_depth = max_depth
+        self._subtree = subtree
+        self._child_off = child_off
+        self._child_ids = child_ids
         self._threshold = threshold
+        # keepalive for zero-copy backings (mmap.mmap or SharedMemory)
+        self._source = source
 
     # ------------------------------------------------------------------
     # construction
@@ -327,7 +381,7 @@ class SCTIndex:
             :data:`~repro.resilience.NULL_BUDGET` costs nothing.
         checkpoint:
             A :class:`~repro.resilience.Checkpointer` or a directory
-            path.  When set, the build frontier (the flat node arrays
+            path.  When set, the build frontier (the flat node columns
             plus the next root to expand) is snapshotted atomically at
             root-subtree boundaries whenever the checkpointer says a save
             is due, and cleared once the build completes.
@@ -399,7 +453,6 @@ class SCTIndex:
 
         vertex: List[int] = [-1]
         label: List[int] = [-1]
-        children: List[List[int]] = [[]]
         parent: List[int] = [0]
         depth_of: List[int] = [0]
         pruned_outdeg = 0
@@ -415,7 +468,6 @@ class SCTIndex:
                 )
                 vertex = payload["vertex"]
                 label = payload["label"]
-                children = payload["children"]
                 parent = payload["parent"]
                 depth_of = payload["depth_of"]
                 pruned_outdeg = payload["pruned_outdeg"]
@@ -432,7 +484,6 @@ class SCTIndex:
                 "next_root": next_root,
                 "vertex": vertex,
                 "label": label,
-                "children": children,
                 "parent": parent,
                 "depth_of": depth_of,
                 "pruned_outdeg": pruned_outdeg,
@@ -478,7 +529,7 @@ class SCTIndex:
                     pruned_core += 1
                     continue  # degeneracy pre-pruning
             reason = _expand_root_subtree(
-                vertex, label, children, parent, depth_of,
+                vertex, label, parent, depth_of,
                 adj, order, i, out[i], 0, step_poll,
             )
             if reason:
@@ -492,19 +543,134 @@ class SCTIndex:
             # leaving it behind would make a later resume= skip real work
             ckpt.clear(_BUILD_CHECKPOINT_KIND)
 
-        max_depth = _compute_max_depth(parent, depth_of)
-        _record_build_tallies(
-            recorder, vertex, label, children, max_depth,
-            threshold, pruned_outdeg, pruned_core,
+        index = cls._finalize_build(
+            graph.n, vertex, label, parent, depth_of, threshold
         )
+        _record_build_tallies(
+            recorder, index, threshold, pruned_outdeg, pruned_core
+        )
+        return index
+
+    @classmethod
+    def _finalize_build(
+        cls,
+        n_vertices: int,
+        vertex: List[int],
+        label: List[int],
+        parent: List[int],
+        depth_of: List[int],
+        threshold: int,
+    ) -> "SCTIndex":
+        """Freeze build-time lists into the flat column layout.
+
+        The expansion appends nodes the moment it descends into them, so
+        list position is already the DFS pre-order id; this derives the
+        ``subtree``/``max_depth`` windows and the CSR child ranges from
+        the ``parent`` column and packs everything into ``array('q')``.
+        """
+        max_depth = _compute_max_depth(parent, depth_of)
+        subtree = _compute_subtree_sizes(parent)
+        child_off, child_ids = _csr_children(parent)
         return cls(
-            n_vertices=graph.n,
-            vertex=vertex,
-            label=label,
-            children=children,
-            max_depth=max_depth,
+            n_vertices=n_vertices,
+            vertex=array("q", vertex),
+            label=array("q", label),
+            depth=array("q", depth_of),
+            max_depth=array("q", max_depth),
+            subtree=array("q", subtree),
+            child_off=array("q", child_off),
+            child_ids=array("q", child_ids),
             threshold=threshold,
         )
+
+    @classmethod
+    def _from_object_tree(
+        cls,
+        n_vertices: int,
+        vertex: Sequence[int],
+        label: Sequence[int],
+        children: Sequence[Sequence[int]],
+        max_depth: Sequence[int],
+        threshold: int,
+        origin="<memory>",
+    ) -> "SCTIndex":
+        """Canonicalise a legacy object tree (child lists) into columns.
+
+        Nodes are renumbered to DFS pre-order following each child list
+        in order, so a tree whose ids were already pre-order (every file
+        this library writes) keeps its ids — and a hand-crafted v1 file
+        with shuffled ids becomes a valid window-encoded index with the
+        identical traversal sequence.  A node reachable twice (the
+        structure is not a tree) or not at all fails loudly.
+        """
+        n = len(vertex)
+        order: List[int] = []  # old ids in pre-order
+        parent: List[int] = []  # parent (new ids), per new id
+        depth: List[int] = []
+        seen = [False] * n
+        stack: List[Tuple[int, int, int]] = [(0, 0, 0)]
+        while stack:
+            old, par, dep = stack.pop()
+            if seen[old]:
+                raise IndexBuildError(
+                    f"index file {origin!s} is not a tree: node {old} is "
+                    "reachable twice"
+                )
+            seen[old] = True
+            new = len(order)
+            order.append(old)
+            parent.append(par)
+            depth.append(dep)
+            for child in reversed(children[old]):
+                stack.append((child, new, dep + 1))
+        if len(order) != n:
+            raise IndexBuildError(
+                f"index file {origin!s} has {n - len(order)} node(s) "
+                "unreachable from the root"
+            )
+        subtree = _compute_subtree_sizes(parent)
+        child_off, child_ids = _csr_children(parent)
+        return cls(
+            n_vertices=n_vertices,
+            vertex=array("q", (vertex[o] for o in order)),
+            label=array("q", (label[o] for o in order)),
+            depth=array("q", depth),
+            max_depth=array("q", (max_depth[o] for o in order)),
+            subtree=array("q", subtree),
+            child_off=array("q", child_off),
+            child_ids=array("q", child_ids),
+            threshold=threshold,
+        )
+
+    @classmethod
+    def _from_columns(
+        cls, n_vertices: int, threshold: int, columns: Dict, source=None
+    ) -> "SCTIndex":
+        """Wrap ready-made columns (mmap views, shared memory, arrays)."""
+        return cls(
+            n_vertices=n_vertices,
+            vertex=columns["vertex"],
+            label=columns["label"],
+            depth=columns["depth"],
+            max_depth=columns["max_depth"],
+            subtree=columns["subtree"],
+            child_off=columns["child_off"],
+            child_ids=columns["child_ids"],
+            threshold=threshold,
+            source=source,
+        )
+
+    def _columns(self) -> Dict[str, Sequence[int]]:
+        """The flat columns by name, in no particular order."""
+        return {
+            "vertex": self._vertex,
+            "label": self._label,
+            "depth": self._depth,
+            "max_depth": self._max_depth,
+            "subtree": self._subtree,
+            "child_off": self._child_off,
+            "child_ids": self._child_ids,
+        }
 
     # ------------------------------------------------------------------
     # basic stats
@@ -524,7 +690,7 @@ class SCTIndex:
     def n_leaves(self) -> int:
         """Number of leaves (= number of root-to-leaf paths; on a complete
         index this equals the number of maximal cliques)."""
-        return sum(1 for c in self._children[1:] if not c)
+        return sum(1 for size in self._subtree[1:] if size == 1)
 
     @property
     def threshold(self) -> int:
@@ -540,29 +706,62 @@ class SCTIndex:
         """
         return self._max_depth[0]
 
+    @property
+    def backing(self) -> str:
+        """Where the columns live: ``memory``, ``mmap`` or ``shared_memory``."""
+        if self._source is None:
+            return "memory"
+        if isinstance(self._source, _mmap.mmap):
+            return "mmap"
+        return "shared_memory"
+
+    def close(self) -> None:
+        """Release an mmap / shared-memory backing (idempotent).
+
+        A memory-backed index is untouched; a zero-copy one becomes
+        unusable — its columns are dropped so the underlying mapping can
+        be unmapped.  Only call when no query is in flight.
+        """
+        if self._source is None:
+            return
+        empty = array("q")
+        self._vertex = self._label = self._depth = empty
+        self._max_depth = self._subtree = empty
+        self._child_off = self._child_ids = empty
+        source, self._source = self._source, None
+        try:
+            source.close()
+        except (BufferError, ValueError):  # a view escaped; GC will finish
+            pass
+
+    def _children_of(self, node: int) -> Sequence[int]:
+        """Node ``node``'s children (CSR slice, ascending = DFS order)."""
+        return self._child_ids[self._child_off[node]:self._child_off[node + 1]]
+
+    def _root_ids(self) -> List[int]:
+        """The virtual root's children (one per unpruned seed vertex)."""
+        return list(self._children_of(0))
+
     def statistics(self) -> Dict[str, object]:
         """Structural statistics of the tree (for reports and ablations).
 
         Returns a dict with node/leaf/label counts, the depth histogram of
         the leaves, and the mean root-to-leaf path length.
         """
-        n_holds = sum(1 for lab in self._label[1:] if lab == HOLD)
-        n_pivots = sum(1 for lab in self._label[1:] if lab == PIVOT)
+        label = self._label
+        depth = self._depth
+        subtree = self._subtree
+        n_holds = sum(1 for lab in label[1:] if lab == HOLD)
+        n_pivots = sum(1 for lab in label[1:] if lab == PIVOT)
         depth_histogram: Dict[int, int] = {}
         total_depth = 0
         n_leaves = 0
-        # iterative DFS carrying depth
-        stack: List[Tuple[int, int]] = [(0, 0)]
-        while stack:
-            node, depth = stack.pop()
-            kids = self._children[node]
-            if not kids and node != 0:
-                depth_histogram[depth] = depth_histogram.get(depth, 0) + 1
-                total_depth += depth
+        for node in range(1, len(subtree)):
+            if subtree[node] == 1:
+                d = depth[node]
+                depth_histogram[d] = depth_histogram.get(d, 0) + 1
+                total_depth += d
                 n_leaves += 1
-                continue
-            for child in kids:
-                stack.append((child, depth + 1))
         return {
             "tree_nodes": self.n_tree_nodes,
             "leaves": n_leaves,
@@ -587,9 +786,10 @@ class SCTIndex:
             return []
         vertices: List[int] = []
         node = 0
-        while self._children[node]:
+        while self._subtree[node] > 1:
             node = next(
-                c for c in self._children[node] if self._max_depth[c] == target
+                c for c in self._children_of(node)
+                if self._max_depth[c] == target
             )
             vertices.append(self._vertex[node])
         return sorted(vertices)
@@ -624,6 +824,11 @@ class SCTIndex:
         entry, popped on backtrack, O(1) amortised per tree edge —
         so consumers must snapshot them before storing.
 
+        Node ids are pre-order, so the DFS is a *linear scan* over the id
+        window: visiting ids in ascending order IS the depth-first visit,
+        a pruned subtree is skipped by jumping ``subtree[i]`` ids forward,
+        and backtracking pops every open subtree whose window ended.
+
         With ``k`` given, subtrees whose max-depth is below ``k`` are
         skipped (they cannot contain a k-clique), and so are hold branches
         entered with ``k`` holds already on the path (every k-clique of a
@@ -631,48 +836,46 @@ class SCTIndex:
 
         ``root_slice=(lo, hi)`` restricts the walk to the virtual root's
         children with positions ``lo <= pos < hi`` — the sharding handle
-        of :mod:`repro.parallel`: concatenating the traversals of
-        consecutive slices reproduces the full traversal exactly.
+        of :mod:`repro.parallel`: consecutive root windows are adjacent id
+        ranges, so concatenating the traversals of consecutive slices
+        reproduces the full traversal exactly.
         """
         vertex = self._vertex
         label = self._label
-        children = self._children
+        subtree = self._subtree
         max_depth = self._max_depth
+        n_roots = self._child_off[1] - self._child_off[0]
+        if root_slice is None:
+            lo, hi = 0, n_roots
+        else:
+            lo, hi = root_slice[0], min(root_slice[1], n_roots)
+        if lo >= hi:
+            return
+        child_ids = self._child_ids
+        node = child_ids[lo]
+        last_root = child_ids[hi - 1]
+        end = last_root + subtree[last_root]
         holds: List[int] = []
         pivots: List[int] = []
-        root_limit = None
-        # frames: [node, next-child index]
-        if root_slice is None:
-            stack: List[List[int]] = [[0, 0]]
-        else:
-            stack = [[0, root_slice[0]]]
-            root_limit = root_slice[1]
-        while stack:
-            frame = stack[-1]
-            node = frame[0]
-            kids = children[node]
-            limit = len(kids)
-            if root_limit is not None and node == 0 and root_limit < limit:
-                limit = root_limit
-            descended = False
-            while frame[1] < limit:
-                child = kids[frame[1]]
-                frame[1] += 1
-                if k is not None:
-                    if max_depth[child] < k:
-                        continue
-                    if label[child] == HOLD and len(holds) >= k:
-                        continue
-                buf = holds if label[child] == HOLD else pivots
-                buf.append(vertex[child])
-                stack.append([child, 0])
-                yield child, holds, pivots
-                descended = True
-                break
-            if not descended:
-                stack.pop()
-                if node:
-                    (holds if label[node] == HOLD else pivots).pop()
+        open_ends: List[int] = []  # window ends of the open ancestors
+        open_bufs: List[List[int]] = []  # which buffer each one pushed to
+        while node < end:
+            while open_ends and open_ends[-1] <= node:
+                open_ends.pop()
+                open_bufs.pop().pop()
+            if k is not None:
+                if max_depth[node] < k:
+                    node += subtree[node]
+                    continue
+                if label[node] == HOLD and len(holds) >= k:
+                    node += subtree[node]
+                    continue
+            buf = holds if label[node] == HOLD else pivots
+            buf.append(vertex[node])
+            open_ends.append(node + subtree[node])
+            open_bufs.append(buf)
+            yield node, holds, pivots
+            node += 1
 
     def iter_paths(
         self,
@@ -739,14 +942,14 @@ class SCTIndex:
             return
         if k is not None and enforce_support:
             self._require_k(k)
-        children = self._children
-        if not children[0]:
+        if self.n_tree_nodes == 0:
             # empty tree: the virtual root is itself the only "path"
             if _root_slice is None and (k is None or k == 0):
                 yield SCTPath((), ())
             return
+        subtree = self._subtree
         for node, holds, pivots in self._iter_traversal(k, _root_slice):
-            if not children[node]:
+            if subtree[node] == 1:
                 if k is None or len(holds) <= k <= len(holds) + len(pivots):
                     if budget.active:
                         budget.check("index/paths")
@@ -823,17 +1026,6 @@ class SCTIndex:
                 recorder.counter("paths/yielded", n_paths)
                 if k is not None:
                     recorder.counter("paths/cliques", n_cliques)
-
-    def _array_state(self) -> Tuple:
-        """Internal flat-array state, the broadcast payload of the engine."""
-        return (
-            self._n_vertices,
-            self._vertex,
-            self._label,
-            self._children,
-            self._max_depth,
-            self._threshold,
-        )
 
     def collect_paths(
         self, k: Optional[int] = None, enforce_support: bool = True
@@ -1006,48 +1198,100 @@ class SCTIndex:
     # serialization
     # ------------------------------------------------------------------
 
-    def save(self, path) -> None:
-        """Persist the index to ``path``.
+    def save(self, path, format: Optional[int] = None) -> None:
+        """Persist the index to ``path`` (see ``docs/index-format.md``).
 
-        Format: one JSON header line, then one line per tree node in
-        preorder-compatible id order:
-        ``vertex label max_depth n_children child_ids``.
-        Plain text keeps the file portable and diff-able; indexes are built
-        offline, so load speed dominates and stays linear.
+        ``format=2`` (the default) writes the flat columns as a binary
+        section after a JSON header line, so :meth:`load` becomes an
+        ``mmap`` plus a view cast.  ``format=1`` writes the legacy
+        JSON-lines text format — portable, diff-able, and readable by
+        older checkouts.
 
-        The write is crash-safe: content goes to a temporary file in the
-        same directory which then atomically replaces ``path``, so a
+        Either write is crash-safe: content goes to a temporary file in
+        the same directory which then atomically replaces ``path``, so a
         crash (or injected fault) mid-save leaves any previous index at
         ``path`` intact and readable.
         """
-        with atomic_writer(path) as handle:
-            self._write(handle)
+        if format is None:
+            format = sct_format.FORMAT_V2
+        if format == sct_format.FORMAT_V1:
+            with atomic_writer(path) as handle:
+                self._write(handle)
+        elif format == sct_format.FORMAT_V2:
+            with atomic_writer(path, binary=True) as handle:
+                self._write_v2(handle)
+        else:
+            supported = ", ".join(str(v) for v in sct_format.SUPPORTED_FORMATS)
+            raise IndexBuildError(
+                f"unknown index format {format!r}; supported: {supported}"
+            )
 
     def _write(self, handle: IO[str]) -> None:
-        """Serialise the index onto an open text handle."""
+        """Serialise the index onto an open text handle (format v1).
+
+        Format: one JSON header line, then one line per tree node in
+        pre-order id order: ``vertex label max_depth n_children child_ids``.
+        Byte-identical to the pre-CSR object-tree writer, so v1 files
+        remain the cross-version parity oracle.
+        """
         header = {
-            "format": _FORMAT_VERSION,
+            "format": sct_format.FORMAT_V1,
             "n_vertices": self._n_vertices,
             "n_nodes": len(self._vertex),
             "threshold": self._threshold,
         }
         handle.write(json.dumps(header) + "\n")
         for i in range(len(self._vertex)):
-            kids = self._children[i]
+            kids = self._children_of(i)
             fields = [self._vertex[i], self._label[i], self._max_depth[i], len(kids)]
             fields.extend(kids)
             handle.write(" ".join(map(str, fields)) + "\n")
 
+    def _write_v2(self, handle: IO[bytes]) -> None:
+        """Serialise the flat columns onto an open binary handle (format v2)."""
+        sct_format.write_index(
+            handle,
+            n_vertices=self._n_vertices,
+            n_nodes=len(self._vertex),
+            threshold=self._threshold,
+            columns=self._columns(),
+        )
+
     @classmethod
     def load(cls, path) -> "SCTIndex":
-        """Load an index previously written by :meth:`save`."""
+        """Load an index previously written by :meth:`save`, any format.
+
+        The JSON header names the format: v2 files are memory-mapped
+        (columns become zero-copy views, so load time is independent of
+        index size), v1 files go through the legacy text parser and are
+        canonicalised to the flat column layout.  A file of an unknown
+        version fails with an :class:`~repro.errors.IndexBuildError`
+        naming the found and supported versions.
+        """
+        header = sct_format.peek_header(path)
+        found = header.get("format")
+        if found == sct_format.FORMAT_V1:
+            return cls._load_v1(path)
+        if found == sct_format.FORMAT_V2:
+            return cls._load_v2(path)
+        supported = ", ".join(str(v) for v in sct_format.SUPPORTED_FORMATS)
+        raise IndexBuildError(
+            f"unsupported index format {found!r} in {path!s} "
+            f"(supported formats: {supported})"
+        )
+
+    @classmethod
+    def _load_v1(cls, path) -> "SCTIndex":
+        """Parse a v1 JSON-lines index file.
+
+        Fails with a version-naming error on a v2 (or newer) file rather
+        than tripping over its binary section.
+        """
+        header = sct_format.peek_header(path)
+        sct_format.require_format(header, sct_format.FORMAT_V1, path)
         try:
             with open(path, "r", encoding="utf-8") as handle:
-                header = json.loads(handle.readline())
-                if header.get("format") != _FORMAT_VERSION:
-                    raise IndexBuildError(
-                        f"unsupported index format {header.get('format')!r}"
-                    )
+                handle.readline()  # header, already parsed
                 n_nodes = header["n_nodes"]
                 n_vertices = header["n_vertices"]
                 vertex: List[int] = []
@@ -1084,13 +1328,40 @@ class SCTIndex:
                     raise IndexBuildError(
                         f"child id {child} out of range in {path!s}"
                     )
-        return cls(
+        return cls._from_object_tree(
             n_vertices=header["n_vertices"],
             vertex=vertex,
             label=label,
             children=children,
             max_depth=max_depth,
             threshold=header["threshold"],
+            origin=path,
+        )
+
+    @classmethod
+    def _load_v2(cls, path) -> "SCTIndex":
+        """Memory-map a v2 index file (zero-copy column views)."""
+        header, columns, mapping = sct_format.read_index(path)
+        n_nodes = header["n_nodes"]
+        if (
+            columns["vertex"][0] != -1
+            or columns["subtree"][0] != n_nodes
+            or columns["child_off"][0] != 0
+            or columns["child_off"][n_nodes] != n_nodes - 1
+        ):
+            for column in columns.values():  # release views, then unmap
+                if isinstance(column, memoryview):
+                    column.release()
+            mapping.close()
+            raise IndexBuildError(
+                f"inconsistent column data in index file {path!s} "
+                "(root sentinel or window invariants violated)"
+            )
+        return cls._from_columns(
+            n_vertices=header["n_vertices"],
+            threshold=header["threshold"],
+            columns=columns,
+            source=mapping,
         )
 
     def __repr__(self) -> str:

@@ -5,8 +5,9 @@ order) into local flat arrays through the very same
 :func:`~repro.core.sct._expand_root_subtree` the serial build uses; the
 parent splices each result onto the global arrays in seed order with a
 constant id offset.  Because serial node ids are themselves the
-concatenation of per-root expansions, the merged arrays — and hence the
-saved index file — match the serial build byte for byte.
+concatenation of per-root expansions — DFS pre-order within each root —
+the merged arrays, the derived subtree/CSR columns, and hence the saved
+index file match the serial build byte for byte.
 
 Budget handling: the parent polls its budget between chunk merges, and
 each worker additionally carries the wall-clock seconds remaining at
@@ -27,7 +28,6 @@ from ..cliques.ordered_view import build_ordered_view
 from ..core.sct import (
     _BUILD_CHECKPOINT_KIND,
     _BUILD_POLL_NODES,
-    _compute_max_depth,
     _expand_root_subtree,
     _record_build_tallies,
 )
@@ -66,7 +66,6 @@ def _build_chunk(task):
 
     vertex: List[int] = [-1]
     label: List[int] = [-1]
-    children: List[List[int]] = [[]]
     parent: List[int] = [0]
     depth_of: List[int] = [0]
     pruned_outdeg = 0
@@ -99,7 +98,7 @@ def _build_chunk(task):
                 pruned_core += 1
                 continue
         reason = _expand_root_subtree(
-            vertex, label, children, parent, depth_of,
+            vertex, label, parent, depth_of,
             adj, order, i, out[i], 0, poll,
         )
         if reason:
@@ -111,10 +110,8 @@ def _build_chunk(task):
         next_root,
         vertex[1:],
         label[1:],
-        children[1:],
         parent[1:],
         depth_of[1:],
-        children[0],
         pruned_outdeg,
         pruned_core,
     )
@@ -152,7 +149,6 @@ def parallel_build(
 
     vertex: List[int] = [-1]
     label: List[int] = [-1]
-    children: List[List[int]] = [[]]
     parent: List[int] = [0]
     depth_of: List[int] = [0]
     pruned_outdeg = 0
@@ -168,7 +164,6 @@ def parallel_build(
             )
             vertex = payload["vertex"]
             label = payload["label"]
-            children = payload["children"]
             parent = payload["parent"]
             depth_of = payload["depth_of"]
             pruned_outdeg = payload["pruned_outdeg"]
@@ -185,7 +180,6 @@ def parallel_build(
             "next_root": next_root,
             "vertex": vertex,
             "label": label,
-            "children": children,
             "parent": parent,
             "depth_of": depth_of,
             "pruned_outdeg": pruned_outdeg,
@@ -227,18 +221,18 @@ def parallel_build(
                     if reason:
                         raise exhaust(reason, lo)
                 (
-                    status, next_root, w_vertex, w_label, w_children,
-                    w_parent, w_depth, w_roots, w_po, w_pc,
+                    status, next_root, w_vertex, w_label,
+                    w_parent, w_depth, w_po, w_pc,
                 ) = result
+                # splice: worker ids are 1-based locally, so a constant
+                # offset relocates them; parent 0 (the worker's virtual
+                # root) stays the global virtual root
                 base = len(vertex) - 1
                 vertex.extend(w_vertex)
                 label.extend(w_label)
                 depth_of.extend(w_depth)
-                for kids in w_children:
-                    children.append([c + base for c in kids])
                 for p in w_parent:
                     parent.append(0 if p == 0 else p + base)
-                children[0].extend(c + base for c in w_roots)
                 pruned_outdeg += w_po
                 pruned_core += w_pc
                 if recorder.enabled:
@@ -254,16 +248,10 @@ def parallel_build(
             pool.join()
     if ckpt is not None:
         ckpt.clear(_BUILD_CHECKPOINT_KIND)
-    max_depth = _compute_max_depth(parent, depth_of)
+    index = cls._finalize_build(
+        graph.n, vertex, label, parent, depth_of, threshold
+    )
     _record_build_tallies(
-        recorder, vertex, label, children, max_depth,
-        threshold, pruned_outdeg, pruned_core,
+        recorder, index, threshold, pruned_outdeg, pruned_core
     )
-    return cls(
-        n_vertices=graph.n,
-        vertex=vertex,
-        label=label,
-        children=children,
-        max_depth=max_depth,
-        threshold=threshold,
-    )
+    return index

@@ -2,23 +2,28 @@
 
 Sharding unit
 -------------
-Node ids in an :class:`~repro.core.SCTIndex` are append-ordered, so each
-child of the virtual root owns one contiguous id range and the root
-children themselves appear in seed (degeneracy) order.  A *chunk* is a
-contiguous range ``[lo, hi)`` of root-child positions; the pruned DFS of
-``iter_paths`` restricted to a chunk yields exactly the serial paths of
-that range, and concatenating chunk results in chunk order reproduces
-the full serial path sequence.  Every deterministic guarantee of
-:mod:`repro.parallel` reduces to this one property.
+Node ids in an :class:`~repro.core.SCTIndex` are DFS pre-order, so each
+child of the virtual root owns one contiguous id window ``[r, r +
+subtree[r])`` and the root children themselves appear in seed
+(degeneracy) order.  A *chunk* is a contiguous range ``[lo, hi)`` of
+root-child positions; the pruned DFS of ``iter_paths`` restricted to a
+chunk yields exactly the serial paths of that range, and concatenating
+chunk results in chunk order reproduces the full serial path sequence.
+Every deterministic guarantee of :mod:`repro.parallel` reduces to this
+one property.  Chunk sizes come straight off the ``subtree`` column —
+exact node counts, no contiguity heuristic.
 
 Worker model
 ------------
 Workers are plain ``multiprocessing.Pool`` processes.  The index's flat
-arrays are broadcast once per worker through the pool initializer (free
-under ``fork``; pickled once under ``spawn``), tasks carry only chunk
-bounds, and ``imap`` streams results back in submission order.  Workers
-never see the caller's budget: the parent polls between chunk results,
-so cancellation latency is one chunk and exception-pickling subtleties
+columns are broadcast once per pool through one
+``multiprocessing.shared_memory`` block: the initializer argument is a
+tiny layout tuple (block name + per-column offsets), and each worker
+maps the block and casts views — no per-worker pickling of the index,
+under ``spawn`` just as under ``fork``.  Tasks carry only chunk bounds,
+and ``imap`` streams results back in submission order.  Workers never
+see the caller's budget: the parent polls between chunk results, so
+cancellation latency is one chunk and exception-pickling subtleties
 stay out of the pool.  With an enabled parent recorder each worker runs
 its own :class:`~repro.obs.MetricsRecorder` and ships the snapshot home
 alongside the result, where it is absorbed into the parent trace.
@@ -26,11 +31,17 @@ alongside the result, where it is absorbed into the parent trace.
 
 from __future__ import annotations
 
+import weakref
 from math import comb
+from multiprocessing import resource_tracker, shared_memory
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..obs import NULL_RECORDER, Recorder
 from .config import ParallelConfig
+
+# itemsize of every index column (importing repro.core here would be
+# circular; the value is pinned by the v2 format, see core/sct_format.py)
+ITEMSIZE = 8
 
 __all__ = ["PathShardEngine", "ParallelPathView"]
 
@@ -38,18 +49,71 @@ __all__ = ["PathShardEngine", "ParallelPathView"]
 _WORKER_STATE: Dict[str, object] = {}
 
 
-def _init_sweep_worker(index_state, record: bool) -> None:
+def _share_index(index) -> Tuple[shared_memory.SharedMemory, Tuple]:
+    """Copy the index's columns into one shared-memory block.
+
+    Returns ``(shm, meta)``: the owning block (the caller must eventually
+    ``close()`` and ``unlink()`` it) and the broadcast metadata — block
+    name, scalars, and per-column ``(name, byte offset, entry count)``
+    triples.  ``meta`` pickles to a few hundred bytes no matter how large
+    the index is; the columns themselves cross the process boundary
+    exactly once, through the kernel's shared mapping.
+    """
+    columns = index._columns()
+    layout: List[Tuple[str, int, int]] = []
+    offset = 0
+    for name in index._COLUMN_ORDER:
+        length = len(columns[name])
+        layout.append((name, offset, length))
+        offset += ITEMSIZE * length
+    shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+    buf = shm.buf
+    for name, off, length in layout:
+        nbytes = ITEMSIZE * length
+        buf[off:off + nbytes] = memoryview(columns[name]).cast("B")[:nbytes]
+    meta = (shm.name, index.n_vertices, index.threshold, tuple(layout))
+    return shm, meta
+
+
+def _attach_index(meta):
+    """Reconstruct a zero-copy :class:`SCTIndex` from broadcast metadata.
+
+    Returns ``(index, shm)``; the caller must keep ``shm`` alive for as
+    long as the index is used (its columns are views into the mapping).
+    """
     from ..core.sct import SCTIndex
 
-    n, vertex, label, children, max_depth, threshold = index_state
-    _WORKER_STATE["index"] = SCTIndex(
-        n_vertices=n,
-        vertex=vertex,
-        label=label,
-        children=children,
-        max_depth=max_depth,
-        threshold=threshold,
+    name, n_vertices, threshold, layout = meta
+    try:
+        # 3.13+: opt out of resource tracking on attach — the parent owns
+        # the block's lifetime
+        shm = shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        shm = shared_memory.SharedMemory(name=name)
+        try:
+            # 3.10–3.12 register attached blocks with the resource
+            # tracker, which would unlink the parent's block when this
+            # process exits (bpo-39959); undo the registration
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass
+    view = memoryview(shm.buf)
+    columns = {
+        col: view[off:off + ITEMSIZE * length].cast("q")
+        for col, off, length in layout
+    }
+    index = SCTIndex._from_columns(
+        n_vertices=n_vertices, threshold=threshold, columns=columns, source=shm
     )
+    return index, shm
+
+
+def _init_sweep_worker(meta, record: bool) -> None:
+    index, shm = _attach_index(meta)
+    _WORKER_STATE["index"] = index
+    _WORKER_STATE["shm"] = shm  # keepalive: columns are views into it
     _WORKER_STATE["record"] = record
 
 
@@ -189,21 +253,26 @@ def _quantile_cuts(sizes: Sequence[int], target: int) -> List[Tuple[int, int]]:
     ]
 
 
-def _root_chunks(index, target: int) -> List[Tuple[int, int]]:
-    """Contiguous root-position ranges, weighted by subtree node count."""
-    _, vertex, _, children, _, _ = index._array_state()
-    roots = children[0]
+def _root_chunks(
+    index, target: int, recorder: Recorder = NULL_RECORDER
+) -> List[Tuple[int, int]]:
+    """Contiguous root-position ranges, weighted by exact subtree size.
+
+    The ``subtree`` column gives every root's node count directly, so
+    chunk balance is exact for any index this library produces.  Should a
+    (hand-crafted or corrupted) index carry non-positive sizes, chunking
+    degrades to uniform position ranges — still correct, only the balance
+    suffers — and the ``parallel/chunking-fallback`` counter records that
+    it happened.
+    """
+    subtree = index._subtree
+    roots = index._root_ids()
     if not roots:
         return []
-    contiguous = all(roots[j] < roots[j + 1] for j in range(len(roots) - 1))
-    if contiguous:
-        sizes = [
-            (roots[j + 1] if j + 1 < len(roots) else len(vertex)) - roots[j]
-            for j in range(len(roots))
-        ]
-    else:
-        # hand-crafted index with reordered ids: fall back to uniform
-        # position chunking (still correct, only the balance degrades)
+    sizes = [subtree[r] for r in roots]
+    if min(sizes) < 1:
+        if recorder.enabled:
+            recorder.counter("parallel/chunking-fallback")
         sizes = [1] * len(roots)
     return _quantile_cuts(sizes, target)
 
@@ -213,8 +282,11 @@ class PathShardEngine:
 
     The pool is created lazily on the first :meth:`map` call and reused
     across sweeps (one engine per algorithm run, many sweeps per engine).
-    Close with :meth:`close` or use as a context manager.  The engine
-    never polls budgets — callers do, between the ordered chunk results.
+    Creating the pool copies the index columns into a shared-memory
+    block exactly once; closing the engine (or dropping the last
+    reference) unlinks it.  Close with :meth:`close` or use as a context
+    manager.  The engine never polls budgets — callers do, between the
+    ordered chunk results.
     """
 
     def __init__(
@@ -227,7 +299,11 @@ class PathShardEngine:
         self._config = config
         self._recorder = recorder
         self._pool = None
-        self._chunks = _root_chunks(index, config.workers * config.chunks_per_worker)
+        self._shm = None
+        self._finalizer = None
+        self._chunks = _root_chunks(
+            index, config.workers * config.chunks_per_worker, recorder
+        )
 
     @property
     def index(self):
@@ -245,10 +321,18 @@ class PathShardEngine:
     def _ensure_pool(self):
         if self._pool is None:
             ctx = self._config.context()
+            self._shm, meta = _share_index(self._index)
+            # safety net: unlink the block even if close() is never called
+            self._finalizer = weakref.finalize(
+                self, _release_shm, self._shm
+            )
+            if self._recorder.enabled:
+                self._recorder.counter("parallel/broadcast_bytes", self._shm.size)
+                self._recorder.gauge("parallel/broadcast_mode", "shared_memory")
             self._pool = ctx.Pool(
                 processes=self._config.workers,
                 initializer=_init_sweep_worker,
-                initargs=(self._index._array_state(), bool(self._recorder.enabled)),
+                initargs=(meta, bool(self._recorder.enabled)),
                 maxtasksperchild=self._config.max_tasks_per_child,
             )
         return self._pool
@@ -306,11 +390,15 @@ class PathShardEngine:
         return self.map("refine", k, payload=(in_scope, bound_ok))
 
     def close(self) -> None:
-        """Tear the pool down (idempotent)."""
+        """Tear the pool down and release the broadcast block (idempotent)."""
         if self._pool is not None:
             self._pool.terminate()
             self._pool.join()
             self._pool = None
+        if self._finalizer is not None:
+            self._finalizer()  # runs _release_shm exactly once
+            self._finalizer = None
+            self._shm = None
 
     def __enter__(self) -> "PathShardEngine":
         return self
@@ -323,6 +411,28 @@ class PathShardEngine:
             f"PathShardEngine(workers={self._config.workers}, "
             f"chunks={len(self._chunks)}, index={self._index!r})"
         )
+
+
+def _release_shm(shm: shared_memory.SharedMemory) -> None:
+    """Close and unlink the broadcast block, tolerating repeats."""
+    try:
+        shm.close()
+    except (BufferError, ValueError):
+        pass
+    try:
+        # on 3.10–3.12 a worker's attach-then-unregister (see
+        # _attach_index) also removed *this* process's registration from
+        # the shared resource tracker, so the unregister that unlink()
+        # performs would make the tracker print a KeyError traceback;
+        # re-registering first keeps its bookkeeping consistent
+        # (register is idempotent — the tracker's cache is a set)
+        resource_tracker.register(shm._name, "shared_memory")
+    except Exception:
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass
 
 
 class ParallelPathView:

@@ -33,21 +33,29 @@ PathLike = Union[str, "os.PathLike[str]"]
 
 
 @contextmanager
-def atomic_writer(path: PathLike, encoding: str = "utf-8") -> Iterator[IO[str]]:
-    """Write a text file atomically: temp file + :func:`os.replace`.
+def atomic_writer(
+    path: PathLike, encoding: str = "utf-8", binary: bool = False
+) -> Iterator[IO]:
+    """Write a file atomically: temp file + :func:`os.replace`.
 
     The handle yielded writes to a temporary file in the same directory
     as ``path`` (same filesystem, so the final rename is atomic).  Only
     when the block completes is the temp file fsynced and moved over
     ``path``; on any exception the temp file is removed and the previous
     contents of ``path`` stay untouched and readable.
+
+    ``binary=True`` yields a bytes handle (``encoding`` is then ignored) —
+    the v2 index format writes through this.
     """
     target = os.fspath(path)
     directory = os.path.dirname(target) or "."
     fd, tmp = tempfile.mkstemp(
         dir=directory, prefix=os.path.basename(target) + ".", suffix=".tmp"
     )
-    handle = os.fdopen(fd, "w", encoding=encoding)
+    if binary:
+        handle = os.fdopen(fd, "wb")
+    else:
+        handle = os.fdopen(fd, "w", encoding=encoding)
     try:
         yield handle
         handle.flush()

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Any, Hashable, List, Optional, Tuple
+from typing import Any, Callable, Hashable, List, Optional, Tuple
 
 __all__ = ["LRUCache"]
 
@@ -24,12 +24,23 @@ class LRUCache:
     bookkeeping, never while a value is being computed — pair with
     :class:`~repro.service.singleflight.SingleFlight` to keep N threads
     from computing the same missing value.
+
+    ``on_evict``, when given, is called as ``on_evict(key, value)`` for
+    every evicted pair, *outside* the lock (a slot backed by an mmap or
+    shared-memory block may want to log or schedule a release; it must
+    not be released eagerly — an evicted index can still be serving
+    in-flight readers, so reclamation belongs to the garbage collector).
     """
 
-    def __init__(self, capacity: int):
+    def __init__(
+        self,
+        capacity: int,
+        on_evict: Optional[Callable[[Hashable, Any], None]] = None,
+    ):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
+        self._on_evict = on_evict
         self._lock = threading.Lock()
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
         self.hits = 0
@@ -56,6 +67,9 @@ class LRUCache:
             while len(self._entries) > self.capacity:
                 evicted.append(self._entries.popitem(last=False))
                 self.evictions += 1
+        if self._on_evict is not None:
+            for evicted_key, evicted_value in evicted:
+                self._on_evict(evicted_key, evicted_value)
         return evicted
 
     def __len__(self) -> int:
@@ -70,6 +84,11 @@ class LRUCache:
         """Current keys, least- to most-recently used."""
         with self._lock:
             return list(self._entries.keys())
+
+    def values(self) -> List[Any]:
+        """Current values, least- to most-recently used."""
+        with self._lock:
+            return list(self._entries.values())
 
     def clear(self) -> None:
         with self._lock:

@@ -29,7 +29,9 @@ Composition with the cross-cutting layers:
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
 import signal
 import sys
 import threading
@@ -85,6 +87,9 @@ class ServiceConfig:
     default_timeout_s: Optional[float] = None
     workers: Optional[int] = None
     trace_path: Optional[str] = None
+    # directory for the on-disk index tier (v2 files, loaded via mmap on
+    # cold start instead of rebuilding); None disables it
+    index_dir: Optional[str] = None
 
 
 class ReproService:
@@ -92,6 +97,8 @@ class ReproService:
 
     def __init__(self, config: ServiceConfig, sink=None):
         self.config = config
+        if config.index_dir:
+            os.makedirs(config.index_dir, exist_ok=True)
         self._indices = LRUCache(config.cache_size)
         self._results = LRUCache(config.result_cache_size)
         self._graphs = LRUCache(max(config.cache_size, 2))
@@ -199,6 +206,15 @@ class ReproService:
         fingerprint = json.dumps(build_options, sort_keys=True)
         return (graph_key, threshold, fingerprint)
 
+    def _index_disk_path(self, index_key) -> Optional[str]:
+        """Where ``index_key``'s v2 index file lives on disk (or None)."""
+        if not self.config.index_dir:
+            return None
+        digest = hashlib.sha256(
+            json.dumps(index_key, sort_keys=True, default=list).encode("utf-8")
+        ).hexdigest()
+        return os.path.join(self.config.index_dir, f"{digest}.sct2")
+
     def _get_index(
         self, index_key, graph, recorder: MetricsRecorder, budget
     ) -> Tuple[SCTIndex, bool]:
@@ -208,6 +224,14 @@ class ReproService:
         key coalesce into one build; the first requester's budget governs
         it (followers inherit the shared outcome, including a
         :class:`~repro.errors.BudgetExhausted`).
+
+        With ``index_dir`` configured there is a disk tier between the
+        in-memory LRU and a rebuild: a cold start finds the key's v2
+        file and memory-maps it (column views, no parsing — load time is
+        independent of index size), and every fresh build is persisted
+        for the next process.  A corrupt or unreadable file falls back
+        to a rebuild; a failed store is logged and ignored (the index
+        itself is fine).
         """
         index = self._indices.get(index_key)
         if index is not None:
@@ -215,16 +239,33 @@ class ReproService:
             return index, True
         self._count("service/index_cache/miss")
         threshold = index_key[1]
+        disk_path = self._index_disk_path(index_key)
 
-        def build():
+        def load_or_build():
+            if disk_path is not None and os.path.exists(disk_path):
+                try:
+                    index = SCTIndex.load(disk_path)
+                except (ReproError, OSError):
+                    self._count("service/index_cache/disk_error")
+                else:
+                    self._count("service/index_cache/disk_hit")
+                    return index
             self._count("service/index_builds")
-            return SCTIndex.build(
+            index = SCTIndex.build(
                 graph,
                 threshold=threshold,
                 options=self._options_for(recorder, budget),
             )
+            if disk_path is not None:
+                try:
+                    index.save(disk_path)
+                except OSError:
+                    self._count("service/index_cache/disk_store_error")
+                else:
+                    self._count("service/index_cache/disk_store")
+            return index
 
-        index, leader = self._flight.do(("index", index_key), build)
+        index, leader = self._flight.do(("index", index_key), load_or_build)
         if leader:
             evicted = self._indices.put(index_key, index)
             if evicted:
@@ -605,6 +646,7 @@ def serve_forever(
     default_timeout_s: Optional[float] = None,
     workers: Optional[int] = None,
     trace_path: Optional[str] = None,
+    index_dir: Optional[str] = None,
 ) -> int:
     """Run the daemon until SIGTERM/SIGINT; returns the exit code.
 
@@ -616,7 +658,7 @@ def serve_forever(
         host=host, port=port, cache_size=cache_size,
         result_cache_size=result_cache_size,
         default_timeout_s=default_timeout_s, workers=workers,
-        trace_path=trace_path,
+        trace_path=trace_path, index_dir=index_dir,
     )
     sink = open(trace_path, "w", encoding="utf-8") if trace_path else None
     try:

@@ -14,10 +14,36 @@ result cache's job, not this module's.
 
 from __future__ import annotations
 
+import copy
 import threading
 from typing import Any, Callable, Dict, Hashable, Tuple
 
 __all__ = ["SingleFlight"]
+
+
+def _follower_error(original: BaseException) -> BaseException:
+    """A per-follower copy of the leader's exception, chained to it.
+
+    Re-raising the *same* instance from N follower threads is a data
+    race: each ``raise`` mutates the shared ``__traceback__`` (and
+    ``raise ... from`` would overwrite ``__cause__``/``__context__``)
+    while other threads are reading it, producing garbled stack traces.
+    Each follower therefore raises its own shallow copy — same type,
+    args, and attributes — with ``__cause__`` pointing at the leader's
+    pristine original, so the true failure site stays in every report.
+    An exception that refuses to copy falls back to the shared instance
+    (correctness of control flow over cosmetics).
+    """
+    try:
+        clone = copy.copy(original)
+    except Exception:
+        return original
+    if type(clone) is not type(original):
+        return original
+    clone.__cause__ = original
+    clone.__suppress_context__ = True
+    clone.__traceback__ = None
+    return clone
 
 
 class _Call:
@@ -40,8 +66,10 @@ class SingleFlight:
         """Run ``fn`` once per in-flight ``key``; duplicates share it.
 
         Returns ``(value, leader)`` where ``leader`` is ``True`` for the
-        thread that actually executed ``fn``.  If the leader raised, every
-        follower re-raises the same exception instance.
+        thread that actually executed ``fn``.  If the leader raised, the
+        leader re-raises its own exception and every follower raises a
+        per-thread copy of it, chained via ``__cause__`` to the leader's
+        original (see :func:`_follower_error`).
         """
         with self._lock:
             call = self._calls.get(key)
@@ -54,7 +82,7 @@ class SingleFlight:
         if not leader:
             call.event.wait()
             if call.error is not None:
-                raise call.error
+                raise _follower_error(call.error)
             return call.value, False
         try:
             call.value = fn()

@@ -9,8 +9,17 @@ from repro.graph import Graph, gnp_graph, read_edge_list
 
 @pytest.fixture
 def saved_index(tmp_path):
+    # the v1 text format: line-level corruptions below edit it as text
     g = gnp_graph(12, 0.5, seed=1)
     path = tmp_path / "ok.sct"
+    SCTIndex.build(g).save(path, format=1)
+    return path
+
+
+@pytest.fixture
+def saved_index_v2(tmp_path):
+    g = gnp_graph(12, 0.5, seed=1)
+    path = tmp_path / "ok.sct2"
     SCTIndex.build(g).save(path)
     return path
 
@@ -56,6 +65,44 @@ class TestCorruptIndexFiles:
         bad.write_text("{}\n")
         with pytest.raises(ReproError):
             SCTIndex.load(bad)
+
+
+class TestCorruptIndexFilesV2:
+    def test_truncated_binary_section(self, saved_index_v2):
+        data = saved_index_v2.read_bytes()
+        saved_index_v2.write_bytes(data[: len(data) // 2])
+        with pytest.raises(IndexBuildError, match="truncated or oversized"):
+            SCTIndex.load(saved_index_v2)
+
+    def test_trailing_garbage(self, saved_index_v2):
+        with saved_index_v2.open("ab") as handle:
+            handle.write(b"\x00" * 64)
+        with pytest.raises(IndexBuildError, match="truncated or oversized"):
+            SCTIndex.load(saved_index_v2)
+
+    def test_unknown_column_layout(self, tmp_path):
+        bad = tmp_path / "bad.sct2"
+        bad.write_bytes(
+            b'{"format": 2, "n_vertices": 1, "n_nodes": 1, "threshold": 0, '
+            b'"itemsize": 8, "endian": "little", "columns": ["mystery"]}\n'
+        )
+        with pytest.raises(IndexBuildError, match="column layout"):
+            SCTIndex.load(bad)
+
+    def test_corrupt_root_sentinel(self, saved_index_v2):
+        data = bytearray(saved_index_v2.read_bytes())
+        header_end = data.index(b"\n") + 1
+        # vertex[0] is the virtual root's -1 sentinel; zero it out
+        data[header_end:header_end + 8] = b"\x00" * 8
+        saved_index_v2.write_bytes(bytes(data))
+        with pytest.raises(IndexBuildError, match="inconsistent column data"):
+            SCTIndex.load(saved_index_v2)
+
+    def test_v2_errors_are_catchable_as_base(self, saved_index_v2):
+        data = saved_index_v2.read_bytes()
+        saved_index_v2.write_bytes(data[:40])
+        with pytest.raises(ReproError):
+            SCTIndex.load(saved_index_v2)
 
 
 class TestCorruptGraphFiles:

@@ -1,6 +1,8 @@
 """repro.parallel: byte-for-byte parity with serial across worker counts."""
 
 import io
+import pickle
+from multiprocessing import shared_memory
 
 import pytest
 
@@ -16,7 +18,14 @@ from repro.core.exact import sctl_star_exact
 from repro.errors import BudgetExhausted
 from repro.graph import Graph, gnp_graph, relaxed_caveman_graph
 from repro.obs.validate import validate_metrics, validate_trace_lines
-from repro.parallel.engine import PathShardEngine, _quantile_cuts
+from repro.parallel.engine import (
+    PathShardEngine,
+    _attach_index,
+    _quantile_cuts,
+    _release_shm,
+    _root_chunks,
+    _share_index,
+)
 from repro.resilience import Checkpointer, RunBudget
 
 WORKER_COUNTS = (1, 2, 4)
@@ -310,3 +319,90 @@ class TestObservabilityComposition:
         assert outer.gauges["g"] == 7
         assert any(r.path == "top/worker/work" for r in outer.spans)
         assert validate_trace_lines(sink.getvalue().splitlines()) == []
+
+
+class TestSharedMemoryBroadcast:
+    """The index crosses the process boundary once, via shared memory.
+
+    The engine used to pickle the whole column state into every worker's
+    initializer; these tests pin the replacement — a few-hundred-byte
+    metadata tuple plus one kernel-shared block.
+    """
+
+    def test_meta_pickles_small(self, graphs):
+        index = SCTIndex.build(graphs["gnp"])
+        shm, meta = _share_index(index)
+        try:
+            meta_bytes = len(pickle.dumps(meta))
+            assert meta_bytes < 2048
+            # the columns themselves dwarf the broadcast metadata
+            assert shm.size > 10 * meta_bytes
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_attached_index_is_zero_copy_and_correct(self, graphs):
+        index = SCTIndex.build(graphs["caveman"])
+        shm, meta = _share_index(index)
+        attached, attached_shm = _attach_index(meta)
+        try:
+            assert attached.backing == "shared_memory"
+            assert _serialized(attached) == _serialized(index)
+        finally:
+            attached.close()
+            try:
+                attached_shm.close()
+            except BufferError:
+                pass
+            _release_shm(shm)
+
+    def test_engine_records_one_broadcast(self, graphs):
+        index = SCTIndex.build(graphs["gnp"])
+        recorder = MetricsRecorder()
+        with PathShardEngine(
+            index, ParallelConfig(workers=2), recorder=recorder
+        ) as engine:
+            first = engine.count_cliques(3)
+            again = engine.count_cliques(4)
+            assert first and again
+            assert recorder.gauges["parallel/broadcast_mode"] == \
+                "shared_memory"
+            # one pool, one copy: the counter totals a single block, even
+            # across repeated sweeps and multiple workers
+            assert recorder.counters["parallel/broadcast_bytes"] == \
+                engine._shm.size
+
+    def test_close_unlinks_broadcast_block(self, graphs):
+        index = SCTIndex.build(graphs["caveman"])
+        engine = PathShardEngine(index, ParallelConfig(workers=2))
+        engine.count_cliques(3)
+        name = engine._shm.name
+        engine.close()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
+class TestRootChunking:
+    def test_chunks_weighted_by_exact_subtree_sizes(self, graphs):
+        index = SCTIndex.build(graphs["gnp"])
+        recorder = MetricsRecorder()
+        chunks = _root_chunks(index, 4, recorder)
+        roots = index._root_ids()
+        # contiguous cover of the root positions, in order
+        assert chunks[0][0] == 0
+        assert chunks[-1][1] == len(roots)
+        assert all(a[1] == b[0] for a, b in zip(chunks, chunks[1:]))
+        # healthy index: the exact-size path, no fallback recorded
+        assert "parallel/chunking-fallback" not in recorder.counters
+        sizes = [index._subtree[r] for r in roots]
+        heaviest = max(sum(sizes[lo:hi]) for lo, hi in chunks)
+        assert heaviest < sum(sizes)  # actually split by weight
+
+    def test_fallback_counter_on_corrupt_sizes(self, graphs):
+        index = SCTIndex.build(graphs["caveman"])
+        index._subtree[index._root_ids()[0]] = 0  # simulate corruption
+        recorder = MetricsRecorder()
+        chunks = _root_chunks(index, 2, recorder)
+        assert recorder.counters["parallel/chunking-fallback"] == 1
+        assert chunks[0][0] == 0
+        assert chunks[-1][1] == len(index._root_ids())

@@ -1,4 +1,4 @@
-"""SCT*-Index save/load round-trips."""
+"""SCT*-Index save/load round-trips, across both on-disk formats."""
 
 import pytest
 
@@ -7,51 +7,65 @@ from repro.errors import IndexBuildError
 from repro.graph import Graph, gnp_graph, relaxed_caveman_graph
 
 
+@pytest.fixture(params=[1, 2], ids=["v1", "v2"])
+def fmt(request):
+    return request.param
+
+
 class TestRoundTrip:
-    def test_counts_preserved(self, tmp_path):
+    def test_counts_preserved(self, tmp_path, fmt):
         g = relaxed_caveman_graph(6, 5, 0.1, seed=1)
         index = SCTIndex.build(g)
         path = tmp_path / "index.sct"
-        index.save(path)
+        index.save(path, format=fmt)
         loaded = SCTIndex.load(path)
         assert loaded.n_vertices == index.n_vertices
         assert loaded.threshold == index.threshold
         assert loaded.max_clique_size == index.max_clique_size
         assert loaded.clique_counts_by_size() == index.clique_counts_by_size()
 
-    def test_paths_preserved(self, tmp_path):
+    def test_paths_preserved(self, tmp_path, fmt):
         g = gnp_graph(12, 0.5, seed=2)
         index = SCTIndex.build(g)
         file = tmp_path / "index.sct"
-        index.save(file)
+        index.save(file, format=fmt)
         loaded = SCTIndex.load(file)
         original = sorted((p.holds, p.pivots) for p in index.iter_paths())
         restored = sorted((p.holds, p.pivots) for p in loaded.iter_paths())
         assert original == restored
 
-    def test_partial_threshold_preserved(self, tmp_path):
+    def test_partial_threshold_preserved(self, tmp_path, fmt):
         g = gnp_graph(14, 0.4, seed=3)
         index = SCTIndex.build(g, threshold=4)
         file = tmp_path / "partial.sct"
-        index.save(file)
+        index.save(file, format=fmt)
         loaded = SCTIndex.load(file)
         assert loaded.threshold == 4
         assert not loaded.supports_k(3)
         assert loaded.count_k_cliques(4) == index.count_k_cliques(4)
 
-    def test_empty_graph_round_trip(self, tmp_path):
+    def test_empty_graph_round_trip(self, tmp_path, fmt):
         index = SCTIndex.build(Graph(3))
         file = tmp_path / "empty.sct"
-        index.save(file)
+        index.save(file, format=fmt)
         loaded = SCTIndex.load(file)
         assert loaded.n_vertices == 3
         assert loaded.count_k_cliques(1) == 3
 
-    def test_max_depth_and_statistics_preserved(self, tmp_path):
+    def test_empty_tree_round_trip(self, tmp_path, fmt):
+        # zero vertices: the tree is just the virtual root (n_nodes == 1)
+        index = SCTIndex.build(Graph(0))
+        file = tmp_path / "zero.sct"
+        index.save(file, format=fmt)
+        loaded = SCTIndex.load(file)
+        assert loaded.n_vertices == 0
+        assert loaded.n_tree_nodes == 0
+
+    def test_max_depth_and_statistics_preserved(self, tmp_path, fmt):
         g = relaxed_caveman_graph(5, 6, 0.15, seed=9)
         index = SCTIndex.build(g)
         file = tmp_path / "stats.sct"
-        index.save(file)
+        index.save(file, format=fmt)
         loaded = SCTIndex.load(file)
         assert loaded.max_clique_size == index.max_clique_size
         assert loaded.statistics() == index.statistics()
@@ -62,12 +76,66 @@ class TestRoundTrip:
         with pytest.raises(IndexBuildError):
             SCTIndex.load(file)
 
+    def test_unknown_save_format_rejected(self, tmp_path):
+        index = SCTIndex.build(gnp_graph(6, 0.5, seed=1))
+        with pytest.raises(IndexBuildError, match="unknown index format"):
+            index.save(tmp_path / "x.sct", format=3)
+
+
+class TestFormatDispatch:
+    """Satellite: cross-version errors must name found/supported formats."""
+
+    def test_v2_file_is_mmap_backed(self, tmp_path):
+        index = SCTIndex.build(gnp_graph(10, 0.5, seed=5))
+        file = tmp_path / "i.sct2"
+        index.save(file)  # v2 is the default
+        loaded = SCTIndex.load(file)
+        assert loaded.backing == "mmap"
+        loaded.close()
+        assert loaded.backing == "memory"
+
+    def test_v1_file_is_memory_backed(self, tmp_path):
+        index = SCTIndex.build(gnp_graph(10, 0.5, seed=5))
+        file = tmp_path / "i.sct1"
+        index.save(file, format=1)
+        assert SCTIndex.load(file).backing == "memory"
+
+    def test_v1_reader_on_v2_file_names_versions(self, tmp_path):
+        index = SCTIndex.build(gnp_graph(10, 0.5, seed=5))
+        file = tmp_path / "i.sct2"
+        index.save(file, format=2)
+        with pytest.raises(IndexBuildError) as excinfo:
+            SCTIndex._load_v1(file)
+        message = str(excinfo.value)
+        assert "format 2" in message and "format 1" in message
+        assert "supported formats: 1, 2" in message
+
+    def test_v2_reader_on_v1_file_names_versions(self, tmp_path):
+        index = SCTIndex.build(gnp_graph(10, 0.5, seed=5))
+        file = tmp_path / "i.sct1"
+        index.save(file, format=1)
+        with pytest.raises(IndexBuildError) as excinfo:
+            SCTIndex._load_v2(file)
+        message = str(excinfo.value)
+        assert "format 1" in message and "format 2" in message
+        assert "supported formats: 1, 2" in message
+
+    def test_load_dispatches_on_header(self, tmp_path):
+        index = SCTIndex.build(gnp_graph(10, 0.5, seed=5))
+        v1, v2 = tmp_path / "i.sct1", tmp_path / "i.sct2"
+        index.save(v1, format=1)
+        index.save(v2, format=2)
+        paths = [(p.holds, p.pivots) for p in index.iter_paths()]
+        for file in (v1, v2):
+            loaded = SCTIndex.load(file)
+            assert [(p.holds, p.pivots) for p in loaded.iter_paths()] == paths
+
 
 class TestLoadValidation:
     @pytest.mark.parametrize("bad_vertex", ["99", "-1"])
     def test_out_of_range_vertex_rejected(self, tmp_path, bad_vertex):
         g = gnp_graph(8, 0.5, seed=4)
-        SCTIndex.build(g).save(tmp_path / "corrupt.sct")
+        SCTIndex.build(g).save(tmp_path / "corrupt.sct", format=1)
         file = tmp_path / "corrupt.sct"
         lines = file.read_text(encoding="utf-8").splitlines()
         # line 0 is the JSON header, line 1 the virtual root; corrupt the
@@ -82,7 +150,7 @@ class TestLoadValidation:
     def test_error_message_names_the_offending_line(self, tmp_path):
         g = gnp_graph(8, 0.5, seed=4)
         file = tmp_path / "corrupt.sct"
-        SCTIndex.build(g).save(file)
+        SCTIndex.build(g).save(file, format=1)
         lines = file.read_text(encoding="utf-8").splitlines()
         fields = lines[2].split()
         fields[0] = "123456"
@@ -97,5 +165,44 @@ class TestLoadValidation:
         g = gnp_graph(8, 0.5, seed=4)
         file = tmp_path / "ok.sct"
         index = SCTIndex.build(g)
-        index.save(file)
+        index.save(file, format=1)
         assert SCTIndex.load(file).count_k_cliques(3) == index.count_k_cliques(3)
+
+    def test_v1_non_preorder_ids_are_canonicalised(self, tmp_path):
+        # a hand-crafted v1 file whose node ids are not pre-order must
+        # still load: the loader renumbers to pre-order (2 <-> 3 swapped
+        # here: root -> 1 -> 3 -> 2 in DFS order)
+        file = tmp_path / "shuffled.sct"
+        file.write_text(
+            '{"format": 1, "n_vertices": 3, "n_nodes": 4, "threshold": 0}\n'
+            "-1 -1 3 1 1\n"  # root, child: node 1
+            "0 0 3 1 3\n"  # hold(v0), child: node 3
+            "2 0 3 0\n"  # hold(v2), leaf -- stored out of order
+            "1 1 3 1 2\n"  # pivot(v1), child: node 2
+        )
+        loaded = SCTIndex.load(file)
+        assert [(p.holds, p.pivots) for p in loaded.iter_paths()] == [
+            ((0, 2), (1,))
+        ]
+
+    def test_v1_cyclic_child_pointers_rejected(self, tmp_path):
+        file = tmp_path / "cycle.sct"
+        file.write_text(
+            '{"format": 1, "n_vertices": 2, "n_nodes": 3, "threshold": 0}\n'
+            "-1 -1 2 1 1\n"
+            "0 0 2 1 2\n"
+            "1 0 2 1 1\n"  # points back at node 1: not a tree
+        )
+        with pytest.raises(IndexBuildError, match="not a tree"):
+            SCTIndex.load(file)
+
+    def test_v1_unreachable_node_rejected(self, tmp_path):
+        file = tmp_path / "orphan.sct"
+        file.write_text(
+            '{"format": 1, "n_vertices": 2, "n_nodes": 3, "threshold": 0}\n'
+            "-1 -1 1 1 1\n"
+            "0 0 1 0\n"
+            "1 0 1 0\n"  # no parent anywhere
+        )
+        with pytest.raises(IndexBuildError, match="unreachable"):
+            SCTIndex.load(file)

@@ -473,3 +473,65 @@ class TestSigtermDrain:
         assert proc.returncode == 0
         assert "repro service drained" in out
         assert "draining" in err
+
+
+class TestDiskIndexTier:
+    """``index_dir`` adds an mmap tier between the LRU and a rebuild."""
+
+    def test_cold_start_mmaps_instead_of_rebuilding(self, tmp_path):
+        index_dir = str(tmp_path / "indices")
+        first = make_service(index_dir=index_dir)
+        warm = query(first)
+        assert warm["code"] == 0
+        stats = first.stats_snapshot()["counters"]
+        assert stats["service/index_builds"] == 1
+        assert stats["service/index_cache/disk_store"] == 1
+        files = os.listdir(index_dir)
+        assert len(files) == 1 and files[0].endswith(".sct2")
+
+        # a fresh process with the same index_dir: no rebuild, mmap load
+        second = make_service(index_dir=index_dir)
+        cold = query(second)
+        assert cold["code"] == 0
+
+        def _stable(result):
+            return {k: v for k, v in result.items() if k != "timings"}
+
+        assert _stable(cold["result"]) == _stable(warm["result"])
+        stats = second.stats_snapshot()["counters"]
+        assert "service/index_builds" not in stats
+        assert stats["service/index_cache/disk_hit"] == 1
+        loaded = second._indices.values()
+        assert len(loaded) == 1
+        assert loaded[0].backing == "mmap"
+
+    def test_corrupt_disk_file_falls_back_to_rebuild(self, tmp_path):
+        index_dir = str(tmp_path / "indices")
+        first = make_service(index_dir=index_dir)
+        query(first)
+        (path,) = [
+            os.path.join(index_dir, name) for name in os.listdir(index_dir)
+        ]
+        with open(path, "wb") as handle:
+            handle.write(b"\x00" * 16)  # neither v1 nor v2 any more
+
+        second = make_service(index_dir=index_dir)
+        env = query(second)
+        assert env["code"] == 0
+        stats = second.stats_snapshot()["counters"]
+        assert stats["service/index_cache/disk_error"] == 1
+        assert stats["service/index_builds"] == 1
+        # the rebuild re-persisted a good file for the next cold start
+        assert stats["service/index_cache/disk_store"] == 1
+        third = make_service(index_dir=index_dir)
+        query(third)
+        assert third.stats_snapshot()["counters"][
+            "service/index_cache/disk_hit"
+        ] == 1
+
+    def test_without_index_dir_nothing_is_persisted(self, tmp_path):
+        service = make_service()
+        query(service)
+        stats = service.stats_snapshot()["counters"]
+        assert "service/index_cache/disk_store" not in stats
+        assert "service/index_cache/disk_hit" not in stats

@@ -1,0 +1,183 @@
+"""SingleFlight coalescing — concurrency regressions.
+
+The follower-exception test pins the satellite bugfix: every follower
+used to re-raise the leader's *exact* exception instance, so concurrent
+``raise`` statements in N threads mutated the shared ``__traceback__``
+while other threads were formatting it, garbling stack traces and
+cross-chaining ``__cause__`` between unrelated requests.
+"""
+
+import threading
+import time
+import traceback
+
+import pytest
+
+from repro.service.singleflight import SingleFlight, _follower_error
+
+
+def _wait_for_blocked_followers(group, key, count, timeout=10.0):
+    """Block until ``count`` followers wait on the in-flight call's event.
+
+    Uses the CPython-internal waiter list of ``threading.Event`` when
+    available; falls back to a grace sleep otherwise.  Only the *tests*
+    depend on this — it makes the coalescing window deterministic.
+    """
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        with group._lock:
+            call = group._calls.get(key)
+        waiters = getattr(
+            getattr(getattr(call, "event", None), "_cond", None), "_waiters", None
+        )
+        if waiters is None:
+            time.sleep(0.5)  # no introspection on this interpreter
+            return
+        if len(waiters) >= count:
+            return
+        time.sleep(0.001)
+    raise AssertionError(f"followers never blocked on flight {key!r}")
+
+
+class _BoomError(RuntimeError):
+    pass
+
+
+def _run_flight(group, key, fn, n_followers):
+    """One leader + N followers, synchronised so all coalesce."""
+    leader_entered = threading.Event()
+    release_leader = threading.Event()
+    followers_ready = threading.Barrier(n_followers + 1)
+
+    def leading_fn():
+        leader_entered.set()
+        release_leader.wait(timeout=10)
+        return fn()
+
+    outcomes = [None] * (n_followers + 1)
+
+    def leader():
+        try:
+            outcomes[0] = ("value", group.do(key, leading_fn))
+        except BaseException as exc:  # noqa: BLE001 - recording outcome
+            outcomes[0] = ("error", exc, traceback.format_exc())
+
+    def follower(slot):
+        followers_ready.wait(timeout=10)
+        try:
+            outcomes[slot] = ("value", group.do(key, fn))
+        except BaseException as exc:  # noqa: BLE001 - recording outcome
+            outcomes[slot] = ("error", exc, traceback.format_exc())
+
+    threads = [threading.Thread(target=leader)]
+    threads += [
+        threading.Thread(target=follower, args=(slot,))
+        for slot in range(1, n_followers + 1)
+    ]
+    threads[0].start()
+    assert leader_entered.wait(timeout=10)
+    for t in threads[1:]:
+        t.start()
+    followers_ready.wait(timeout=10)
+    # only release the leader once every follower is parked on the
+    # in-flight call's event, so all of them truly coalesce
+    _wait_for_blocked_followers(group, key, n_followers)
+    release_leader.set()
+    for t in threads:
+        t.join(timeout=10)
+    return outcomes
+
+
+class TestCoalescing:
+    def test_single_execution_many_callers(self):
+        group = SingleFlight()
+        calls = []
+
+        def fn():
+            calls.append(1)
+            return 42
+
+        outcomes = _run_flight(group, "k", fn, n_followers=8)
+        assert len(calls) == 1
+        leaders = [o for o in outcomes if o == ("value", (42, True))]
+        followers = [o for o in outcomes if o == ("value", (42, False))]
+        assert len(leaders) == 1
+        assert len(followers) == 8
+        assert group.in_flight() == 0
+
+    def test_key_forgotten_after_completion(self):
+        group = SingleFlight()
+        assert group.do("k", lambda: 1) == (1, True)
+        # not coalesced with the finished flight: runs again, as leader
+        assert group.do("k", lambda: 2) == (2, True)
+
+
+class TestFollowerExceptions:
+    def test_each_follower_gets_a_distinct_instance(self):
+        group = SingleFlight()
+
+        def fn():
+            raise _BoomError("cold build failed")
+
+        outcomes = _run_flight(group, "k", fn, n_followers=6)
+        errors = [o[1] for o in outcomes if o[0] == "error"]
+        assert len(errors) == 7  # leader + 6 followers
+        assert all(isinstance(e, _BoomError) for e in errors)
+        assert all(str(e) == "cold build failed" for e in errors)
+        # exactly one original (the leader's); every follower instance is
+        # distinct from it and from each other follower's
+        assert len({id(e) for e in errors}) == 7 - errors.count(None)
+        originals = [e for e in errors if e.__cause__ is None]
+        followers = [e for e in errors if e.__cause__ is not None]
+        assert len(originals) == 1
+        assert len(followers) == 6
+        assert all(f.__cause__ is originals[0] for f in followers)
+
+    def test_tracebacks_do_not_interleave(self):
+        group = SingleFlight()
+
+        def fn():
+            raise _BoomError("boom")
+
+        outcomes = _run_flight(group, "k", fn, n_followers=6)
+        errors = [o[1] for o in outcomes if o[0] == "error"]
+        tracebacks = {id(e.__traceback__) for e in errors}
+        # every thread formatted its own traceback object; sharing one
+        # instance across threads is exactly the fixed bug
+        assert len(tracebacks) == len(errors)
+        for o in outcomes:
+            assert o[0] == "error"
+            assert "_BoomError" in o[2]
+
+    def test_follower_error_preserves_attributes(self):
+        original = _BoomError("msg")
+        original.detail = {"stage": "build"}
+        clone = _follower_error(original)
+        assert clone is not original
+        assert type(clone) is _BoomError
+        assert clone.args == ("msg",)
+        assert clone.detail == {"stage": "build"}
+        assert clone.__cause__ is original
+        assert clone.__traceback__ is None
+
+    def test_uncopyable_exception_falls_back_to_original(self):
+        class Stubborn(RuntimeError):
+            def __reduce__(self):
+                raise TypeError("no copies")
+
+            def __copy__(self):
+                raise TypeError("no copies")
+
+        original = Stubborn("x")
+        assert _follower_error(original) is original
+
+    def test_new_flight_after_failure(self):
+        group = SingleFlight()
+        with pytest.raises(_BoomError):
+            group.do("k", self._raise)
+        # the failed flight is forgotten; the next call runs fresh
+        assert group.do("k", lambda: "ok") == ("ok", True)
+
+    @staticmethod
+    def _raise():
+        raise _BoomError("once")
