@@ -1,0 +1,186 @@
+#!/usr/bin/env python
+"""Append one performance-trajectory record to ``BENCH_trajectory.json``.
+
+The trajectory file is a checked-in, append-only time series: every CI
+run (and any developer who wants a data point) runs the same three fixed
+core benches and appends one ``repro/bench-trajectory-v1`` record, so
+performance history travels with the repository instead of living in an
+external dashboard:
+
+* ``index_build`` — wall seconds to build the SCT*-Index for the golden
+  dataset;
+* ``path_throughput`` — paths/second over one full ``iter_paths`` sweep;
+* ``service_query`` — cold and warm query latency digests (p50/p99)
+  measured through an in-process :class:`~repro.service.ReproService`,
+  read back from the server-wide ``service/latency/query/*`` histograms
+  — the very numbers ``/v1/stats`` and ``GET /metrics`` report.
+
+The record is validated against ``repro.obs.validate.validate_trajectory``
+before the file is rewritten, and the whole file is re-validated after
+the append, so a malformed record can never land.
+
+Run from the repo root::
+
+    PYTHONPATH=src python scripts/bench_trajectory.py --quick
+"""
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from datetime import datetime, timezone
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.core import SCTIndex  # noqa: E402
+from repro.datasets import load_dataset  # noqa: E402
+from repro.obs.validate import (  # noqa: E402
+    TRAJECTORY_SCHEMA,
+    validate_trajectory,
+)
+from repro.service import ReproService, ServiceConfig  # noqa: E402
+
+
+def _git_commit():
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT, capture_output=True, text=True, timeout=10,
+        )
+    except OSError:
+        return None
+    return out.stdout.strip() or None if out.returncode == 0 else None
+
+
+def bench_index_build(graph):
+    t0 = time.perf_counter()
+    index = SCTIndex.build(graph)
+    return index, {"seconds": time.perf_counter() - t0}
+
+
+def bench_path_throughput(index, k):
+    t0 = time.perf_counter()
+    paths = sum(1 for _ in index.iter_paths(k))
+    seconds = time.perf_counter() - t0
+    return {
+        "paths": paths,
+        "seconds": seconds,
+        "paths_per_s": paths / seconds if seconds > 0 else 0.0,
+    }
+
+
+def bench_service_query(dataset, k, iterations, warm_queries):
+    """Cold + warm latency digests from the service's own histograms."""
+    service = ReproService(ServiceConfig())
+    request = {
+        "op": "query", "dataset": dataset, "k": k, "iterations": iterations,
+    }
+    for i in range(1 + warm_queries):
+        response = service.handle_request(dict(request))
+        if response.get("code") != 0:
+            raise SystemExit(
+                f"service query failed (code {response.get('code')}): "
+                f"{response.get('error')}"
+            )
+    digests = service.stats_snapshot()["histograms"]
+    out = {}
+    for temperature in ("cold", "warm"):
+        digest = digests.get(f"service/latency/query/{temperature}")
+        if digest is None:
+            raise SystemExit(
+                f"no {temperature} latency histogram was recorded"
+            )
+        out[temperature] = {
+            "count": digest["count"],
+            "p50_s": digest["p50"],
+            "p99_s": digest["p99"],
+        }
+    return out
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", default=os.path.join(REPO_ROOT, "BENCH_trajectory.json"),
+        help="trajectory file to append to (default: repo root)",
+    )
+    parser.add_argument("--dataset", default="email")
+    parser.add_argument("--k", type=int, default=7)
+    parser.add_argument(
+        "--iterations", type=int, default=10,
+        help="refinement iterations per service query (default 10)",
+    )
+    parser.add_argument(
+        "--warm-queries", type=int, default=20,
+        help="warm (result-cached) queries to sample (default 20)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller warm sample for CI (5 warm queries)",
+    )
+    args = parser.parse_args(argv)
+    warm_queries = 5 if args.quick else args.warm_queries
+
+    print(f"dataset={args.dataset} k={args.k} warm_queries={warm_queries}")
+    graph = load_dataset(args.dataset)
+    index, index_build = bench_index_build(graph)
+    print(f"index_build: {index_build['seconds']:.3f}s")
+    path_throughput = bench_path_throughput(index, args.k)
+    print(
+        f"path_throughput: {path_throughput['paths']} paths in "
+        f"{path_throughput['seconds']:.3f}s "
+        f"({path_throughput['paths_per_s']:.0f}/s)"
+    )
+    service_query = bench_service_query(
+        args.dataset, args.k, args.iterations, warm_queries
+    )
+    for temperature in ("cold", "warm"):
+        digest = service_query[temperature]
+        print(
+            f"service_query.{temperature}: n={digest['count']} "
+            f"p50={digest['p50_s']:.4g}s p99={digest['p99_s']:.4g}s"
+        )
+
+    record = {
+        "schema": TRAJECTORY_SCHEMA,
+        "recorded_at": datetime.now(timezone.utc).isoformat(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "git": _git_commit(),
+        "dataset": args.dataset,
+        "k": args.k,
+        "benches": {
+            "index_build": index_build,
+            "path_throughput": path_throughput,
+            "service_query": service_query,
+        },
+    }
+
+    trajectory = []
+    if os.path.exists(args.output):
+        with open(args.output, encoding="utf-8") as fh:
+            trajectory = json.load(fh)
+        if not isinstance(trajectory, list):
+            raise SystemExit(f"{args.output} is not a JSON array")
+    trajectory.append(record)
+    errors = validate_trajectory(trajectory)
+    if errors:
+        raise SystemExit(
+            "refusing to write an invalid trajectory:\n  "
+            + "\n  ".join(errors)
+        )
+    tmp = args.output + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(trajectory, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, args.output)
+    print(f"appended record {len(trajectory)} to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

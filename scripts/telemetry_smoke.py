@@ -1,0 +1,196 @@
+#!/usr/bin/env python
+"""End-to-end smoke test for the service's telemetry surface.
+
+Starts ``python -m repro serve`` as a subprocess with ``--trace`` and
+``--access-log`` enabled, drives a mixed cold/warm workload, and then
+asserts the observability contract:
+
+1. every response envelope carries a ``request_id``; a client-supplied
+   id is echoed verbatim, server-generated ids are unique;
+2. ``GET /metrics`` serves parseable Prometheus text whose histogram
+   buckets are monotonically non-decreasing and whose ``_count``/
+   ``_sum`` agree with the ``/v1/stats`` digests — and whose buckets
+   re-derive the *exact* p50/p95/p99 that ``/v1/stats`` reports;
+3. the access log holds one JSON object per request with the matching
+   request ids and cold/warm temperatures;
+4. the JSONL trace passes ``repro.obs.validate`` and its request-scoped
+   events carry ``rid`` stamps;
+5. SIGTERM still drains cleanly with telemetry enabled.
+
+Run from the repo root::
+
+    PYTHONPATH=src python scripts/telemetry_smoke.py
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import urllib.request
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.obs import (  # noqa: E402
+    Histogram,
+    histogram_from_buckets,
+    parse_exposition,
+    sanitize_metric_name,
+)
+from repro.obs.validate import validate_trace_lines  # noqa: E402
+
+DATASET = "email"
+K = 7
+
+
+def rpc(port, path, obj, timeout=300):
+    req = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=json.dumps(obj).encode(),
+        method="POST",
+    )
+    with urllib.request.urlopen(req, timeout=timeout) as resp:
+        return json.loads(resp.read().decode().splitlines()[0])
+
+
+def scrape(port, timeout=60):
+    req = urllib.request.Request(f"http://127.0.0.1:{port}/metrics")
+    with urllib.request.urlopen(req, timeout=timeout) as resp:
+        content_type = resp.headers.get("Content-Type", "")
+        return resp.read().decode("utf-8"), content_type
+
+
+def check(condition, message):
+    if not condition:
+        raise SystemExit(f"FAIL: {message}")
+    print(f"ok: {message}")
+
+
+def main():
+    tmp = tempfile.mkdtemp(prefix="telemetry-smoke-")
+    trace_path = os.path.join(tmp, "trace.jsonl")
+    access_path = os.path.join(tmp, "access.jsonl")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve", "--port", "0",
+            "--trace", trace_path, "--access-log", access_path,
+        ],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env, text=True,
+    )
+    try:
+        announce = proc.stdout.readline()
+        check("listening on http://" in announce,
+              f"daemon announced itself: {announce.strip()}")
+        port = int(announce.rsplit(":", 1)[1])
+
+        # mixed workload: one cold query, several warm repeats, a build,
+        # a profile, and one client-correlated request
+        query = {"dataset": DATASET, "k": K, "method": "sctl*"}
+        responses = [rpc(port, "/v1/query", query) for _ in range(4)]
+        build = rpc(port, "/v1/build", {"dataset": DATASET})
+        profile = rpc(port, "/v1/profile", {"dataset": DATASET})
+        # a fresh (cold) query so the correlated computation's trace
+        # events exist and carry the client's id
+        tagged = rpc(port, "/v1/query",
+                     dict(query, k=K + 1, request_id="smoke-rid-42"))
+        responses += [build, profile, tagged]
+
+        # 1. request ids: present everywhere, echoed when supplied
+        rids = [r.get("request_id") for r in responses]
+        check(all(isinstance(rid, str) and rid for rid in rids),
+              "every response carries a request_id")
+        check(tagged["request_id"] == "smoke-rid-42",
+              "client-supplied request_id is echoed verbatim")
+        generated = rids[:-1]
+        check(len(set(generated)) == len(generated),
+              f"{len(generated)} server-generated ids are unique")
+
+        # 2. /metrics vs /v1/stats — stats first, then the scrape: the
+        # stats request's own latency sample is observed after its
+        # payload is built, so only the later scrape sees it (the stats
+        # op's histogram is therefore excluded from the exact check)
+        stats = rpc(port, "/v1/stats", {})["stats"]
+        text, content_type = scrape(port)
+        check(content_type.startswith("text/plain"),
+              f"/metrics content type is {content_type!r}")
+        parsed = parse_exposition(text)
+        hist_names = [
+            name for name in stats["histograms"]
+            if name.startswith("service/latency/")
+            and not name.startswith("service/latency/stats/")
+        ]
+        check("service/latency/query/cold" in hist_names
+              and "service/latency/query/warm" in hist_names,
+              f"stats exposes cold+warm latency digests ({hist_names})")
+        for name in hist_names:
+            digest = stats["histograms"][name]
+            metric = parsed[sanitize_metric_name(name)]
+            check(metric["type"] == "histogram",
+                  f"{name} scrapes as a histogram")
+            cumulative = [count for _, count in metric["buckets"]]
+            check(cumulative == sorted(cumulative),
+                  f"{name} buckets are monotone")
+            check(metric["count"] == digest["count"]
+                  and metric["buckets"][-1][1] == digest["count"],
+                  f"{name} _count == stats count == +Inf bucket")
+            check(abs(metric["sum"] - digest["sum"]) < 1e-9,
+                  f"{name} _sum matches stats sum")
+            bounds, counts = histogram_from_buckets(metric["buckets"])
+            rebuilt = Histogram.from_snapshot({
+                "bounds": bounds, "counts": counts,
+                "sum": metric["sum"], "count": metric["count"],
+            })
+            for q, field in ((0.50, "p50"), (0.95, "p95"), (0.99, "p99")):
+                check(rebuilt.quantile(q) == digest[field],
+                      f"{name} {field} re-derived from scraped buckets")
+        # counters agree too
+        for counter, value in stats["counters"].items():
+            metric = parsed.get(sanitize_metric_name(counter) + "_total")
+            check(metric is not None and metric["value"] == value,
+                  f"counter {counter} agrees ({value})")
+
+        # 3. the access log: one JSON object per request, matching rids
+        with open(access_path, encoding="utf-8") as fh:
+            entries = [json.loads(line) for line in fh if line.strip()]
+        # +1: the /v1/stats request above is logged as well
+        check(len(entries) == len(responses) + 1,
+              f"access log holds {len(entries)} entries")
+        logged_rids = {e["request_id"] for e in entries}
+        check(set(rids) <= logged_rids,
+              "every response request_id appears in the access log")
+        temps = [e["temp"] for e in entries if e["op"] == "query"]
+        check("cold" in temps and "warm" in temps,
+              f"access log records cold and warm queries ({temps})")
+
+        # 4. graceful drain with telemetry enabled
+        proc.send_signal(signal.SIGTERM)
+        out, err = proc.communicate(timeout=120)
+        check(proc.returncode == 0, "daemon exited 0 on SIGTERM")
+        check("repro service drained" in out, "daemon reported a clean drain")
+
+        # 5. the trace validates and carries rid stamps
+        with open(trace_path, encoding="utf-8") as fh:
+            lines = fh.readlines()
+        errors = validate_trace_lines(lines)
+        check(not errors, f"trace validates ({len(lines)} events)")
+        stamped = [
+            json.loads(line) for line in lines
+            if json.loads(line).get("rid")
+        ]
+        check(stamped, f"{len(stamped)} trace events carry rid stamps")
+        check(any(e.get("rid") == "smoke-rid-42" for e in stamped),
+              "the client-correlated request's events carry its rid")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+    print("telemetry smoke: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

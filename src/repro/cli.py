@@ -364,6 +364,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=_parallel_from(args),
         trace_path=args.trace,
         index_dir=args.index_dir,
+        access_log_path=args.access_log,
     )
 
 
@@ -531,6 +532,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--index-dir", metavar="DIR",
         help="persist built indices as format-2 files under DIR; cold "
              "starts mmap them back instead of rebuilding",
+    )
+    serve.add_argument(
+        "--access-log", metavar="PATH",
+        help="append one structured JSON line per request to PATH "
+             "(op, code, request_id, duration, cold/warm)",
     )
     _add_parallel_flag(serve)
 

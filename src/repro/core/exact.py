@@ -240,7 +240,9 @@ def sctl_star_exact(
                 return _degrade(
                     reason, f"exact/flow_round/{flow_rounds + 1}", flow_rounds
                 )
-        with recorder.span(f"exact/flow_round/{flow_rounds + 1}"):
+        with recorder.span(
+            f"exact/flow_round/{flow_rounds + 1}", observe="stage/flow_verify"
+        ):
             refined = sctl_star(
                 sub_index, k, iterations=current_iterations,
                 options=opts.replace(checkpoint=None, resume=False),

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import json
 import mmap as _mmap
+import time
 from array import array
 from dataclasses import dataclass
 from math import comb
@@ -412,7 +413,7 @@ class SCTIndex:
             parallel=parallel,
         )
         ckpt = Checkpointer.ensure(opts.checkpoint)
-        with opts.recorder.span("index/build"):
+        with opts.recorder.span("index/build", observe="stage/index_build"):
             if opts.parallel is not None and opts.parallel.enabled:
                 from ..parallel.build import parallel_build
 
@@ -970,6 +971,7 @@ class SCTIndex:
         """
         n_paths = 0
         n_cliques = 0
+        started = time.perf_counter()
         try:
             for path in self.iter_paths(
                 k, enforce_support, budget=budget, _root_slice=_root_slice
@@ -979,6 +981,9 @@ class SCTIndex:
                     n_cliques += path.clique_count(k)
                 yield path
         finally:
+            recorder.observe(
+                "stage/path_iteration", time.perf_counter() - started
+            )
             recorder.counter("paths/yielded", n_paths)
             if k is not None:
                 recorder.counter("paths/cliques", n_cliques)
@@ -1003,6 +1008,7 @@ class SCTIndex:
             self._require_k(k)
         n_paths = 0
         n_cliques = 0
+        started = time.perf_counter()
         engine = PathShardEngine(self, config, recorder=recorder)
         try:
             if not engine.has_chunks:
@@ -1023,6 +1029,9 @@ class SCTIndex:
         finally:
             engine.close()
             if recorder.enabled:
+                recorder.observe(
+                    "stage/path_iteration", time.perf_counter() - started
+                )
                 recorder.counter("paths/yielded", n_paths)
                 if k is not None:
                     recorder.counter("paths/cliques", n_cliques)

@@ -206,7 +206,9 @@ def _sctl_run(
         # already active: a cancel (signal, fault) can arm it mid-sweep
         round_start = weights[:] if budget is not NULL_BUDGET else None
         prev_weights = weights[:] if track else None
-        with recorder.span(f"refine/iteration/{round_number}"):
+        with recorder.span(
+            f"refine/iteration/{round_number}", observe="stage/refine_round"
+        ):
             swept = 0
             for path in paths:
                 swept += 1

@@ -311,7 +311,9 @@ def _sctl_star_run(
         pruned_engagement = 0
         pivots_dropped = 0
         prev_weights = weights[:] if track else None
-        with recorder.span(f"refine/iteration/{t}"):
+        with recorder.span(
+            f"refine/iteration/{t}", observe="stage/refine_round"
+        ):
             if engine is not None:
                 (
                     n_paths, processed, updates, pruned_connectivity,
@@ -403,6 +405,7 @@ def _sctl_star_run(
             )
             recorder.counter("refine/iterations")
             recorder.counter("refine/paths_swept", n_paths)
+            recorder.observe("refine/paths_per_round", n_paths)
             recorder.counter("refine/cliques_processed", processed)
             recorder.counter("refine/weight_updates", updates)
             if use_reductions:

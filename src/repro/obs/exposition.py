@@ -1,0 +1,175 @@
+"""Prometheus text exposition for recorder snapshots.
+
+Renders a :meth:`~repro.obs.MetricsRecorder.snapshot` as the Prometheus
+text format (version 0.0.4) so the service's ``GET /metrics`` endpoint
+can be scraped by standard tooling:
+
+* counters become ``<ns>_<name>_total`` with ``# TYPE ... counter``;
+* numeric gauges become ``<ns>_<name>`` with ``# TYPE ... gauge``
+  (string-valued gauges — e.g. ``budget/reason`` — have no Prometheus
+  representation and are skipped; they remain visible in ``/v1/stats``);
+* histograms become the canonical triplet: cumulative
+  ``<ns>_<name>_bucket{le="..."}`` lines ending in ``le="+Inf"``, plus
+  ``<ns>_<name>_sum`` and ``<ns>_<name>_count``.
+
+Metric names are sanitised by mapping every character outside
+``[a-zA-Z0-9_]`` to ``_`` (so ``service/latency/query/cold`` scrapes as
+``repro_service_latency_query_cold``).  Bucket boundaries are rendered
+with ``repr(float)``, which round-trips exactly — a scraper can rebuild
+the histogram and re-derive the very same quantiles the ``/v1/stats``
+payload reports (see :meth:`~repro.obs.Histogram.quantile`).
+
+:func:`parse_exposition` is the inverse for the subset this module
+emits; the telemetry smoke test and the ``/metrics`` test suite use it
+to cross-check the endpoint against ``/v1/stats``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Tuple
+
+__all__ = [
+    "render_exposition",
+    "parse_exposition",
+    "histogram_from_buckets",
+    "sanitize_metric_name",
+]
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def sanitize_metric_name(name: str, namespace: str = "repro") -> str:
+    """``service/latency/query`` -> ``repro_service_latency_query``."""
+    cleaned = _INVALID_CHARS.sub("_", name)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return f"{namespace}_{cleaned}" if namespace else cleaned
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def render_exposition(
+    snapshot: Dict[str, Any], namespace: str = "repro"
+) -> str:
+    """One Prometheus text-format document from a recorder snapshot."""
+    lines: List[str] = []
+    for name, value in snapshot.get("counters", {}).items():
+        metric = sanitize_metric_name(name, namespace) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, value in snapshot.get("gauges", {}).items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue  # strings et al. have no exposition representation
+        metric = sanitize_metric_name(name, namespace)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, hist in snapshot.get("histograms", {}).items():
+        metric = sanitize_metric_name(name, namespace)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        bounds = hist["bounds"]
+        counts = hist["counts"]
+        for bound, count in zip(bounds, counts):
+            cumulative += count
+            lines.append(
+                f'{metric}_bucket{{le="{repr(float(bound))}"}} {cumulative}'
+            )
+        cumulative += counts[len(bounds)]
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{metric}_sum {_format_value(hist['sum'])}")
+        lines.append(f"{metric}_count {hist['count']}")
+    return "\n".join(lines) + "\n"
+
+
+_BUCKET_LINE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)_bucket\{le="(?P<le>[^"]+)"\} '
+    r"(?P<value>\S+)$"
+)
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*) (?P<value>\S+)$"
+)
+
+
+def parse_exposition(text: str) -> Dict[str, Dict[str, Any]]:
+    """Parse the subset of the exposition format this module emits.
+
+    Returns ``{metric_name: entry}`` where an entry is
+    ``{"type": ..., "value": ...}`` for counters/gauges (counter names
+    keep their ``_total`` suffix) and
+    ``{"type": "histogram", "buckets": [(le, cumulative), ...],
+    "sum": ..., "count": ...}`` for histograms, with ``le`` parsed back
+    to float (``+Inf`` -> ``float("inf")``) and buckets in emission
+    order.
+    """
+    metrics: Dict[str, Dict[str, Any]] = {}
+    declared: Dict[str, str] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                declared[parts[2]] = parts[3]
+            continue
+        match = _BUCKET_LINE.match(line)
+        if match:
+            name = match.group("name")
+            entry = metrics.setdefault(
+                name, {"type": "histogram", "buckets": [],
+                       "sum": None, "count": None}
+            )
+            le = match.group("le")
+            bound = float("inf") if le == "+Inf" else float(le)
+            entry["buckets"].append((bound, int(match.group("value"))))
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if not match:
+            raise ValueError(f"unparseable exposition line: {raw!r}")
+        name = match.group("name")
+        value_text = match.group("value")
+        value = float(value_text) if "." in value_text or "e" in value_text \
+            or "E" in value_text or "inf" in value_text else int(value_text)
+        base_hist = None
+        for suffix in ("_sum", "_count"):
+            base = name[: -len(suffix)] if name.endswith(suffix) else None
+            if base and declared.get(base) == "histogram":
+                base_hist = (base, suffix[1:])
+                break
+        if base_hist is not None:
+            base, field = base_hist
+            entry = metrics.setdefault(
+                base, {"type": "histogram", "buckets": [],
+                       "sum": None, "count": None}
+            )
+            entry[field] = value
+            continue
+        metrics[name] = {"type": declared.get(name, "untyped"),
+                         "value": value}
+    return metrics
+
+
+def histogram_from_buckets(
+    buckets: List[Tuple[float, int]]
+) -> Tuple[Tuple[float, ...], List[int]]:
+    """De-cumulate parsed ``(le, cumulative)`` buckets.
+
+    Returns ``(finite_bounds, per_bucket_counts)`` with the overflow
+    bucket last — the exact ``(bounds, counts)`` pair
+    :meth:`repro.obs.Histogram.from_snapshot` accepts, letting scrapers
+    re-derive quantiles identical to the server's.
+    """
+    bounds = tuple(le for le, _ in buckets if le != float("inf"))
+    counts: List[int] = []
+    previous = 0
+    for _, cumulative in buckets:
+        counts.append(cumulative - previous)
+        previous = cumulative
+    return bounds, counts

@@ -1,0 +1,174 @@
+"""Log-bucketed latency histograms for the observability layer.
+
+Counters answer "how many" and span totals answer "how long in total",
+but an operable service needs *distributions*: what is the warm-query
+p99, how skewed are the per-chunk sweep times, did one slow flow round
+hide behind an acceptable mean?  :class:`Histogram` is the primitive
+behind every ``MetricsRecorder.observe`` call.
+
+Design constraints, in order:
+
+* **Fixed bucket boundaries.**  Every histogram built from
+  :func:`default_bounds` shares the exact same float boundaries, so a
+  worker process's snapshot merges into the parent *bucket-wise* with no
+  re-binning and no loss — ``absorb`` is plain integer addition per
+  bucket.  The boundaries follow a 1/2.5/5 log ladder from one
+  microsecond to 5e8, wide enough for sub-millisecond path sweeps and
+  for count-valued distributions (paths per round) alike.
+* **Quantiles are a pure function of the buckets.**  ``quantile(q)``
+  reads only ``(bounds, counts)`` — never raw samples — and returns the
+  upper boundary of the bucket containing the q-th sample.  Anything
+  that can see the buckets (the ``/v1/stats`` payload, a scraped
+  ``/metrics`` exposition, a merged worker snapshot) therefore computes
+  *identical* quantiles; there is no second, privileged estimator.
+* **Prometheus-compatible semantics.**  Buckets are upper-inclusive
+  (``value <= bound``, the exposition format's ``le``) and cumulative
+  rendering plus ``_sum``/``_count`` fall straight out of
+  :meth:`Histogram.snapshot` (see :mod:`repro.obs.exposition`).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from math import ceil
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["Histogram", "DEFAULT_BOUNDS", "default_bounds"]
+
+
+def default_bounds() -> Tuple[float, ...]:
+    """The shared log-bucket ladder: 1 / 2.5 / 5 per decade, 1e-6..5e8.
+
+    Boundaries are constructed from decimal literals (``float("2.5e-4")``)
+    rather than arithmetic, so every process — parent, pool worker, a
+    test re-deriving them — lands on bit-identical floats and snapshots
+    merge exactly.
+    """
+    return tuple(
+        float(f"{mantissa}e{exponent}")
+        for exponent in range(-6, 9)
+        for mantissa in ("1", "2.5", "5")
+    )
+
+
+DEFAULT_BOUNDS: Tuple[float, ...] = default_bounds()
+
+
+class Histogram:
+    """A fixed-boundary log-bucketed histogram of non-negative samples.
+
+    ``counts`` has one entry per boundary plus a final overflow bucket
+    (Prometheus's ``+Inf``).  Bucket ``i`` holds samples with
+    ``value <= bounds[i]`` (and ``value > bounds[i-1]`` for ``i > 0``).
+    """
+
+    __slots__ = ("bounds", "counts", "total", "count")
+
+    def __init__(self, bounds: Optional[Sequence[float]] = None):
+        if bounds is None:
+            self.bounds: Tuple[float, ...] = DEFAULT_BOUNDS
+        else:
+            self.bounds = tuple(float(b) for b in bounds)
+            if not self.bounds:
+                raise ValueError("a histogram needs at least one boundary")
+            if any(
+                b2 <= b1 for b1, b2 in zip(self.bounds, self.bounds[1:])
+            ):
+                raise ValueError("bucket boundaries must strictly increase")
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.total: float = 0.0
+        self.count: int = 0
+
+    # -- recording ------------------------------------------------------
+
+    def observe(self, value: float) -> None:
+        """Record one sample (upper-inclusive bucket, like Prometheus)."""
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.total += value
+        self.count += 1
+
+    # -- reading back ---------------------------------------------------
+
+    def quantile(self, q: float) -> Optional[float]:
+        """The upper bound of the bucket holding the q-th sample.
+
+        Computed from ``(bounds, counts)`` alone, so re-deriving it from
+        a scraped ``/metrics`` exposition gives the same number.  Returns
+        ``None`` on an empty histogram; samples in the overflow bucket
+        report the largest finite boundary (a known understatement,
+        flagged by ``counts[-1] > 0``).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return None
+        rank = min(self.count, max(1, ceil(q * self.count)))
+        cumulative = 0
+        for i, bucket in enumerate(self.counts):
+            cumulative += bucket
+            if cumulative >= rank:
+                return self.bounds[min(i, len(self.bounds) - 1)]
+        return self.bounds[-1]  # unreachable: cumulative ends at count
+
+    def mean(self) -> Optional[float]:
+        """Arithmetic mean of the observed samples (None when empty)."""
+        return self.total / self.count if self.count else None
+
+    def summary(self) -> Dict[str, Any]:
+        """The quantile digest the service's stats payload embeds."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+    # -- merging / serialisation ---------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-serialisable state: bounds, per-bucket counts, sum, count."""
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "sum": self.total,
+            "count": self.count,
+        }
+
+    def absorb(self, snapshot: Dict[str, Any]) -> None:
+        """Merge another histogram's :meth:`snapshot` bucket-wise.
+
+        Boundaries must match exactly — fixed shared bounds are the
+        contract that makes worker merges lossless; a mismatch means two
+        incompatible histograms share a name, which is a bug worth a loud
+        error rather than a silently re-binned distribution.
+        """
+        bounds = tuple(float(b) for b in snapshot.get("bounds", ()))
+        if bounds != self.bounds:
+            raise ValueError(
+                "cannot merge histograms with different bucket boundaries "
+                f"({len(bounds)} vs {len(self.bounds)} bounds)"
+            )
+        counts = snapshot.get("counts", ())
+        if len(counts) != len(self.counts):
+            raise ValueError(
+                f"snapshot has {len(counts)} buckets, expected "
+                f"{len(self.counts)}"
+            )
+        for i, c in enumerate(counts):
+            self.counts[i] += c
+        self.total += float(snapshot.get("sum", 0.0))
+        self.count += int(snapshot.get("count", 0))
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Dict[str, Any]) -> "Histogram":
+        """Rebuild a histogram from its :meth:`snapshot` payload."""
+        hist = cls(bounds=snapshot["bounds"])
+        hist.absorb(snapshot)
+        return hist
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram(count={self.count}, sum={self.total:.6g}, "
+            f"buckets={len(self.counts)})"
+        )

@@ -4,20 +4,34 @@ A **trace** is JSON-lines: one event object per line, as emitted by a
 :class:`~repro.obs.MetricsRecorder` with a sink attached.  The schema:
 
 * every line is a JSON object with an ``event`` field in
-  ``{"counter", "gauge", "span_start", "span_end", "point"}`` and a
-  numeric ``t`` (seconds since the recorder started, non-decreasing);
+  ``{"counter", "gauge", "observe", "span_start", "span_end", "point"}``
+  and a numeric ``t`` (seconds since the recorder started,
+  non-decreasing);
 * ``counter`` events carry ``name`` (str), ``delta`` (int) and the
   running ``value`` (int);
 * ``gauge`` events carry ``name`` and ``value``;
+* ``observe`` events (histogram samples) carry ``name`` and a numeric
+  ``value``;
 * ``span_start`` / ``span_end`` carry the nested ``span`` path, and
   ``span_end`` adds non-negative ``seconds``; starts and ends must
   balance like a well-formed bracket sequence (spans strictly nest);
-* ``point`` events carry ``name`` and optional ``fields``.
+* ``point`` events carry ``name`` and optional ``fields``;
+* any event may carry ``rid`` — the request-correlation id the service
+  stamps at ingress; when present it must be a non-empty string.
 
 A **metrics** file is one JSON object — a
 :meth:`~repro.obs.MetricsRecorder.snapshot`: ``counters`` (str -> int),
 ``gauges`` (str -> JSON value), ``spans`` (list of
-``{"span", "count", "seconds"}``).
+``{"span", "count", "seconds"}``) and optionally ``histograms``
+(str -> ``{"bounds", "counts", "sum", "count"}`` with strictly
+increasing bounds, one overflow bucket, and ``count`` equal to the
+bucket total) plus ``request_id``.
+
+A **trajectory** file (``BENCH_trajectory.json``) is a JSON array of
+``repro/bench-trajectory-v1`` records — one appended per
+``scripts/bench_trajectory.py`` run — each carrying the fixed core
+bench numbers (index build, path throughput, warm/cold service query
+quantiles).
 
 Beyond traces and metrics, the validator checks every versioned
 **payload** the CLI and the :mod:`repro.service` daemon emit, dispatching
@@ -32,6 +46,7 @@ standalone::
 
     python -m repro.obs.validate trace.jsonl --metrics metrics.json
     python -m repro.obs.validate --result response.json
+    python -m repro.obs.validate --trajectory BENCH_trajectory.json
 """
 
 from __future__ import annotations
@@ -45,10 +60,13 @@ __all__ = [
     "validate_trace_lines",
     "validate_metrics",
     "validate_result",
+    "validate_trajectory",
     "main",
 ]
 
-_EVENT_TYPES = {"counter", "gauge", "span_start", "span_end", "point"}
+_EVENT_TYPES = {
+    "counter", "gauge", "observe", "span_start", "span_end", "point",
+}
 
 
 def validate_trace_lines(lines: Iterable[str]) -> List[str]:
@@ -84,9 +102,21 @@ def validate_trace_lines(lines: Iterable[str]) -> List[str]:
                     f"line {lineno}: timestamp {t} precedes previous {last_t}"
                 )
             last_t = float(t)
-        if kind in ("counter", "gauge", "point"):
+        if "rid" in payload and (
+            not isinstance(payload["rid"], str) or not payload["rid"]
+        ):
+            errors.append(
+                f"line {lineno}: 'rid' must be a non-empty string when given"
+            )
+        if kind in ("counter", "gauge", "observe", "point"):
             if not isinstance(payload.get("name"), str) or not payload["name"]:
                 errors.append(f"line {lineno}: {kind} event without a 'name'")
+        if kind == "observe":
+            v = payload.get("value")
+            if not isinstance(v, (int, float)) or isinstance(v, bool):
+                errors.append(
+                    f"line {lineno}: observe event needs a numeric 'value'"
+                )
         if kind == "counter":
             for field in ("delta", "value"):
                 v = payload.get(field)
@@ -166,6 +196,64 @@ def validate_metrics(payload: Any) -> List[str]:
                 or seconds < 0
             ):
                 errors.append(f"spans[{i}] needs non-negative 'seconds'")
+    histograms = payload.get("histograms")
+    if histograms is not None:
+        if not isinstance(histograms, dict):
+            errors.append("'histograms' must be an object when given")
+        else:
+            for name, hist in histograms.items():
+                errors.extend(
+                    f"histogram {name!r}: {err}"
+                    for err in _validate_histogram_snapshot(hist)
+                )
+    request_id = payload.get("request_id")
+    if request_id is not None and (
+        not isinstance(request_id, str) or not request_id
+    ):
+        errors.append("'request_id' must be a non-empty string when given")
+    return errors
+
+
+def _validate_histogram_snapshot(hist: Any) -> List[str]:
+    """Structural checks for one ``Histogram.snapshot()`` payload."""
+    if not isinstance(hist, dict):
+        return ["must be an object"]
+    errors: List[str] = []
+    bounds = hist.get("bounds")
+    if (
+        not isinstance(bounds, list)
+        or not bounds
+        or any(
+            not isinstance(b, (int, float)) or isinstance(b, bool)
+            for b in bounds
+        )
+    ):
+        errors.append("'bounds' must be a non-empty list of numbers")
+        bounds = None
+    elif any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+        errors.append("'bounds' must strictly increase")
+    counts = hist.get("counts")
+    if not isinstance(counts, list) or any(
+        not isinstance(c, int) or isinstance(c, bool) or c < 0
+        for c in counts
+    ):
+        errors.append("'counts' must be a list of non-negative ints")
+        counts = None
+    elif bounds is not None and len(counts) != len(bounds) + 1:
+        errors.append(
+            f"{len(counts)} counts for {len(bounds)} bounds "
+            "(expected one overflow bucket)"
+        )
+    total = hist.get("sum")
+    if not isinstance(total, (int, float)) or isinstance(total, bool):
+        errors.append("'sum' must be a number")
+    count = hist.get("count")
+    if not isinstance(count, int) or isinstance(count, bool) or count < 0:
+        errors.append("'count' must be a non-negative int")
+    elif counts is not None and count != sum(counts):
+        errors.append(
+            f"'count' {count} != sum of bucket counts {sum(counts)}"
+        )
     return errors
 
 
@@ -279,6 +367,33 @@ def _validate_service_stats_v1(payload: dict) -> List[str]:
     errors: List[str] = []
     if not isinstance(payload.get("counters"), dict):
         errors.append("'counters' must be an object")
+    histograms = payload.get("histograms")
+    if histograms is not None:
+        if not isinstance(histograms, dict):
+            errors.append("'histograms' must be an object when given")
+        else:
+            for name, digest in histograms.items():
+                if not isinstance(digest, dict):
+                    errors.append(f"histograms.{name} must be an object")
+                    continue
+                count = digest.get("count")
+                if (
+                    not isinstance(count, int)
+                    or isinstance(count, bool)
+                    or count < 0
+                ):
+                    errors.append(
+                        f"histograms.{name}.count must be a non-negative int"
+                    )
+                for field in ("p50", "p95", "p99"):
+                    v = digest.get(field)
+                    if v is not None and (
+                        not isinstance(v, (int, float)) or isinstance(v, bool)
+                    ):
+                        errors.append(
+                            f"histograms.{name}.{field} must be null "
+                            "or a number"
+                        )
     for cache in ("index_cache", "result_cache"):
         entry = payload.get(cache)
         if not isinstance(entry, dict):
@@ -290,6 +405,114 @@ def _validate_service_stats_v1(payload: dict) -> List[str]:
                 errors.append(f"{cache}.{field} must be a non-negative int")
     if not isinstance(payload.get("draining"), bool):
         errors.append("'draining' must be a bool")
+    return errors
+
+
+TRAJECTORY_SCHEMA = "repro/bench-trajectory-v1"
+
+_TRAJECTORY_BENCHES = {
+    # bench name -> required non-negative numeric fields
+    "index_build": ("seconds",),
+    "path_throughput": ("paths", "seconds", "paths_per_s"),
+}
+_TRAJECTORY_QUANTILES = ("p50_s", "p99_s")
+
+
+def _validate_trajectory_record(payload: dict) -> List[str]:
+    """One perf-trajectory record (see ``scripts/bench_trajectory.py``)."""
+    errors: List[str] = []
+    for field in ("recorded_at", "python", "dataset"):
+        v = payload.get(field)
+        if not isinstance(v, str) or not v:
+            errors.append(f"{field!r} must be a non-empty string")
+    k = payload.get("k")
+    if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+        errors.append(f"'k' must be a positive int, got {k!r}")
+    benches = payload.get("benches")
+    if not isinstance(benches, dict):
+        return errors + ["'benches' must be an object"]
+    for bench, fields in _TRAJECTORY_BENCHES.items():
+        entry = benches.get(bench)
+        if not isinstance(entry, dict):
+            errors.append(f"benches.{bench} must be an object")
+            continue
+        for field in fields:
+            v = entry.get(field)
+            if (
+                not isinstance(v, (int, float))
+                or isinstance(v, bool)
+                or v < 0
+            ):
+                errors.append(
+                    f"benches.{bench}.{field} must be a non-negative number"
+                )
+    service = benches.get("service_query")
+    if not isinstance(service, dict):
+        errors.append("benches.service_query must be an object")
+    else:
+        for temperature in ("cold", "warm"):
+            digest = service.get(temperature)
+            if not isinstance(digest, dict):
+                errors.append(
+                    f"benches.service_query.{temperature} must be an object"
+                )
+                continue
+            count = digest.get("count")
+            if not isinstance(count, int) or isinstance(count, bool) or count < 1:
+                errors.append(
+                    f"benches.service_query.{temperature}.count must be "
+                    "a positive int"
+                )
+            for field in _TRAJECTORY_QUANTILES:
+                v = digest.get(field)
+                if (
+                    not isinstance(v, (int, float))
+                    or isinstance(v, bool)
+                    or v < 0
+                ):
+                    errors.append(
+                        f"benches.service_query.{temperature}.{field} "
+                        "must be a non-negative number"
+                    )
+    return errors
+
+
+def validate_trajectory(payload: Any) -> List[str]:
+    """Validate a ``BENCH_trajectory.json`` document (a list of records).
+
+    The trajectory is append-only: every record must carry the
+    ``repro/bench-trajectory-v1`` schema tag and the fixed core bench
+    numbers, and ``recorded_at`` must be non-decreasing so the file
+    reads as a time series.
+    """
+    if not isinstance(payload, list):
+        return ["trajectory must be a JSON array of records"]
+    if not payload:
+        return ["trajectory must contain at least one record"]
+    errors: List[str] = []
+    previous_at = ""
+    for i, record in enumerate(payload):
+        if not isinstance(record, dict):
+            errors.append(f"record {i}: must be an object")
+            continue
+        schema = record.get("schema")
+        if schema != TRAJECTORY_SCHEMA:
+            errors.append(
+                f"record {i}: schema {schema!r} != {TRAJECTORY_SCHEMA!r}"
+            )
+            continue
+        errors.extend(
+            f"record {i}: {err}"
+            for err in _validate_trajectory_record(record)
+        )
+        recorded_at = record.get("recorded_at")
+        if isinstance(recorded_at, str):
+            if recorded_at < previous_at:
+                errors.append(
+                    f"record {i}: recorded_at {recorded_at!r} precedes "
+                    f"previous record's {previous_at!r}"
+                )
+            previous_at = recorded_at
     return errors
 
 
@@ -310,6 +533,7 @@ def validate_result(payload: Any) -> List[str]:
         "repro/stats-v1": _validate_stats_v1,
         "repro/service-v1": _validate_service_envelope,
         "repro/service-stats-v1": _validate_service_stats_v1,
+        TRAJECTORY_SCHEMA: _validate_trajectory_record,
     }
     checker = validators.get(schema)
     if checker is None:
@@ -333,9 +557,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="versioned payload file: a single JSON object (query --json "
              "output) or ND-JSON lines (service responses); repeatable",
     )
+    parser.add_argument(
+        "--trajectory", action="append", metavar="PATH", default=[],
+        help="BENCH_trajectory.json perf-trajectory file (an array of "
+             "repro/bench-trajectory-v1 records); repeatable",
+    )
     args = parser.parse_args(argv)
-    if not args.trace and not args.metrics and not args.result:
-        parser.error("give a trace file, --metrics and/or --result")
+    if (
+        not args.trace and not args.metrics and not args.result
+        and not args.trajectory
+    ):
+        parser.error(
+            "give a trace file, --metrics, --result and/or --trajectory"
+        )
     failed = False
     if args.trace:
         with open(args.trace, "r", encoding="utf-8") as handle:
@@ -404,6 +638,24 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(
                 f"{result_path}: OK ({len(payloads)} payload(s), "
                 f"schema(s): {', '.join(sorted(schemas))})"
+            )
+    for trajectory_path in args.trajectory:
+        with open(trajectory_path, "r", encoding="utf-8") as handle:
+            try:
+                payload = json.load(handle)
+            except json.JSONDecodeError as exc:
+                payload = None
+                errors = [f"not valid JSON ({exc})"]
+            else:
+                errors = validate_trajectory(payload)
+        if errors:
+            failed = True
+            for err in errors:
+                print(f"{trajectory_path}: {err}", file=sys.stderr)
+        else:
+            print(
+                f"{trajectory_path}: OK ({len(payload)} trajectory "
+                f"record(s), latest {payload[-1]['recorded_at']})"
             )
     return 1 if failed else 0
 

@@ -110,11 +110,12 @@ def _attach_index(meta):
     return index, shm
 
 
-def _init_sweep_worker(meta, record: bool) -> None:
+def _init_sweep_worker(meta, record: bool, request_id=None) -> None:
     index, shm = _attach_index(meta)
     _WORKER_STATE["index"] = index
     _WORKER_STATE["shm"] = shm  # keepalive: columns are views into it
     _WORKER_STATE["record"] = record
+    _WORKER_STATE["request_id"] = request_id
 
 
 def _op_paths(index, lo, hi, k, enforce_support, payload):
@@ -222,8 +223,12 @@ def _run_sweep_task(task):
     if _WORKER_STATE["record"]:
         from ..obs import MetricsRecorder
 
-        recorder = MetricsRecorder()
-        with recorder.span(f"parallel/{op}"):
+        recorder = MetricsRecorder(
+            request_id=_WORKER_STATE.get("request_id")
+        )
+        with recorder.span(
+            f"parallel/{op}", observe=f"parallel/chunk_seconds/{op}"
+        ):
             result = _SWEEP_OPS[op](index, lo, hi, k, enforce_support, payload)
         return result, recorder.snapshot()
     return _SWEEP_OPS[op](index, lo, hi, k, enforce_support, payload), None
@@ -332,7 +337,11 @@ class PathShardEngine:
             self._pool = ctx.Pool(
                 processes=self._config.workers,
                 initializer=_init_sweep_worker,
-                initargs=(meta, bool(self._recorder.enabled)),
+                initargs=(
+                    meta,
+                    bool(self._recorder.enabled),
+                    getattr(self._recorder, "request_id", None),
+                ),
                 maxtasksperchild=self._config.max_tasks_per_child,
             )
         return self._pool

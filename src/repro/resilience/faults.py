@@ -199,11 +199,16 @@ class FaultInjectingRecorder:
     def gauge(self, name: str, value: Any) -> None:
         self.inner.gauge(name, value)
 
+    def observe(self, name: str, value: float) -> None:
+        self.inner.observe(name, value)
+
     def event(self, name: str, **fields: Any) -> None:
         self.inner.event(name, **fields)
 
-    def span(self, name: str) -> _FaultSpan:
-        return _FaultSpan(self.plan, name, self.inner.span(name))
+    def span(self, name: str, observe: Optional[str] = None) -> _FaultSpan:
+        return _FaultSpan(
+            self.plan, name, self.inner.span(name, observe=observe)
+        )
 
     def __repr__(self) -> str:
         return f"FaultInjectingRecorder({self.plan!r})"

@@ -20,6 +20,12 @@ A **request** is one JSON object per line.  Fields common to every op:
     response carries a valid best-so-far partial (``code`` 4) or, when
     nothing usable was achieved, an empty invalid partial (``code`` 3) —
     the same exit codes the CLI uses.
+``request_id``
+    Optional client-chosen correlation id (non-empty string).  Echoed
+    verbatim in the response envelope; when omitted the server generates
+    one at ingress.  The id is stamped on every trace event (``"rid"``)
+    and access-log entry the request produces, including events from
+    pool workers.
 
 ``query`` adds ``k`` (required), ``method``, ``iterations``,
 ``sample_size``, ``seed``, ``include_stats``; ``profile`` adds
@@ -33,10 +39,11 @@ Every **response** is one JSON object per line wrapped in the
 
 ``code`` mirrors the CLI exit codes: 0 success, 1 internal error,
 2 usage / bad request, 3 budget exhausted with nothing usable, 4 budget
-exhausted but a valid partial result is included.  Query responses embed
-the full ``repro/result-v1`` payload under ``"result"`` plus ``cached``
-(served from the finished-result cache), ``coalesced`` (shared a
-concurrent identical computation) and ``query_time_s``.
+exhausted but a valid partial result is included.  Every response also
+carries ``request_id`` (see above).  Query responses embed the full
+``repro/result-v1`` payload under ``"result"`` plus ``cached`` (served
+from the finished-result cache), ``coalesced`` (shared a concurrent
+identical computation) and ``query_time_s``.
 """
 
 from __future__ import annotations

@@ -17,11 +17,16 @@ Composition with the cross-cutting layers:
   the same code-3/code-4 outcomes as the CLI.  :meth:`ReproService.drain`
   cancels every in-flight budget, so active queries return best-so-far
   :class:`~repro.results.PartialResult`\\ s instead of being dropped.
-* **observability** — every request runs under its own
+* **observability** — every request gets a correlation id at ingress
+  (client-supplied ``request_id`` or a fresh one), echoed in the
+  response envelope, stamped on trace events, and carried into pool
+  workers.  Each request runs under its own
   :class:`~repro.obs.MetricsRecorder`; completed request snapshots are
-  folded into one server-wide recorder (per-endpoint request counters,
-  cache hit/miss/eviction counters, queue-depth gauge), optionally
-  mirrored to a ``--trace`` JSONL sink.
+  folded into one server-wide recorder (per-endpoint request counters
+  and cold/warm latency histograms, cache hit/miss/eviction counters,
+  queue-depth gauge), optionally mirrored to a ``--trace`` JSONL sink.
+  ``GET /metrics`` renders the server-wide recorder in the Prometheus
+  text format; ``--access-log`` appends one JSON line per request.
 * **parallelism** — ``--workers`` becomes the
   :class:`~repro.parallel.ParallelConfig` used for cold index builds and
   path sweeps.
@@ -36,6 +41,7 @@ import signal
 import sys
 import threading
 import time
+import uuid
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
@@ -52,7 +58,7 @@ from ..errors import (
 )
 from ..graph import read_edge_list
 from ..graph.stats import summarize
-from ..obs import MetricsRecorder
+from ..obs import MetricsRecorder, render_exposition
 from ..options import RunOptions
 from ..registry import get_method
 from ..resilience import NULL_BUDGET, RunBudget
@@ -90,12 +96,14 @@ class ServiceConfig:
     # directory for the on-disk index tier (v2 files, loaded via mmap on
     # cold start instead of rebuilding); None disables it
     index_dir: Optional[str] = None
+    # structured JSON access log (one object per request); None disables
+    access_log_path: Optional[str] = None
 
 
 class ReproService:
     """Transport-free core of the daemon: ops, caches, coalescing, obs."""
 
-    def __init__(self, config: ServiceConfig, sink=None):
+    def __init__(self, config: ServiceConfig, sink=None, access_log=None):
         self.config = config
         if config.index_dir:
             os.makedirs(config.index_dir, exist_ok=True)
@@ -105,6 +113,8 @@ class ReproService:
         self._flight = SingleFlight()
         self._recorder = MetricsRecorder(sink=sink)
         self._rec_lock = threading.Lock()
+        self._access_log = access_log
+        self._access_lock = threading.Lock()
         self._draining = threading.Event()
         self._budgets_lock = threading.Lock()
         self._active_budgets: set = set()
@@ -122,9 +132,37 @@ class ReproService:
         with self._rec_lock:
             self._recorder.gauge(name, value)
 
+    def _observe(self, name: str, value: float) -> None:
+        with self._rec_lock:
+            self._recorder.observe(name, value)
+
     def _absorb(self, recorder: MetricsRecorder, prefix: str) -> None:
         with self._rec_lock:
             self._recorder.absorb(recorder.snapshot(), prefix=prefix)
+
+    def metrics_text(self) -> str:
+        """The server-wide recorder as a Prometheus text exposition."""
+        with self._rec_lock:
+            snapshot = self._recorder.snapshot()
+        return render_exposition(snapshot)
+
+    def _log_access(
+        self, op: Any, rid: str, code: int, duration_s: float, temp: str
+    ) -> None:
+        if self._access_log is None:
+            return
+        entry = {
+            "ts": time.time(),
+            "op": op if isinstance(op, str) else "",
+            "request_id": rid,
+            "code": code,
+            "duration_s": duration_s,
+            "temp": temp,
+        }
+        line = json.dumps(entry, sort_keys=True) + "\n"
+        with self._access_lock:
+            self._access_log.write(line)
+            self._access_log.flush()
 
     # -- lifecycle ------------------------------------------------------
 
@@ -297,6 +335,7 @@ class ReproService:
         cached = self._results.get(result_key)
         if cached is not None:
             self._count("service/result_cache/hit")
+            obj["_temp"] = "warm"
             return self._query_envelope(
                 cached, include_stats, cached=True, coalesced=False,
                 query_time_s=time.perf_counter() - t0,
@@ -308,7 +347,9 @@ class ReproService:
         try:
             def compute():
                 self._count("service/computations")
-                recorder = MetricsRecorder()
+                recorder = MetricsRecorder(
+                    request_id=obj.get("_request_id")
+                )
                 try:
                     try:
                         index, _ = self._get_index(
@@ -332,6 +373,9 @@ class ReproService:
             result, leader = self._flight.do(result_key, compute)
         finally:
             self._untrack_budget(budget)
+        # cold means this request led a fresh computation; coalesced
+        # followers rode a leader's work, so their latency is warm-ish
+        obj["_temp"] = "cold" if leader else "warm"
         if not leader:
             self._count("service/coalesced")
         elif not result.is_partial:
@@ -365,13 +409,14 @@ class ReproService:
         index_key = self._index_key(graph_key, obj)
         budget = self._budget_for(obj)
         self._track_budget(budget)
-        recorder = MetricsRecorder()
+        recorder = MetricsRecorder(request_id=obj.get("_request_id"))
         try:
             index, was_cached = self._get_index(
                 index_key, graph, recorder, budget
             )
         finally:
             self._untrack_budget(budget)
+        obj["_temp"] = "warm" if was_cached else "cold"
         if not was_cached:
             self._absorb(recorder, prefix="req/build")
         return envelope(
@@ -393,15 +438,18 @@ class ReproService:
         index_key = self._index_key(graph_key, obj)
         budget = self._budget_for(obj)
         self._track_budget(budget)
-        recorder = MetricsRecorder()
+        recorder = MetricsRecorder(request_id=obj.get("_request_id"))
         try:
-            index, _ = self._get_index(index_key, graph, recorder, budget)
+            index, was_cached = self._get_index(
+                index_key, graph, recorder, budget
+            )
             profile = density_profile(
                 index, iterations=iterations,
                 options=self._options_for(recorder, budget),
             )
         finally:
             self._untrack_budget(budget)
+        obj["_temp"] = "warm" if was_cached else "cold"
         self._absorb(recorder, prefix="req/profile")
         return envelope(
             "profile", CODE_OK,
@@ -429,6 +477,10 @@ class ReproService:
                 name: value
                 for name, value in sorted(self._recorder.gauges.items())
             }
+            histograms = {
+                name: hist.summary()
+                for name, hist in sorted(self._recorder.histograms.items())
+            }
         payload: Dict[str, Any] = {
             "schema": SERVICE_STATS_SCHEMA,
             "uptime_s": time.monotonic() - self._started,
@@ -437,6 +489,7 @@ class ReproService:
             "in_flight": self._flight.in_flight(),
             "counters": counters,
             "gauges": gauges,
+            "histograms": histograms,
             "index_cache": self._indices.stats(),
             "result_cache": self._results.stats(),
             "index_keys": [
@@ -464,9 +517,28 @@ class ReproService:
         """One parsed request object in, one response envelope out.
 
         Never raises: every failure mode maps to an error envelope whose
-        ``code`` follows the CLI exit-code convention.
+        ``code`` follows the CLI exit-code convention.  Every response —
+        success or error — carries a ``request_id``: the client's own
+        (when it sent one) or a fresh id generated here at ingress; the
+        same id is stamped on the request's trace events and pool-worker
+        snapshots, and on its access-log entry.
         """
         op = obj.get("op")
+        rid = obj.get("request_id")
+        if not isinstance(rid, str) or not rid:
+            rid = uuid.uuid4().hex[:16]
+        obj["_request_id"] = rid
+        started = time.perf_counter()
+        response = self._dispatch(op, obj)
+        duration_s = time.perf_counter() - started
+        response["request_id"] = rid
+        temp = obj.get("_temp", "warm")
+        if op in self._OPS and response.get("error") is None:
+            self._observe(f"service/latency/{op}/{temp}", duration_s)
+        self._log_access(op, rid, response.get("code", 0), duration_s, temp)
+        return response
+
+    def _dispatch(self, op, obj: Dict[str, Any]) -> Dict[str, Any]:
         if op not in self._OPS:
             return error_envelope(
                 op, CODE_BAD_REQUEST,
@@ -608,6 +680,16 @@ class _Handler(BaseHTTPRequestHandler):
                 [self.service.handle_request({"op": "stats"})]
             )
             return
+        if self.path == "/metrics":
+            body = self.service.metrics_text().encode("utf-8")
+            self.send_response(200)
+            self.send_header(
+                "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+            )
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+            return
         self._respond_envelopes(
             [error_envelope(None, CODE_BAD_REQUEST,
                             f"unknown path {self.path!r}")]
@@ -626,14 +708,14 @@ class _ServiceHTTPServer(ThreadingHTTPServer):
 
 
 def make_server(
-    config: ServiceConfig, sink=None
+    config: ServiceConfig, sink=None, access_log=None
 ) -> Tuple[_ServiceHTTPServer, ReproService]:
     """Bind a server for ``config`` without entering its accept loop.
 
     Exposed for tests: bind to port 0, read the real port off
     ``server.server_address``, run ``serve_forever`` in a thread.
     """
-    service = ReproService(config, sink=sink)
+    service = ReproService(config, sink=sink, access_log=access_log)
     server = _ServiceHTTPServer((config.host, config.port), service)
     return server, service
 
@@ -647,6 +729,7 @@ def serve_forever(
     workers: Optional[int] = None,
     trace_path: Optional[str] = None,
     index_dir: Optional[str] = None,
+    access_log_path: Optional[str] = None,
 ) -> int:
     """Run the daemon until SIGTERM/SIGINT; returns the exit code.
 
@@ -659,13 +742,20 @@ def serve_forever(
         result_cache_size=result_cache_size,
         default_timeout_s=default_timeout_s, workers=workers,
         trace_path=trace_path, index_dir=index_dir,
+        access_log_path=access_log_path,
     )
     sink = open(trace_path, "w", encoding="utf-8") if trace_path else None
+    access_log = (
+        open(access_log_path, "a", encoding="utf-8")
+        if access_log_path else None
+    )
     try:
-        server, service = make_server(config, sink=sink)
+        server, service = make_server(config, sink=sink, access_log=access_log)
     except OSError:
         if sink is not None:
             sink.close()
+        if access_log is not None:
+            access_log.close()
         raise
 
     def _on_signal(signum, frame):
@@ -695,5 +785,7 @@ def serve_forever(
             signal.signal(signum, handler)
         if sink is not None:
             sink.close()
+        if access_log is not None:
+            access_log.close()
     print("repro service drained", flush=True)
     return 0

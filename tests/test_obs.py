@@ -60,6 +60,33 @@ class TestMetricsRecorder:
         rec.gauge("density", 0.75)
         assert rec.gauges == {"density": 0.75}
 
+    def test_observe_collects_into_histograms(self):
+        rec = MetricsRecorder()
+        rec.observe("latency", 0.002)
+        rec.observe("latency", 0.004)
+        assert rec.histograms["latency"].count == 2
+        assert rec.quantile("latency", 0.5) is not None
+        assert rec.quantile("missing", 0.5) is None
+
+    def test_span_observe_records_elapsed_into_histogram(self):
+        clock = iter([0.0, 0.0, 3.0, 3.0])
+        rec = MetricsRecorder(clock=lambda: next(clock))
+        with rec.span("index/build", observe="stage/index_build"):
+            pass
+        hist = rec.histograms["stage/index_build"]
+        assert hist.count == 1
+        assert hist.total == pytest.approx(3.0)
+
+    def test_event_bumps_aggregate_counter(self):
+        rec = MetricsRecorder()
+        rec.event("refine_iteration", density=0.5)
+        rec.event("refine_iteration", density=0.6)
+        rec.event("checkpoint")
+        assert rec.counters["events/refine_iteration"] == 2
+        assert rec.counters["events/checkpoint"] == 1
+        # the bump is aggregate-only: with a sink, event() still emits
+        # exactly one trace line per call (see test_events_are_valid_jsonl)
+
     def test_spans_nest_with_slash_paths(self):
         rec = MetricsRecorder()
         with rec.span("exact"):

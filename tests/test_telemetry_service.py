@@ -1,0 +1,197 @@
+"""Service telemetry: /metrics exposition, request ids, access log."""
+
+import io
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.obs import (
+    Histogram,
+    histogram_from_buckets,
+    parse_exposition,
+    sanitize_metric_name,
+)
+from repro.service import ReproService, ServiceConfig, make_server
+
+DATASET = "email"
+
+
+def make_service(**kwargs) -> ReproService:
+    return ReproService(
+        ServiceConfig(cache_size=2, result_cache_size=8), **kwargs
+    )
+
+
+def query(service, **fields):
+    obj = {"op": "query", "dataset": DATASET, "k": 4, "iterations": 3}
+    obj.update(fields)
+    return service.handle_request(obj)
+
+
+class TestRequestIds:
+    def test_every_response_carries_a_request_id(self):
+        service = make_service()
+        responses = [
+            query(service),
+            query(service),  # warm
+            service.handle_request({"op": "stats"}),
+            service.handle_request({"op": "nope"}),  # error envelope too
+        ]
+        rids = [r.get("request_id") for r in responses]
+        assert all(isinstance(rid, str) and rid for rid in rids)
+        assert len(set(rids)) == len(rids)  # generated ids are unique
+
+    def test_client_request_id_is_echoed(self):
+        service = make_service()
+        response = query(service, request_id="my-correlation-id")
+        assert response["request_id"] == "my-correlation-id"
+
+    def test_request_id_stamps_trace_events(self):
+        sink = io.StringIO()
+        service = make_service(sink=sink)
+        query(service, request_id="rid-under-test")
+        stamped = [
+            json.loads(line)
+            for line in sink.getvalue().splitlines()
+            if json.loads(line).get("rid") == "rid-under-test"
+        ]
+        assert stamped, "the request's computation left no rid-stamped events"
+        assert any(e["event"] == "span_end" for e in stamped)
+
+
+class TestLatencyHistograms:
+    def test_cold_and_warm_split(self):
+        service = make_service()
+        first = query(service)
+        assert first["cached"] is False
+        for _ in range(3):
+            assert query(service)["cached"] is True
+        digests = service.stats_snapshot()["histograms"]
+        assert digests["service/latency/query/cold"]["count"] == 1
+        assert digests["service/latency/query/warm"]["count"] == 3
+
+    def test_build_profile_and_stats_temperatures(self):
+        service = make_service()
+        service.handle_request({"op": "build", "dataset": DATASET})
+        service.handle_request({"op": "build", "dataset": DATASET})
+        service.handle_request({"op": "stats"})
+        digests = service.stats_snapshot()["histograms"]
+        assert digests["service/latency/build/cold"]["count"] == 1
+        assert digests["service/latency/build/warm"]["count"] == 1
+        assert digests["service/latency/stats/warm"]["count"] >= 1
+
+    def test_stats_digests_match_recorder_quantiles(self):
+        service = make_service()
+        query(service)
+        query(service)
+        digests = service.stats_snapshot()["histograms"]
+        for name, digest in digests.items():
+            hist = service._recorder.histograms[name]
+            assert digest["count"] == hist.count
+            assert digest["p50"] == hist.quantile(0.50)
+            assert digest["p95"] == hist.quantile(0.95)
+            assert digest["p99"] == hist.quantile(0.99)
+
+
+class TestMetricsEndpoint:
+    def test_exposition_agrees_with_stats(self):
+        service = make_service()
+        query(service)
+        query(service)
+        service.handle_request({"op": "build", "dataset": DATASET})
+        stats = service.stats_snapshot()
+        parsed = parse_exposition(service.metrics_text())
+        for name, value in stats["counters"].items():
+            metric = parsed[sanitize_metric_name(name) + "_total"]
+            assert metric["type"] == "counter"
+            assert metric["value"] == value
+        for name, digest in stats["histograms"].items():
+            metric = parsed[sanitize_metric_name(name)]
+            assert metric["type"] == "histogram"
+            cumulative = [count for _, count in metric["buckets"]]
+            assert cumulative == sorted(cumulative), f"{name} not monotone"
+            assert metric["buckets"][-1][0] == float("inf")
+            assert metric["buckets"][-1][1] == digest["count"]
+            assert metric["count"] == digest["count"]
+            assert metric["sum"] == pytest.approx(digest["sum"])
+            bounds, counts = histogram_from_buckets(metric["buckets"])
+            rebuilt = Histogram.from_snapshot({
+                "bounds": bounds, "counts": counts,
+                "sum": metric["sum"], "count": metric["count"],
+            })
+            for q, field in ((0.5, "p50"), (0.95, "p95"), (0.99, "p99")):
+                assert rebuilt.quantile(q) == digest[field], (name, field)
+
+    def test_http_scrape(self):
+        httpd, service = make_server(
+            ServiceConfig(port=0, cache_size=2, result_cache_size=8)
+        )
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        try:
+            port = httpd.server_address[1]
+
+            def post(path, obj):
+                req = urllib.request.Request(
+                    f"http://127.0.0.1:{port}{path}",
+                    data=json.dumps(obj).encode(), method="POST",
+                )
+                with urllib.request.urlopen(req, timeout=60) as resp:
+                    return json.loads(resp.read().decode().splitlines()[0])
+
+            first = post("/v1/query", {"dataset": DATASET, "k": 4,
+                                       "iterations": 3})
+            second = post("/v1/query", {"dataset": DATASET, "k": 4,
+                                        "iterations": 3,
+                                        "request_id": "http-rid"})
+            assert first["request_id"] and second["request_id"] == "http-rid"
+
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/metrics", timeout=60
+            ) as resp:
+                assert resp.status == 200
+                content_type = resp.headers.get("Content-Type", "")
+                text = resp.read().decode("utf-8")
+            assert content_type.startswith("text/plain")
+            parsed = parse_exposition(text)
+            requests_total = parsed["repro_service_requests_query_total"]
+            assert requests_total["value"] == 2
+            warm = parsed["repro_service_latency_query_warm"]
+            assert warm["count"] == 1
+            cumulative = [count for _, count in warm["buckets"]]
+            assert cumulative == sorted(cumulative)
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+
+
+class TestAccessLog:
+    def test_one_json_line_per_request(self):
+        log = io.StringIO()
+        service = make_service(access_log=log)
+        first = query(service)
+        warm = query(service, request_id="logged-rid")
+        service.handle_request({"op": "stats"})
+        entries = [
+            json.loads(line) for line in log.getvalue().splitlines()
+        ]
+        assert len(entries) == 3
+        assert [e["op"] for e in entries] == ["query", "query", "stats"]
+        assert entries[0]["request_id"] == first["request_id"]
+        assert entries[1]["request_id"] == "logged-rid"
+        assert entries[0]["temp"] == "cold"
+        assert entries[1]["temp"] == "warm"
+        for entry in entries:
+            assert entry["code"] == 0
+            assert entry["duration_s"] >= 0
+            assert entry["ts"] > 0
+
+    def test_errors_are_logged_too(self):
+        log = io.StringIO()
+        service = make_service(access_log=log)
+        response = service.handle_request({"op": "query"})  # missing fields
+        (entry,) = [json.loads(line) for line in log.getvalue().splitlines()]
+        assert entry["code"] == response["code"] == 2
+        assert entry["request_id"] == response["request_id"]
