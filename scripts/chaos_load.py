@@ -1,0 +1,298 @@
+#!/usr/bin/env python
+"""Chaos-under-load suite for the ``repro.service`` daemon.
+
+Starts ``python -m repro serve`` with tight admission limits and a small
+worker pool, then attacks it three ways while asserting the resilience
+contract from docs/robustness.md:
+
+1. **Overload**: a thundering herd of mixed cold builds and warm queries
+   against ``--max-concurrent 2 --max-queue 2``.  Every response —
+   including 429s and 503s — must be a well-formed ``repro/service-v1``
+   envelope that passes ``repro.obs.validate``, every rejection must
+   carry ``retry_after_s``, and ZERO requests may hang past the deadline.
+2. **Worker crash**: the ``REPRO_FAULT_WORKER_KILL`` marker SIGKILLs a
+   pool worker mid-sweep; the query must still answer, its result must
+   be byte-identical to an uncrashed in-process serial run, and the
+   crash must be visible in ``parallel/worker_crashes``.
+3. **Disk corruption**: the persisted ``.sct2`` index is overwritten
+   with garbage; a cold restart must quarantine the corrupt file,
+   rebuild, and answer code 0.
+
+Afterwards the daemon drains on SIGTERM and the suite asserts no
+``/dev/shm`` segment leaked.  Artifacts (access log, final /metrics
+dump) land in ``--artifact-dir`` for CI upload.
+
+Run from the repo root::
+
+    PYTHONPATH=src python scripts/chaos_load.py
+"""
+
+import argparse
+import glob
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor, as_completed
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.obs.validate import validate_result  # noqa: E402
+from repro.parallel import engine as engine_mod  # noqa: E402
+from repro.service.client import ServiceClient  # noqa: E402
+
+DATASET = "email"
+CRASH_K = 6
+HERD = 24
+REQUEST_DEADLINE_S = 300.0
+
+
+def check(condition, message):
+    if not condition:
+        raise SystemExit(f"FAIL: {message}")
+    print(f"ok: {message}")
+
+
+def shm_segments():
+    return set(glob.glob("/dev/shm/psm_*")) | set(glob.glob("/dev/shm/sct*"))
+
+
+def raw_post(port, path, obj, timeout=REQUEST_DEADLINE_S):
+    """One un-retried exchange; 4xx/5xx bodies are answers, not errors."""
+    req = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=json.dumps(obj).encode(),
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, dict(resp.headers), resp.read()
+    except urllib.error.HTTPError as exc:
+        with exc:
+            return exc.code, dict(exc.headers), exc.read()
+
+
+def validated_envelope(status, headers, body, origin):
+    lines = body.decode().splitlines()
+    check(lines, f"{origin}: response body is non-empty")
+    envelope = json.loads(lines[0])
+    errors = validate_result(envelope)
+    check(not errors, f"{origin}: envelope validates ({errors or 'clean'})")
+    if status == 429:
+        check(envelope.get("rejected") is True,
+              f"{origin}: 429 body says rejected")
+        check("Retry-After" in headers,
+              f"{origin}: 429 carries Retry-After header")
+    return envelope
+
+
+def overload_phase(port):
+    """Thundering herd against max-concurrent 2 / max-queue 2."""
+    print(f"\n--- phase 1: overload ({HERD} concurrent requests) ---")
+    jobs = []
+    for i in range(HERD):
+        if i % 3 == 0:  # cold-ish: distinct k forces a fresh computation
+            jobs.append({"dataset": DATASET, "k": 4 + (i % 5),
+                         "method": "sctl*"})
+        else:  # warm herd: identical query, coalesces or cache-hits
+            jobs.append({"dataset": DATASET, "k": 5, "method": "sctl*"})
+
+    t0 = time.perf_counter()
+    outcomes = []
+    with ThreadPoolExecutor(HERD) as pool:
+        futures = {
+            pool.submit(raw_post, port, "/v1/query", job): n
+            for n, job in enumerate(jobs)
+        }
+        pending = set(futures)
+        for future in as_completed(futures, timeout=REQUEST_DEADLINE_S):
+            pending.discard(future)
+            outcomes.append((futures[future], future.result()))
+    herd_s = time.perf_counter() - t0
+    check(not pending, "zero hung requests (all herd futures completed)")
+    check(len(outcomes) == HERD,
+          f"all {HERD} herd requests answered in {herd_s:.1f}s")
+
+    answered = rejected = 0
+    for n, (status, headers, body) in sorted(outcomes):
+        envelope = validated_envelope(status, headers, body, f"herd[{n}]")
+        if status == 429 or envelope.get("rejected"):
+            rejected += 1
+        elif envelope["code"] == 0:
+            answered += 1
+    check(answered + rejected >= HERD * 3 // 4,
+          f"herd outcomes decisive: {answered} ok, {rejected} rejected")
+    check(answered >= 1, "at least one herd query computed")
+    print(f"herd: {answered} answered, {rejected} rejected, "
+          f"{HERD - answered - rejected} other")
+
+    # a polite retrying client gets through AFTER the herd: the gate frees
+    client = ServiceClient(f"http://127.0.0.1:{port}",
+                           timeout_s=REQUEST_DEADLINE_S, max_retries=8)
+    envelope = client.query(dataset=DATASET, k=5, method="sctl*")
+    check(envelope["code"] == 0, "retrying client admitted after the herd")
+    return rejected
+
+
+def crash_phase(port, marker_path):
+    """SIGKILL a pool worker mid-query; demand byte-parity with serial."""
+    print("\n--- phase 2: worker crash ---")
+    from repro import densest_subgraph
+    from repro.datasets.registry import load_dataset
+
+    serial = densest_subgraph(
+        load_dataset(DATASET), CRASH_K, method="sctl*", iterations=10,
+    ).to_dict()
+    serial.pop("timings")
+
+    with open(marker_path, "w") as fh:  # arm: one SIGKILL
+        fh.write("1")
+    status, headers, body = raw_post(
+        port, "/v1/query",
+        {"dataset": DATASET, "k": CRASH_K, "method": "sctl*",
+         "iterations": 10},
+    )
+    envelope = validated_envelope(status, headers, body, "crash-query")
+    check(envelope["code"] == 0, "query with a SIGKILLed worker answered 0")
+    crashed = envelope["result"]
+    crashed.pop("timings")
+    check(json.dumps(crashed, sort_keys=True)
+          == json.dumps(serial, sort_keys=True),
+          "crashed-worker result byte-identical to uncrashed serial run")
+
+    stats = json.loads(
+        raw_post(port, "/v1/stats", {})[2].decode().splitlines()[0]
+    )
+    counters = stats["stats"]["counters"]
+    check(counters.get("parallel/worker_crashes", 0) >= 1,
+          f"crash visible in metrics "
+          f"(parallel/worker_crashes={counters.get('parallel/worker_crashes')})")
+    if os.path.exists(marker_path):
+        os.unlink(marker_path)
+
+
+def corruption_phase(index_dir, artifact_dir):
+    """Corrupt the persisted index; a cold restart must quarantine it."""
+    print("\n--- phase 3: disk corruption ---")
+    disk_files = [
+        name for name in os.listdir(index_dir) if name.endswith(".sct2")
+    ]
+    check(disk_files, f"server persisted indices under {index_dir}")
+    victim = os.path.join(index_dir, disk_files[0])
+    with open(victim, "wb") as fh:
+        fh.write(b"\xde\xad\xbe\xef not an index " * 64)
+
+    proc, port = start_server(index_dir, artifact_dir, suffix="-corruption")
+    try:
+        status, headers, body = raw_post(
+            port, "/v1/query", {"dataset": DATASET, "k": 5, "method": "sctl*"}
+        )
+        envelope = validated_envelope(status, headers, body, "post-corruption")
+        check(envelope["code"] == 0,
+              "query after corruption answered 0 (quarantine + rebuild)")
+        quarantine = os.path.join(index_dir, "quarantine")
+        check(os.path.isdir(quarantine) and os.listdir(quarantine),
+              f"corrupt file quarantined: {os.listdir(quarantine)}")
+    finally:
+        stop_server(proc, "corruption server")
+
+
+def start_server(index_dir, artifact_dir, suffix=""):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    env[engine_mod._FAULT_ENV] = env.get(
+        engine_mod._FAULT_ENV, os.path.join(index_dir, "kill.marker")
+    )
+    access_log = os.path.join(artifact_dir, f"access{suffix}.jsonl")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--max-concurrent", "2", "--max-queue", "2",
+         "--workers", "2",
+         "--index-dir", index_dir,
+         "--access-log", access_log],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env, text=True,
+    )
+    announce = proc.stdout.readline()
+    if "listening on http://" not in announce:
+        proc.kill()
+        _, err = proc.communicate()
+        raise SystemExit(
+            f"FAIL: daemon never announced itself "
+            f"(stdout={announce.strip()!r}, stderr tail={err[-2000:]!r})"
+        )
+    print(f"ok: daemon announced itself: {announce.strip()}")
+    return proc, int(announce.rsplit(":", 1)[1])
+
+
+def stop_server(proc, label):
+    proc.send_signal(signal.SIGTERM)
+    try:
+        out, _ = proc.communicate(timeout=120)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        proc.communicate()
+        raise SystemExit(f"FAIL: {label} did not drain within 120s")
+    check(proc.returncode == 0, f"{label} exited 0 on SIGTERM")
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--artifact-dir", default=os.path.join(REPO_ROOT, "chaos-artifacts"),
+        help="where the access log and final /metrics dump land",
+    )
+    args = parser.parse_args()
+    os.makedirs(args.artifact_dir, exist_ok=True)
+
+    shm_before = shm_segments()
+    index_dir = tempfile.mkdtemp(prefix="chaos-indices-")
+    marker_path = os.path.join(index_dir, "kill.marker")
+    os.environ[engine_mod._FAULT_ENV] = marker_path
+
+    try:
+        proc, port = start_server(index_dir, args.artifact_dir)
+        try:
+            rejected = overload_phase(port)
+            crash_phase(port, marker_path)
+
+            # snapshot /metrics and /readyz before draining
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/metrics", timeout=30
+            ) as resp:
+                metrics_text = resp.read().decode()
+            with open(os.path.join(args.artifact_dir, "metrics.prom"),
+                      "w") as fh:
+                fh.write(metrics_text)
+            check("repro_service" in metrics_text, "/metrics dump captured")
+            if rejected:
+                check("service_rejected" in metrics_text.replace("/", "_")
+                      or "service/rejected" in metrics_text,
+                      "rejections visible in exported metrics")
+        finally:
+            stop_server(proc, "chaos server")
+
+        corruption_phase(index_dir, args.artifact_dir)
+    finally:
+        leaked = shm_segments() - shm_before
+        for path in leaked:  # clean up before failing loudly
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        shutil.rmtree(index_dir, ignore_errors=True)
+    check(not leaked, f"zero leaked /dev/shm segments (leaked: {leaked})")
+
+    print("\nchaos load: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

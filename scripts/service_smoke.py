@@ -2,10 +2,13 @@
 """End-to-end smoke test for the ``repro.service`` query daemon.
 
 Starts ``python -m repro serve`` as a subprocess against the golden
-``email`` graph, then asserts the properties the service exists for:
+``email`` graph, then — through the retrying
+:class:`repro.service.client.ServiceClient` — asserts the properties
+the service exists for:
 
-1. build / query / profile all answer with validating versioned payloads
-   (``repro/result-v1`` inside a ``repro/service-v1`` envelope);
+1. ``/readyz`` reports ready, and build / query / profile all answer
+   with validating versioned payloads (``repro/result-v1`` inside a
+   ``repro/service-v1`` envelope);
 2. a warm (index-cached) query costs < 10% of the cold build;
 3. 8 concurrent identical queries trigger exactly ONE underlying
    computation (single-flight coalescing + result cache);
@@ -16,35 +19,28 @@ Run from the repo root::
     PYTHONPATH=src python scripts/service_smoke.py
 """
 
-import json
 import os
 import signal
 import subprocess
 import sys
 import time
-import urllib.request
 from concurrent.futures import ThreadPoolExecutor
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
 from repro.obs.validate import validate_result  # noqa: E402
+from repro.service.client import ServiceClient  # noqa: E402
 
 DATASET = "email"
 K = 7
 
 
-def rpc(port, path, obj, timeout=300):
-    req = urllib.request.Request(
-        f"http://127.0.0.1:{port}{path}",
-        data=json.dumps(obj).encode(),
-        method="POST",
-    )
-    with urllib.request.urlopen(req, timeout=timeout) as resp:
-        envelope = json.loads(resp.read().decode().splitlines()[0])
+def rpc(client, op, obj):
+    envelope = client._rpc(op, dict(obj))
     errors = validate_result(envelope)
     if errors:
-        raise SystemExit(f"invalid {path} envelope: {errors}")
+        raise SystemExit(f"invalid {op} envelope: {errors}")
     return envelope
 
 
@@ -66,22 +62,27 @@ def main():
         check("listening on http://" in announce,
               f"daemon announced itself: {announce.strip()}")
         port = int(announce.rsplit(":", 1)[1])
+        client = ServiceClient(f"http://127.0.0.1:{port}", timeout_s=300)
+
+        status, payload = client.readyz()
+        check(status == 200 and payload["status"] == "ok",
+              "daemon is ready (/readyz 200)")
 
         # 1. cold build, then query and profile on the cached index
         t0 = time.perf_counter()
-        build = rpc(port, "/v1/build", {"dataset": DATASET})
+        build = rpc(client, "build", {"dataset": DATASET})
         cold_build_s = time.perf_counter() - t0
         check(build["code"] == 0 and not build["index"]["cached"],
               f"cold build ok in {cold_build_s:.3f}s "
               f"(k_max={build['index']['max_clique_size']})")
 
         query_obj = {"dataset": DATASET, "k": K, "method": "sctl*"}
-        first = rpc(port, "/v1/query", query_obj)
+        first = rpc(client, "query", query_obj)
         check(first["code"] == 0
               and first["result"]["schema"] == "repro/result-v1",
               f"query answered result-v1 (density={first['result']['density']:.2f})")
 
-        profile = rpc(port, "/v1/profile", {"dataset": DATASET})
+        profile = rpc(client, "profile", {"dataset": DATASET})
         check(profile["code"] == 0
               and profile["profile"]["schema"] == "repro/profile-v1"
               and profile["profile"]["rows"],
@@ -89,7 +90,7 @@ def main():
 
         # 2. warm query must be <10% of the cold build
         t0 = time.perf_counter()
-        warm = rpc(port, "/v1/query", query_obj)
+        warm = rpc(client, "query", query_obj)
         warm_query_s = time.perf_counter() - t0
         check(warm["cached"], "second identical query served from result cache")
         check(warm_query_s < 0.10 * cold_build_s,
@@ -100,14 +101,14 @@ def main():
         fresh = {"dataset": DATASET, "k": K + 1, "method": "sctl*"}
         with ThreadPoolExecutor(8) as pool:
             futures = [
-                pool.submit(rpc, port, "/v1/query", fresh) for _ in range(8)
+                pool.submit(rpc, client, "query", fresh) for _ in range(8)
             ]
             envelopes = [f.result() for f in futures]
         check(all(e["code"] == 0 for e in envelopes),
               "all 8 concurrent queries answered")
         shared = sum(1 for e in envelopes if e["coalesced"] or e["cached"])
         check(shared == 7, f"7 of 8 coalesced or cache-served (got {shared})")
-        stats = rpc(port, "/v1/stats", {})
+        stats = rpc(client, "stats", {})
         computed = stats["stats"]["counters"]["service/computations"]
         check(computed == 2,  # k=7 cold query + one coalesced k=8 flight
               f"exactly one computation per distinct query (total {computed})")

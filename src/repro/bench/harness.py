@@ -11,6 +11,7 @@ paper's layout row for row.
 from __future__ import annotations
 
 import multiprocessing
+import signal
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -207,7 +208,29 @@ def timed_hard(fn: Callable[[], Any], budget: float) -> Timed:
         child.join()
         return Timed(result=None, seconds=float("inf"), timed_out=True)
     seconds = time.perf_counter() - start
-    if queue.empty():  # child died without reporting (e.g. OOM kill)
+    if queue.empty():  # child died without reporting anything
+        # decode how it died: a signal (negative exitcode) names an
+        # external killer — SIGKILL usually means the OOM reaper — while
+        # a plain nonzero exit is a crash inside the child.  Either way
+        # it is a harness-level failure worth raising loudly, not a
+        # silent "time out" row; exitcode 0/None keeps the historical
+        # timed-out report (the child was torn down mid-put).
+        code = child.exitcode
+        if code is not None and code < 0:
+            try:
+                name = signal.Signals(-code).name
+            except ValueError:
+                name = f"signal {-code}"
+            hint = " (likely the OOM killer)" if -code == signal.SIGKILL else ""
+            raise RuntimeError(
+                f"hard-timed child died from {name}{hint} "
+                f"after {seconds:.3f}s without reporting a result"
+            )
+        if code:  # nonzero exit, no result on the queue
+            raise RuntimeError(
+                f"hard-timed child exited with code {code} "
+                f"after {seconds:.3f}s without reporting a result"
+            )
         return Timed(result=None, seconds=seconds, timed_out=True)
     tag, value = queue.get()
     if tag == "error":

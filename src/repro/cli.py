@@ -220,7 +220,63 @@ def _cmd_build_index(args: argparse.Namespace) -> int:
     return 0
 
 
+def _graph_request_fields(spec: str) -> dict:
+    """The ``dataset``/``path`` request fields for a graph argument."""
+    if spec.startswith("dataset:"):
+        return {"dataset": spec.split(":", 1)[1]}
+    return {"path": spec}
+
+
+def _cmd_query_remote(args: argparse.Namespace) -> int:
+    """``query --endpoint``: ask a running daemon instead of computing.
+
+    Retries/backoff (including 429 + Retry-After from admission control)
+    live in :class:`~repro.service.ServiceClient`; envelope codes map
+    onto the same exit codes the local path uses.
+    """
+    from .errors import ServiceUnavailable
+    from .service import ServiceClient
+
+    client = ServiceClient(
+        args.endpoint,
+        timeout_s=(args.time_budget or 30.0) + 30.0,
+    )
+    fields = dict(
+        _graph_request_fields(args.graph),
+        k=args.k, method=args.method, iterations=args.iterations,
+        seed=args.seed,
+    )
+    if args.sample_size is not None:
+        fields["sample_size"] = args.sample_size
+    if args.time_budget is not None:
+        fields["timeout_s"] = args.time_budget
+    try:
+        env = client.query(**fields)
+    except ServiceUnavailable as exc:
+        print(f"service unavailable: {exc}", file=sys.stderr)
+        return EXIT_EXHAUSTED
+    code = env.get("code", 1)
+    if env.get("error"):
+        print(f"error: {env['error']}", file=sys.stderr)
+        return code if code in (2, EXIT_EXHAUSTED, EXIT_PARTIAL) else 1
+    if args.json:
+        print(json.dumps(env, indent=2))
+    else:
+        result = env.get("result", {})
+        print(
+            f"k={result.get('k')} density={result.get('density')} "
+            f"size={len(result.get('vertices', []))} "
+            f"(cached={env.get('cached')}, coalesced={env.get('coalesced')}, "
+            f"{env.get('query_time_s', 0):.3f}s)"
+        )
+        if args.show_vertices:
+            print(f"vertices: {result.get('vertices')}")
+    return code
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
+    if getattr(args, "endpoint", None):
+        return _cmd_query_remote(args)
     graph = _load_graph(args.graph)
     index: Optional[SCTIndex] = None
     if args.index:
@@ -365,6 +421,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         trace_path=args.trace,
         index_dir=args.index_dir,
         access_log_path=args.access_log,
+        max_concurrent=args.max_concurrent,
+        max_queue=args.max_queue,
     )
 
 
@@ -460,6 +518,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit the result as a versioned repro/result-v1 JSON payload",
     )
+    query.add_argument(
+        "--endpoint", metavar="URL",
+        help="send the query to a running daemon (e.g. "
+             "http://127.0.0.1:8642) instead of computing locally; "
+             "retries with backoff on 429/503",
+    )
     _add_obs_flags(query)
     _add_resilience_flags(query)
     _add_parallel_flag(query)
@@ -537,6 +601,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--access-log", metavar="PATH",
         help="append one structured JSON line per request to PATH "
              "(op, code, request_id, duration, cold/warm)",
+    )
+    serve.add_argument(
+        "--max-concurrent", type=int, default=None, metavar="N",
+        help="admission control: at most N requests per endpoint class "
+             "(query vs cold build) run at once; beyond N + queue the "
+             "server answers 429 + Retry-After (default: unlimited)",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=16, metavar="N",
+        help="bounded admission wait queue per endpoint class "
+             "(default 16; only meaningful with --max-concurrent)",
     )
     _add_parallel_flag(serve)
 

@@ -82,6 +82,45 @@ class CheckpointError(ReproError):
     with the run attempting to resume from it."""
 
 
+class WorkerCrashError(ReproError):
+    """A pool worker died abnormally (SIGKILL/OOM) during a sweep.
+
+    The parallel engine raises this internally when it detects a dead
+    worker mid-``imap``; it recovers by rebuilding the pool and re-running
+    the unacknowledged chunks, degrading to in-process serial execution
+    after :attr:`~repro.parallel.ParallelConfig.max_crash_retries`
+    rebuilds.  It only escapes to callers if even the serial fallback is
+    impossible."""
+
+
+class CircuitOpenError(ReproError):
+    """A circuit breaker is open: recent attempts for this cache key kept
+    failing, so the request fast-fails instead of re-running doomed work.
+
+    ``retry_after_s`` says when the next half-open probe is due;
+    ``last_error`` carries the failure that tripped the breaker."""
+
+    def __init__(self, message: str, retry_after_s: float = 0.0,
+                 last_error: "BaseException | None" = None):
+        self.retry_after_s = retry_after_s
+        self.last_error = last_error
+        super().__init__(message)
+
+
+class ServiceUnavailable(ReproError):
+    """The service client exhausted its retries against an unavailable or
+    overloaded daemon.
+
+    ``last_status`` is the final HTTP status observed (None when the
+    connection itself failed); ``attempts`` counts requests sent."""
+
+    def __init__(self, message: str, last_status: "int | None" = None,
+                 attempts: int = 0):
+        self.last_status = last_status
+        self.attempts = attempts
+        super().__init__(message)
+
+
 class TimeoutExceeded(BudgetExhausted):
     """A run exceeded its wall-clock budget.
 

@@ -347,13 +347,31 @@ def _validate_service_envelope(payload: dict) -> List[str]:
     if not isinstance(op, str):
         errors.append("'op' must be a string")
     code = payload.get("code")
-    if code not in (0, 1, 2, 3, 4):
-        errors.append(f"'code' must be one of 0-4, got {code!r}")
+    if code not in (0, 1, 2, 3, 4, 5):
+        errors.append(f"'code' must be one of 0-5, got {code!r}")
     error = payload.get("error")
     if error is not None and not isinstance(error, str):
         errors.append("'error' must be null or a string")
     if code in (1, 2) and not error:
         errors.append(f"an error response (code {code}) needs an 'error'")
+    if code == 5:
+        # admission rejection: never started, must say so and say when
+        # to come back
+        if not error:
+            errors.append("a rejection (code 5) needs an 'error'")
+        if payload.get("rejected") is not True:
+            errors.append("a rejection (code 5) must carry 'rejected': true")
+    retry_after = payload.get("retry_after_s")
+    if retry_after is not None and (
+        not isinstance(retry_after, (int, float))
+        or isinstance(retry_after, bool)
+        or retry_after < 0
+    ):
+        errors.append(
+            "'retry_after_s' must be a non-negative number when given"
+        )
+    if payload.get("rejected") is True and retry_after is None:
+        errors.append("a rejected envelope must carry 'retry_after_s'")
     for nested_key in ("result", "profile", "stats", "graph"):
         nested = payload.get(nested_key)
         if nested is not None:
@@ -363,10 +381,25 @@ def _validate_service_envelope(payload: dict) -> List[str]:
     return errors
 
 
+# counters every service stats payload must carry (pre-seeded at server
+# start), so dashboards and the chaos suite can rely on their presence
+_REQUIRED_SERVICE_COUNTERS = ("service/rejected", "parallel/worker_crashes")
+
+
 def _validate_service_stats_v1(payload: dict) -> List[str]:
     errors: List[str] = []
-    if not isinstance(payload.get("counters"), dict):
+    counters = payload.get("counters")
+    if not isinstance(counters, dict):
         errors.append("'counters' must be an object")
+    else:
+        for name in _REQUIRED_SERVICE_COUNTERS:
+            v = counters.get(name)
+            if v is None:
+                errors.append(f"counters must include {name!r}")
+            elif not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                errors.append(
+                    f"counters.{name} must be a non-negative int, got {v!r}"
+                )
     histograms = payload.get("histograms")
     if histograms is not None:
         if not isinstance(histograms, dict):

@@ -16,6 +16,7 @@ byte-identical to passing nothing at all.
 from __future__ import annotations
 
 import multiprocessing
+import threading
 from dataclasses import dataclass
 from typing import Optional
 
@@ -45,14 +46,29 @@ class ParallelConfig:
     start_method:
         ``multiprocessing`` start method (``"fork"``, ``"spawn"``,
         ``"forkserver"``).  ``None`` picks ``fork`` when the platform
-        offers it (cheapest: the index is inherited, not pickled) and
-        the platform default otherwise.
+        offers it AND the process is single-threaded at pool-creation
+        time, falling back to ``spawn`` otherwise.  Forking a
+        multithreaded process (e.g. from inside the HTTP service's
+        handler threads) clones locks in whatever state other threads
+        hold them, so a worker can deadlock in bootstrap before it ever
+        reaches the task loop; it also clones Python-level signal
+        handlers, making such a worker immune to ``Pool.terminate()``'s
+        SIGTERM.  ``spawn`` children start from a fresh interpreter and
+        have neither problem — the engine's shm broadcast was designed
+        to work identically under both.
+    max_crash_retries:
+        How many times a sweep may rebuild the pool after detecting a
+        crashed worker (SIGKILL/OOM) before degrading to in-process
+        serial execution of the remaining chunks.  ``0`` means any
+        crash goes straight to the serial fallback.  Either way the
+        sweep completes with results byte-identical to an uncrashed run.
     """
 
     workers: int = 1
     chunks_per_worker: int = 4
     max_tasks_per_child: Optional[int] = None
     start_method: Optional[str] = None
+    max_crash_retries: int = 2
 
     def __post_init__(self) -> None:
         if (
@@ -80,6 +96,15 @@ class ParallelConfig:
             raise InvalidParameterError(
                 f"max_tasks_per_child must be None or an int >= 1, "
                 f"got {self.max_tasks_per_child!r}"
+            )
+        if (
+            not isinstance(self.max_crash_retries, int)
+            or isinstance(self.max_crash_retries, bool)
+            or self.max_crash_retries < 0
+        ):
+            raise InvalidParameterError(
+                f"max_crash_retries must be an int >= 0, "
+                f"got {self.max_crash_retries!r}"
             )
         if self.start_method is not None:
             available = multiprocessing.get_all_start_methods()
@@ -120,12 +145,19 @@ class ParallelConfig:
         )
 
     def context(self):
-        """The ``multiprocessing`` context this config asks for."""
+        """The ``multiprocessing`` context this config asks for.
+
+        Evaluated lazily at pool-creation time because the fork-vs-spawn
+        choice depends on whether *other threads exist right now*: the
+        same config may serve a single-threaded CLI run (fork is safe
+        and cheap) and a threaded service daemon (fork would clone
+        handler-thread lock state into the worker and deadlock it).
+        """
         method = self.start_method
         if method is None:
-            method = (
-                "fork"
-                if "fork" in multiprocessing.get_all_start_methods()
-                else None
-            )
+            available = multiprocessing.get_all_start_methods()
+            if "fork" in available and threading.active_count() == 1:
+                method = "fork"
+            elif "spawn" in available:
+                method = "spawn"
         return multiprocessing.get_context(method)

@@ -31,11 +31,17 @@ alongside the result, where it is absorbed into the parent trace.
 
 from __future__ import annotations
 
+import atexit
+import os
+import signal
+import time
 import weakref
 from math import comb
+from multiprocessing import TimeoutError as _PoolTimeout
 from multiprocessing import resource_tracker, shared_memory
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
+from ..errors import WorkerCrashError
 from ..obs import NULL_RECORDER, Recorder
 from .config import ParallelConfig
 
@@ -47,6 +53,39 @@ __all__ = ["PathShardEngine", "ParallelPathView"]
 
 # per-process worker state, populated by the pool initializer
 _WORKER_STATE: Dict[str, object] = {}
+
+# crash-detection cadence: poll the ordered imap at this interval so a
+# lost task (a SIGKILLed worker takes its chunk with it and Pool never
+# resubmits) cannot hang the sweep; with worker recycling enabled a pid
+# leaving the pool is routine, so only a pid change *plus* this long
+# with no results counts as a crash
+_CRASH_POLL_S = 0.2
+_CRASH_GRACE_S = 5.0
+
+# chaos hook: when this env var names a marker file, a worker picking up
+# a task atomically claims the file and SIGKILLs itself (see
+# _maybe_inject_worker_crash) — how scripts/chaos_load.py and the crash
+# tests create real dead workers deterministically
+_FAULT_ENV = "REPRO_FAULT_WORKER_KILL"
+
+# every live broadcast block this process owns, released at interpreter
+# exit as a second line of defence behind each engine's finalizer — an
+# abnormal teardown must never orphan a /dev/shm segment
+_LIVE_SHM: Dict[str, shared_memory.SharedMemory] = {}
+_ATEXIT_ARMED = False
+
+
+def _track_shm(shm: shared_memory.SharedMemory) -> None:
+    global _ATEXIT_ARMED
+    _LIVE_SHM[shm.name] = shm
+    if not _ATEXIT_ARMED:
+        atexit.register(_release_all_shm)
+        _ATEXIT_ARMED = True
+
+
+def _release_all_shm() -> None:
+    for shm in list(_LIVE_SHM.values()):
+        _release_shm(shm)
 
 
 def _share_index(index) -> Tuple[shared_memory.SharedMemory, Tuple]:
@@ -217,7 +256,45 @@ _SWEEP_OPS = {
 }
 
 
+def _maybe_inject_worker_crash() -> None:
+    """Die by SIGKILL if the chaos marker file grants this worker a crash.
+
+    The marker (path in ``REPRO_FAULT_WORKER_KILL``) holds a decimal
+    count of crashes to inject.  A worker claims it by atomic rename —
+    exactly one process wins a concurrent claim — decrements the count,
+    rewrites the marker if crashes remain, and kills itself with the one
+    signal Python cannot catch.  No marker, no behaviour change.
+    """
+    marker = os.environ.get(_FAULT_ENV)
+    if not marker:
+        return
+    claim = f"{marker}.{os.getpid()}"
+    try:
+        os.rename(marker, claim)
+    except OSError:
+        return  # no marker left, or another worker won the claim
+    try:
+        with open(claim, "r", encoding="utf-8") as fh:
+            remaining = int(fh.read().strip() or "1")
+    except (OSError, ValueError):
+        remaining = 1
+    try:
+        os.remove(claim)
+    except OSError:
+        pass
+    if remaining > 1:
+        tmp = claim + ".tmp"
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write(str(remaining - 1))
+            os.replace(tmp, marker)
+        except OSError:
+            pass
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
 def _run_sweep_task(task):
+    _maybe_inject_worker_crash()
     op, lo, hi, k, enforce_support, payload = task
     index = _WORKER_STATE["index"]
     if _WORKER_STATE["record"]:
@@ -292,6 +369,16 @@ class PathShardEngine:
     reference) unlinks it.  Close with :meth:`close` or use as a context
     manager.  The engine never polls budgets — callers do, between the
     ordered chunk results.
+
+    Crash recovery: a SIGKILLed/OOM-killed worker silently loses its
+    task, which would hang ``imap`` forever.  :meth:`map` therefore
+    polls the iterator, watches the pool's worker pids, and on a
+    detected death tears the pool down, rebuilds it against the same
+    shared-memory block, and re-submits only the unacknowledged chunks
+    (results arrive in submission order, so the yielded prefix is safe).
+    After ``config.max_crash_retries`` rebuilds it degrades to running
+    the remaining chunks in-process — same ops, same order, so results
+    stay byte-identical to an uncrashed run either way.
     """
 
     def __init__(
@@ -304,7 +391,9 @@ class PathShardEngine:
         self._config = config
         self._recorder = recorder
         self._pool = None
+        self._known_pids: Set[int] = set()
         self._shm = None
+        self._meta = None
         self._finalizer = None
         self._chunks = _root_chunks(
             index, config.workers * config.chunks_per_worker, recorder
@@ -323,10 +412,12 @@ class PathShardEngine:
     def n_chunks(self) -> int:
         return len(self._chunks)
 
-    def _ensure_pool(self):
-        if self._pool is None:
-            ctx = self._config.context()
-            self._shm, meta = _share_index(self._index)
+    def _ensure_shm(self):
+        """The broadcast block, created once and reused across pool
+        rebuilds (a crash kills workers, not the shared mapping)."""
+        if self._shm is None:
+            self._shm, self._meta = _share_index(self._index)
+            _track_shm(self._shm)
             # safety net: unlink the block even if close() is never called
             self._finalizer = weakref.finalize(
                 self, _release_shm, self._shm
@@ -334,17 +425,142 @@ class PathShardEngine:
             if self._recorder.enabled:
                 self._recorder.counter("parallel/broadcast_bytes", self._shm.size)
                 self._recorder.gauge("parallel/broadcast_mode", "shared_memory")
+        return self._shm
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            self._ensure_shm()
+            ctx = self._config.context()
             self._pool = ctx.Pool(
                 processes=self._config.workers,
                 initializer=_init_sweep_worker,
                 initargs=(
-                    meta,
+                    self._meta,
                     bool(self._recorder.enabled),
                     getattr(self._recorder, "request_id", None),
                 ),
                 maxtasksperchild=self._config.max_tasks_per_child,
             )
+            self._known_pids = self._worker_pids()
         return self._pool
+
+    def _discard_pool_if_workers_died(self) -> None:
+        """Between sweeps, a pool whose worker set changed is suspect.
+
+        A worker SIGKILLed while *idle* can die holding the shared task
+        queue's reader lock, deadlocking every surviving and respawned
+        worker — no task is ever picked up again, and no further pid
+        vanishes for the in-sweep watcher to notice.  Rebuilding is the
+        only safe reuse.  With worker recycling pid turnover is routine,
+        so the check only applies when ``max_tasks_per_child`` is off
+        (the in-sweep grace-period detection still covers that mode).
+        """
+        if self._pool is None or self._config.max_tasks_per_child is not None:
+            return
+        if self._worker_pids() != self._known_pids:
+            self._teardown_pool()
+            if self._recorder.enabled:
+                self._recorder.counter("parallel/worker_crashes")
+                self._recorder.counter("parallel/pool_rebuilds")
+
+    def _worker_pids(self) -> Set[int]:
+        pool = self._pool
+        if pool is None:
+            return set()
+        try:
+            return {
+                proc.pid for proc in list(pool._pool) if proc.pid is not None
+            }
+        except Exception:
+            return set()
+
+    def _teardown_pool(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        # Pool.terminate() deadlocks on a pool with a SIGKILLed worker:
+        # its drain helper blocks acquiring the task queue's reader lock,
+        # which a worker killed mid-``recv`` died holding (similarly, one
+        # killed mid-result-write died holding the result queue's writer
+        # lock, hanging the shutdown sentinel ``put``).  Make the
+        # teardown unambiguous instead: stop the maintenance thread from
+        # respawning, kill every worker outright, then force-release the
+        # two locks only (now dead) workers could hold —
+        # ``multiprocessing.Lock.release`` is documented to work from any
+        # process — so ``terminate()`` can finish.  Workers are stateless
+        # compute; SIGKILL loses nothing.
+        try:
+            import multiprocessing.pool as _mp_pool
+
+            pool._state = getattr(_mp_pool, "TERMINATE", "TERMINATE")
+            procs = list(pool._pool)
+            for proc in procs:
+                if proc.pid is not None and proc.is_alive():
+                    try:
+                        os.kill(proc.pid, signal.SIGKILL)
+                    except OSError:
+                        pass
+            for proc in procs:
+                proc.join(timeout=2.0)
+            for lock in (
+                getattr(pool._inqueue, "_rlock", None),
+                getattr(pool._outqueue, "_wlock", None),
+            ):
+                if lock is None:
+                    continue
+                if lock.acquire(block=False):
+                    lock.release()
+                else:  # held by a dead worker: un-poison it
+                    try:
+                        lock.release()
+                    except Exception:
+                        pass
+        except Exception:
+            pass
+        try:
+            pool.terminate()
+            pool.join()
+        except Exception:
+            pass
+
+    def _watched_imap(self, pool, tasks) -> Iterator:
+        """``pool.imap`` with dead-worker detection.
+
+        A killed worker loses its task silently — Pool never resubmits
+        it — so a plain ``next()`` would block forever on the gap in the
+        ordered results.  Poll with a timeout instead and treat a worker
+        pid leaving the pool (or a broken result pipe) as a crash.  With
+        worker recycling (``max_tasks_per_child``) pid turnover is
+        routine, so there a crash additionally requires
+        ``_CRASH_GRACE_S`` with no progress.
+        """
+        it = pool.imap(_run_sweep_task, tasks)
+        known = self._worker_pids()
+        recycling = self._config.max_tasks_per_child is not None
+        last_progress = time.monotonic()
+        while True:
+            try:
+                item = it.next(timeout=_CRASH_POLL_S)
+            except StopIteration:
+                return
+            except _PoolTimeout:
+                current = self._worker_pids()
+                vanished = known - current
+                if vanished and (
+                    not recycling
+                    or time.monotonic() - last_progress > _CRASH_GRACE_S
+                ):
+                    raise WorkerCrashError(
+                        f"pool worker(s) {sorted(vanished)} died mid-sweep"
+                    )
+                known |= current
+                continue
+            except (BrokenPipeError, EOFError, ConnectionError, OSError) as exc:
+                raise WorkerCrashError(
+                    f"pool transport failed mid-sweep: {exc!r}"
+                ) from exc
+            last_progress = time.monotonic()
+            yield item
 
     def map(
         self,
@@ -356,19 +572,51 @@ class PathShardEngine:
         """Run ``op`` over every chunk; yield results in chunk order.
 
         Chunk order equals serial path order, so folding the yielded
-        results left to right reproduces the serial sweep exactly.
+        results left to right reproduces the serial sweep exactly —
+        including across worker crashes: the completed prefix is already
+        yielded, only unacknowledged chunks are re-run (pool rebuild) or
+        run in-process (serial fallback after ``max_crash_retries``).
         """
         if not self._chunks:
             return
-        pool = self._ensure_pool()
-        tasks = [
-            (op, lo, hi, k, enforce_support, payload) for lo, hi in self._chunks
-        ]
+        self._discard_pool_if_workers_died()
+        total = len(self._chunks)
+        done = 0
+        rebuilds_left = self._config.max_crash_retries
         absorbing = self._recorder.enabled and hasattr(self._recorder, "absorb")
-        for result, snapshot in pool.imap(_run_sweep_task, tasks):
-            if snapshot is not None and absorbing:
-                self._recorder.absorb(snapshot)
-            yield result
+        while done < total:
+            pool = self._ensure_pool()
+            tasks = [
+                (op, lo, hi, k, enforce_support, payload)
+                for lo, hi in self._chunks[done:]
+            ]
+            try:
+                for result, snapshot in self._watched_imap(pool, tasks):
+                    if snapshot is not None and absorbing:
+                        self._recorder.absorb(snapshot)
+                    done += 1
+                    yield result
+                return
+            except WorkerCrashError:
+                self._teardown_pool()
+                if self._recorder.enabled:
+                    self._recorder.counter("parallel/worker_crashes")
+                if rebuilds_left > 0:
+                    rebuilds_left -= 1
+                    if self._recorder.enabled:
+                        self._recorder.counter("parallel/pool_rebuilds")
+                    continue
+                # out of retries: finish the sweep in-process.  Same ops,
+                # same chunk order, and the in-parent call path never
+                # runs the chaos kill hook, so this always completes.
+                if self._recorder.enabled:
+                    self._recorder.counter("parallel/serial_fallback")
+                for lo, hi in self._chunks[done:]:
+                    yield _SWEEP_OPS[op](
+                        self._index, lo, hi, k, enforce_support, payload
+                    )
+                    done += 1
+                return
 
     def path_view(
         self, k: Optional[int], enforce_support: bool = True
@@ -400,14 +648,12 @@ class PathShardEngine:
 
     def close(self) -> None:
         """Tear the pool down and release the broadcast block (idempotent)."""
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        self._teardown_pool()
         if self._finalizer is not None:
             self._finalizer()  # runs _release_shm exactly once
             self._finalizer = None
             self._shm = None
+            self._meta = None
 
     def __enter__(self) -> "PathShardEngine":
         return self
@@ -424,6 +670,7 @@ class PathShardEngine:
 
 def _release_shm(shm: shared_memory.SharedMemory) -> None:
     """Close and unlink the broadcast block, tolerating repeats."""
+    _LIVE_SHM.pop(shm.name, None)
     try:
         shm.close()
     except (BufferError, ValueError):

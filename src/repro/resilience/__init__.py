@@ -18,6 +18,11 @@ Three cooperating pieces harden the long-running SCTL* pipeline:
   boundaries (the obs span names), so CI can prove interrupt-anywhere
   safety; ``python -m repro.resilience.chaos`` sweeps one fault per
   pipeline stage.
+* :class:`AdmissionGate` / :class:`AdmissionController` /
+  :class:`CircuitBreaker` (:mod:`repro.resilience.overload`) — bounded
+  concurrency with a small wait queue per endpoint class, and a
+  per-cache-key consecutive-failure latch with half-open probes; the
+  service composes them into 429/Retry-After overload handling.
 
 See ``docs/robustness.md`` for the full API and semantics.
 """
@@ -33,8 +38,18 @@ from .faults import (
     FaultInjectingRecorder,
     FaultPlan,
 )
+from .overload import (
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionGate,
+    CircuitBreaker,
+)
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionGate",
+    "CircuitBreaker",
     "Budget",
     "NullBudget",
     "RunBudget",

@@ -1,0 +1,310 @@
+"""Overload protection: admission gates and circuit breakers.
+
+Two transport-free primitives behind the service's resilience story
+(``docs/robustness.md`` has the operator-facing contract):
+
+* :class:`AdmissionGate` / :class:`AdmissionController` — a bounded
+  concurrency limit plus a small bounded wait queue per endpoint class
+  (cold builds queue separately from warm queries, so an index-build
+  storm cannot starve cheap lookups).  A request either takes a slot
+  immediately, waits in the bounded queue until a slot frees, or is
+  turned away with a :class:`AdmissionDecision` naming why — the server
+  maps that to HTTP 429 plus a ``Retry-After`` derived from its latency
+  histograms.
+* :class:`CircuitBreaker` — a per-cache-key failure latch.  After
+  ``threshold`` consecutive build/query failures the breaker *opens* and
+  requests fast-fail with the last error instead of re-running a doomed
+  computation; after ``cooldown_s`` one *half-open* probe is let through,
+  and its outcome either re-closes or re-opens the breaker.
+
+Both are plain :mod:`threading` objects with injectable clocks, usable
+(and tested) without any HTTP machinery.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from ..errors import InvalidParameterError
+
+__all__ = [
+    "AdmissionDecision",
+    "AdmissionGate",
+    "AdmissionController",
+    "CircuitBreaker",
+]
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one :meth:`AdmissionGate.try_acquire`.
+
+    ``reason`` is ``"admitted"``, ``"queue_full"`` (turned away at the
+    door — the bounded wait queue had no room) or ``"wait_timeout"``
+    (queued, but no slot freed within the caller's wait budget).
+    ``queue_depth`` is the number of waiters observed at decision time.
+    """
+
+    admitted: bool
+    reason: str
+    waited_s: float = 0.0
+    queue_depth: int = 0
+
+
+class AdmissionGate:
+    """A concurrency slot pool with a bounded FIFO-ish wait queue.
+
+    At most ``max_concurrent`` callers hold a slot; at most ``max_queue``
+    more may wait for one.  Anyone beyond that is rejected immediately —
+    rejection is cheap, pile-up is not.
+    """
+
+    def __init__(
+        self,
+        max_concurrent: int,
+        max_queue: int = 0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if not isinstance(max_concurrent, int) or max_concurrent < 1:
+            raise InvalidParameterError(
+                f"max_concurrent must be an int >= 1, got {max_concurrent!r}"
+            )
+        if not isinstance(max_queue, int) or max_queue < 0:
+            raise InvalidParameterError(
+                f"max_queue must be an int >= 0, got {max_queue!r}"
+            )
+        self.max_concurrent = max_concurrent
+        self.max_queue = max_queue
+        self._clock = clock
+        self._cond = threading.Condition()
+        self._active = 0
+        self._waiting = 0
+
+    @property
+    def active(self) -> int:
+        with self._cond:
+            return self._active
+
+    @property
+    def waiting(self) -> int:
+        with self._cond:
+            return self._waiting
+
+    @property
+    def saturated(self) -> bool:
+        """Every slot busy *and* the wait queue full: reject territory."""
+        with self._cond:
+            return (
+                self._active >= self.max_concurrent
+                and self._waiting >= self.max_queue
+            )
+
+    def try_acquire(
+        self, wait_timeout_s: Optional[float] = None
+    ) -> AdmissionDecision:
+        """Take a slot, waiting up to ``wait_timeout_s`` in the queue.
+
+        ``None`` waits indefinitely (the queue bound still applies, so
+        the pile-up stays finite).  The caller MUST :meth:`release` after
+        an admitted decision, and must not after a rejected one.
+        """
+        start = self._clock()
+        with self._cond:
+            if self._active < self.max_concurrent and self._waiting == 0:
+                self._active += 1
+                return AdmissionDecision(True, "admitted", 0.0, 0)
+            if self._waiting >= self.max_queue:
+                return AdmissionDecision(
+                    False, "queue_full", 0.0, self._waiting
+                )
+            self._waiting += 1
+            deadline = (
+                None if wait_timeout_s is None else start + wait_timeout_s
+            )
+            try:
+                while self._active >= self.max_concurrent:
+                    remaining = (
+                        None if deadline is None
+                        else deadline - self._clock()
+                    )
+                    if remaining is not None and remaining <= 0:
+                        return AdmissionDecision(
+                            False, "wait_timeout",
+                            self._clock() - start, self._waiting,
+                        )
+                    self._cond.wait(remaining)
+                self._active += 1
+                return AdmissionDecision(
+                    True, "admitted", self._clock() - start, self._waiting
+                )
+            finally:
+                self._waiting -= 1
+
+    def release(self) -> None:
+        with self._cond:
+            self._active -= 1
+            self._cond.notify()
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._cond:
+            return {
+                "active": self._active,
+                "waiting": self._waiting,
+                "max_concurrent": self.max_concurrent,
+                "max_queue": self.max_queue,
+            }
+
+
+class AdmissionController:
+    """One :class:`AdmissionGate` per endpoint class.
+
+    The default classes mirror the service's split: ``"query"`` for warm
+    lookups and ``"cold"`` for index builds/profiles, each with its own
+    slots and queue so neither workload can starve the other.
+    """
+
+    def __init__(
+        self,
+        max_concurrent: int,
+        max_queue: int = 0,
+        classes: Sequence[str] = ("query", "cold"),
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self._gates: Dict[str, AdmissionGate] = {
+            cls: AdmissionGate(max_concurrent, max_queue, clock=clock)
+            for cls in classes
+        }
+
+    def gate(self, cls: str) -> AdmissionGate:
+        return self._gates[cls]
+
+    @property
+    def classes(self) -> Tuple[str, ...]:
+        return tuple(self._gates)
+
+    @property
+    def saturated(self) -> bool:
+        """Any class at capacity with a full queue (``/readyz`` → 503)."""
+        return any(gate.saturated for gate in self._gates.values())
+
+    def snapshot(self) -> Dict[str, Dict[str, int]]:
+        return {cls: gate.snapshot() for cls, gate in self._gates.items()}
+
+
+class CircuitBreaker:
+    """Consecutive-failure latch with a half-open recovery probe.
+
+    States: ``closed`` (all traffic flows) → ``open`` after ``threshold``
+    consecutive failures (everything fast-fails with :attr:`last_error`)
+    → ``half_open`` after ``cooldown_s`` (exactly one probe allowed; its
+    outcome decides) → ``closed`` again, or back to ``open``.
+
+    Thread-safe; callers pair every allowed request with exactly one
+    :meth:`record_success` or :meth:`record_failure`.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        threshold: int = 5,
+        cooldown_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if not isinstance(threshold, int) or threshold < 1:
+            raise InvalidParameterError(
+                f"threshold must be an int >= 1, got {threshold!r}"
+            )
+        if cooldown_s < 0:
+            raise InvalidParameterError(
+                f"cooldown_s must be >= 0, got {cooldown_s!r}"
+            )
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+        self.last_error: Optional[BaseException] = None
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._effective_state()
+
+    def _effective_state(self) -> str:
+        # lock held; an expired cooldown reads as half_open
+        if (
+            self._state == self.OPEN
+            and self._clock() - self._opened_at >= self.cooldown_s
+        ):
+            return self.HALF_OPEN
+        return self._state
+
+    def allow(self) -> bool:
+        """May a request proceed right now?
+
+        In half-open state only the first caller gets a ``True`` (the
+        probe); everyone else keeps fast-failing until the probe reports.
+        """
+        with self._lock:
+            state = self._effective_state()
+            if state == self.CLOSED:
+                return True
+            if state == self.HALF_OPEN:
+                if not self._probing:
+                    self._state = self.HALF_OPEN
+                    self._probing = True
+                    return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._state = self.CLOSED
+            self._failures = 0
+            self._probing = False
+            self.last_error = None
+
+    def release_probe(self) -> None:
+        """An allowed request ended with no breaker-relevant outcome
+        (budget exhausted, bad request): free the half-open probe slot so
+        the next request can try instead of fast-failing forever."""
+        with self._lock:
+            self._probing = False
+
+    def record_failure(self, error: Optional[BaseException] = None) -> None:
+        with self._lock:
+            if error is not None:
+                self.last_error = error
+            self._failures += 1
+            was_half_open = self._state == self.HALF_OPEN
+            self._probing = False
+            if was_half_open or self._failures >= self.threshold:
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+
+    @property
+    def retry_after_s(self) -> float:
+        """Seconds until the next half-open probe (0 when not open)."""
+        with self._lock:
+            if self._state != self.OPEN:
+                return 0.0
+            remaining = self.cooldown_s - (self._clock() - self._opened_at)
+            return max(0.0, remaining)
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "state": self._effective_state(),
+                "failures": self._failures,
+                "last_error": (
+                    repr(self.last_error) if self.last_error else None
+                ),
+            }

@@ -20,6 +20,7 @@ full protocol, the cache-key rules and the tuning guide.
 """
 
 from .cache import LRUCache
+from .client import ServiceClient
 from .protocol import (
     KNOWN_OPS,
     SERVICE_SCHEMA,
@@ -33,6 +34,7 @@ from .singleflight import SingleFlight
 
 __all__ = [
     "LRUCache",
+    "ServiceClient",
     "SingleFlight",
     "ReproService",
     "ServiceConfig",

@@ -1,0 +1,210 @@
+"""Retrying HTTP client for the query daemon.
+
+The server side of the overload story (admission control, circuit
+breakers — see ``docs/robustness.md``) only works if clients cooperate:
+a 429 or 503 means *back off and come back*, not *hammer until it
+sticks*.  :class:`ServiceClient` encodes that contract once so the CLI
+(``repro query --endpoint``), the smoke scripts and the chaos suite all
+behave identically:
+
+* retries on 429/503 responses and on connection-level failures
+  (connection refused, reset, short read) with **exponential backoff
+  plus full jitter**, capped per attempt;
+* honours a ``Retry-After`` header when the server sends one — the
+  server computes it from its latency histograms, which beats any guess
+  the client could make;
+* never retries 4xx other than 429 (the request itself is wrong) and
+  never retries a response that parsed into a well-formed envelope with
+  a non-rejected code — budget exhaustion (code 3/4) is an *outcome*,
+  not an availability problem;
+* raises :class:`~repro.errors.ServiceUnavailable` carrying the final
+  status and attempt count once retries are exhausted.
+
+Stdlib-only (:mod:`urllib.request`); injectable ``sleep`` and ``rng``
+keep the tests instant and deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import ServiceUnavailable
+
+__all__ = ["ServiceClient"]
+
+# statuses worth retrying: the request was fine, the server was not ready
+_RETRYABLE_STATUSES = (429, 503)
+
+
+def _parse_retry_after(value: Optional[str]) -> Optional[float]:
+    """Decode a ``Retry-After`` header (delta-seconds form only)."""
+    if not value:
+        return None
+    try:
+        seconds = float(value)
+    except ValueError:
+        return None  # HTTP-date form: not worth a date parser here
+    return seconds if seconds >= 0 else None
+
+
+class ServiceClient:
+    """A small, polite client for one daemon endpoint.
+
+    ``endpoint`` is the base URL (``http://127.0.0.1:8642``); the op
+    helpers POST to the ``/v1/<op>`` routes and return the decoded
+    ``repro/service-v1`` envelope.  Construction is cheap and the client
+    is stateless between calls, so sharing one across threads is fine.
+    """
+
+    def __init__(
+        self,
+        endpoint: str,
+        timeout_s: float = 30.0,
+        max_retries: int = 5,
+        backoff_base_s: float = 0.25,
+        backoff_max_s: float = 10.0,
+        jitter: float = 0.1,
+        sleep=time.sleep,
+        rng: Optional[random.Random] = None,
+    ):
+        self.endpoint = endpoint.rstrip("/")
+        self.timeout_s = timeout_s
+        self.max_retries = max_retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_max_s = backoff_max_s
+        self.jitter = jitter
+        self._sleep = sleep
+        self._rng = rng if rng is not None else random.Random()
+
+    # -- wire level -----------------------------------------------------
+
+    def _once(
+        self, path: str, body: Optional[bytes]
+    ) -> Tuple[int, Optional[str], bytes]:
+        """One HTTP exchange: ``(status, retry_after_header, body)``.
+
+        Raises ``OSError`` (including ``URLError``) on connection-level
+        failure; HTTP error statuses are returned, not raised.
+        """
+        request = urllib.request.Request(
+            self.endpoint + path,
+            data=body,
+            method="POST" if body is not None else "GET",
+            headers={"Content-Type": "application/x-ndjson"}
+            if body is not None else {},
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout_s
+            ) as response:
+                return (
+                    response.status,
+                    response.headers.get("Retry-After"),
+                    response.read(),
+                )
+        except urllib.error.HTTPError as exc:
+            # an error status with a readable body is still an exchange
+            with exc:
+                return exc.code, exc.headers.get("Retry-After"), exc.read()
+
+    def _backoff(self, attempt: int, retry_after: Optional[str]) -> float:
+        """Seconds to sleep before retry number ``attempt`` (1-based)."""
+        hinted = _parse_retry_after(retry_after)
+        if hinted is not None:
+            base = min(hinted, self.backoff_max_s)
+        else:
+            base = min(
+                self.backoff_max_s,
+                self.backoff_base_s * (2 ** (attempt - 1)),
+            )
+        # full jitter on top, so a herd of rejected clients spreads out
+        return base + self._rng.uniform(0, self.jitter * base)
+
+    def _exchange(
+        self, path: str, body: Optional[bytes]
+    ) -> Tuple[int, bytes]:
+        """POST/GET with retries; returns ``(status, body)`` on success.
+
+        Success means any status outside :data:`_RETRYABLE_STATUSES`
+        reached after at most ``max_retries`` retries.
+        """
+        attempts = 0
+        last_status: Optional[int] = None
+        last_error: Optional[BaseException] = None
+        retry_after: Optional[str] = None
+        while attempts <= self.max_retries:
+            if attempts:
+                self._sleep(self._backoff(attempts, retry_after))
+            attempts += 1
+            try:
+                status, retry_after, payload = self._once(path, body)
+            except (OSError, urllib.error.URLError) as exc:
+                last_status, last_error = None, exc
+                continue
+            if status in _RETRYABLE_STATUSES:
+                last_status, last_error = status, None
+                continue
+            return status, payload
+        detail = (
+            f"HTTP {last_status}" if last_status is not None
+            else f"connection failed ({last_error!r})"
+        )
+        raise ServiceUnavailable(
+            f"{self.endpoint}{path} unavailable after {attempts} attempts: "
+            f"{detail}",
+            last_status=last_status,
+            attempts=attempts,
+        )
+
+    def _rpc(self, op: str, obj: Dict[str, Any]) -> Dict[str, Any]:
+        body = json.dumps(dict(obj, op=op)).encode("utf-8")
+        status, payload = self._exchange(f"/v1/{op}", body)
+        lines = [ln for ln in payload.decode("utf-8").splitlines() if ln]
+        if not lines:
+            raise ServiceUnavailable(
+                f"empty response body (HTTP {status}) from /v1/{op}",
+                last_status=status, attempts=1,
+            )
+        return json.loads(lines[0])
+
+    # -- ops ------------------------------------------------------------
+
+    def query(self, **fields: Any) -> Dict[str, Any]:
+        """``op=query``; pass ``dataset``/``path``, ``k``, etc. as kwargs."""
+        return self._rpc("query", fields)
+
+    def build(self, **fields: Any) -> Dict[str, Any]:
+        return self._rpc("build", fields)
+
+    def profile(self, **fields: Any) -> Dict[str, Any]:
+        return self._rpc("profile", fields)
+
+    def stats(self, **fields: Any) -> Dict[str, Any]:
+        return self._rpc("stats", fields)
+
+    # -- probes (no retries beyond the shared loop) ---------------------
+
+    def healthz(self) -> Tuple[int, Dict[str, Any]]:
+        """Liveness probe — NOT retried: a 503 (draining) *is* the answer."""
+        status, _, payload = self._once("/healthz", None)
+        return status, json.loads(payload.decode("utf-8"))
+
+    def readyz(self) -> Tuple[int, Dict[str, Any]]:
+        """Readiness probe — NOT retried on 503: a not-ready answer is
+        the information the caller asked for, not a failure."""
+        status, _, payload = self._once("/readyz", None)
+        return status, json.loads(payload.decode("utf-8"))
+
+    def metrics(self) -> str:
+        status, payload = self._exchange("/metrics", None)
+        if status != 200:
+            raise ServiceUnavailable(
+                f"/metrics returned HTTP {status}",
+                last_status=status, attempts=1,
+            )
+        return payload.decode("utf-8")

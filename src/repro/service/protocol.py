@@ -39,11 +39,23 @@ Every **response** is one JSON object per line wrapped in the
 
 ``code`` mirrors the CLI exit codes: 0 success, 1 internal error,
 2 usage / bad request, 3 budget exhausted with nothing usable, 4 budget
-exhausted but a valid partial result is included.  Every response also
-carries ``request_id`` (see above).  Query responses embed the full
-``repro/result-v1`` payload under ``"result"`` plus ``cached`` (served
-from the finished-result cache), ``coalesced`` (shared a concurrent
-identical computation) and ``query_time_s``.
+exhausted but a valid partial result is included; code 5 is
+service-only: the request was **rejected by admission control**
+(concurrency slots and the bounded wait queue are full) and was never
+started.  Rejection envelopes carry ``"rejected": true`` and a
+``"retry_after_s"`` hint derived from the server's latency histograms;
+over HTTP they map to status 429 with a ``Retry-After`` header.  A
+request whose ``timeout_s`` provably cannot be met given the current
+queue (queue depth × observed p50) is rejected with code 3 semantics
+instead — budget exhausted before it began — also flagged
+``"rejected": true``.  Responses that fast-failed on an open circuit
+breaker carry ``"breaker_open": true`` (HTTP 503) plus
+``retry_after_s`` until the next half-open probe.
+
+Every response also carries ``request_id`` (see above).  Query
+responses embed the full ``repro/result-v1`` payload under ``"result"``
+plus ``cached`` (served from the finished-result cache), ``coalesced``
+(shared a concurrent identical computation) and ``query_time_s``.
 """
 
 from __future__ import annotations
@@ -84,14 +96,22 @@ def envelope(op: str, code: int = 0, **payload: Any) -> Dict[str, Any]:
     return body
 
 
-def error_envelope(op: Optional[str], code: int, message: str) -> Dict[str, Any]:
-    """An error response; ``code`` follows the CLI exit-code convention."""
-    return {
+def error_envelope(
+    op: Optional[str], code: int, message: str, **payload: Any
+) -> Dict[str, Any]:
+    """An error response; ``code`` follows the CLI exit-code convention.
+
+    Extra keyword fields (``rejected``, ``retry_after_s``,
+    ``breaker_open``, ...) land as envelope siblings.
+    """
+    body: Dict[str, Any] = {
         "schema": SERVICE_SCHEMA,
         "op": op or "",
         "code": code,
         "error": message,
     }
+    body.update(payload)
+    return body
 
 
 def parse_request(line: str) -> Dict[str, Any]:

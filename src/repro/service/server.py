@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 import os
 import signal
 import sys
@@ -52,6 +53,7 @@ from ..core.profile import density_profile
 from ..datasets import load_dataset
 from ..errors import (
     BudgetExhausted,
+    CircuitOpenError,
     DatasetError,
     InvalidParameterError,
     ReproError,
@@ -62,6 +64,7 @@ from ..obs import MetricsRecorder, render_exposition
 from ..options import RunOptions
 from ..registry import get_method
 from ..resilience import NULL_BUDGET, RunBudget
+from ..resilience.overload import AdmissionController, CircuitBreaker
 from ..results import PROFILE_SCHEMA, STATS_SCHEMA, PartialResult
 from .cache import LRUCache
 from .protocol import (
@@ -74,12 +77,25 @@ from .singleflight import SingleFlight
 
 __all__ = ["ServiceConfig", "ReproService", "serve_forever"]
 
-# response codes mirror the CLI exit codes (see repro.cli)
+# response codes mirror the CLI exit codes (see repro.cli); 5 is
+# service-only: rejected by admission control, never started (HTTP 429)
 CODE_OK = 0
 CODE_ERROR = 1
 CODE_BAD_REQUEST = 2
 CODE_EXHAUSTED = 3
 CODE_PARTIAL = 4
+CODE_REJECTED = 5
+
+# endpoint classes for admission control: cold index builds queue
+# separately from (usually warm) queries; stats stays ungated so
+# operators can always observe an overloaded server
+_ADMISSION_CLASS = {"query": "query", "build": "cold", "profile": "cold"}
+
+# Retry-After clamp: never tell a client "0" (thundering retry) and
+# never push it out more than two minutes
+_RETRY_AFTER_MIN_S = 0.1
+_RETRY_AFTER_MAX_S = 120.0
+_RETRY_AFTER_DEFAULT_S = 1.0
 
 
 @dataclass(frozen=True)
@@ -98,6 +114,15 @@ class ServiceConfig:
     index_dir: Optional[str] = None
     # structured JSON access log (one object per request); None disables
     access_log_path: Optional[str] = None
+    # admission control: at most max_concurrent requests per endpoint
+    # class run at once, at most max_queue more wait; beyond that the
+    # server rejects with 429 + Retry-After.  None disables the gates.
+    max_concurrent: Optional[int] = None
+    max_queue: int = 16
+    # circuit breaker per index cache key: open after this many
+    # consecutive failures, half-open probe after the cooldown
+    breaker_threshold: int = 5
+    breaker_cooldown_s: float = 30.0
 
 
 class ReproService:
@@ -120,6 +145,16 @@ class ReproService:
         self._active_budgets: set = set()
         self._req_lock = threading.Lock()
         self._active_requests = 0
+        self._admission = (
+            AdmissionController(config.max_concurrent, config.max_queue)
+            if config.max_concurrent is not None else None
+        )
+        self._breakers: Dict[Any, CircuitBreaker] = {}
+        self._breaker_lock = threading.Lock()
+        # pre-seed the overload counters so every stats payload carries
+        # them (repro.obs.validate requires their presence)
+        self._recorder.counter("service/rejected", 0)
+        self._recorder.counter("parallel/worker_crashes", 0)
         self._started = time.monotonic()
 
     # -- server-wide observability (the recorder is not thread-safe) ----
@@ -137,8 +172,19 @@ class ReproService:
             self._recorder.observe(name, value)
 
     def _absorb(self, recorder: MetricsRecorder, prefix: str) -> None:
+        snapshot = recorder.snapshot()
         with self._rec_lock:
-            self._recorder.absorb(recorder.snapshot(), prefix=prefix)
+            self._recorder.absorb(snapshot, prefix=prefix)
+            # crash-recovery counters also aggregate unprefixed so the
+            # overload story reads off one stable name per metric
+            for name in (
+                "parallel/worker_crashes",
+                "parallel/pool_rebuilds",
+                "parallel/serial_fallback",
+            ):
+                count = snapshot.get("counters", {}).get(name)
+                if count:
+                    self._recorder.counter(name, count)
 
     def metrics_text(self) -> str:
         """The server-wide recorder as a Prometheus text exposition."""
@@ -182,6 +228,113 @@ class ReproService:
             budgets = list(self._active_budgets)
         for budget in budgets:
             budget.cancel("cancelled")
+
+    @property
+    def admission_saturated(self) -> bool:
+        """Any endpoint class full with a full queue (``/readyz`` → 503)."""
+        return self._admission is not None and self._admission.saturated
+
+    # -- overload protection --------------------------------------------
+
+    def _latency_quantile(self, op: str, q: float) -> Optional[float]:
+        """Quantile of the op's *cold* latency histogram (None if empty)."""
+        with self._rec_lock:
+            return self._recorder.quantile(f"service/latency/{op}/cold", q)
+
+    def _retry_after(self, op: str) -> float:
+        """The Retry-After hint for a rejected ``op`` request.
+
+        p95 of the op's cold latency histogram — roughly "one slow
+        request from now a slot should be free" — clamped to a sane
+        range, with a 1s default before any latency has been observed.
+        """
+        p95 = self._latency_quantile(op, 0.95)
+        if p95 is None:
+            return _RETRY_AFTER_DEFAULT_S
+        return round(
+            min(_RETRY_AFTER_MAX_S, max(_RETRY_AFTER_MIN_S, p95)), 3
+        )
+
+    def _reject(
+        self, op: str, code: int, reason: str, message: str
+    ) -> Dict[str, Any]:
+        retry_after = self._retry_after(op)
+        self._count("service/rejected")
+        self._count(f"service/rejected/{reason}")
+        self._observe("service/retry_after_s", retry_after)
+        return error_envelope(
+            op, code, message, rejected=True, retry_after_s=retry_after
+        )
+
+    def _admit(self, op: str, obj: Dict[str, Any]):
+        """Pass the request through its class's admission gate.
+
+        Returns ``(rejection_envelope, gate)`` — exactly one is not
+        ``None``; an admitted request must ``gate.release()`` when done.
+        Before queueing, doomed work is rejected outright: if the
+        request's own ``timeout_s`` cannot cover the estimated queue
+        wait (queue depth × observed p50 cold latency), admitting it
+        would only burn a slot on a guaranteed code-3 response.
+        """
+        gate = self._admission.gate(_ADMISSION_CLASS[op])
+        timeout_s = obj.get("timeout_s", self.config.default_timeout_s)
+        if timeout_s is not None and gate.active >= gate.max_concurrent:
+            p50 = self._latency_quantile(op, 0.50)
+            if p50 is not None:
+                est_wait = p50 * math.ceil(
+                    (gate.waiting + 1) / gate.max_concurrent
+                )
+                if timeout_s < est_wait:
+                    return self._reject(
+                        op, CODE_EXHAUSTED, "doomed",
+                        f"timeout_s={timeout_s:g} cannot be met: estimated "
+                        f"queue wait {est_wait:.3f}s at current depth "
+                        f"(observed p50 {p50:.3f}s)",
+                    ), None
+        decision = gate.try_acquire(wait_timeout_s=timeout_s)
+        if decision.admitted:
+            if decision.waited_s:
+                self._observe("service/admission_wait_s", decision.waited_s)
+            return None, gate
+        if decision.reason == "queue_full":
+            return self._reject(
+                op, CODE_REJECTED, "queue_full",
+                f"server overloaded: {gate.max_concurrent} running and "
+                f"{decision.queue_depth} queued for class "
+                f"{_ADMISSION_CLASS[op]!r}",
+            ), None
+        return self._reject(
+            op, CODE_EXHAUSTED, "wait_timeout",
+            f"timed out after {decision.waited_s:.3f}s in the admission "
+            "queue before a slot freed",
+        ), None
+
+    def _breaker_for(self, index_key) -> CircuitBreaker:
+        with self._breaker_lock:
+            breaker = self._breakers.get(index_key)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    threshold=self.config.breaker_threshold,
+                    cooldown_s=self.config.breaker_cooldown_s,
+                )
+                self._breakers[index_key] = breaker
+            return breaker
+
+    def _note_breaker(self, index_key, breaker: CircuitBreaker) -> None:
+        """Mirror a breaker's state into the metrics (gauge per key)."""
+        digest = hashlib.sha256(
+            json.dumps(index_key, sort_keys=True, default=list).encode()
+        ).hexdigest()[:12]
+        self._gauge(f"breaker/state/{digest}", breaker.state)
+
+    def _breaker_snapshot(self) -> Dict[str, Any]:
+        with self._breaker_lock:
+            items = list(self._breakers.items())
+        return {
+            "/".join(str(part) for part in key[0]) + f"@{key[1]}":
+                breaker.snapshot()
+            for key, breaker in items
+        }
 
     # -- request plumbing -----------------------------------------------
 
@@ -253,6 +406,24 @@ class ReproService:
         ).hexdigest()
         return os.path.join(self.config.index_dir, f"{digest}.sct2")
 
+    def _quarantine(self, disk_path: str, exc: BaseException) -> None:
+        """Move a corrupt ``.sct2`` file into ``index_dir/quarantine/``.
+
+        The next hit rebuilds instead of re-erroring, and the bad bytes
+        stay on disk for a post-mortem.  A file that cannot be moved is
+        left in place (the load path already tolerates it).
+        """
+        qdir = os.path.join(self.config.index_dir, "quarantine")
+        try:
+            os.makedirs(qdir, exist_ok=True)
+            os.replace(
+                disk_path, os.path.join(qdir, os.path.basename(disk_path))
+            )
+        except OSError:
+            self._count("service/index_cache/quarantine_error")
+            return
+        self._count("service/index_cache/quarantined")
+
     def _get_index(
         self, index_key, graph, recorder: MetricsRecorder, budget
     ) -> Tuple[SCTIndex, bool]:
@@ -267,24 +438,43 @@ class ReproService:
         in-memory LRU and a rebuild: a cold start finds the key's v2
         file and memory-maps it (column views, no parsing — load time is
         independent of index size), and every fresh build is persisted
-        for the next process.  A corrupt or unreadable file falls back
-        to a rebuild; a failed store is logged and ignored (the index
-        itself is fine).
+        for the next process.  A corrupt or unreadable file is moved to
+        ``index_dir/quarantine/`` and rebuilt — one bad byte must not
+        error on every hit, and the evidence stays inspectable; a failed
+        store is logged and ignored (the index itself is fine).
+
+        A per-key :class:`~repro.resilience.CircuitBreaker` wraps the
+        whole load-or-build: after ``breaker_threshold`` consecutive
+        failures the key fast-fails with
+        :class:`~repro.errors.CircuitOpenError` (HTTP 503 +
+        Retry-After) until a half-open probe succeeds.  Budget
+        exhaustion and bad-request errors do not count as failures.
         """
         index = self._indices.get(index_key)
         if index is not None:
             self._count("service/index_cache/hit")
             return index, True
         self._count("service/index_cache/miss")
+        breaker = self._breaker_for(index_key)
+        if not breaker.allow():
+            self._count("service/breaker/fast_fail")
+            raise CircuitOpenError(
+                "circuit open for this index key after repeated failures "
+                f"(last: {breaker.last_error!r})",
+                retry_after_s=round(breaker.retry_after_s, 3),
+                last_error=breaker.last_error,
+            )
         threshold = index_key[1]
         disk_path = self._index_disk_path(index_key)
 
-        def load_or_build():
+        def load_or_build_inner():
             if disk_path is not None and os.path.exists(disk_path):
                 try:
                     index = SCTIndex.load(disk_path)
-                except (ReproError, OSError):
+                except (ReproError, OSError) as exc:
                     self._count("service/index_cache/disk_error")
+                    self._quarantine(disk_path, exc)
+                    index = None  # fall through to a rebuild
                 else:
                     self._count("service/index_cache/disk_hit")
                     return index
@@ -301,6 +491,23 @@ class ReproService:
                     self._count("service/index_cache/disk_store_error")
                 else:
                     self._count("service/index_cache/disk_store")
+            return index
+
+        def load_or_build():
+            # breaker bookkeeping runs in the flight leader only, so N
+            # coalesced requests record exactly one outcome
+            try:
+                index = load_or_build_inner()
+            except (BudgetExhausted, InvalidParameterError, DatasetError):
+                # not the infrastructure's fault: neither a success nor a
+                # failure, but a half-open probe slot must be returned
+                breaker.release_probe()
+                raise
+            except Exception as exc:
+                breaker.record_failure(exc)
+                self._note_breaker(index_key, breaker)
+                raise
+            breaker.record_success()
             return index
 
         index, leader = self._flight.do(("index", index_key), load_or_build)
@@ -362,11 +569,22 @@ class ReproService:
                             reason=exc.reason,
                             stage=exc.stage or "index/build",
                         )
-                    return densest_subgraph(
-                        graph, k, method=spec.name, iterations=iterations,
-                        index=index, sample_size=sample_size, seed=seed,
-                        options=self._options_for(recorder, budget),
-                    )
+                    try:
+                        return densest_subgraph(
+                            graph, k, method=spec.name,
+                            iterations=iterations, index=index,
+                            sample_size=sample_size, seed=seed,
+                            options=self._options_for(recorder, budget),
+                        )
+                    except (InvalidParameterError, DatasetError):
+                        raise  # caller's fault; breaker unaffected
+                    except Exception as exc:
+                        # a query-phase failure on a good index counts
+                        # toward the same per-key breaker as build failures
+                        breaker = self._breaker_for(index_key)
+                        breaker.record_failure(exc)
+                        self._note_breaker(index_key, breaker)
+                        raise
                 finally:
                     self._absorb(recorder, prefix="req/query")
 
@@ -497,6 +715,11 @@ class ReproService:
                 for graph_key, threshold, _ in self._indices.keys()
             ],
         }
+        if self._admission is not None:
+            payload["admission"] = self._admission.snapshot()
+        breakers = self._breaker_snapshot()
+        if breakers:
+            payload["breakers"] = breakers
         if obj.get("dataset") is not None or obj.get("path") is not None:
             _, graph = self._graph_for(obj)
             graph_stats = {"schema": STATS_SCHEMA}
@@ -548,6 +771,12 @@ class ReproService:
         if self.draining:
             return error_envelope(op, CODE_ERROR, "server is draining")
         self._count(f"service/requests/{op}")
+        gate = None
+        if self._admission is not None and op in _ADMISSION_CLASS:
+            rejection, gate = self._admit(op, obj)
+            if rejection is not None:
+                obj["_temp"] = "rejected"
+                return rejection
         with self._req_lock:
             self._active_requests += 1
             depth = self._active_requests
@@ -556,6 +785,11 @@ class ReproService:
             return self._OPS[op](self, obj)
         except BudgetExhausted as exc:
             return error_envelope(op, CODE_EXHAUSTED, str(exc))
+        except CircuitOpenError as exc:
+            return error_envelope(
+                op, CODE_ERROR, str(exc),
+                breaker_open=True, retry_after_s=exc.retry_after_s,
+            )
         except (InvalidParameterError, DatasetError) as exc:
             return error_envelope(op, CODE_BAD_REQUEST, str(exc))
         except FileNotFoundError as exc:
@@ -565,6 +799,8 @@ class ReproService:
         except Exception as exc:  # the daemon must survive anything
             return error_envelope(op, CODE_ERROR, f"internal error: {exc!r}")
         finally:
+            if gate is not None:
+                gate.release()
             with self._req_lock:
                 self._active_requests -= 1
                 depth = self._active_requests
@@ -587,14 +823,33 @@ class ReproService:
 # HTTP transport
 # ---------------------------------------------------------------------------
 
-def _status_for(service: ReproService, code: int) -> int:
+def _status_for(service: ReproService, envelopes) -> Tuple[int, Optional[int]]:
+    """HTTP status + optional ``Retry-After`` seconds for a response batch.
+
+    Any rejected envelope wins (429), then any breaker fast-fail (503);
+    both carry a ``Retry-After`` header so well-behaved clients back off
+    instead of hammering.  Otherwise the worst code decides as before.
+    """
+    retry_hints = [
+        env.get("retry_after_s")
+        for env in envelopes
+        if isinstance(env.get("retry_after_s"), (int, float))
+    ]
+    retry_after = (
+        max(1, math.ceil(max(retry_hints))) if retry_hints else None
+    )
+    if any(env.get("rejected") for env in envelopes):
+        return 429, retry_after
+    if any(env.get("breaker_open") for env in envelopes):
+        return 503, retry_after
+    code = max((env["code"] for env in envelopes), default=0)
     if code in (CODE_OK, CODE_EXHAUSTED, CODE_PARTIAL):
-        return 200  # the protocol exchange succeeded; 3/4 are outcomes
+        return 200, None  # the protocol exchange succeeded; 3/4 are outcomes
     if code == CODE_BAD_REQUEST:
-        return 400
+        return 400, None
     if service.draining:
-        return 503
-    return 500
+        return 503, None
+    return 500, None
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -612,10 +867,15 @@ class _Handler(BaseHTTPRequestHandler):
         length = int(self.headers.get("Content-Length", 0))
         return self.rfile.read(length).decode("utf-8") if length else ""
 
-    def _respond(self, status: int, body: bytes) -> None:
+    def _respond(
+        self, status: int, body: bytes,
+        retry_after: Optional[int] = None,
+    ) -> None:
         self.send_response(status)
         self.send_header("Content-Type", "application/x-ndjson")
         self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            self.send_header("Retry-After", str(retry_after))
         self.end_headers()
         self.wfile.write(body)
 
@@ -623,10 +883,8 @@ class _Handler(BaseHTTPRequestHandler):
         body = "".join(
             json.dumps(env) + "\n" for env in envelopes
         ).encode("utf-8")
-        status = _status_for(
-            self.service, max((env["code"] for env in envelopes), default=0)
-        )
-        self._respond(status, body)
+        status, retry_after = _status_for(self.service, envelopes)
+        self._respond(status, body, retry_after=retry_after)
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib dispatch name
         body = self._read_body()
@@ -675,6 +933,26 @@ class _Handler(BaseHTTPRequestHandler):
             payload = {"status": "draining" if self.service.draining else "ok"}
             self._respond(status, (json.dumps(payload) + "\n").encode())
             return
+        if self.path == "/readyz":
+            # liveness (healthz) answers "is the process up"; readiness
+            # answers "should a balancer send traffic here right now" —
+            # no while draining, and no while every admission slot and
+            # queue position is taken
+            draining = self.service.draining
+            saturated = self.service.admission_saturated
+            ready = not draining and not saturated
+            payload = {
+                "status": "ok" if ready else (
+                    "draining" if draining else "saturated"
+                ),
+                "draining": draining,
+                "admission_saturated": saturated,
+            }
+            self._respond(
+                200 if ready else 503,
+                (json.dumps(payload) + "\n").encode(),
+            )
+            return
         if self.path == "/v1/stats":
             self._respond_envelopes(
                 [self.service.handle_request({"op": "stats"})]
@@ -701,6 +979,14 @@ class _ServiceHTTPServer(ThreadingHTTPServer):
     # in-flight response before the process exits
     daemon_threads = False
     block_on_close = True
+    # socketserver's default listen backlog is 5; a thundering herd
+    # overflows it and the kernel drops the handshake ACK, so the client
+    # "connects", sends its request, and eventually sees ECONNRESET
+    # without ever reaching us.  Overload decisions belong to the
+    # admission gate, which answers with a well-formed 429 envelope —
+    # the backlog just has to be deep enough to hand every connection
+    # to a handler thread.
+    request_queue_size = 128
 
     def __init__(self, address, service: ReproService):
         self.service = service
@@ -730,6 +1016,8 @@ def serve_forever(
     trace_path: Optional[str] = None,
     index_dir: Optional[str] = None,
     access_log_path: Optional[str] = None,
+    max_concurrent: Optional[int] = None,
+    max_queue: int = 16,
 ) -> int:
     """Run the daemon until SIGTERM/SIGINT; returns the exit code.
 
@@ -743,6 +1031,7 @@ def serve_forever(
         default_timeout_s=default_timeout_s, workers=workers,
         trace_path=trace_path, index_dir=index_dir,
         access_log_path=access_log_path,
+        max_concurrent=max_concurrent, max_queue=max_queue,
     )
     sink = open(trace_path, "w", encoding="utf-8") if trace_path else None
     access_log = (

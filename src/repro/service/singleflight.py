@@ -10,6 +10,16 @@ leader's outcome, success or exception.  This is the classic Go
 The group forgets a key the moment its call completes, so coalescing
 only ever joins *in-flight* work; replaying a finished computation is the
 result cache's job, not this module's.
+
+Leader death: a leader thread can die without ever completing the flight
+— ``SystemExit`` raised by fault injection lands in the ``except
+BaseException`` path, but a thread killed in the window between claiming
+leadership and entering the ``try`` block (or torn down by interpreter
+shutdown machinery) leaves a permanently unset event.  Followers
+therefore wait in short slices and watch the leader thread's liveness;
+a dead leader with an unset event wakes every follower with
+:class:`LeaderDied` instead of hanging them forever, and the stale key
+is removed so the next request starts a fresh flight.
 """
 
 from __future__ import annotations
@@ -18,7 +28,15 @@ import copy
 import threading
 from typing import Any, Callable, Dict, Hashable, Tuple
 
-__all__ = ["SingleFlight"]
+__all__ = ["SingleFlight", "LeaderDied"]
+
+
+class LeaderDied(RuntimeError):
+    """The coalesced computation's leader thread died without reporting.
+
+    Raised by followers (each gets its own instance) so they can retry
+    or fail cleanly instead of blocking forever on an event no one will
+    ever set."""
 
 
 def _follower_error(original: BaseException) -> BaseException:
@@ -47,20 +65,28 @@ def _follower_error(original: BaseException) -> BaseException:
 
 
 class _Call:
-    __slots__ = ("event", "value", "error")
+    __slots__ = ("event", "value", "error", "leader_thread")
 
     def __init__(self) -> None:
         self.event = threading.Event()
         self.value: Any = None
         self.error: BaseException = None  # type: ignore[assignment]
+        self.leader_thread: threading.Thread = None  # type: ignore[assignment]
 
 
 class SingleFlight:
-    """Coalesce concurrent calls for the same key into one execution."""
+    """Coalesce concurrent calls for the same key into one execution.
 
-    def __init__(self) -> None:
+    ``poll_interval`` bounds how long a follower can keep waiting on a
+    dead leader before noticing (tests shrink it; the default adds no
+    overhead to the healthy path — the event wait returns immediately
+    when the leader completes).
+    """
+
+    def __init__(self, poll_interval: float = 0.1) -> None:
         self._lock = threading.Lock()
         self._calls: Dict[Hashable, _Call] = {}
+        self._poll_interval = poll_interval
 
     def do(self, key: Hashable, fn: Callable[[], Any]) -> Tuple[Any, bool]:
         """Run ``fn`` once per in-flight ``key``; duplicates share it.
@@ -69,18 +95,30 @@ class SingleFlight:
         thread that actually executed ``fn``.  If the leader raised, the
         leader re-raises its own exception and every follower raises a
         per-thread copy of it, chained via ``__cause__`` to the leader's
-        original (see :func:`_follower_error`).
+        original (see :func:`_follower_error`).  If the leader *died*
+        without completing, followers raise :class:`LeaderDied`.
         """
         with self._lock:
             call = self._calls.get(key)
+            if call is not None and self._stale(call):
+                # a previous leader died before completing: wake anyone
+                # still parked on it and start over with a fresh flight
+                call.error = LeaderDied(
+                    f"single-flight leader for key {key!r} died "
+                    "without completing"
+                )
+                del self._calls[key]
+                call.event.set()
+                call = None
             if call is None:
                 call = _Call()
+                call.leader_thread = threading.current_thread()
                 self._calls[key] = call
                 leader = True
             else:
                 leader = False
         if not leader:
-            call.event.wait()
+            self._follow(key, call)
             if call.error is not None:
                 raise _follower_error(call.error)
             return call.value, False
@@ -97,6 +135,38 @@ class SingleFlight:
                 self._calls.pop(key, None)
             call.event.set()
         return call.value, True
+
+    @staticmethod
+    def _stale(call: _Call) -> bool:
+        """A call whose leader is dead but whose event never fired."""
+        return (
+            call.leader_thread is not None
+            and not call.leader_thread.is_alive()
+            and not call.event.is_set()
+        )
+
+    def _follow(self, key: Hashable, call: _Call) -> None:
+        """Block until ``call`` completes or its leader provably died."""
+        while not call.event.wait(self._poll_interval):
+            if not self._stale(call):
+                continue
+            # one more slice: the leader may have completed between the
+            # liveness check and here (set() runs in its finally block,
+            # which a dying thread still executes)
+            if call.event.wait(self._poll_interval):
+                return
+            with self._lock:
+                if self._calls.get(key) is call:
+                    del self._calls[key]
+            if call.event.is_set():
+                return
+            if call.error is None:
+                call.error = LeaderDied(
+                    f"single-flight leader for key {key!r} died "
+                    "without completing"
+                )
+            call.event.set()  # wake the other followers too
+            return
 
     def in_flight(self) -> int:
         """Number of distinct keys currently being computed."""

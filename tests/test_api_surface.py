@@ -146,6 +146,7 @@ def test_parallel_config_fields():
     )
     assert actual == (
         "workers", "chunks_per_worker", "max_tasks_per_child", "start_method",
+        "max_crash_retries",
     )
 
 

@@ -1,5 +1,7 @@
 """Hard (forked) timeout enforcement in the bench harness."""
 
+import os
+import signal
 import time
 
 import pytest
@@ -51,6 +53,27 @@ class TestTimedHard:
         second = tracker.run_hard("d", "alg", spin)
         assert second.timed_out
         assert len(calls) == 0  # the fork copies state; parent list untouched
+
+    def test_silent_nonzero_exit_names_the_code(self):
+        # a child that os._exit()s mid-call reports nothing on the queue;
+        # the harness must surface the exit code, not fake a "time out"
+        with pytest.raises(RuntimeError, match="code 3"):
+            timed_hard(lambda: os._exit(3), budget=5.0)
+
+    def test_sigkilled_child_names_the_signal_and_oom_hint(self):
+        def suicide():
+            os.kill(os.getpid(), signal.SIGKILL)
+
+        with pytest.raises(RuntimeError, match="SIGKILL.*OOM"):
+            timed_hard(suicide, budget=5.0)
+
+    def test_non_kill_signal_named_without_oom_hint(self):
+        def stab():
+            os.kill(os.getpid(), signal.SIGTERM)
+
+        with pytest.raises(RuntimeError, match="SIGTERM") as excinfo:
+            timed_hard(stab, budget=5.0)
+        assert "OOM" not in str(excinfo.value)
 
     def test_complex_result_crosses_process_boundary(self):
         from repro.core import SCTIndex, sctl_star

@@ -13,7 +13,12 @@ import traceback
 
 import pytest
 
-from repro.service.singleflight import SingleFlight, _follower_error
+from repro.service.singleflight import (
+    LeaderDied,
+    SingleFlight,
+    _Call,
+    _follower_error,
+)
 
 
 def _wait_for_blocked_followers(group, key, count, timeout=10.0):
@@ -181,3 +186,87 @@ class TestFollowerExceptions:
     @staticmethod
     def _raise():
         raise _BoomError("once")
+
+
+def _dead_thread():
+    """A real Thread object that has started and finished."""
+    t = threading.Thread(target=lambda: None)
+    t.start()
+    t.join()
+    return t
+
+
+class TestLeaderDeath:
+    """Satellite (b): a dead leader must not hang followers forever."""
+
+    def test_system_exit_in_leader_wakes_followers(self):
+        group = SingleFlight()
+
+        def fn():
+            raise SystemExit(3)
+
+        outcomes = _run_flight(group, "k", fn, n_followers=4)
+        leader_out = outcomes[0]
+        assert leader_out[0] == "error"
+        assert isinstance(leader_out[1], SystemExit)
+        # followers get per-thread copies (not a hang, not garbage)
+        for out in outcomes[1:]:
+            assert out[0] == "error"
+            assert isinstance(out[1], SystemExit)
+        assert group.in_flight() == 0
+
+    def test_follower_raises_leader_died_when_leader_vanishes(self):
+        group = SingleFlight(poll_interval=0.02)
+        call = _Call()
+        call.leader_thread = _dead_thread()
+        group._calls["k"] = call
+
+        # the do() entry adopts the stale call: it becomes the new
+        # leader of a FRESH flight rather than waiting on the corpse
+        value, leader = group.do("k", lambda: "fresh")
+        assert (value, leader) == ("fresh", True)
+
+    def test_parked_follower_unblocks_with_leader_died(self):
+        group = SingleFlight(poll_interval=0.02)
+        call = _Call()
+        # a live placeholder leader that will die without setting the event
+        release = threading.Event()
+
+        def fake_leader():
+            release.wait(timeout=10)
+
+        leader_thread = threading.Thread(target=fake_leader)
+        leader_thread.start()
+        call.leader_thread = leader_thread
+        group._calls["k"] = call
+
+        outcome = {}
+
+        def follower():
+            try:
+                outcome["value"] = group.do("k", lambda: "never")
+            except LeaderDied as exc:
+                outcome["error"] = exc
+
+        t = threading.Thread(target=follower)
+        t.start()
+        time.sleep(0.05)  # follower is parked on the event
+        release.set()  # the "leader" exits without completing the flight
+        leader_thread.join(timeout=5)
+        t.join(timeout=10)
+        assert not t.is_alive(), "follower hung on a dead leader"
+        assert isinstance(outcome.get("error"), LeaderDied)
+        assert "died" in str(outcome["error"])
+        assert group.in_flight() == 0
+
+    def test_stale_key_does_not_leak(self):
+        group = SingleFlight(poll_interval=0.02)
+        call = _Call()
+        call.leader_thread = _dead_thread()
+        group._calls["k"] = call
+        group.do("k", lambda: 1)
+        assert group.in_flight() == 0
+        # the adopted-over call's event fired, so any straggler parked on
+        # the old call object also woke with LeaderDied
+        assert call.event.is_set()
+        assert isinstance(call.error, LeaderDied)
