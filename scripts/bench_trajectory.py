@@ -13,7 +13,10 @@ external dashboard:
 * ``service_query`` — cold and warm query latency digests (p50/p99)
   measured through an in-process :class:`~repro.service.ReproService`,
   read back from the server-wide ``service/latency/query/*`` histograms
-  — the very numbers ``/v1/stats`` and ``GET /metrics`` report.
+  — the very numbers ``/v1/stats`` and ``GET /metrics`` report;
+* ``index_update`` — steady-state single-edge toggles through
+  ``repro.core.update``: p50/p99 update latency, the mean dirty-region
+  fraction, and the speedup over the full rebuild measured above.
 
 The record is validated against ``repro.obs.validate.validate_trajectory``
 before the file is rewritten, and the whole file is re-validated after
@@ -70,6 +73,35 @@ def bench_path_throughput(index, k):
         "paths": paths,
         "seconds": seconds,
         "paths_per_s": paths / seconds if seconds > 0 else 0.0,
+    }
+
+
+def bench_index_update(graph, index, full_rebuild_s, toggles=10):
+    """Steady-state single-edge toggles (delete, re-insert, repeat)."""
+    from repro.core.update import compute_update
+
+    edge = next(
+        (u, v) for u in range(graph.n) for v in graph.neighbors(u) if u < v
+    )
+    current_graph, current_index = graph, index
+    times, fractions = [], []
+    for i in range(toggles):
+        batch = {"deletes": [edge]} if i % 2 == 0 else {"inserts": [edge]}
+        t0 = time.perf_counter()
+        region = compute_update(current_index, current_graph, **batch)
+        times.append(time.perf_counter() - t0)
+        fractions.append(region.dirty_fraction)
+        current_graph, current_index = region.graph, region.index
+    times.sort()
+    p50 = times[len(times) // 2]
+    p99 = times[min(len(times) - 1, int(len(times) * 0.99))]
+    return {
+        "count": len(times),
+        "p50_s": p50,
+        "p99_s": p99,
+        "dirty_fraction": sum(fractions) / len(fractions),
+        "full_rebuild_s": full_rebuild_s,
+        "speedup_vs_rebuild": full_rebuild_s / p50 if p50 > 0 else 0.0,
     }
 
 
@@ -135,6 +167,14 @@ def main(argv=None):
         f"{path_throughput['seconds']:.3f}s "
         f"({path_throughput['paths_per_s']:.0f}/s)"
     )
+    index_update = bench_index_update(graph, index, index_build["seconds"])
+    print(
+        f"index_update: n={index_update['count']} "
+        f"p50={index_update['p50_s']:.4g}s "
+        f"p99={index_update['p99_s']:.4g}s "
+        f"dirty={index_update['dirty_fraction']:.3f} "
+        f"speedup={index_update['speedup_vs_rebuild']:.1f}x"
+    )
     service_query = bench_service_query(
         args.dataset, args.k, args.iterations, warm_queries
     )
@@ -156,6 +196,7 @@ def main(argv=None):
         "benches": {
             "index_build": index_build,
             "path_throughput": path_throughput,
+            "index_update": index_update,
             "service_query": service_query,
         },
     }

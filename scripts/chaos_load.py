@@ -178,6 +178,102 @@ def crash_phase(port, marker_path):
         os.unlink(marker_path)
 
 
+def update_phase(port):
+    """Toggle an edge via /v1/update while readers hammer the same graph.
+
+    The coherence contract: every in-flight query sees either the
+    pre-update or the post-update graph — a torn index would surface as
+    a density outside the two-value set, a malformed envelope, or a
+    traceback.  Each round deletes then re-inserts the same edge, so the
+    final graph equals the baseline and the closing parity check is exact.
+    """
+    print("\n--- phase 4: updates during queries ---")
+    from repro import densest_subgraph
+    from repro.core import apply_edge_updates
+    from repro.datasets.registry import load_dataset
+
+    graph = load_dataset(DATASET)
+    status, headers, body = raw_post(
+        port, "/v1/query", {"dataset": DATASET, "k": 5, "method": "sctl*"}
+    )
+    baseline = validated_envelope(status, headers, body, "update-baseline")
+    check(baseline["code"] == 0, "baseline query before the update storm")
+    dense = baseline["result"]["vertices"]
+    members = set(dense)
+    edge = next(
+        (u, v) for u in dense for v in graph.neighbors(u) if v in members
+    )
+    deleted_graph, _, _ = apply_edge_updates(graph, deletes=[edge])
+    allowed = {
+        baseline["result"]["density"],
+        densest_subgraph(deleted_graph, 5, method="sctl*").density,
+    }
+
+    client = ServiceClient(f"http://127.0.0.1:{port}",
+                           timeout_s=REQUEST_DEADLINE_S, max_retries=8)
+    stop = {"flag": False}
+    reader_failures = []
+
+    def reader(n):
+        seen = 0
+        while not stop["flag"]:
+            status, headers, body = raw_post(
+                port, "/v1/query",
+                {"dataset": DATASET, "k": 5, "method": "sctl*"},
+            )
+            envelope = validated_envelope(
+                status, headers, body, f"reader[{n}]"
+            )
+            if envelope.get("rejected"):
+                time.sleep(0.05)  # admission pushed back; not a failure
+                continue
+            if envelope["code"] != 0:
+                reader_failures.append(envelope)
+                return 0
+            if envelope["result"]["density"] not in allowed:
+                reader_failures.append(envelope)  # torn index
+                return 0
+            seen += 1
+        return seen
+
+    rounds = 4
+    with ThreadPoolExecutor(4) as pool:
+        readers = [pool.submit(reader, n) for n in range(4)]
+        applied = 0
+        try:
+            for _ in range(rounds):
+                for inserts, deletes in (((), (edge,)), ((edge,), ())):
+                    outcome = client.update(
+                        inserts=inserts, deletes=deletes, dataset=DATASET
+                    )
+                    check(outcome.ok and outcome.applied,
+                          f"update applied (version {outcome.graph_version})")
+                    applied += 1
+        finally:
+            stop["flag"] = True
+        served = sum(f.result() for f in readers)
+    check(not reader_failures,
+          f"no torn/malformed reads during updates ({reader_failures[:1]})")
+    check(served >= 1, f"readers served {served} consistent answers")
+
+    stats = json.loads(
+        raw_post(port, "/v1/stats", {})[2].decode().splitlines()[0]
+    )["stats"]
+    check(stats["graph_versions"].get(f"dataset/{DATASET}") == applied,
+          f"graph_version advanced monotonically to {applied}")
+    counters = stats["counters"]
+    check(counters.get("service/index_updates", 0) == applied,
+          "every applied update counted in service/index_updates")
+
+    status, headers, body = raw_post(
+        port, "/v1/query", {"dataset": DATASET, "k": 5, "method": "sctl*"}
+    )
+    final = validated_envelope(status, headers, body, "update-final")
+    check(final["code"] == 0
+          and final["result"]["density"] == baseline["result"]["density"],
+          "final query matches the baseline (edge toggles net out)")
+
+
 def corruption_phase(index_dir, artifact_dir):
     """Corrupt the persisted index; a cold restart must quarantine it."""
     print("\n--- phase 3: disk corruption ---")
@@ -262,6 +358,7 @@ def main():
         try:
             rejected = overload_phase(port)
             crash_phase(port, marker_path)
+            update_phase(port)
 
             # snapshot /metrics and /readyz before draining
             with urllib.request.urlopen(

@@ -39,6 +39,7 @@ from .baselines import (
 from .core import (
     DensestSubgraphResult,
     DensityProfile,
+    DirtyRegion,
     SCTIndex,
     SCTPath,
     SCTPathView,
@@ -74,6 +75,7 @@ from .registry import (
     MethodSpec,
     available_methods,
     get_method,
+    methods_supporting,
     register_method,
 )
 from .resilience import (
@@ -93,6 +95,7 @@ __all__ = [
     "SCTIndex",
     "SCTPath",
     "SCTPathView",
+    "DirtyRegion",
     "DenseSubgraphResult",
     "DensestSubgraphResult",
     "RESULT_SCHEMA",
@@ -116,6 +119,7 @@ __all__ = [
     "MethodSpec",
     "available_methods",
     "get_method",
+    "methods_supporting",
     "register_method",
     "Recorder",
     "NullRecorder",
@@ -216,6 +220,22 @@ def densest_subgraph(
         resume=resume,
         parallel=parallel,
     )
+    # capability gating: reject an unsupported knob up front with the
+    # lists-valid-names error instead of silently ignoring it mid-run
+    if (
+        opts.parallel is not None
+        and opts.parallel.enabled
+        and not spec.supports_parallel
+    ):
+        raise InvalidParameterError(
+            f"method {spec.name!r} does not support parallel execution; "
+            "methods that do: " + ", ".join(methods_supporting("parallel"))
+        )
+    if opts.budget is not NULL_BUDGET and not spec.supports_budget:
+        raise InvalidParameterError(
+            f"method {spec.name!r} does not honour a run budget; "
+            "methods that do: " + ", ".join(methods_supporting("budget"))
+        )
     index_build_s = None
     if spec.needs_index and index is None:
         try:

@@ -336,6 +336,79 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_edge_flags(values, flag: str):
+    """``--insert U,V`` occurrences as ``[u, v]`` pairs (or raise)."""
+    from .errors import InvalidParameterError
+
+    edges = []
+    for value in values:
+        parts = value.replace(",", " ").split()
+        try:
+            u, v = (int(part) for part in parts)
+        except ValueError:
+            raise InvalidParameterError(
+                f"{flag} expects an edge as 'U,V', got {value!r}"
+            ) from None
+        edges.append([u, v])
+    return edges
+
+
+def _cmd_update(args: argparse.Namespace) -> int:
+    """``update``: apply edge inserts/deletes through a running daemon.
+
+    Updates mutate server state, so they are never retried on connection
+    errors (the request may have been applied); admission rejections
+    (429/503) are safe to retry and are.
+    """
+    from .errors import InvalidParameterError, ServiceUnavailable
+    from .service import ServiceClient
+
+    try:
+        inserts = _parse_edge_flags(args.insert, "--insert")
+        deletes = _parse_edge_flags(args.delete, "--delete")
+    except InvalidParameterError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    client = ServiceClient(
+        args.endpoint,
+        timeout_s=(args.time_budget or 30.0) + 30.0,
+    )
+    fields = dict(_graph_request_fields(args.graph))
+    if args.method is not None:
+        fields["method"] = args.method
+    if args.time_budget is not None:
+        fields["timeout_s"] = args.time_budget
+    try:
+        env = client.update(inserts=inserts, deletes=deletes, **fields)
+    except ServiceUnavailable as exc:
+        print(f"service unavailable: {exc}", file=sys.stderr)
+        return EXIT_EXHAUSTED
+    code = env.code
+    if env.error:
+        print(f"error: {env.error}", file=sys.stderr)
+        return code if code in (2, EXIT_EXHAUSTED, EXIT_PARTIAL) else 1
+    if args.json:
+        print(json.dumps(env, indent=2))
+        return code
+    if not env.applied:
+        print(
+            "update not applied: the old index is still serving "
+            f"({env.get('reason')})",
+            file=sys.stderr,
+        )
+        return code
+    summary = env.update
+    print(
+        f"applied +{summary.get('inserts', 0)}/-{summary.get('deletes', 0)} "
+        f"edges, graph_version={env.graph_version} "
+        f"(dirty {summary.get('dirty_roots', 0)}/{summary.get('n_roots', 0)} "
+        f"roots, {env.invalidated_results} results invalidated, "
+        f"{env.retained_results} retained, "
+        f"{env.get('update_time_s', 0):.3f}s)"
+    )
+    return code
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph)
     with _observability(args) as recorder:
@@ -528,6 +601,41 @@ def build_parser() -> argparse.ArgumentParser:
     _add_resilience_flags(query)
     _add_parallel_flag(query)
 
+    update = sub.add_parser(
+        "update",
+        help="apply edge inserts/deletes on a daemon (POST /v1/update)",
+    )
+    update.add_argument(
+        "graph",
+        help="edge-list path or dataset:<name>, as the daemon resolves it",
+    )
+    update.add_argument(
+        "--endpoint", metavar="URL", required=True,
+        help="daemon base URL, e.g. http://127.0.0.1:8642",
+    )
+    update.add_argument(
+        "--insert", action="append", default=[], metavar="U,V",
+        help="edge to insert (repeatable)",
+    )
+    update.add_argument(
+        "--delete", action="append", default=[], metavar="U,V",
+        help="edge to delete (repeatable)",
+    )
+    update.add_argument(
+        "--method", default=None,
+        help="reject up front unless this method supports incremental "
+             "updates (see repro.methods_supporting('update'))",
+    )
+    update.add_argument(
+        "--time-budget", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget; on exhaustion the daemon keeps the old "
+             "index and answers code 4",
+    )
+    update.add_argument(
+        "--json", action="store_true",
+        help="emit the raw repro/service-v1 update envelope",
+    )
+
     profile = sub.add_parser(
         "profile", help="densest subgraph for every k from one index"
     )
@@ -634,6 +742,7 @@ _COMMANDS = {
     "datasets": _cmd_datasets,
     "build-index": _cmd_build_index,
     "query": _cmd_query,
+    "update": _cmd_update,
     "profile": _cmd_profile,
     "stats": _cmd_stats,
     "serve": _cmd_serve,

@@ -14,6 +14,7 @@ from .multi import top_dense_subgraphs
 from .profile import DensityProfile, density_profile
 from .sampling import sample_k_cliques, sctl_star_sample
 from .sct import HOLD, PIVOT, SCTIndex, SCTPath, SCTPathView
+from .update import DirtyRegion, apply_edge_updates, compute_update
 from .validation import VerificationReport, verify_result
 from .sctl import empty_result, sctl
 from .sctl_star import IterationStats, sctl_plus, sctl_star
@@ -24,6 +25,9 @@ __all__ = [
     "SCTPathView",
     "HOLD",
     "PIVOT",
+    "DirtyRegion",
+    "apply_edge_updates",
+    "compute_update",
     "DensestSubgraphResult",
     "PrefixResult",
     "best_prefix_from_paths",

@@ -35,6 +35,7 @@ from __future__ import annotations
 import json
 import mmap as _mmap
 import time
+import weakref
 from array import array
 from dataclasses import dataclass
 from math import comb
@@ -59,6 +60,14 @@ _BUILD_CHECKPOINT_KIND = "sct-build"
 
 HOLD = 0
 PIVOT = 1
+
+
+def _release_mapping(mapping) -> None:
+    """Best-effort unmap for a finalizer; escaped views win, GC finishes."""
+    try:
+        mapping.close()
+    except (BufferError, ValueError):
+        pass
 
 
 def _expand_root_subtree(
@@ -735,6 +744,51 @@ class SCTIndex:
         except (BufferError, ValueError):  # a view escaped; GC will finish
             pass
 
+    def apply_updates(
+        self,
+        graph: Graph,
+        inserts=(),
+        deletes=(),
+        options: Optional[RunOptions] = None,
+    ):
+        """Apply an edge batch to this index **in place**.
+
+        ``graph`` must be the graph this index was built from; the index
+        is rebound to the incrementally rebuilt columns (only dirty root
+        subtrees are re-expanded — see :mod:`repro.core.update`) and the
+        returned :class:`~repro.core.update.DirtyRegion` carries the
+        updated :class:`~repro.graph.Graph` plus the change summary.  The
+        result is byte-identical to a from-scratch build of the updated
+        graph at the same threshold.
+
+        This mutation is single-writer: a concurrent reader of *this*
+        object may observe torn columns.  Concurrent settings (the
+        service) use :func:`repro.core.update.compute_update` instead and
+        atomically swap in the fresh index it returns.
+        """
+        from .update import compute_update
+
+        region = compute_update(
+            self, graph, inserts, deletes, options=options
+        )
+        fresh = region.index
+        self._n_vertices = fresh._n_vertices
+        self._vertex = fresh._vertex
+        self._label = fresh._label
+        self._depth = fresh._depth
+        self._max_depth = fresh._max_depth
+        self._subtree = fresh._subtree
+        self._child_off = fresh._child_off
+        self._child_ids = fresh._child_ids
+        # carry the cached ordered-view slice so the *next* update skips
+        # re-peeling the pre-update graph (steady-state update cost)
+        self._update_view = getattr(fresh, "_update_view", None)
+        # a zero-copy backing no longer feeds any column; drop our
+        # reference and let the GC (or the load-time finalizer) unmap it
+        # once the last escaped view dies — never eagerly
+        self._source = None
+        return region
+
     def _children_of(self, node: int) -> Sequence[int]:
         """Node ``node``'s children (CSR slice, ascending = DFS order)."""
         return self._child_ids[self._child_off[node]:self._child_off[node + 1]]
@@ -1366,12 +1420,20 @@ class SCTIndex:
                 f"inconsistent column data in index file {path!s} "
                 "(root sentinel or window invariants violated)"
             )
-        return cls._from_columns(
+        index = cls._from_columns(
             n_vertices=header["n_vertices"],
             threshold=header["threshold"],
             columns=columns,
             source=mapping,
         )
+        # Keep the fd-backed mapping alive for exactly as long as any
+        # reader can reach it: the file may be atomically replaced (an
+        # incremental update) or unlinked (cache eviction) while this
+        # object still serves in-flight queries — POSIX keeps the mapped
+        # inode readable until the mapping itself is released, which the
+        # finalizer does once the index object is garbage-collected.
+        weakref.finalize(index, _release_mapping, mapping)
+        return index
 
     def __repr__(self) -> str:
         return (

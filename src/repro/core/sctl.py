@@ -15,7 +15,7 @@ we have ``sum_{v in S*} r(v)/T >= rho_opt * |S*|``, hence
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Sequence
 
 from ..errors import InvalidParameterError
 from ..obs import NULL_RECORDER, Recorder
@@ -42,6 +42,7 @@ def sctl(
     index: SCTIndex,
     k: int,
     iterations: int = 10,
+    warm_start: Optional[Sequence[int]] = None,
     paths: Optional[Iterable[SCTPath]] = None,
     track_convergence: bool = False,
     recorder: Recorder = NULL_RECORDER,
@@ -61,6 +62,15 @@ def sctl(
         Clique size (``>= 3`` in the paper's setting; ``>= 1`` accepted).
     iterations:
         Number of full passes over the k-cliques (the paper's ``T``).
+    warm_start:
+        Seed the weight vector from a previous run (``stats["weights"]``)
+        instead of zeros — the incremental-update path re-refines the
+        updated index from where the pre-update run converged, which
+        typically needs far fewer passes.  Must have exactly one entry
+        per vertex.  The certified upper bound ``max_v r(v)/T`` assumes
+        a zero start, so with a warm start the reported ``upper_bound``
+        is heuristic, not certified.  A restored checkpoint (``resume``)
+        takes precedence over the seed.
     paths:
         Pre-collected valid root-to-leaf paths to reuse across calls.
         When omitted, the paths are **streamed** off the index on every
@@ -135,7 +145,7 @@ def sctl(
             paths = index.path_view(k)  # streaming: re-traverse per pass
     try:
         return _sctl_run(
-            index, k, iterations, paths, track_convergence,
+            index, k, iterations, warm_start, paths, track_convergence,
             recorder, budget, ckpt, resume, engine,
         )
     finally:
@@ -143,10 +153,28 @@ def sctl(
             engine.close()
 
 
+def _validated_warm_start(
+    warm_start: Optional[Sequence[int]], n: int
+) -> Optional[List[int]]:
+    """``warm_start`` as a fresh int list, or ``None``; length-checked."""
+    if warm_start is None:
+        return None
+    seed = [int(w) for w in warm_start]
+    if len(seed) != n:
+        raise InvalidParameterError(
+            f"warm_start has {len(seed)} weights but the graph has "
+            f"{n} vertices"
+        )
+    if any(w < 0 for w in seed):
+        raise InvalidParameterError("warm_start weights must be non-negative")
+    return seed
+
+
 def _sctl_run(
     index: SCTIndex,
     k: int,
     iterations: int,
+    warm_start: Optional[Sequence[int]],
     paths: Iterable[SCTPath],
     track_convergence: bool,
     recorder: Recorder,
@@ -156,6 +184,7 @@ def _sctl_run(
     engine,
 ) -> DensestSubgraphResult:
     n = index.n_vertices
+    seed = _validated_warm_start(warm_start, n)
     n_paths = 0
     cliques_per_iteration = 0
     if engine is not None:
@@ -181,7 +210,7 @@ def _sctl_run(
     if not n_paths:
         return empty_result(k, "SCTL")
     track = recorder.enabled
-    weights = [0] * n
+    weights = seed if seed is not None else [0] * n
     start_round = 1
     if resume and ckpt is not None:
         payload = ckpt.load(_CHECKPOINT_KIND)

@@ -37,7 +37,7 @@ from .density import DensestSubgraphResult, PartialResult
 from .extraction import best_prefix_from_paths
 from .reductions import engagement_threshold, kp_computation, partition_density_bounds
 from .sct import SCTIndex, SCTPath
-from .sctl import empty_result
+from .sctl import _validated_warm_start, empty_result
 
 __all__ = ["IterationStats", "sctl_star", "sctl_plus"]
 
@@ -69,6 +69,7 @@ def sctl_star(
     index: SCTIndex,
     k: int,
     iterations: int = 10,
+    warm_start: Optional[Sequence[int]] = None,
     graph: Optional[Graph] = None,
     use_reductions: bool = True,
     use_batch: bool = True,
@@ -92,6 +93,15 @@ def sctl_star(
         Clique size.
     iterations:
         Number of refinement passes ``T``.
+    warm_start:
+        Seed the weight vector from a previous run's
+        ``stats["weights"]`` instead of zeros; the incremental-update
+        path re-refines the updated index from where the pre-update run
+        converged.  Must carry one weight per vertex.  With a warm
+        start the reported ``upper_bound`` is heuristic (the certified
+        bound assumes a zero start); the achieved density is unaffected
+        because it is always re-extracted.  A restored checkpoint
+        (``resume``) takes precedence over the seed.
     graph:
         The underlying graph; only needed when ``collect_stats`` asks for
         scope edge counts.
@@ -182,9 +192,9 @@ def sctl_star(
             paths = index.path_view(k)  # streaming: re-traverse per sweep
     try:
         return _sctl_star_run(
-            index, k, iterations, graph, use_reductions, use_batch,
-            collect_stats, paths, name, opts.recorder, opts.budget,
-            ckpt, opts.resume, engine,
+            index, k, iterations, warm_start, graph, use_reductions,
+            use_batch, collect_stats, paths, name, opts.recorder,
+            opts.budget, ckpt, opts.resume, engine,
         )
     finally:
         if engine is not None:
@@ -195,6 +205,7 @@ def _sctl_star_run(
     index: SCTIndex,
     k: int,
     iterations: int,
+    warm_start: Optional[Sequence[int]],
     graph: Optional[Graph],
     use_reductions: bool,
     use_batch: bool,
@@ -219,7 +230,8 @@ def _sctl_star_run(
     best_count = comb(len(best_vertices), k)
     best_density = Fraction(best_count, len(best_vertices))
 
-    weights = [0] * n
+    seed = _validated_warm_start(warm_start, n)
+    weights = seed if seed is not None else [0] * n
     partition_of: List[int] = []
     bounds = {}
     engagement: List[int] = []
@@ -488,6 +500,7 @@ def sctl_plus(
     index: SCTIndex,
     k: int,
     iterations: int = 10,
+    warm_start: Optional[Sequence[int]] = None,
     graph: Optional[Graph] = None,
     collect_stats: bool = False,
     paths: Optional[Iterable[SCTPath]] = None,
@@ -511,6 +524,7 @@ def sctl_plus(
         index,
         k,
         iterations=iterations,
+        warm_start=warm_start,
         graph=graph,
         use_reductions=True,
         use_batch=False,

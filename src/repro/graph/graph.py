@@ -123,6 +123,66 @@ class Graph:
         """An independent copy of this graph."""
         return Graph(self._n, self.edges(), labels=self._labels)
 
+    def _with_edge_delta(
+        self,
+        inserts: Sequence[Tuple[int, int]],
+        deletes: Sequence[Tuple[int, int]],
+    ) -> "Graph":
+        """A structurally shared copy with an edge batch applied.
+
+        Only the adjacency rows of touched vertices are copied; every
+        other row (and the cached bitsets / degrees, patched per edge)
+        is shared with ``self`` — which is safe because graphs are
+        immutable once constructed.  Callers must already have validated
+        the batch (every insert absent, every delete present, no
+        overlap); :func:`repro.core.update.apply_edge_updates` is the
+        validating front door.
+        """
+        g = object.__new__(Graph)
+        g._n = self._n
+        adj = list(self._adj)
+        touched: set = set()
+        for u, v in inserts:
+            for x in (u, v):
+                if x not in touched:
+                    touched.add(x)
+                    adj[x] = set(adj[x])
+            adj[u].add(v)
+            adj[v].add(u)
+        for u, v in deletes:
+            for x in (u, v):
+                if x not in touched:
+                    touched.add(x)
+                    adj[x] = set(adj[x])
+            adj[u].discard(v)
+            adj[v].discard(u)
+        g._adj = adj
+        g._m = self._m + len(inserts) - len(deletes)
+        g._labels = list(self._labels) if self._labels is not None else None
+        if self._bitsets is not None:
+            rows = list(self._bitsets)
+            for u, v in inserts:
+                rows[u] |= 1 << v
+                rows[v] |= 1 << u
+            for u, v in deletes:
+                rows[u] &= ~(1 << v)
+                rows[v] &= ~(1 << u)
+            g._bitsets = rows
+        else:
+            g._bitsets = None
+        if self._degree_cache is not None:
+            degs = list(self._degree_cache)
+            for u, v in inserts:
+                degs[u] += 1
+                degs[v] += 1
+            for u, v in deletes:
+                degs[u] -= 1
+                degs[v] -= 1
+            g._degree_cache = degs
+        else:
+            g._degree_cache = None
+        return g
+
     # ------------------------------------------------------------------
     # basic accessors
     # ------------------------------------------------------------------

@@ -450,6 +450,36 @@ _TRAJECTORY_BENCHES = {
 }
 _TRAJECTORY_QUANTILES = ("p50_s", "p99_s")
 
+# optional bench (records predating incremental updates stay valid):
+# steady-state single-edge toggles through repro.core.update
+_TRAJECTORY_UPDATE_FIELDS = (
+    "p50_s", "p99_s", "dirty_fraction", "full_rebuild_s",
+    "speedup_vs_rebuild",
+)
+
+
+def _validate_update_bench(entry: Any) -> List[str]:
+    if not isinstance(entry, dict):
+        return ["benches.index_update must be an object"]
+    errors: List[str] = []
+    count = entry.get("count")
+    if not isinstance(count, int) or isinstance(count, bool) or count < 1:
+        errors.append("benches.index_update.count must be a positive int")
+    for field in _TRAJECTORY_UPDATE_FIELDS:
+        v = entry.get(field)
+        if not isinstance(v, (int, float)) or isinstance(v, bool) or v < 0:
+            errors.append(
+                f"benches.index_update.{field} must be a non-negative number"
+            )
+    fraction = entry.get("dirty_fraction")
+    if (
+        isinstance(fraction, (int, float))
+        and not isinstance(fraction, bool)
+        and fraction > 1
+    ):
+        errors.append("benches.index_update.dirty_fraction must be <= 1")
+    return errors
+
 
 def _validate_trajectory_record(payload: dict) -> List[str]:
     """One perf-trajectory record (see ``scripts/bench_trajectory.py``)."""
@@ -507,6 +537,8 @@ def _validate_trajectory_record(payload: dict) -> List[str]:
                         f"benches.service_query.{temperature}.{field} "
                         "must be a non-negative number"
                     )
+    if "index_update" in benches:
+        errors.extend(_validate_update_bench(benches["index_update"]))
     return errors
 
 

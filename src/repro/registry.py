@@ -56,6 +56,7 @@ __all__ = [
     "MethodSpec",
     "available_methods",
     "get_method",
+    "methods_supporting",
     "normalize_method_name",
     "register_method",
 ]
@@ -63,16 +64,42 @@ __all__ = [
 
 @dataclass(frozen=True)
 class MethodSpec:
-    """One algorithm the facade can dispatch to."""
+    """One algorithm the facade can dispatch to.
+
+    The ``supports_*`` capability flags describe what the adapter
+    actually honours, so callers can be rejected up front with a
+    lists-valid-names error instead of having a knob silently ignored
+    (or failing mid-run):
+
+    * ``supports_update`` — the method re-queries an incrementally
+      updated SCT*-Index and accepts ``warm_start=`` re-refinement
+      (``POST /v1/update`` validates against this);
+    * ``supports_parallel`` — the method shards across a worker pool
+      when ``parallel=`` is given;
+    * ``supports_budget`` — the method polls a
+      :class:`~repro.resilience.RunBudget` and degrades to partials.
+    """
 
     name: str
     fn: Callable
     aliases: Tuple[str, ...] = ()
     needs_index: bool = False
     description: str = ""
+    supports_update: bool = False
+    supports_parallel: bool = False
+    supports_budget: bool = False
 
     def __call__(self, graph, k, **kwargs):
         return self.fn(graph, k, **kwargs)
+
+    def capabilities(self) -> Dict[str, bool]:
+        """The capability flags as a JSON-safe dict."""
+        return {
+            "needs_index": self.needs_index,
+            "supports_update": self.supports_update,
+            "supports_parallel": self.supports_parallel,
+            "supports_budget": self.supports_budget,
+        }
 
 
 _REGISTRY: Dict[str, MethodSpec] = {}
@@ -94,6 +121,9 @@ def register_method(
     aliases: Tuple[str, ...] = (),
     needs_index: bool = False,
     description: str = "",
+    supports_update: bool = False,
+    supports_parallel: bool = False,
+    supports_budget: bool = False,
     overwrite: bool = False,
 ) -> MethodSpec:
     """Register ``fn`` under ``name`` (plus ``aliases``) for the facade.
@@ -138,6 +168,9 @@ def register_method(
         aliases=alias_keys,
         needs_index=needs_index,
         description=description,
+        supports_update=supports_update,
+        supports_parallel=supports_parallel,
+        supports_budget=supports_budget,
     )
     _REGISTRY[key] = spec
     for alias in alias_keys:
@@ -151,9 +184,42 @@ def _canonical(key: str) -> Optional[str]:
     return _ALIASES.get(key)
 
 
-def available_methods() -> List[str]:
-    """Canonical method names the facade accepts, sorted."""
-    return sorted(_REGISTRY)
+def available_methods(detail: bool = False):
+    """Canonical method names the facade accepts, sorted.
+
+    With ``detail=True`` each entry is a dict carrying the method's
+    ``description``, ``aliases`` and capability flags (``needs_index``,
+    ``supports_update``, ``supports_parallel``, ``supports_budget``) —
+    the machine-readable form the service and CLI help render from.
+    """
+    if not detail:
+        return sorted(_REGISTRY)
+    return [
+        dict(
+            name=name,
+            description=spec.description,
+            aliases=list(spec.aliases),
+            **spec.capabilities(),
+        )
+        for name, spec in sorted(_REGISTRY.items())
+    ]
+
+
+def methods_supporting(capability: str) -> List[str]:
+    """Canonical names of methods whose ``supports_<capability>`` is set.
+
+    ``capability`` is ``"update"`` / ``"parallel"`` / ``"budget"``;
+    anything else raises :class:`~repro.errors.InvalidParameterError`.
+    """
+    attr = f"supports_{capability}"
+    if capability not in ("update", "parallel", "budget"):
+        raise InvalidParameterError(
+            f"unknown capability {capability!r}; expected one of: "
+            "update, parallel, budget"
+        )
+    return sorted(
+        name for name, spec in _REGISTRY.items() if getattr(spec, attr)
+    )
 
 
 def get_method(name: str) -> MethodSpec:
@@ -238,24 +304,29 @@ def _adapt_peel(graph, k, index=None, iterations=10, sample_size=None,
 
 register_method(
     "sctl", _adapt_sctl, needs_index=True,
+    supports_update=True, supports_parallel=True, supports_budget=True,
     description="Index-driven weight refinement (Algorithm 2).",
 )
 register_method(
     "sctl+", _adapt_sctl_plus, aliases=("sctl-plus",), needs_index=True,
+    supports_update=True, supports_parallel=True, supports_budget=True,
     description="SCTL with the clique-connectivity reduction.",
 )
 register_method(
     "sctl*", _adapt_sctl_star, aliases=("sctl-star",), needs_index=True,
+    supports_update=True, supports_parallel=True, supports_budget=True,
     description="SCTL with both reductions and batch updates (Algorithm 6).",
 )
 register_method(
     "sctl*-sample", _adapt_sctl_star_sample,
     aliases=("sctl-star-sample",), needs_index=True,
+    supports_parallel=True, supports_budget=True,
     description="SCTL* on an index-drawn uniform clique sample.",
 )
 register_method(
     "sctl*-exact", _adapt_sctl_star_exact,
     aliases=("sctl-star-exact",), needs_index=True,
+    supports_parallel=True, supports_budget=True,
     description="Sampling-warm-started flow-certified exact solver "
                 "(Algorithm 7).",
 )

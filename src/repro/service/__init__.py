@@ -20,7 +20,13 @@ full protocol, the cache-key rules and the tuning guide.
 """
 
 from .cache import LRUCache
-from .client import ServiceClient
+from .client import (
+    ProfileOutcome,
+    QueryOutcome,
+    ServiceClient,
+    ServiceOutcome,
+    UpdateOutcome,
+)
 from .protocol import (
     KNOWN_OPS,
     SERVICE_SCHEMA,
@@ -35,6 +41,10 @@ from .singleflight import SingleFlight
 __all__ = [
     "LRUCache",
     "ServiceClient",
+    "ServiceOutcome",
+    "QueryOutcome",
+    "ProfileOutcome",
+    "UpdateOutcome",
     "SingleFlight",
     "ReproService",
     "ServiceConfig",

@@ -46,6 +46,7 @@ class LRUCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.invalidations = 0
 
     def get(self, key: Hashable) -> Optional[Any]:
         """The cached value (refreshed to most-recent), or ``None``."""
@@ -71,6 +72,27 @@ class LRUCache:
             for evicted_key, evicted_value in evicted:
                 self._on_evict(evicted_key, evicted_value)
         return evicted
+
+    def pop(self, key: Hashable) -> Optional[Any]:
+        """Remove ``key`` and return its value (``None`` if absent).
+
+        A pop is an *invalidation*, not an eviction: it is counted
+        separately, and ``on_evict`` is not called — the caller decided
+        the entry is stale, so it also owns whatever cleanup applies.
+        """
+        with self._lock:
+            value = self._entries.pop(key, None)
+            if value is not None:
+                self.invalidations += 1
+            return value
+
+    def items(self) -> List[Tuple[Hashable, Any]]:
+        """Current ``(key, value)`` pairs, least- to most-recently used.
+
+        A snapshot taken under the lock; iterating it races with nothing.
+        """
+        with self._lock:
+            return list(self._entries.items())
 
     def __len__(self) -> int:
         with self._lock:
@@ -103,4 +125,5 @@ class LRUCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "invalidations": self.invalidations,
             }

@@ -17,8 +17,23 @@ behave identically:
   never retries a response that parsed into a well-formed envelope with
   a non-rejected code — budget exhaustion (code 3/4) is an *outcome*,
   not an availability problem;
+* retries **idempotent-safe ops only** across connection failures:
+  ``update`` mutates the graph, and a connection that died mid-exchange
+  may have died *after* the server applied the batch, so replaying it
+  blind would double-apply; a 429/503 *response*, by contrast, proves
+  the update was rejected before it started and is always safe to retry;
 * raises :class:`~repro.errors.ServiceUnavailable` carrying the final
   status and attempt count once retries are exhausted.
+
+The op helpers return typed **outcomes** — thin ``dict`` subclasses of
+the decoded envelope (so raw access, ``json.dumps`` and equality keep
+working) with properties for the fields that matter:
+:class:`QueryOutcome.result` decodes the embedded payload into a
+:class:`~repro.results.DenseSubgraphResult`,
+:class:`UpdateOutcome.applied` answers "did the batch commit", and every
+outcome exposes ``.ok`` / ``.code`` / ``.error`` / ``.request_id`` /
+``.graph_version``.  :meth:`ServiceClient.rpc` is the raw escape hatch
+for ops (or fields) this client has no helper for.
 
 Stdlib-only (:mod:`urllib.request`); injectable ``sleep`` and ``rng``
 keep the tests instant and deterministic.
@@ -31,11 +46,18 @@ import random
 import time
 import urllib.error
 import urllib.request
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..errors import ServiceUnavailable
+from ..results import DenseSubgraphResult
 
-__all__ = ["ServiceClient"]
+__all__ = [
+    "ServiceClient",
+    "ServiceOutcome",
+    "QueryOutcome",
+    "ProfileOutcome",
+    "UpdateOutcome",
+]
 
 # statuses worth retrying: the request was fine, the server was not ready
 _RETRYABLE_STATUSES = (429, 503)
@@ -50,6 +72,105 @@ def _parse_retry_after(value: Optional[str]) -> Optional[float]:
     except ValueError:
         return None  # HTTP-date form: not worth a date parser here
     return seconds if seconds >= 0 else None
+
+
+class ServiceOutcome(dict):
+    """A decoded ``repro/service-v1`` envelope with typed accessors.
+
+    Subclassing ``dict`` keeps every raw-envelope idiom working —
+    ``outcome["code"]``, ``outcome.get("error")``, ``json.dumps`` — so
+    the typed surface is additive, not a migration.
+    """
+
+    @property
+    def code(self) -> int:
+        return int(self.get("code", 1))
+
+    @property
+    def ok(self) -> bool:
+        """Code 0 and no error: the op fully succeeded."""
+        return self.code == 0 and not self.get("error")
+
+    @property
+    def error(self) -> Optional[str]:
+        return self.get("error")
+
+    @property
+    def request_id(self) -> Optional[str]:
+        return self.get("request_id")
+
+    @property
+    def graph_version(self) -> Optional[int]:
+        """The graph version this response was computed against."""
+        return self.get("graph_version")
+
+    @property
+    def rejected(self) -> bool:
+        """Refused by admission control before any work started."""
+        return bool(self.get("rejected"))
+
+    @property
+    def retry_after_s(self) -> Optional[float]:
+        return self.get("retry_after_s")
+
+
+class QueryOutcome(ServiceOutcome):
+    """Outcome of :meth:`ServiceClient.query`."""
+
+    @property
+    def result(self) -> Optional[DenseSubgraphResult]:
+        """The embedded ``repro/result-v1`` payload, decoded (or None)."""
+        payload = self.get("result")
+        if payload is None:
+            return None
+        return DenseSubgraphResult.from_dict(payload)
+
+    @property
+    def cached(self) -> bool:
+        return bool(self.get("cached"))
+
+    @property
+    def coalesced(self) -> bool:
+        return bool(self.get("coalesced"))
+
+    @property
+    def query_time_s(self) -> Optional[float]:
+        return self.get("query_time_s")
+
+
+class ProfileOutcome(ServiceOutcome):
+    """Outcome of :meth:`ServiceClient.profile`."""
+
+    @property
+    def rows(self) -> List[Dict[str, Any]]:
+        """One ``{k, size, clique_count, density}`` row per clique size."""
+        return list((self.get("profile") or {}).get("rows") or ())
+
+    @property
+    def densest_k(self) -> Optional[int]:
+        return (self.get("profile") or {}).get("densest_k")
+
+
+class UpdateOutcome(ServiceOutcome):
+    """Outcome of :meth:`ServiceClient.update`."""
+
+    @property
+    def applied(self) -> bool:
+        """Whether the edge batch committed (False on a code-4 partial)."""
+        return bool(self.get("applied"))
+
+    @property
+    def update(self) -> Dict[str, Any]:
+        """The dirty-region digest (``DirtyRegion.summary()`` fields)."""
+        return dict(self.get("update") or {})
+
+    @property
+    def invalidated_results(self) -> int:
+        return int(self.get("invalidated_results", 0))
+
+    @property
+    def retained_results(self) -> int:
+        return int(self.get("retained_results", 0))
 
 
 class ServiceClient:
@@ -126,12 +247,16 @@ class ServiceClient:
         return base + self._rng.uniform(0, self.jitter * base)
 
     def _exchange(
-        self, path: str, body: Optional[bytes]
+        self, path: str, body: Optional[bytes],
+        retry_connection_errors: bool = True,
     ) -> Tuple[int, bytes]:
         """POST/GET with retries; returns ``(status, body)`` on success.
 
         Success means any status outside :data:`_RETRYABLE_STATUSES`
-        reached after at most ``max_retries`` retries.
+        reached after at most ``max_retries`` retries.  With
+        ``retry_connection_errors=False`` a connection-level failure
+        raises immediately: the exchange may have reached the server
+        before dying, so a non-idempotent op must not be replayed.
         """
         attempts = 0
         last_status: Optional[int] = None
@@ -144,6 +269,14 @@ class ServiceClient:
             try:
                 status, retry_after, payload = self._once(path, body)
             except (OSError, urllib.error.URLError) as exc:
+                if not retry_connection_errors:
+                    raise ServiceUnavailable(
+                        f"{self.endpoint}{path} connection failed and this "
+                        "op is not safe to replay (the request may have "
+                        f"been applied): {exc!r}",
+                        last_status=None,
+                        attempts=attempts,
+                    )
                 last_status, last_error = None, exc
                 continue
             if status in _RETRYABLE_STATUSES:
@@ -161,9 +294,15 @@ class ServiceClient:
             attempts=attempts,
         )
 
-    def _rpc(self, op: str, obj: Dict[str, Any]) -> Dict[str, Any]:
+    def _rpc(
+        self, op: str, obj: Dict[str, Any],
+        retry_connection_errors: bool = True,
+    ) -> Dict[str, Any]:
         body = json.dumps(dict(obj, op=op)).encode("utf-8")
-        status, payload = self._exchange(f"/v1/{op}", body)
+        status, payload = self._exchange(
+            f"/v1/{op}", body,
+            retry_connection_errors=retry_connection_errors,
+        )
         lines = [ln for ln in payload.decode("utf-8").splitlines() if ln]
         if not lines:
             raise ServiceUnavailable(
@@ -174,18 +313,61 @@ class ServiceClient:
 
     # -- ops ------------------------------------------------------------
 
-    def query(self, **fields: Any) -> Dict[str, Any]:
+    def rpc(
+        self,
+        op: str,
+        obj: Optional[Dict[str, Any]] = None,
+        retry_connection_errors: Optional[bool] = None,
+        **fields: Any,
+    ) -> Dict[str, Any]:
+        """Raw escape hatch: POST any op, get the undecoded envelope.
+
+        For ops this client has no typed helper for (or fields the
+        helpers do not model).  Connection-error retries follow the
+        idempotency rule by default — everything retries except
+        ``update`` — and can be forced either way explicitly.
+        """
+        if retry_connection_errors is None:
+            retry_connection_errors = op != "update"
+        return self._rpc(
+            op, dict(obj or {}, **fields),
+            retry_connection_errors=retry_connection_errors,
+        )
+
+    def query(self, **fields: Any) -> QueryOutcome:
         """``op=query``; pass ``dataset``/``path``, ``k``, etc. as kwargs."""
-        return self._rpc("query", fields)
+        return QueryOutcome(self._rpc("query", fields))
 
-    def build(self, **fields: Any) -> Dict[str, Any]:
-        return self._rpc("build", fields)
+    def build(self, **fields: Any) -> ServiceOutcome:
+        return ServiceOutcome(self._rpc("build", fields))
 
-    def profile(self, **fields: Any) -> Dict[str, Any]:
-        return self._rpc("profile", fields)
+    def profile(self, **fields: Any) -> ProfileOutcome:
+        return ProfileOutcome(self._rpc("profile", fields))
 
-    def stats(self, **fields: Any) -> Dict[str, Any]:
-        return self._rpc("stats", fields)
+    def stats(self, **fields: Any) -> ServiceOutcome:
+        return ServiceOutcome(self._rpc("stats", fields))
+
+    def update(
+        self,
+        inserts: Union[List, Tuple] = (),
+        deletes: Union[List, Tuple] = (),
+        **fields: Any,
+    ) -> UpdateOutcome:
+        """``op=update``: apply an edge batch to the graph and its index.
+
+        Retried on 429/503 responses (the server proved it never started
+        the update) but **not** across connection failures — the batch
+        may already have been applied, and replaying it would fail
+        validation at best and double-apply at worst.
+        """
+        payload = dict(
+            fields,
+            inserts=[list(edge) for edge in inserts],
+            deletes=[list(edge) for edge in deletes],
+        )
+        return UpdateOutcome(
+            self._rpc("update", payload, retry_connection_errors=False)
+        )
 
     # -- probes (no retries beyond the shared loop) ---------------------
 

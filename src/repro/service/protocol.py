@@ -3,7 +3,8 @@
 A **request** is one JSON object per line.  Fields common to every op:
 
 ``op``
-    ``"query"`` | ``"profile"`` | ``"stats"`` | ``"build"``.
+    ``"query"`` | ``"profile"`` | ``"stats"`` | ``"build"`` |
+    ``"update"``.
 ``dataset`` / ``path``
     Graph source: a bundled synthetic dataset name (``repro datasets``)
     or an edge-list file path readable by the server.  Exactly one is
@@ -30,6 +31,24 @@ A **request** is one JSON object per line.  Fields common to every op:
 ``query`` adds ``k`` (required), ``method``, ``iterations``,
 ``sample_size``, ``seed``, ``include_stats``; ``profile`` adds
 ``iterations``.
+
+``update`` applies an edge batch to the graph *and* its cached
+SCT*-Index incrementally (``POST /v1/update``).  It adds ``inserts``
+and ``deletes`` — lists of ``[u, v]`` vertex pairs, at least one edge
+between them — plus an optional ``method`` that is validated against
+the registry's ``supports_update`` capability (unsupported methods are
+rejected with code 2 and the list of methods that do).  A successful
+response carries ``applied: true``, a ``update`` digest (dirty-region
+counters from :class:`~repro.core.update.DirtyRegion`), the counts of
+invalidated/retained result-cache entries and the new
+``graph_version``.  A budget that expires mid-update returns code 4
+with ``applied: false`` — the previous index keeps serving and the
+version does not move.
+
+``graph_version`` is a per-graph monotonic counter: 0 until the first
+update commits, incremented by each one.  ``query`` and ``build``
+responses echo the version their result was computed against, so a
+client can tell a pre-update cached answer from a post-update one.
 
 Every **response** is one JSON object per line wrapped in the
 ``repro/service-v1`` envelope::
@@ -81,7 +100,7 @@ __all__ = [
 SERVICE_SCHEMA = "repro/service-v1"
 SERVICE_STATS_SCHEMA = "repro/service-stats-v1"
 
-KNOWN_OPS = ("query", "profile", "stats", "build")
+KNOWN_OPS = ("query", "profile", "stats", "build", "update")
 
 
 def envelope(op: str, code: int = 0, **payload: Any) -> Dict[str, Any]:

@@ -50,6 +50,7 @@ from typing import Any, Dict, Optional, Tuple
 from .. import densest_subgraph
 from ..core import SCTIndex
 from ..core.profile import density_profile
+from ..core.update import compute_update
 from ..datasets import load_dataset
 from ..errors import (
     BudgetExhausted,
@@ -62,7 +63,7 @@ from ..graph import read_edge_list
 from ..graph.stats import summarize
 from ..obs import MetricsRecorder, render_exposition
 from ..options import RunOptions
-from ..registry import get_method
+from ..registry import get_method, methods_supporting
 from ..resilience import NULL_BUDGET, RunBudget
 from ..resilience.overload import AdmissionController, CircuitBreaker
 from ..results import PROFILE_SCHEMA, STATS_SCHEMA, PartialResult
@@ -87,9 +88,16 @@ CODE_PARTIAL = 4
 CODE_REJECTED = 5
 
 # endpoint classes for admission control: cold index builds queue
-# separately from (usually warm) queries; stats stays ungated so
-# operators can always observe an overloaded server
-_ADMISSION_CLASS = {"query": "query", "build": "cold", "profile": "cold"}
+# separately from (usually warm) queries, and index updates get their
+# own class so a burst of writes cannot starve reads (or vice versa);
+# stats stays ungated so operators can always observe an overloaded
+# server
+_ADMISSION_CLASS = {
+    "query": "query",
+    "build": "cold",
+    "profile": "cold",
+    "update": "update",
+}
 
 # Retry-After clamp: never tell a client "0" (thundering retry) and
 # never push it out more than two minutes
@@ -146,9 +154,26 @@ class ReproService:
         self._req_lock = threading.Lock()
         self._active_requests = 0
         self._admission = (
-            AdmissionController(config.max_concurrent, config.max_queue)
+            AdmissionController(
+                config.max_concurrent, config.max_queue,
+                classes=tuple(sorted(set(_ADMISSION_CLASS.values()))),
+            )
             if config.max_concurrent is not None else None
         )
+        # incremental updates (POST /v1/update): the post-update graph is
+        # pinned per graph key — the LRU would reload the *pre-update*
+        # edge list from disk on a miss — the monotonic graph_version is
+        # stamped into every graph-dependent envelope, and updates for
+        # one index key serialise on a per-key lock (two concurrent
+        # batches must apply one after the other, never coalesce)
+        self._version_lock = threading.Lock()
+        self._graph_versions: Dict[Any, int] = {}
+        self._updated_graphs: Dict[Any, Any] = {}
+        self._update_locks: Dict[Any, threading.Lock] = {}
+        # every index key ever materialised, by graph key, so an update
+        # can find sibling indices (same graph, other threshold/options)
+        # that it must drop from memory and disk
+        self._seen_index_keys: Dict[Any, set] = {}
         self._breakers: Dict[Any, CircuitBreaker] = {}
         self._breaker_lock = threading.Lock()
         # pre-seed the overload counters so every stats payload carries
@@ -372,6 +397,10 @@ class ReproService:
                 "exactly one of 'dataset' or 'path' is required"
             )
         key = ("dataset", dataset) if dataset else ("path", path)
+        with self._version_lock:
+            pinned = self._updated_graphs.get(key)
+        if pinned is not None:
+            return key, pinned
         graph = self._graphs.get(key)
         if graph is not None:
             return key, graph
@@ -396,6 +425,19 @@ class ReproService:
             )
         fingerprint = json.dumps(build_options, sort_keys=True)
         return (graph_key, threshold, fingerprint)
+
+    def _graph_version(self, graph_key) -> int:
+        """The graph's monotonic version (0 until its first update)."""
+        with self._version_lock:
+            return self._graph_versions.get(graph_key, 0)
+
+    def _update_lock(self, index_key) -> threading.Lock:
+        with self._version_lock:
+            lock = self._update_locks.get(index_key)
+            if lock is None:
+                lock = threading.Lock()
+                self._update_locks[index_key] = lock
+            return lock
 
     def _index_disk_path(self, index_key) -> Optional[str]:
         """Where ``index_key``'s v2 index file lives on disk (or None)."""
@@ -450,6 +492,10 @@ class ReproService:
         Retry-After) until a half-open probe succeeds.  Budget
         exhaustion and bad-request errors do not count as failures.
         """
+        with self._version_lock:
+            self._seen_index_keys.setdefault(index_key[0], set()).add(
+                index_key
+            )
         index = self._indices.get(index_key)
         if index is not None:
             self._count("service/index_cache/hit")
@@ -541,13 +587,16 @@ class ReproService:
 
         cached = self._results.get(result_key)
         if cached is not None:
+            result, computed_at = cached
             self._count("service/result_cache/hit")
             obj["_temp"] = "warm"
             return self._query_envelope(
-                cached, include_stats, cached=True, coalesced=False,
+                result, include_stats, cached=True, coalesced=False,
                 query_time_s=time.perf_counter() - t0,
+                graph_version=computed_at,
             )
         self._count("service/result_cache/miss")
+        version = self._graph_version(graph_key)
 
         budget = self._budget_for(obj)
         self._track_budget(budget)
@@ -598,17 +647,22 @@ class ReproService:
             self._count("service/coalesced")
         elif not result.is_partial:
             # partials are never cached: a later client with a larger
-            # budget deserves a fresh, complete computation
-            self._results.put(result_key, result)
+            # budget deserves a fresh, complete computation.  An update
+            # that committed while we computed already swept the result
+            # cache, so a result stamped with a superseded version must
+            # not slip in behind it.
+            if self._graph_version(graph_key) == version:
+                self._results.put(result_key, (result, version))
         return self._query_envelope(
             result, include_stats, cached=False, coalesced=not leader,
             query_time_s=time.perf_counter() - t0,
+            graph_version=version,
         )
 
     @staticmethod
     def _query_envelope(
         result, include_stats: bool, cached: bool, coalesced: bool,
-        query_time_s: float,
+        query_time_s: float, graph_version: int = 0,
     ) -> Dict[str, Any]:
         if result.is_partial:
             code = CODE_PARTIAL if result.valid else CODE_EXHAUSTED
@@ -619,7 +673,149 @@ class ReproService:
             result=result.to_dict(include_stats=include_stats),
             cached=cached, coalesced=coalesced,
             query_time_s=query_time_s,
+            graph_version=graph_version,
         )
+
+    def _op_update(self, obj: Dict[str, Any]) -> Dict[str, Any]:
+        """Apply an edge batch to the graph and its index, incrementally.
+
+        The request names the graph and index like ``query`` does, plus
+        ``inserts``/``deletes`` edge lists.  On success the new index is
+        byte-identical to a from-scratch rebuild over the updated edge
+        set, but only the dirty root subtrees were recomputed; commit
+        swaps the caches, patches the disk tier atomically, bumps the
+        graph's version, and invalidates exactly the result-cache
+        entries whose subgraph intersects the dirty region.  A budget
+        that expires mid-update is a *valid partial* (code 4): nothing
+        was applied, the previous index keeps serving unchanged.
+        """
+        t0 = time.perf_counter()
+        inserts = obj.get("inserts") or []
+        deletes = obj.get("deletes") or []
+        if not isinstance(inserts, list) or not isinstance(deletes, list):
+            raise InvalidParameterError(
+                "'inserts' and 'deletes' must be lists of [u, v] pairs"
+            )
+        if not inserts and not deletes:
+            raise InvalidParameterError(
+                "update requires at least one edge in 'inserts' or "
+                "'deletes'"
+            )
+        method = obj.get("method")
+        if method is not None:
+            spec = get_method(method)
+            if not spec.supports_update:
+                raise InvalidParameterError(
+                    f"method {spec.name!r} does not support incremental "
+                    "updates; methods that do: "
+                    + ", ".join(methods_supporting("update"))
+                )
+        graph_key, _ = self._graph_for(obj)
+        index_key = self._index_key(graph_key, obj)
+        obj["_temp"] = "cold"
+        budget = self._budget_for(obj)
+        self._track_budget(budget)
+        recorder = MetricsRecorder(request_id=obj.get("_request_id"))
+        try:
+            with self._update_lock(index_key):
+                # re-resolve inside the lock: a batch that just committed
+                # swapped the pinned graph this one must build on
+                _, graph = self._graph_for(obj)
+                index, _ = self._get_index(index_key, graph, recorder, budget)
+                try:
+                    region = compute_update(
+                        index, graph, inserts, deletes,
+                        options=RunOptions(recorder=recorder, budget=budget),
+                    )
+                except BudgetExhausted as exc:
+                    self._count("service/index_updates/exhausted")
+                    return envelope(
+                        "update", CODE_PARTIAL,
+                        applied=False,
+                        reason=exc.reason,
+                        graph_version=self._graph_version(graph_key),
+                        update_time_s=round(time.perf_counter() - t0, 6),
+                    )
+                version, invalidated, retained, siblings = (
+                    self._commit_update(graph_key, index_key, region)
+                )
+        finally:
+            self._untrack_budget(budget)
+            self._absorb(recorder, prefix="req/update")
+        self._count("service/index_updates")
+        return envelope(
+            "update", CODE_OK,
+            applied=True,
+            update=region.summary(),
+            graph_version=version,
+            invalidated_results=invalidated,
+            retained_results=retained,
+            evicted_sibling_indices=siblings,
+            update_time_s=round(time.perf_counter() - t0, 6),
+        )
+
+    def _commit_update(self, graph_key, index_key, region):
+        """Make an applied update visible everywhere; returns the stamps.
+
+        Order matters: the pinned graph and version move together under
+        the version lock, the index cache entry is swapped before any
+        result is invalidated, and the disk tier is patched last through
+        the atomic writer — a crash at any point leaves the previous
+        ``.sct2`` file intact and readable.
+        """
+        with self._version_lock:
+            version = self._graph_versions.get(graph_key, 0) + 1
+            self._graph_versions[graph_key] = version
+            self._updated_graphs[graph_key] = region.graph
+            siblings = [
+                key for key in self._seen_index_keys.get(graph_key, ())
+                if key != index_key
+            ]
+        self._graphs.put(graph_key, region.graph)
+        self._indices.put(index_key, region.index)
+        # fine-grained invalidation: only cached results whose subgraph
+        # intersects the dirty region can have changed; the rest keep
+        # serving, stamped with the version they were computed at
+        invalidated = retained = 0
+        for key, entry in self._results.items():
+            if not (isinstance(key, tuple) and len(key) > 1):
+                continue
+            if key[1][0] != graph_key:
+                continue
+            result, _computed_at = entry
+            if region.intersects(result.vertices):
+                if self._results.pop(key) is not None:
+                    invalidated += 1
+            else:
+                retained += 1
+        self._count("service/result_cache/invalidated", invalidated)
+        self._count("service/result_cache/retained", retained)
+        # sibling indices (same graph, other threshold/build_options)
+        # were built against the pre-update edge set: drop them from
+        # memory and disk so their next touch rebuilds fresh
+        evicted_siblings = 0
+        for sibling in siblings:
+            if self._indices.pop(sibling) is not None:
+                evicted_siblings += 1
+            sibling_path = self._index_disk_path(sibling)
+            if sibling_path is not None:
+                try:
+                    os.remove(sibling_path)
+                except OSError:
+                    pass
+        if evicted_siblings:
+            self._count(
+                "service/index_cache/sibling_evictions", evicted_siblings
+            )
+        disk_path = self._index_disk_path(index_key)
+        if disk_path is not None:
+            try:
+                region.index.save(disk_path)
+            except OSError:
+                self._count("service/index_cache/disk_store_error")
+            else:
+                self._count("service/index_cache/disk_store")
+        return version, invalidated, retained, evicted_siblings
 
     def _op_build(self, obj: Dict[str, Any]) -> Dict[str, Any]:
         t0 = time.perf_counter()
@@ -646,6 +842,7 @@ class ReproService:
                 "threshold": index_key[1],
                 "cached": was_cached,
             },
+            graph_version=self._graph_version(graph_key),
             build_time_s=time.perf_counter() - t0,
         )
 
@@ -715,6 +912,11 @@ class ReproService:
                 for graph_key, threshold, _ in self._indices.keys()
             ],
         }
+        with self._version_lock:
+            payload["graph_versions"] = {
+                "/".join(str(part) for part in graph_key): version
+                for graph_key, version in sorted(self._graph_versions.items())
+            }
         if self._admission is not None:
             payload["admission"] = self._admission.snapshot()
         breakers = self._breaker_snapshot()
@@ -734,6 +936,7 @@ class ReproService:
         "build": _op_build,
         "profile": _op_profile,
         "stats": _op_stats,
+        "update": _op_update,
     }
 
     def handle_request(self, obj: Dict[str, Any]) -> Dict[str, Any]:
@@ -903,6 +1106,7 @@ class _Handler(BaseHTTPRequestHandler):
             "/v1/build": "build",
             "/v1/profile": "profile",
             "/v1/stats": "stats",
+            "/v1/update": "update",
         }.get(self.path)
         if op is None:
             self._respond_envelopes(

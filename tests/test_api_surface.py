@@ -36,6 +36,8 @@ EXPECTED_ALL = sorted([
     "density_profile",
     "DensityProfile",
     "top_dense_subgraphs",
+    "DirtyRegion",
+    "methods_supporting",
     "RunOptions",
     "ParallelConfig",
     "MethodSpec",
@@ -75,13 +77,14 @@ EXPECTED_SIGNATURES = {
         "options",
     ),
     "sctl": (
-        "index", "k", "iterations", "paths", "track_convergence",
-        "recorder", "budget", "checkpoint", "resume", "parallel", "options",
+        "index", "k", "iterations", "warm_start", "paths",
+        "track_convergence", "recorder", "budget", "checkpoint", "resume",
+        "parallel", "options",
     ),
     "sctl_star": (
-        "index", "k", "iterations", "graph", "use_reductions", "use_batch",
-        "collect_stats", "paths", "algorithm_name", "recorder", "budget",
-        "checkpoint", "resume", "parallel", "options",
+        "index", "k", "iterations", "warm_start", "graph", "use_reductions",
+        "use_batch", "collect_stats", "paths", "algorithm_name", "recorder",
+        "budget", "checkpoint", "resume", "parallel", "options",
     ),
     "sctl_star_sample": (
         "index", "k", "sample_size", "iterations", "seed", "use_reduction",
@@ -104,7 +107,9 @@ EXPECTED_SIGNATURES = {
     "core_exact": ("graph", "k", "view", "options"),
     "greedy_peeling": ("graph", "k", "view", "options"),
     "register_method": (
-        "name", "fn", "aliases", "needs_index", "description", "overwrite",
+        "name", "fn", "aliases", "needs_index", "description",
+        "supports_update", "supports_parallel", "supports_budget",
+        "overwrite",
     ),
 }
 
@@ -148,6 +153,79 @@ def test_parallel_config_fields():
         "workers", "chunks_per_worker", "max_tasks_per_child", "start_method",
         "max_crash_retries",
     )
+
+
+# ---------------------------------------------------------------------------
+# Service-client surface: the typed op helpers and their outcomes are a
+# contract too — the CLI, the smoke scripts and the chaos suite all
+# consume them.
+# ---------------------------------------------------------------------------
+
+EXPECTED_CLIENT_OPS = {
+    "rpc": ("self", "op", "obj", "retry_connection_errors"),
+    "query": ("self",),
+    "build": ("self",),
+    "profile": ("self",),
+    "stats": ("self",),
+    "update": ("self", "inserts", "deletes"),
+}
+
+EXPECTED_OUTCOME_PROPERTIES = {
+    "ServiceOutcome": {
+        "code", "ok", "error", "request_id", "graph_version", "rejected",
+        "retry_after_s",
+    },
+    "QueryOutcome": {"result", "cached", "coalesced", "query_time_s"},
+    "ProfileOutcome": {"rows", "densest_k"},
+    "UpdateOutcome": {
+        "applied", "update", "invalidated_results", "retained_results",
+    },
+}
+
+
+def test_service_client_op_surface():
+    from repro.service import ServiceClient
+
+    for op, expected in EXPECTED_CLIENT_OPS.items():
+        fn = getattr(ServiceClient, op)
+        actual = tuple(
+            name
+            for name, p in inspect.signature(fn).parameters.items()
+            if p.kind is not inspect.Parameter.VAR_KEYWORD
+        )
+        assert actual == expected, f"{op}: {actual} != {expected}"
+
+
+def test_outcome_types_are_dicts_with_typed_properties():
+    import repro.service as service
+
+    for type_name, expected in EXPECTED_OUTCOME_PROPERTIES.items():
+        outcome_cls = getattr(service, type_name)
+        assert issubclass(outcome_cls, dict)  # raw access keeps working
+        actual = {
+            name
+            for name in vars(outcome_cls)
+            if isinstance(vars(outcome_cls)[name], property)
+        }
+        assert actual == expected, f"{type_name}: {actual} != {expected}"
+
+
+def test_typed_helpers_return_outcomes():
+    from repro.service import (
+        ProfileOutcome,
+        QueryOutcome,
+        ServiceClient,
+        UpdateOutcome,
+    )
+
+    hints = {
+        "query": QueryOutcome,
+        "profile": ProfileOutcome,
+        "update": UpdateOutcome,
+    }
+    for op, outcome_cls in hints.items():
+        signature = inspect.signature(getattr(ServiceClient, op))
+        assert signature.return_annotation == outcome_cls.__name__
 
 
 # ---------------------------------------------------------------------------

@@ -310,3 +310,61 @@ class TestSilentByDefault:
         captured = capsys.readouterr()
         assert captured.out == ""
         assert captured.err == ""
+
+
+class TestTrajectoryUpdateBench:
+    """The optional ``index_update`` trajectory bench validates strictly."""
+
+    @staticmethod
+    def record(index_update=None):
+        benches = {
+            "index_build": {"seconds": 0.01},
+            "path_throughput": {
+                "paths": 10, "seconds": 0.001, "paths_per_s": 1e4,
+            },
+            "service_query": {
+                "cold": {"count": 1, "p50_s": 0.02, "p99_s": 0.02},
+                "warm": {"count": 5, "p50_s": 1e-5, "p99_s": 2e-5},
+            },
+        }
+        if index_update is not None:
+            benches["index_update"] = index_update
+        return {
+            "schema": "repro/bench-trajectory-v1",
+            "recorded_at": "2026-08-07T00:00:00+00:00",
+            "python": "3.12.0",
+            "dataset": "email",
+            "k": 7,
+            "benches": benches,
+        }
+
+    GOOD = {
+        "count": 10, "p50_s": 0.005, "p99_s": 0.009,
+        "dirty_fraction": 0.03, "full_rebuild_s": 0.014,
+        "speedup_vs_rebuild": 2.6,
+    }
+
+    def test_records_without_the_bench_stay_valid(self):
+        from repro.obs.validate import validate_trajectory
+
+        assert validate_trajectory([self.record()]) == []
+
+    def test_well_formed_bench_passes(self):
+        from repro.obs.validate import validate_trajectory
+
+        assert validate_trajectory([self.record(self.GOOD)]) == []
+
+    def test_dirty_fraction_above_one_rejected(self):
+        from repro.obs.validate import validate_trajectory
+
+        bad = dict(self.GOOD, dirty_fraction=1.5)
+        errors = validate_trajectory([self.record(bad)])
+        assert any("dirty_fraction must be <= 1" in e for e in errors)
+
+    def test_missing_field_rejected(self):
+        from repro.obs.validate import validate_trajectory
+
+        bad = {k: v for k, v in self.GOOD.items()
+               if k != "speedup_vs_rebuild"}
+        errors = validate_trajectory([self.record(bad)])
+        assert any("speedup_vs_rebuild" in e for e in errors)

@@ -206,3 +206,89 @@ class TestLoadValidation:
         )
         with pytest.raises(IndexBuildError, match="unreachable"):
             SCTIndex.load(file)
+
+
+class TestV1ToV2Canonicalisation:
+    """Loading any v1 file and re-saving as v2 yields canonical bytes."""
+
+    HEADER = '{"format": 1, "n_vertices": 4, "n_nodes": 5, "threshold": 0}\n'
+    # two sibling subtrees of EQUAL size (2 nodes each), so the
+    # canonicaliser cannot lean on subtree sizes to order them
+    SHUFFLED = (
+        "-1 -1 2 2 3 1\n"  # root, children stored as (node 3, node 1)
+        "2 0 2 1 4\n"  # hold(v2), child: node 4
+        "1 0 2 0\n"  # hold(v1), leaf
+        "0 0 2 1 2\n"  # hold(v0), child: node 2
+        "3 0 2 0\n"  # hold(v3), leaf
+    )
+    PREORDER = (
+        "-1 -1 2 2 1 3\n"
+        "0 0 2 1 2\n"
+        "1 0 2 0\n"
+        "2 0 2 1 4\n"
+        "3 0 2 0\n"
+    )
+
+    @staticmethod
+    def v2_bytes(index):
+        import io
+
+        buffer = io.BytesIO()
+        index._write_v2(buffer)
+        return buffer.getvalue()
+
+    def test_duplicate_subtree_sizes_canonicalise_identically(self, tmp_path):
+        shuffled = tmp_path / "shuffled.sct"
+        preorder = tmp_path / "preorder.sct"
+        shuffled.write_text(self.HEADER + self.SHUFFLED)
+        preorder.write_text(self.HEADER + self.PREORDER)
+        a = SCTIndex.load(shuffled)
+        b = SCTIndex.load(preorder)
+        assert [(p.holds, p.pivots) for p in a.iter_paths()] == [
+            ((0, 1), ()), ((2, 3), ()),
+        ]
+        assert self.v2_bytes(a) == self.v2_bytes(b)
+
+    def test_empty_graph_v1_to_v2_chain(self, tmp_path):
+        index = SCTIndex.build(Graph(3))  # vertices, no edges
+        index.save(tmp_path / "e.sct1", format=1)
+        via_v1 = SCTIndex.load(tmp_path / "e.sct1")
+        via_v1.save(tmp_path / "e.sct2", format=2)
+        loaded = SCTIndex.load(tmp_path / "e.sct2")
+        assert loaded.n_vertices == 3
+        assert loaded.count_k_cliques(1) == 3
+        assert self.v2_bytes(loaded) == self.v2_bytes(index)
+
+    def test_single_vertex_graph_v1_to_v2_chain(self, tmp_path):
+        index = SCTIndex.build(Graph(1))
+        index.save(tmp_path / "s.sct1", format=1)
+        via_v1 = SCTIndex.load(tmp_path / "s.sct1")
+        via_v1.save(tmp_path / "s.sct2", format=2)
+        loaded = SCTIndex.load(tmp_path / "s.sct2")
+        assert loaded.n_vertices == 1
+        assert loaded.count_k_cliques(1) == 1
+        assert self.v2_bytes(loaded) == self.v2_bytes(index)
+
+    def test_header_without_format_names_supported_formats(self, tmp_path):
+        file = tmp_path / "nofmt.sct"
+        file.write_text('{"n_vertices": 4, "n_nodes": 5, "threshold": 0}\n')
+        with pytest.raises(IndexBuildError) as excinfo:
+            SCTIndex.load(file)
+        message = str(excinfo.value)
+        assert "format None" in message
+        assert "supported formats: 1, 2" in message
+
+    def test_truncated_v2_header_is_a_precise_error(self, tmp_path):
+        index = SCTIndex.build(gnp_graph(8, 0.4, seed=6))
+        file = tmp_path / "i.sct2"
+        index.save(file, format=2)
+        data = file.read_bytes()
+        header_len = len(data.splitlines(True)[0])
+        # cut mid-header: no valid JSON line, no binary section
+        (tmp_path / "trunc.sct2").write_bytes(data[: header_len // 2])
+        with pytest.raises(IndexBuildError, match="malformed index file"):
+            SCTIndex.load(tmp_path / "trunc.sct2")
+        # header intact but the binary section is gone entirely
+        (tmp_path / "headonly.sct2").write_bytes(data[:header_len])
+        with pytest.raises(IndexBuildError, match="truncated or oversized"):
+            SCTIndex._load_v2(tmp_path / "headonly.sct2")

@@ -61,7 +61,21 @@ class TestLRUCache:
         cache.put("b", 2)
         assert cache.stats() == {
             "size": 1, "capacity": 1, "hits": 1, "misses": 1, "evictions": 1,
+            "invalidations": 0,
         }
+
+    def test_pop_counts_invalidations_not_evictions(self):
+        released = []
+        cache = LRUCache(2, on_evict=lambda k, v: released.append(k))
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.pop("a") == 1
+        assert cache.pop("a") is None  # absent: no double count
+        stats = cache.stats()
+        assert stats["invalidations"] == 1
+        assert stats["evictions"] == 0
+        assert released == []  # the caller owns stale-entry cleanup
+        assert cache.items() == [("b", 2)]
 
     def test_capacity_must_be_positive(self):
         with pytest.raises(ValueError):
@@ -535,3 +549,315 @@ class TestDiskIndexTier:
         stats = service.stats_snapshot()["counters"]
         assert "service/index_cache/disk_store" not in stats
         assert "service/index_cache/disk_hit" not in stats
+
+
+# ---------------------------------------------------------------------------
+# POST /v1/update: incremental index maintenance through the daemon
+# ---------------------------------------------------------------------------
+
+def two_clique_graph_file(tmp_path):
+    """Two disjoint cliques (K6 on 0-5, K5 on 6-10) as an edge list.
+
+    Disjoint components keep dirty regions block-local, so one block's
+    cached results survive the other block's updates — the property the
+    fine-grained invalidation tests pin down.
+    """
+    path = tmp_path / "two_cliques.txt"
+    lines = []
+    for base, size in ((0, 6), (6, 5)):
+        for i in range(size):
+            for j in range(i + 1, size):
+                lines.append(f"{base + i} {base + j}")
+    path.write_text("\n".join(lines) + "\n")
+    return str(path)
+
+
+def update(service, path, **fields):
+    obj = {"op": "update", "path": path}
+    obj.update(fields)
+    return service.handle_request(obj)
+
+
+class TestServiceUpdate:
+    def test_update_applies_bumps_version_and_patches_disk(self, tmp_path):
+        from repro.core import SCTIndex
+        from repro.graph import read_edge_list
+
+        path = two_clique_graph_file(tmp_path)
+        index_dir = str(tmp_path / "indices")
+        service = make_service(index_dir=index_dir)
+        first = service.handle_request({"op": "query", "path": path, "k": 5})
+        assert first["code"] == 0 and first["graph_version"] == 0
+
+        env = update(service, path, deletes=[[6, 7]])
+        assert env["code"] == 0
+        assert env["applied"] is True
+        assert env["graph_version"] == 1
+        assert env["update"]["deletes"] == 1
+        assert validate_result(env) == []
+
+        env2 = update(service, path, inserts=[[6, 7]], deletes=[[7, 8]])
+        assert env2["graph_version"] == 2
+
+        counters = service.stats_snapshot()["counters"]
+        assert counters["service/index_updates"] == 2
+        # exactly one .sct2, holding the post-update index byte-for-byte
+        (disk_file,) = os.listdir(index_dir)
+        loaded = SCTIndex.load(os.path.join(index_dir, disk_file))
+        graph = read_edge_list(path)
+        from repro.core import apply_edge_updates
+
+        g1, _, _ = apply_edge_updates(graph, deletes=[(6, 7)])
+        g2, _, _ = apply_edge_updates(g1, inserts=[(6, 7)], deletes=[(7, 8)])
+        fresh = SCTIndex.build(g2)
+        assert loaded.clique_counts_by_size() == fresh.clique_counts_by_size()
+
+    def test_fine_grained_invalidation_proven_by_counters(self, tmp_path):
+        path = two_clique_graph_file(tmp_path)
+        service = make_service()
+        for k in (5, 6):
+            env = service.handle_request(
+                {"op": "query", "path": path, "k": k}
+            )
+            assert env["code"] == 0
+            assert env["result"]["vertices"] == [0, 1, 2, 3, 4, 5]
+
+        # an update in the OTHER component retains both cached results
+        env = update(service, path, deletes=[[6, 7]])
+        assert env["invalidated_results"] == 0
+        assert env["retained_results"] == 2
+        warm = service.handle_request({"op": "query", "path": path, "k": 5})
+        assert warm["cached"] is True
+        assert warm["graph_version"] == 0  # computed-at stamp, still valid
+
+        # an update INSIDE the cached subgraph invalidates both
+        env = update(service, path, deletes=[[0, 1]])
+        assert env["invalidated_results"] == 2
+        assert env["retained_results"] == 0
+        fresh = service.handle_request({"op": "query", "path": path, "k": 5})
+        assert fresh["cached"] is False
+        assert fresh["graph_version"] == 2
+
+        counters = service.stats_snapshot()["counters"]
+        assert counters["service/result_cache/invalidated"] == 2
+        assert counters["service/result_cache/retained"] == 2
+        assert service.stats_snapshot()["result_cache"]["invalidations"] == 2
+
+    def test_budget_partial_keeps_old_index_serving(self, tmp_path):
+        path = two_clique_graph_file(tmp_path)
+        service = make_service()
+        before = service.handle_request({"op": "query", "path": path, "k": 5})
+        assert before["code"] == 0
+
+        env = update(service, path, deletes=[[0, 1]], timeout_s=1e-9)
+        assert env["code"] == 4
+        assert env["applied"] is False
+        assert env["reason"]
+        assert env["graph_version"] == 0  # the version did not move
+        assert validate_result(env) == []
+
+        after = service.handle_request({"op": "query", "path": path, "k": 5})
+        assert after["cached"] is True  # nothing was invalidated
+        assert after["result"]["vertices"] == before["result"]["vertices"]
+
+    def test_validation_and_capability_errors(self, tmp_path):
+        path = two_clique_graph_file(tmp_path)
+        service = make_service()
+        env = update(service, path)
+        assert env["code"] == 2 and "at least one edge" in env["error"]
+
+        env = update(service, path, inserts="nope")
+        assert env["code"] == 2
+
+        env = update(service, path, deletes=[[0, 1]], method="kcl")
+        assert env["code"] == 2
+        assert "does not support incremental updates" in env["error"]
+        assert "sctl*" in env["error"]  # lists the methods that do
+
+        env = update(service, path, deletes=[[0, 6]])
+        assert env["code"] == 2 and "not present" in env["error"]
+        # a rejected batch must not bump the version
+        assert service.stats_snapshot()["graph_versions"] == {}
+
+    def test_sibling_index_keys_are_evicted(self, tmp_path):
+        path = two_clique_graph_file(tmp_path)
+        index_dir = str(tmp_path / "indices")
+        service = make_service(index_dir=index_dir)
+        # materialise two index keys over one graph
+        full = service.handle_request({"op": "build", "path": path})
+        partial = service.handle_request(
+            {"op": "build", "path": path, "threshold": 4}
+        )
+        assert full["code"] == 0 and partial["code"] == 0
+        assert len(os.listdir(index_dir)) == 2
+        assert len(service._indices) == 2
+
+        env = update(service, path, deletes=[[0, 1]])  # threshold-0 key
+        assert env["code"] == 0
+        assert env["evicted_sibling_indices"] == 1
+        # only the updated key remains, in memory and on disk
+        assert len(service._indices) == 1
+        assert len(os.listdir(index_dir)) == 1
+        counters = service.stats_snapshot()["counters"]
+        assert counters["service/index_cache/sibling_evictions"] == 1
+
+    def test_failed_disk_patch_does_not_fail_the_update(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.core import SCTIndex
+
+        path = two_clique_graph_file(tmp_path)
+        index_dir = str(tmp_path / "indices")
+        service = make_service(index_dir=index_dir)
+        service.handle_request({"op": "query", "path": path, "k": 5})
+        (disk_file,) = os.listdir(index_dir)
+        disk_path = os.path.join(index_dir, disk_file)
+        before = open(disk_path, "rb").read()
+
+        def broken_save(self, path, format=None):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(server_mod.SCTIndex, "save", broken_save)
+        env = update(service, path, deletes=[[0, 1]])
+        assert env["code"] == 0 and env["applied"] is True
+        counters = service.stats_snapshot()["counters"]
+        assert counters["service/index_cache/disk_store_error"] == 1
+        # the previous file is untouched and still loads
+        assert open(disk_path, "rb").read() == before
+        monkeypatch.undo()
+        assert SCTIndex.load(disk_path).n_vertices == 11
+
+    def test_updates_during_queries_stay_consistent(self, tmp_path):
+        path = two_clique_graph_file(tmp_path)
+        service = make_service(result_cache_size=64)
+        service.handle_request({"op": "query", "path": path, "k": 5})
+        stop = threading.Event()
+        failures = []
+
+        def reader():
+            while not stop.is_set():
+                env = service.handle_request(
+                    {"op": "query", "path": path, "k": 5}
+                )
+                if env["code"] != 0:
+                    failures.append(env)
+                    return
+                density = env["result"]["density"]
+                # K6 intact -> C(6,5)/6 = 1.0; one edge missing -> 2/6
+                if density not in (1.0, pytest.approx(2 / 6)):
+                    failures.append(env)
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(8):
+                env = update(service, path, deletes=[[0, 1]])
+                assert env["code"] == 0
+                env = update(service, path, inserts=[[0, 1]])
+                assert env["code"] == 0
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=10)
+        assert failures == []
+        versions = service.stats_snapshot()["graph_versions"]
+        assert versions == {f"path/{path}": 16}
+
+    def test_http_route_and_typed_client(self, tmp_path):
+        from repro.service import ServiceClient, UpdateOutcome
+
+        path = two_clique_graph_file(tmp_path)
+        httpd, service = make_server(ServiceConfig(port=0, cache_size=2))
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        try:
+            port = httpd.server_address[1]
+            client = ServiceClient(f"http://127.0.0.1:{port}")
+            query_outcome = client.query(path=path, k=5)
+            assert query_outcome.ok
+            assert query_outcome.graph_version == 0
+            result = query_outcome.result
+            assert isinstance(result, DenseSubgraphResult)
+            assert result.vertices == [0, 1, 2, 3, 4, 5]
+
+            outcome = client.update(deletes=[(0, 1)], path=path)
+            assert isinstance(outcome, UpdateOutcome)
+            assert outcome.ok and outcome.applied
+            assert outcome.graph_version == 1
+            assert outcome.update["deletes"] == 1
+            assert outcome.invalidated_results == 1
+            # raw-dict access still works on the same object
+            assert outcome["code"] == 0
+            assert json.loads(json.dumps(outcome)) == dict(outcome)
+
+            # raw escape hatch speaks the same envelope
+            raw = client.rpc("stats")
+            assert raw["code"] == 0
+            assert raw["stats"]["graph_versions"] == {f"path/{path}": 1}
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            thread.join(timeout=5)
+
+    def test_mmap_backed_index_survives_disk_patch(self, tmp_path):
+        """Patching the .sct2 must not invalidate live mappings.
+
+        ``SCTIndex.save`` goes through an atomic temp-file + ``os.replace``,
+        so a reader that mmap'ed the old file keeps its (now anonymous)
+        inode until it drops the index — another process's update can
+        never corrupt in-flight queries.
+        """
+        path = two_clique_graph_file(tmp_path)
+        index_dir = str(tmp_path / "indices")
+        writer = make_service(index_dir=index_dir)
+        assert writer.handle_request({"op": "build", "path": path})["code"] == 0
+
+        reader = make_service(index_dir=index_dir)
+        env = reader.handle_request({"op": "query", "path": path, "k": 5})
+        assert env["code"] == 0
+        (mapped,) = reader._indices.values()
+        assert mapped.backing == "mmap"
+        before = mapped.clique_counts_by_size()
+
+        patched = update(writer, path, deletes=[[0, 1]])
+        assert patched["code"] == 0
+        # the stale mapping still answers, byte-for-byte what it loaded
+        assert mapped.clique_counts_by_size() == before
+        env = reader.handle_request({"op": "query", "path": path, "k": 6})
+        assert env["code"] == 0
+        assert env["result"]["vertices"] == [0, 1, 2, 3, 4, 5]
+
+    def test_cli_update_command(self, tmp_path, capsys):
+        path = two_clique_graph_file(tmp_path)
+        httpd, service = make_server(ServiceConfig(port=0, cache_size=2))
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        try:
+            endpoint = f"http://127.0.0.1:{httpd.server_address[1]}"
+            code = cli.main([
+                "update", path, "--endpoint", endpoint, "--delete", "0,1",
+            ])
+            assert code == 0
+            out = capsys.readouterr().out
+            assert "graph_version=1" in out and "-1 edges" in out
+
+            code = cli.main([
+                "update", path, "--endpoint", endpoint, "--insert", "zero,1",
+            ])
+            assert code == 2
+            assert "expects an edge" in capsys.readouterr().err
+
+            code = cli.main([
+                "update", path, "--endpoint", endpoint,
+                "--insert", "0,1", "--json",
+            ])
+            assert code == 0
+            envelope = json.loads(capsys.readouterr().out)
+            assert envelope["applied"] is True
+            assert envelope["graph_version"] == 2
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            thread.join(timeout=5)
