@@ -1,0 +1,360 @@
+#!/usr/bin/env python
+"""Fleet load bench: 1-vs-N worker scaling, plus the CI chaos smoke.
+
+Two modes share one load generator (client threads driving mixed
+cold/warm traffic through a real router + subprocess worker fleet):
+
+* **Full** (default): run the same load against a 1-worker fleet and a
+  4-worker fleet, digest cold/warm latency (p50/p99) from the router's
+  own ``service/latency/query/*`` histograms, compute the cold
+  throughput speedup and the warm p99 ratio, and append one
+  schema-validated record with a ``fleet`` bench to
+  ``BENCH_trajectory.json`` (the core benches ride along so the record
+  satisfies the trajectory schema).
+* **--quick** (the CI ``fleet-smoke`` job): router + 2 workers, mixed
+  cold/warm load, one worker SIGKILLed mid-run.  Pass criteria: every
+  envelope validates against its schema, zero requests hang (every
+  issued request completes), and the fleet drains cleanly.  No
+  trajectory write.
+
+Run from the repo root::
+
+    PYTHONPATH=src python scripts/bench_fleet.py --quick
+"""
+
+import argparse
+import json
+import os
+import platform
+import sys
+import threading
+import time
+from datetime import datetime, timezone
+from queue import Empty, Queue
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import bench_trajectory as core  # noqa: E402
+
+from repro.obs.validate import (  # noqa: E402
+    TRAJECTORY_SCHEMA,
+    validate_result,
+    validate_trajectory,
+)
+from repro.service import (  # noqa: E402
+    FleetManager,
+    RouterConfig,
+    ServiceClient,
+    make_router,
+)
+
+
+class Fleet:
+    """A subprocess worker fleet behind an in-process router."""
+
+    def __init__(self, workers_n):
+        self.manager = FleetManager(workers_n)
+        workers = self.manager.start()
+        self.server, self.router = make_router(
+            RouterConfig(port=0), workers, manager=self.manager
+        )
+        threading.Thread(
+            target=self.server.serve_forever, daemon=True
+        ).start()
+        self.endpoint = f"http://127.0.0.1:{self.server.server_address[1]}"
+
+    def close(self):
+        self.server.shutdown()
+        self.server.server_close()
+        self.manager.terminate()
+
+
+def drive(endpoint, requests, threads, timeout_s=120.0, max_retries=3):
+    """Issue ``requests`` from ``threads`` client threads; collect all.
+
+    Returns ``(outcomes, hung)`` where ``outcomes`` is a list of
+    ``(request, envelope-or-exception)`` pairs and ``hung`` counts
+    issued requests that never completed within ``timeout_s`` — the
+    number the chaos smoke pins at zero.
+    """
+    todo = Queue()
+    for obj in requests:
+        todo.put(obj)
+    outcomes = []
+    lock = threading.Lock()
+
+    def worker():
+        with ServiceClient(
+            endpoint, max_retries=max_retries, timeout_s=60
+        ) as client:
+            while True:
+                try:
+                    obj = todo.get_nowait()
+                except Empty:
+                    return
+                try:
+                    out = client.query(**obj)
+                except Exception as exc:  # noqa: BLE001 — recorded, not lost
+                    out = exc
+                with lock:
+                    outcomes.append((obj, out))
+
+    pool = [
+        threading.Thread(target=worker, daemon=True) for _ in range(threads)
+    ]
+    for t in pool:
+        t.start()
+    deadline = time.monotonic() + timeout_s
+    for t in pool:
+        t.join(timeout=max(0.0, deadline - time.monotonic()))
+    hung = len(requests) - len(outcomes)
+    return outcomes, hung
+
+
+def cold_requests(count, dataset, k):
+    # distinct build_options fingerprints -> distinct canonical index
+    # keys -> every request is a fresh build on whichever worker owns it
+    return [
+        {"dataset": dataset, "k": k, "build_options": {"arm": i}}
+        for i in range(count)
+    ]
+
+
+def latency_digests(fleet):
+    """Cold/warm p50/p99 from the router's own latency histograms."""
+    stats = fleet.router.handle_request({"op": "stats"})
+    histograms = stats["stats"]["histograms"]
+    out = {}
+    for temperature in ("cold", "warm"):
+        digest = histograms.get(f"service/latency/query/{temperature}")
+        if digest is None:
+            raise SystemExit(
+                f"no {temperature} latency histogram on the router"
+            )
+        out[temperature] = {
+            "count": digest["count"],
+            "p50_s": digest["p50"],
+            "p99_s": digest["p99"],
+        }
+    return out
+
+
+def run_arm(workers_n, cold_count, warm_count, threads, dataset, k):
+    """One bench arm: cold fan-out phase, then a warm steady phase."""
+    fleet = Fleet(workers_n)
+    try:
+        cold = cold_requests(cold_count, dataset, k)
+        t0 = time.perf_counter()
+        outcomes, hung = drive(fleet.endpoint, cold, threads)
+        cold_elapsed = time.perf_counter() - t0
+        check_outcomes(outcomes, hung)
+
+        warm = [{"dataset": dataset, "k": k} for _ in range(warm_count)]
+        # prime the warm key once so every measured request is a hit
+        prime, hung = drive(fleet.endpoint, warm[:1], 1)
+        check_outcomes(prime, hung)
+        outcomes, hung = drive(fleet.endpoint, warm, threads)
+        check_outcomes(outcomes, hung)
+
+        digests = latency_digests(fleet)
+        return {
+            "workers": workers_n,
+            "cold": digests["cold"],
+            "warm": digests["warm"],
+            "cold_throughput_rps": (
+                cold_count / cold_elapsed if cold_elapsed > 0 else 0.0
+            ),
+        }
+    finally:
+        fleet.close()
+
+
+def check_outcomes(outcomes, hung):
+    if hung:
+        raise SystemExit(f"{hung} requests hung (never completed)")
+    for obj, out in outcomes:
+        if isinstance(out, Exception):
+            raise SystemExit(f"request {obj} failed: {out!r}")
+        errors = validate_result(out)
+        if errors:
+            raise SystemExit(
+                f"invalid envelope for {obj}:\n  " + "\n  ".join(errors)
+            )
+        if not out.ok:
+            raise SystemExit(
+                f"request {obj} errored (code {out.code}): {out.error}"
+            )
+
+
+def run_quick(dataset, k, threads):
+    """CI fleet-smoke: 2 workers, mixed load, SIGKILL one mid-run."""
+    fleet = Fleet(2)
+    try:
+        # mixed cold/warm: 4 distinct keys interleaved with repeats
+        mixed = []
+        for i in range(16):
+            mixed.append(
+                {"dataset": dataset, "k": k, "build_options": {"arm": i % 4}}
+            )
+
+        def chaos():
+            # let some requests land, then SIGKILL a worker mid-run
+            time.sleep(0.5)
+            killed = fleet.manager.kill("w1")
+            print(f"chaos: SIGKILL w1 -> {killed}", flush=True)
+
+        chaos_thread = threading.Thread(target=chaos, daemon=True)
+        chaos_thread.start()
+        outcomes, hung = drive(fleet.endpoint, mixed, threads)
+        chaos_thread.join(timeout=10)
+        check_outcomes(outcomes, hung)
+        # a second round after the kill: every key w1 owned must fail
+        # over to the survivor with no lost requests
+        outcomes2, hung = drive(fleet.endpoint, mixed, threads)
+        check_outcomes(outcomes2, hung)
+        results = [out for _, out in outcomes + outcomes2]
+        served = sorted({out.served_by for out in results})
+        versions = sorted({out.get("schema") for out in results})
+        print(
+            f"fleet-smoke: {len(results)} requests ok, 0 hung, "
+            f"served_by={served}, schemas={versions}",
+            flush=True,
+        )
+        # the dead worker is out of the ring; the survivor holds it up
+        if "w1" in fleet.router.ring:
+            raise SystemExit("dead worker w1 still in the hash ring")
+        stats = fleet.router.handle_request({"op": "stats"})
+        if validate_result(stats):
+            raise SystemExit("router stats envelope failed validation")
+    finally:
+        fleet.close()
+    print("fleet-smoke: PASS", flush=True)
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", default=os.path.join(REPO_ROOT, "BENCH_trajectory.json"),
+    )
+    parser.add_argument("--dataset", default="email")
+    parser.add_argument("--k", type=int, default=4)
+    parser.add_argument(
+        "--cold-keys", type=int, default=8,
+        help="distinct index keys per arm (default 8)",
+    )
+    parser.add_argument(
+        "--warm-queries", type=int, default=40,
+        help="warm (result-cached) queries per arm (default 40)",
+    )
+    parser.add_argument(
+        "--threads", type=int, default=8,
+        help="client load-generator threads (default 8)",
+    )
+    parser.add_argument(
+        "--scaled-workers", type=int, default=4,
+        help="fleet size for the scaled arm (default 4)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI chaos smoke (2 workers, SIGKILL one mid-run); no "
+        "trajectory write",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        return run_quick(args.dataset, args.k, min(args.threads, 4))
+
+    print(
+        f"fleet bench: dataset={args.dataset} k={args.k} "
+        f"cold_keys={args.cold_keys} warm={args.warm_queries}"
+    )
+    single = run_arm(
+        1, args.cold_keys, args.warm_queries, args.threads,
+        args.dataset, args.k,
+    )
+    scaled = run_arm(
+        args.scaled_workers, args.cold_keys, args.warm_queries,
+        args.threads, args.dataset, args.k,
+    )
+    fleet_bench = {
+        "single": single,
+        "scaled": scaled,
+        "cold_speedup": (
+            scaled["cold_throughput_rps"] / single["cold_throughput_rps"]
+            if single["cold_throughput_rps"] > 0 else 0.0
+        ),
+        "warm_p99_ratio": (
+            scaled["warm"]["p99_s"] / single["warm"]["p99_s"]
+            if single["warm"]["p99_s"] > 0 else 0.0
+        ),
+    }
+    for arm_name, arm in (("single", single), ("scaled", scaled)):
+        print(
+            f"{arm_name}: workers={arm['workers']} "
+            f"cold p50={arm['cold']['p50_s']:.4g}s "
+            f"p99={arm['cold']['p99_s']:.4g}s "
+            f"warm p50={arm['warm']['p50_s']:.4g}s "
+            f"p99={arm['warm']['p99_s']:.4g}s "
+            f"cold_rps={arm['cold_throughput_rps']:.2f}"
+        )
+    print(
+        f"cold_speedup={fleet_bench['cold_speedup']:.2f}x "
+        f"warm_p99_ratio={fleet_bench['warm_p99_ratio']:.2f}"
+    )
+    cores = os.cpu_count() or 1
+    if cores < args.scaled_workers:
+        print(
+            f"note: only {cores} CPU core(s) available for "
+            f"{args.scaled_workers} workers — cold builds are CPU-bound, "
+            "so the speedup degenerates toward 1x on this host; run on "
+            f">= {args.scaled_workers} cores to see the fleet scale"
+        )
+
+    # the core benches ride along so the record satisfies the schema
+    graph = core.load_dataset(args.dataset)
+    index, index_build = core.bench_index_build(graph)
+    path_throughput = core.bench_path_throughput(index, args.k)
+    service_query = core.bench_service_query(args.dataset, args.k, 10, 5)
+
+    record = {
+        "schema": TRAJECTORY_SCHEMA,
+        "recorded_at": datetime.now(timezone.utc).isoformat(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "git": core._git_commit(),
+        "dataset": args.dataset,
+        "k": args.k,
+        "benches": {
+            "index_build": index_build,
+            "path_throughput": path_throughput,
+            "service_query": service_query,
+            "fleet": fleet_bench,
+        },
+    }
+    trajectory = []
+    if os.path.exists(args.output):
+        with open(args.output, encoding="utf-8") as fh:
+            trajectory = json.load(fh)
+        if not isinstance(trajectory, list):
+            raise SystemExit(f"{args.output} is not a JSON array")
+    trajectory.append(record)
+    errors = validate_trajectory(trajectory)
+    if errors:
+        raise SystemExit(
+            "refusing to write an invalid trajectory:\n  "
+            + "\n  ".join(errors)
+        )
+    tmp = args.output + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(trajectory, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, args.output)
+    print(f"appended record {len(trajectory)} to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -482,6 +482,33 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     # lazy: the daemon pulls in threading/http machinery no other
     # subcommand needs
+    if args.role == "router" or args.fleet is not None:
+        from .service import serve_fleet
+
+        # every non-routing serve flag is handed down to the spawned
+        # workers verbatim, so a fleet worker is configured exactly
+        # like a standalone daemon
+        worker_args = []
+        if args.cache_size != 4:
+            worker_args += ["--cache-size", str(args.cache_size)]
+        if args.result_cache_size != 128:
+            worker_args += [
+                "--result-cache-size", str(args.result_cache_size)
+            ]
+        if args.default_timeout is not None:
+            worker_args += ["--default-timeout", str(args.default_timeout)]
+        if args.max_concurrent is not None:
+            worker_args += ["--max-concurrent", str(args.max_concurrent)]
+        if args.max_queue != 16:
+            worker_args += ["--max-queue", str(args.max_queue)]
+        return serve_fleet(
+            host=args.host,
+            port=args.port,
+            fleet=args.fleet if args.fleet is not None else 2,
+            index_dir=args.index_dir,
+            worker_args=worker_args,
+        )
+
     from .service import serve_forever
 
     return serve_forever(
@@ -496,6 +523,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         access_log_path=args.access_log,
         max_concurrent=args.max_concurrent,
         max_queue=args.max_queue,
+        worker_id=args.worker_id,
     )
 
 
@@ -720,6 +748,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-queue", type=int, default=16, metavar="N",
         help="bounded admission wait queue per endpoint class "
              "(default 16; only meaningful with --max-concurrent)",
+    )
+    serve.add_argument(
+        "--role", choices=("router", "worker"), default="worker",
+        help="fleet role: 'router' runs the consistent-hash front and "
+             "spawns --fleet workers; 'worker' (default) runs one "
+             "standalone daemon, optionally tagged with --worker-id",
+    )
+    serve.add_argument(
+        "--fleet", type=int, default=None, metavar="N",
+        help="run a fleet: spawn N loopback workers behind a router "
+             "on --port (implies --role router; SIGTERM drains all)",
+    )
+    serve.add_argument(
+        "--worker-id", default=None, metavar="ID",
+        help="tag this worker's envelopes with served_by=ID "
+             "(set automatically for --fleet-spawned workers)",
     )
     _add_parallel_flag(serve)
 

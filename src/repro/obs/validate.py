@@ -38,8 +38,11 @@ Beyond traces and metrics, the validator checks every versioned
 on the ``"schema"`` field: ``repro/result-v1`` (round-tripped through
 :class:`~repro.results.DenseSubgraphResult` plus consistency checks),
 ``repro/profile-v1``, ``repro/stats-v1``, the ``repro/service-v1``
-response envelope (nested payloads validated recursively) and
-``repro/service-stats-v1``.
+response envelope (nested payloads validated recursively), its
+``repro/service-v1.1`` fleet extension (optional ``served_by`` /
+``ring_epoch``; unknown optional fields are ignored by v1 consumers),
+``repro/service-stats-v1``, ``repro/router-stats-v1`` and
+``repro/topology-v1``.
 
 Used by the CI observability and service-smoke jobs and usable
 standalone::
@@ -372,12 +375,120 @@ def _validate_service_envelope(payload: dict) -> List[str]:
         )
     if payload.get("rejected") is True and retry_after is None:
         errors.append("a rejected envelope must carry 'retry_after_s'")
-    for nested_key in ("result", "profile", "stats", "graph"):
+    for nested_key in ("result", "profile", "stats", "graph", "topology"):
         nested = payload.get(nested_key)
         if nested is not None:
             errors.extend(
                 f"{nested_key}: {err}" for err in validate_result(nested)
             )
+    return errors
+
+
+def _validate_service_envelope_v11(payload: dict) -> List[str]:
+    """``repro/service-v1.1``: v1 plus optional topology fields.
+
+    The compatibility rule (docs/service.md): a v1 consumer must ignore
+    unknown optional fields, so every valid v1.1 envelope minus the tag
+    is a valid v1 envelope.  This validator checks the additive fields
+    and requires at least one of them — an envelope carrying neither
+    should have stayed plain v1.
+    """
+    errors = _validate_service_envelope(payload)
+    served_by = payload.get("served_by")
+    if served_by is not None and (
+        not isinstance(served_by, str) or not served_by
+    ):
+        errors.append("'served_by' must be a non-empty string when given")
+    ring_epoch = payload.get("ring_epoch")
+    if ring_epoch is not None and (
+        not isinstance(ring_epoch, int)
+        or isinstance(ring_epoch, bool)
+        or ring_epoch < 0
+    ):
+        errors.append("'ring_epoch' must be a non-negative int when given")
+    if served_by is None and ring_epoch is None:
+        errors.append(
+            "a v1.1 envelope must carry 'served_by' and/or 'ring_epoch' "
+            "(an envelope with neither is plain repro/service-v1)"
+        )
+    return errors
+
+
+def _validate_topology_v1(payload: dict) -> List[str]:
+    errors: List[str] = []
+    epoch = payload.get("epoch")
+    if not isinstance(epoch, int) or isinstance(epoch, bool) or epoch < 0:
+        errors.append("'epoch' must be a non-negative int")
+    vnodes = payload.get("vnodes")
+    if not isinstance(vnodes, int) or isinstance(vnodes, bool) or vnodes < 1:
+        errors.append("'vnodes' must be a positive int")
+    workers = payload.get("workers")
+    if not isinstance(workers, list) or not workers:
+        errors.append("'workers' must be a non-empty list")
+    else:
+        seen = set()
+        for i, worker in enumerate(workers):
+            if not isinstance(worker, dict):
+                errors.append(f"workers[{i}] must be an object")
+                continue
+            worker_id = worker.get("id")
+            if not isinstance(worker_id, str) or not worker_id:
+                errors.append(f"workers[{i}].id must be a non-empty string")
+            elif worker_id in seen:
+                errors.append(f"workers[{i}].id {worker_id!r} is duplicated")
+            else:
+                seen.add(worker_id)
+            if not isinstance(worker.get("url"), str) or not worker["url"]:
+                errors.append(f"workers[{i}].url must be a non-empty string")
+        replicas = payload.get("replicas")
+        if replicas is not None:
+            if not isinstance(replicas, dict):
+                errors.append("'replicas' must be an object when given")
+            else:
+                for key, ids in replicas.items():
+                    if not isinstance(ids, list) or any(
+                        not isinstance(w, str) or not w for w in ids
+                    ):
+                        errors.append(
+                            f"replicas[{key!r}] must be a list of "
+                            "non-empty worker ids"
+                        )
+                    elif any(w not in seen for w in ids):
+                        errors.append(
+                            f"replicas[{key!r}] names a worker not in "
+                            "the worker table"
+                        )
+    return errors
+
+
+def _validate_router_stats_v1(payload: dict) -> List[str]:
+    errors: List[str] = []
+    if not isinstance(payload.get("draining"), bool):
+        errors.append("'draining' must be a bool")
+    ring = payload.get("ring")
+    if not isinstance(ring, dict):
+        errors.append("'ring' must be an object")
+    else:
+        epoch = ring.get("epoch")
+        if not isinstance(epoch, int) or isinstance(epoch, bool) or epoch < 0:
+            errors.append("ring.epoch must be a non-negative int")
+        if not isinstance(ring.get("nodes"), list):
+            errors.append("ring.nodes must be a list")
+    workers = payload.get("workers")
+    if not isinstance(workers, dict):
+        errors.append("'workers' must be an object")
+    counters = payload.get("counters")
+    if not isinstance(counters, dict):
+        errors.append("'counters' must be an object")
+    else:
+        for name, value in counters.items():
+            if not isinstance(value, int) or isinstance(value, bool):
+                errors.append(
+                    f"counters.{name} must be an int, got {value!r}"
+                )
+    histograms = payload.get("histograms")
+    if histograms is not None and not isinstance(histograms, dict):
+        errors.append("'histograms' must be an object when given")
     return errors
 
 
@@ -481,6 +592,65 @@ def _validate_update_bench(entry: Any) -> List[str]:
     return errors
 
 
+# optional bench (records predating the fleet stay valid): mixed
+# cold/warm load through the router at 1 vs N workers
+# (scripts/bench_fleet.py)
+def _validate_fleet_bench(entry: Any) -> List[str]:
+    if not isinstance(entry, dict):
+        return ["benches.fleet must be an object"]
+    errors: List[str] = []
+    for arm in ("single", "scaled"):
+        digest = entry.get(arm)
+        if not isinstance(digest, dict):
+            errors.append(f"benches.fleet.{arm} must be an object")
+            continue
+        workers = digest.get("workers")
+        if not isinstance(workers, int) or isinstance(workers, bool) \
+                or workers < 1:
+            errors.append(
+                f"benches.fleet.{arm}.workers must be a positive int"
+            )
+        for temperature in ("cold", "warm"):
+            quantiles = digest.get(temperature)
+            if not isinstance(quantiles, dict):
+                errors.append(
+                    f"benches.fleet.{arm}.{temperature} must be an object"
+                )
+                continue
+            count = quantiles.get("count")
+            if not isinstance(count, int) or isinstance(count, bool) \
+                    or count < 1:
+                errors.append(
+                    f"benches.fleet.{arm}.{temperature}.count must be "
+                    "a positive int"
+                )
+            for quantile_field in _TRAJECTORY_QUANTILES:
+                v = quantiles.get(quantile_field)
+                if (
+                    not isinstance(v, (int, float))
+                    or isinstance(v, bool)
+                    or v < 0
+                ):
+                    errors.append(
+                        f"benches.fleet.{arm}.{temperature}."
+                        f"{quantile_field} must be a non-negative number"
+                    )
+        rps = digest.get("cold_throughput_rps")
+        if not isinstance(rps, (int, float)) or isinstance(rps, bool) \
+                or rps < 0:
+            errors.append(
+                f"benches.fleet.{arm}.cold_throughput_rps must be a "
+                "non-negative number"
+            )
+    for ratio_field in ("cold_speedup", "warm_p99_ratio"):
+        v = entry.get(ratio_field)
+        if not isinstance(v, (int, float)) or isinstance(v, bool) or v < 0:
+            errors.append(
+                f"benches.fleet.{ratio_field} must be a non-negative number"
+            )
+    return errors
+
+
 def _validate_trajectory_record(payload: dict) -> List[str]:
     """One perf-trajectory record (see ``scripts/bench_trajectory.py``)."""
     errors: List[str] = []
@@ -539,6 +709,8 @@ def _validate_trajectory_record(payload: dict) -> List[str]:
                     )
     if "index_update" in benches:
         errors.extend(_validate_update_bench(benches["index_update"]))
+    if "fleet" in benches:
+        errors.extend(_validate_fleet_bench(benches["fleet"]))
     return errors
 
 
@@ -597,7 +769,10 @@ def validate_result(payload: Any) -> List[str]:
         "repro/profile-v1": _validate_profile_v1,
         "repro/stats-v1": _validate_stats_v1,
         "repro/service-v1": _validate_service_envelope,
+        "repro/service-v1.1": _validate_service_envelope_v11,
         "repro/service-stats-v1": _validate_service_stats_v1,
+        "repro/router-stats-v1": _validate_router_stats_v1,
+        "repro/topology-v1": _validate_topology_v1,
         TRAJECTORY_SCHEMA: _validate_trajectory_record,
     }
     checker = validators.get(schema)

@@ -43,6 +43,7 @@ from .overload import (
     AdmissionDecision,
     AdmissionGate,
     CircuitBreaker,
+    HotKeyTracker,
 )
 
 __all__ = [
@@ -50,6 +51,7 @@ __all__ = [
     "AdmissionDecision",
     "AdmissionGate",
     "CircuitBreaker",
+    "HotKeyTracker",
     "Budget",
     "NullBudget",
     "RunBudget",

@@ -35,6 +35,7 @@ __all__ = [
     "AdmissionGate",
     "AdmissionController",
     "CircuitBreaker",
+    "HotKeyTracker",
 ]
 
 
@@ -307,4 +308,78 @@ class CircuitBreaker:
                 "last_error": (
                     repr(self.last_error) if self.last_error else None
                 ),
+            }
+
+
+class HotKeyTracker:
+    """Windowed hot/cold classification over monotonic per-key counters.
+
+    The fleet router polls each worker's ``key_hits`` stats (absolute,
+    ever-growing totals) and feeds the merged totals into
+    :meth:`observe` once per poll window.  The tracker differences the
+    totals into per-window rates: a key whose window delta reaches
+    ``threshold`` becomes **hot** (the router promotes a warm replica);
+    a hot key that sits at zero delta for ``cold_windows`` consecutive
+    windows is demoted again.  Any traffic at all — even below the
+    promotion threshold — resets the demotion countdown, so a replica
+    is only dropped when the key has gone genuinely quiet.
+
+    Thread-safe; transport-free (the router owns the polling cadence).
+    """
+
+    def __init__(self, threshold: int = 8, cold_windows: int = 3):
+        if not isinstance(threshold, int) or threshold < 1:
+            raise InvalidParameterError(
+                f"threshold must be an int >= 1, got {threshold!r}"
+            )
+        if not isinstance(cold_windows, int) or cold_windows < 1:
+            raise InvalidParameterError(
+                f"cold_windows must be an int >= 1, got {cold_windows!r}"
+            )
+        self.threshold = threshold
+        self.cold_windows = cold_windows
+        self._lock = threading.Lock()
+        self._totals: Dict[str, int] = {}
+        self._hot: Dict[str, int] = {}  # key -> consecutive quiet windows
+
+    def observe(self, totals: Dict[str, int]) -> None:
+        """Fold in one poll window of merged absolute per-key totals.
+
+        A total lower than the previous one (a worker restarted and its
+        counters reset) is treated as a fresh baseline, not a negative
+        rate.
+        """
+        with self._lock:
+            for key, total in totals.items():
+                previous = self._totals.get(key, 0)
+                delta = total - previous if total >= previous else total
+                self._totals[key] = total
+                if delta >= self.threshold:
+                    self._hot[key] = 0
+                elif key in self._hot:
+                    if delta > 0:
+                        self._hot[key] = 0
+                    else:
+                        self._hot[key] += 1
+                        if self._hot[key] >= self.cold_windows:
+                            del self._hot[key]
+
+    def hot_keys(self) -> Tuple[str, ...]:
+        """The currently-hot keys, hottest-total first."""
+        with self._lock:
+            return tuple(sorted(
+                self._hot, key=lambda k: -self._totals.get(k, 0)
+            ))
+
+    def is_hot(self, key: str) -> bool:
+        with self._lock:
+            return key in self._hot
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "hot": sorted(self._hot),
+                "tracked": len(self._totals),
+                "threshold": self.threshold,
+                "cold_windows": self.cold_windows,
             }

@@ -27,13 +27,25 @@ from .client import (
     ServiceOutcome,
     UpdateOutcome,
 )
+from .hashring import HashRing, key_string, parse_key_string, request_key
 from .protocol import (
     KNOWN_OPS,
+    ROUTER_STATS_SCHEMA,
     SERVICE_SCHEMA,
+    SERVICE_SCHEMA_V11,
     SERVICE_STATS_SCHEMA,
+    TOPOLOGY_SCHEMA,
     envelope,
     error_envelope,
     parse_request,
+    stamp_topology,
+)
+from .router import (
+    FleetManager,
+    RouterConfig,
+    RouterService,
+    make_router,
+    serve_fleet,
 )
 from .server import ReproService, ServiceConfig, make_server, serve_forever
 from .singleflight import SingleFlight
@@ -50,10 +62,23 @@ __all__ = [
     "ServiceConfig",
     "make_server",
     "serve_forever",
+    "HashRing",
+    "key_string",
+    "parse_key_string",
+    "request_key",
+    "FleetManager",
+    "RouterConfig",
+    "RouterService",
+    "make_router",
+    "serve_fleet",
     "SERVICE_SCHEMA",
+    "SERVICE_SCHEMA_V11",
     "SERVICE_STATS_SCHEMA",
+    "ROUTER_STATS_SCHEMA",
+    "TOPOLOGY_SCHEMA",
     "KNOWN_OPS",
     "envelope",
     "error_envelope",
     "parse_request",
+    "stamp_topology",
 ]

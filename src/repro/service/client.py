@@ -35,21 +35,41 @@ outcome exposes ``.ok`` / ``.code`` / ``.error`` / ``.request_id`` /
 ``.graph_version``.  :meth:`ServiceClient.rpc` is the raw escape hatch
 for ops (or fields) this client has no helper for.
 
+**Topology awareness** (``topology_aware=True``): against a fleet front
+(see ``docs/service.md``, "Fleet deployment") the client fetches
+``GET /v1/topology`` once, rebuilds the router's :class:`HashRing`
+locally from the member list (placement is a pure function of the member
+set, so both sides agree), and sends ``query``/``build``/``profile``
+straight to the owning worker — skipping the router hop on the hot path.
+Anything that goes wrong with a direct attempt (connection failure, a
+5xx, an overloaded worker) falls back through the router, which is
+always correct; a ``ring_epoch`` on a router response that differs from
+the cached epoch marks the topology stale and re-fetches it before the
+next routing decision.  ``update`` and ``stats`` always go through the
+router — update must fan out to replicas, and stats aggregation is the
+router's job.
+
 Stdlib-only (:mod:`urllib.request`); injectable ``sleep`` and ``rng``
-keep the tests instant and deterministic.
+keep the tests instant and deterministic.  The client holds no sockets
+between calls, but :meth:`ServiceClient.close` (also via ``with``)
+drops the cached topology and fails further calls fast, so a closed
+client cannot silently keep routing.
 """
 
 from __future__ import annotations
 
 import json
 import random
+import threading
 import time
 import urllib.error
 import urllib.request
+import warnings
 from typing import Any, Dict, List, Optional, Tuple, Union
 
-from ..errors import ServiceUnavailable
+from ..errors import InvalidParameterError, ServiceUnavailable
 from ..results import DenseSubgraphResult
+from .hashring import HashRing, key_string, request_key
 
 __all__ = [
     "ServiceClient",
@@ -58,6 +78,11 @@ __all__ = [
     "ProfileOutcome",
     "UpdateOutcome",
 ]
+
+# ops a topology-aware client may send straight to the owning worker;
+# update is excluded (must fan out via the router) and stats is a
+# whole-fleet aggregate
+_ROUTABLE_OPS = ("query", "build", "profile")
 
 # statuses worth retrying: the request was fine, the server was not ready
 _RETRYABLE_STATUSES = (429, 503)
@@ -112,6 +137,16 @@ class ServiceOutcome(dict):
     @property
     def retry_after_s(self) -> Optional[float]:
         return self.get("retry_after_s")
+
+    @property
+    def served_by(self) -> Optional[str]:
+        """Worker id that computed this response (v1.1 fleets only)."""
+        return self.get("served_by")
+
+    @property
+    def ring_epoch(self) -> Optional[int]:
+        """Router ring epoch this response was served under (v1.1)."""
+        return self.get("ring_epoch")
 
 
 class QueryOutcome(ServiceOutcome):
@@ -182,6 +217,10 @@ class ServiceClient:
     is stateless between calls, so sharing one across threads is fine.
     """
 
+    # class-level so the DeprecationWarning on bare rpc() fires once per
+    # process, not once per client (mirrors the options= migration)
+    _rpc_deprecation_warned = False
+
     def __init__(
         self,
         endpoint: str,
@@ -192,6 +231,7 @@ class ServiceClient:
         jitter: float = 0.1,
         sleep=time.sleep,
         rng: Optional[random.Random] = None,
+        topology_aware: bool = False,
     ):
         self.endpoint = endpoint.rstrip("/")
         self.timeout_s = timeout_s
@@ -199,21 +239,50 @@ class ServiceClient:
         self.backoff_base_s = backoff_base_s
         self.backoff_max_s = backoff_max_s
         self.jitter = jitter
+        self.topology_aware = topology_aware
         self._sleep = sleep
         self._rng = rng if rng is not None else random.Random()
+        self._closed = False
+        # cached fleet topology: (ring, {worker_id: base_url}, router epoch)
+        self._topo_lock = threading.Lock()
+        self._topo: Optional[Tuple[HashRing, Dict[str, str], int]] = None
+        self._topo_stale = True
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the client: drop the cached topology and refuse
+        further calls.  Idempotent; also invoked by ``with``-exit."""
+        self._closed = True
+        with self._topo_lock:
+            self._topo = None
+            self._topo_stale = True
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
     # -- wire level -----------------------------------------------------
 
     def _once(
-        self, path: str, body: Optional[bytes]
+        self, path: str, body: Optional[bytes],
+        base: Optional[str] = None,
     ) -> Tuple[int, Optional[str], bytes]:
         """One HTTP exchange: ``(status, retry_after_header, body)``.
 
         Raises ``OSError`` (including ``URLError``) on connection-level
-        failure; HTTP error statuses are returned, not raised.
+        failure; HTTP error statuses are returned, not raised.  ``base``
+        overrides the endpoint (topology-aware direct-to-worker calls).
         """
+        if self._closed:
+            raise ServiceUnavailable(
+                "client is closed", last_status=None, attempts=0
+            )
         request = urllib.request.Request(
-            self.endpoint + path,
+            (base if base is not None else self.endpoint) + path,
             data=body,
             method="POST" if body is not None else "GET",
             headers={"Content-Type": "application/x-ndjson"}
@@ -294,22 +363,122 @@ class ServiceClient:
             attempts=attempts,
         )
 
+    @staticmethod
+    def _decode(status: int, payload: bytes, path: str) -> Dict[str, Any]:
+        lines = [ln for ln in payload.decode("utf-8").splitlines() if ln]
+        if not lines:
+            raise ServiceUnavailable(
+                f"empty response body (HTTP {status}) from {path}",
+                last_status=status, attempts=1,
+            )
+        return json.loads(lines[0])
+
     def _rpc(
         self, op: str, obj: Dict[str, Any],
         retry_connection_errors: bool = True,
     ) -> Dict[str, Any]:
         body = json.dumps(dict(obj, op=op)).encode("utf-8")
+        path = f"/v1/{op}"
+        if self.topology_aware and op in _ROUTABLE_OPS:
+            env = self._try_direct(path, body, obj)
+            if env is not None:
+                return env
         status, payload = self._exchange(
-            f"/v1/{op}", body,
+            path, body,
             retry_connection_errors=retry_connection_errors,
         )
-        lines = [ln for ln in payload.decode("utf-8").splitlines() if ln]
-        if not lines:
+        env = self._decode(status, payload, path)
+        self._note_epoch(env)
+        return env
+
+    # -- topology awareness ---------------------------------------------
+
+    def topology(self) -> "ServiceOutcome":
+        """``GET /v1/topology`` from the router: ring epoch, worker
+        table and replica map (raises against a single-process daemon,
+        which has no topology surface)."""
+        status, _, payload = self._once("/v1/topology", None)
+        if status != 200:
             raise ServiceUnavailable(
-                f"empty response body (HTTP {status}) from /v1/{op}",
+                f"/v1/topology returned HTTP {status}",
                 last_status=status, attempts=1,
             )
-        return json.loads(lines[0])
+        return ServiceOutcome(self._decode(status, payload, "/v1/topology"))
+
+    def _note_epoch(self, env: Dict[str, Any]) -> None:
+        """Mark the cached topology stale when a router response proves
+        the ring moved under us."""
+        epoch = env.get("ring_epoch")
+        if not isinstance(epoch, int):
+            return
+        with self._topo_lock:
+            if self._topo is not None and self._topo[2] != epoch:
+                self._topo_stale = True
+
+    def _topology_snapshot(
+        self,
+    ) -> Optional[Tuple[HashRing, Dict[str, str], int]]:
+        """The cached ``(ring, worker table, epoch)``, re-fetched when
+        stale; None when the endpoint has no topology surface."""
+        with self._topo_lock:
+            if self._topo is not None and not self._topo_stale:
+                return self._topo
+        try:
+            topo = self.topology().get("topology") or {}
+        except (ServiceUnavailable, OSError, urllib.error.URLError,
+                json.JSONDecodeError):
+            with self._topo_lock:
+                self._topo = None
+                self._topo_stale = True
+            return None
+        workers = {
+            worker["id"]: worker["url"].rstrip("/")
+            for worker in topo.get("workers", ())
+            if isinstance(worker, dict) and worker.get("url")
+        }
+        if not workers:
+            return None
+        # placement is a pure function of (member set, vnodes): rebuild
+        # the router's ring locally instead of shipping vnode positions
+        ring = HashRing(
+            sorted(workers), vnodes=int(topo.get("vnodes", 0) or 64)
+        )
+        snapshot = (ring, workers, int(topo.get("epoch", 0)))
+        with self._topo_lock:
+            self._topo = snapshot
+            self._topo_stale = False
+        return snapshot
+
+    def _try_direct(
+        self, path: str, body: bytes, obj: Dict[str, Any]
+    ) -> Optional[Dict[str, Any]]:
+        """One direct-to-owner attempt; None means *fall back through
+        the router* (no topology, unroutable request, worker trouble)."""
+        topo = self._topology_snapshot()
+        if topo is None:
+            return None
+        ring, workers, _ = topo
+        try:
+            key = key_string(request_key(obj))
+        except (InvalidParameterError, TypeError, ValueError):
+            return None  # malformed request: let the server say why
+        owner = ring.owner(key)
+        base = workers.get(owner) if owner else None
+        if base is None:
+            return None
+        try:
+            status, _, payload = self._once(path, body, base=base)
+        except (OSError, urllib.error.URLError):
+            # the worker may be gone; the router knows the live ring
+            with self._topo_lock:
+                self._topo_stale = True
+            return None
+        if status in _RETRYABLE_STATUSES or status >= 500:
+            if status >= 500:
+                with self._topo_lock:
+                    self._topo_stale = True
+            return None
+        return self._decode(status, payload, path)
 
     # -- ops ------------------------------------------------------------
 
@@ -319,20 +488,35 @@ class ServiceClient:
         obj: Optional[Dict[str, Any]] = None,
         retry_connection_errors: Optional[bool] = None,
         **fields: Any,
-    ) -> Dict[str, Any]:
-        """Raw escape hatch: POST any op, get the undecoded envelope.
+    ) -> "ServiceOutcome":
+        """Raw escape hatch: POST any op, get the decoded envelope.
 
         For ops this client has no typed helper for (or fields the
         helpers do not model).  Connection-error retries follow the
         idempotency rule by default — everything retries except
         ``update`` — and can be forced either way explicitly.
+
+        .. deprecated:: the bare-``dict`` return is deprecated; ``rpc``
+           now returns a :class:`ServiceOutcome` (a ``dict`` subclass,
+           so every existing access pattern keeps working) and warns
+           once per process.  Prefer the typed helpers.
         """
+        if not ServiceClient._rpc_deprecation_warned:
+            ServiceClient._rpc_deprecation_warned = True
+            warnings.warn(
+                "ServiceClient.rpc() now returns a ServiceOutcome (a dict "
+                "subclass); the bare-dict contract is deprecated — use the "
+                "typed helpers (query/build/profile/stats/update) or the "
+                "outcome properties",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         if retry_connection_errors is None:
             retry_connection_errors = op != "update"
-        return self._rpc(
+        return ServiceOutcome(self._rpc(
             op, dict(obj or {}, **fields),
             retry_connection_errors=retry_connection_errors,
-        )
+        ))
 
     def query(self, **fields: Any) -> QueryOutcome:
         """``op=query``; pass ``dataset``/``path``, ``k``, etc. as kwargs."""

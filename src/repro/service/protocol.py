@@ -75,6 +75,23 @@ Every response also carries ``request_id`` (see above).  Query
 responses embed the full ``repro/result-v1`` payload under ``"result"``
 plus ``cached`` (served from the finished-result cache), ``coalesced``
 (shared a concurrent identical computation) and ``query_time_s``.
+
+**Topology fields (``repro/service-v1.1``).**  In a fleet deployment
+(see ``docs/service.md``, "Fleet deployment") envelopes grow two
+*optional* fields: ``served_by`` — the worker id that computed the
+response (stamped by workers started with ``--worker-id`` and by the
+router on every forwarded response) — and ``ring_epoch`` — the router's
+monotonic hash-ring membership counter, present only on responses that
+crossed the router.  An envelope carrying either field is tagged
+``schema: repro/service-v1.1``; everything else about the contract is
+unchanged.  The compatibility rule is the usual one for optional
+fields: **a v1 consumer must ignore unknown optional fields**, so every
+valid v1.1 envelope is also a valid v1 envelope minus the tag, and
+``python -m repro.obs.validate --result`` accepts both versions.  The
+router additionally serves ``GET /v1/topology``: a v1.1 envelope whose
+``topology`` payload (``repro/topology-v1``) carries the ring epoch,
+the worker table and the warm-replica map, so clients can route
+directly to owners.
 """
 
 from __future__ import annotations
@@ -87,18 +104,28 @@ from ..results import PROFILE_SCHEMA, RESULT_SCHEMA, STATS_SCHEMA
 
 __all__ = [
     "SERVICE_SCHEMA",
+    "SERVICE_SCHEMA_V11",
     "SERVICE_STATS_SCHEMA",
+    "ROUTER_STATS_SCHEMA",
+    "TOPOLOGY_SCHEMA",
     "RESULT_SCHEMA",
     "PROFILE_SCHEMA",
     "STATS_SCHEMA",
     "KNOWN_OPS",
     "envelope",
     "error_envelope",
+    "stamp_topology",
     "parse_request",
 ]
 
 SERVICE_SCHEMA = "repro/service-v1"
+# v1.1 adds the *optional* topology fields served_by / ring_epoch; the
+# compatibility rule (unknown optional fields are ignored) makes every
+# v1.1 envelope readable by a v1 consumer
+SERVICE_SCHEMA_V11 = "repro/service-v1.1"
 SERVICE_STATS_SCHEMA = "repro/service-stats-v1"
+ROUTER_STATS_SCHEMA = "repro/router-stats-v1"
+TOPOLOGY_SCHEMA = "repro/topology-v1"
 
 KNOWN_OPS = ("query", "profile", "stats", "build", "update")
 
@@ -131,6 +158,27 @@ def error_envelope(
     }
     body.update(payload)
     return body
+
+
+def stamp_topology(
+    env: Dict[str, Any],
+    served_by: Optional[str] = None,
+    ring_epoch: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Stamp the optional topology fields onto ``env`` (in place).
+
+    Any envelope carrying ``served_by`` and/or ``ring_epoch`` is tagged
+    with the ``repro/service-v1.1`` schema; an envelope stamped with
+    neither is returned untouched, so single-process deployments keep
+    emitting plain v1.
+    """
+    if served_by is not None:
+        env["served_by"] = served_by
+    if ring_epoch is not None:
+        env["ring_epoch"] = ring_epoch
+    if "served_by" in env or "ring_epoch" in env:
+        env["schema"] = SERVICE_SCHEMA_V11
+    return env
 
 
 def parse_request(line: str) -> Dict[str, Any]:

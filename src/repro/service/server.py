@@ -68,11 +68,13 @@ from ..resilience import NULL_BUDGET, RunBudget
 from ..resilience.overload import AdmissionController, CircuitBreaker
 from ..results import PROFILE_SCHEMA, STATS_SCHEMA, PartialResult
 from .cache import LRUCache
+from .hashring import key_string
 from .protocol import (
     SERVICE_STATS_SCHEMA,
     envelope,
     error_envelope,
     parse_request,
+    stamp_topology,
 )
 from .singleflight import SingleFlight
 
@@ -131,6 +133,11 @@ class ServiceConfig:
     # consecutive failures, half-open probe after the cooldown
     breaker_threshold: int = 5
     breaker_cooldown_s: float = 30.0
+    # fleet identity: when set (serve --role worker --worker-id w3) every
+    # response envelope is stamped served_by=<id> (schema repro/service-v1.1)
+    # and /v1/stats reports it, so the router and clients can attribute
+    # responses to workers
+    worker_id: Optional[str] = None
 
 
 class ReproService:
@@ -174,6 +181,12 @@ class ReproService:
         # can find sibling indices (same graph, other threshold/options)
         # that it must drop from memory and disk
         self._seen_index_keys: Dict[Any, set] = {}
+        # per-key demand counters (canonical key string -> requests that
+        # named it), exposed in /v1/stats as "key_hits" — the signal the
+        # fleet router's hot-key promotion reads
+        self._key_hits: Dict[str, int] = {}
+        # stale-source startup warnings are emitted once per key
+        self._stale_warned: set = set()
         self._breakers: Dict[Any, CircuitBreaker] = {}
         self._breaker_lock = threading.Lock()
         # pre-seed the overload counters so every stats payload carries
@@ -431,6 +444,18 @@ class ReproService:
         with self._version_lock:
             return self._graph_versions.get(graph_key, 0)
 
+    def _note_key_demand(self, index_key) -> None:
+        """Count one request against ``index_key``'s demand counter.
+
+        Counted per *request that named the key* — result-cache hits
+        included — because that is the signal a router needs for warm-
+        replica promotion: what clients are asking for, not what the
+        index cache happened to miss.
+        """
+        canonical = key_string(index_key)
+        with self._version_lock:
+            self._key_hits[canonical] = self._key_hits.get(canonical, 0) + 1
+
     def _update_lock(self, index_key) -> threading.Lock:
         with self._version_lock:
             lock = self._update_locks.get(index_key)
@@ -447,6 +472,72 @@ class ReproService:
             json.dumps(index_key, sort_keys=True, default=list).encode("utf-8")
         ).hexdigest()
         return os.path.join(self.config.index_dir, f"{digest}.sct2")
+
+    def _index_meta_path(self, disk_path: str) -> str:
+        """Sidecar JSON next to a ``.sct2`` recording its graph_version."""
+        return disk_path + ".meta.json"
+
+    def _store_index_meta(self, disk_path: str, graph_version: int) -> None:
+        """Persist the patched index's graph_version next to the file.
+
+        Best-effort (the index itself is the asset); written via the
+        same tmp + rename dance so a crash never leaves a torn sidecar.
+        """
+        meta_path = self._index_meta_path(disk_path)
+        tmp = meta_path + ".tmp"
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump({"graph_version": graph_version}, handle)
+            os.replace(tmp, meta_path)
+        except OSError:
+            self._count("service/index_cache/disk_store_error")
+
+    def _check_stale_source(self, index_key, disk_path: str) -> None:
+        """Warn when a patched on-disk index meets a freshly loaded source.
+
+        The PR 9 restart caveat at fleet scale: a worker cold-starting
+        with ``--index-dir`` mmaps back an index that incremental
+        updates patched (persisted ``graph_version`` > 0), while the
+        graph itself reloads from the *original* edge-list source — the
+        two have diverged, and at fleet scale this happens per worker,
+        silently.  Emit a structured warning (op=``startup``) and bump
+        ``service/index_cache/stale_source`` so operators can see the
+        divergence on every worker's ``/metrics``; warn once per key.
+        """
+        if index_key in self._stale_warned:
+            return
+        meta_path = self._index_meta_path(disk_path)
+        try:
+            with open(meta_path, "r", encoding="utf-8") as handle:
+                meta = json.load(handle)
+        except (OSError, ValueError):
+            return  # no sidecar: the file was never patched
+        persisted = meta.get("graph_version")
+        if not isinstance(persisted, int) or persisted <= 0:
+            return
+        graph_key = index_key[0]
+        if self._graph_version(graph_key) > 0:
+            return  # this process applied updates itself; no divergence
+        self._stale_warned.add(index_key)
+        self._count("service/index_cache/stale_source")
+        warning = {
+            "op": "startup",
+            "warning": "stale_source",
+            "graph": list(graph_key),
+            "threshold": index_key[1],
+            "persisted_graph_version": persisted,
+            "detail": (
+                "patched .sct2 loaded from disk but the edge-list source "
+                "is being reloaded from its original file; the index and "
+                "the graph have diverged (see docs/service.md, restart "
+                "caveat)"
+            ),
+        }
+        if self.config.worker_id:
+            warning["worker_id"] = self.config.worker_id
+        print(json.dumps(warning, sort_keys=True), file=sys.stderr, flush=True)
+        with self._rec_lock:
+            self._recorder.event("startup/stale_source", **warning)
 
     def _quarantine(self, disk_path: str, exc: BaseException) -> None:
         """Move a corrupt ``.sct2`` file into ``index_dir/quarantine/``.
@@ -523,6 +614,7 @@ class ReproService:
                     index = None  # fall through to a rebuild
                 else:
                     self._count("service/index_cache/disk_hit")
+                    self._check_stale_source(index_key, disk_path)
                     return index
             self._count("service/index_builds")
             index = SCTIndex.build(
@@ -581,6 +673,7 @@ class ReproService:
         include_stats = bool(obj.get("include_stats", False))
         graph_key, graph = self._graph_for(obj)
         index_key = self._index_key(graph_key, obj)
+        self._note_key_demand(index_key)
         result_key = (
             "query", index_key, k, spec.name, iterations, sample_size, seed
         )
@@ -799,10 +892,13 @@ class ReproService:
                 evicted_siblings += 1
             sibling_path = self._index_disk_path(sibling)
             if sibling_path is not None:
-                try:
-                    os.remove(sibling_path)
-                except OSError:
-                    pass
+                for stale in (
+                    sibling_path, self._index_meta_path(sibling_path)
+                ):
+                    try:
+                        os.remove(stale)
+                    except OSError:
+                        pass
         if evicted_siblings:
             self._count(
                 "service/index_cache/sibling_evictions", evicted_siblings
@@ -815,12 +911,17 @@ class ReproService:
                 self._count("service/index_cache/disk_store_error")
             else:
                 self._count("service/index_cache/disk_store")
+                # record the patched file's graph_version so a cold
+                # restart can detect (and warn about) index-vs-source
+                # divergence instead of serving it silently
+                self._store_index_meta(disk_path, version)
         return version, invalidated, retained, evicted_siblings
 
     def _op_build(self, obj: Dict[str, Any]) -> Dict[str, Any]:
         t0 = time.perf_counter()
         graph_key, graph = self._graph_for(obj)
         index_key = self._index_key(graph_key, obj)
+        self._note_key_demand(index_key)
         budget = self._budget_for(obj)
         self._track_budget(budget)
         recorder = MetricsRecorder(request_id=obj.get("_request_id"))
@@ -851,6 +952,7 @@ class ReproService:
         iterations = int(obj.get("iterations", 10))
         graph_key, graph = self._graph_for(obj)
         index_key = self._index_key(graph_key, obj)
+        self._note_key_demand(index_key)
         budget = self._budget_for(obj)
         self._track_budget(budget)
         recorder = MetricsRecorder(request_id=obj.get("_request_id"))
@@ -917,6 +1019,9 @@ class ReproService:
                 "/".join(str(part) for part in graph_key): version
                 for graph_key, version in sorted(self._graph_versions.items())
             }
+            payload["key_hits"] = dict(sorted(self._key_hits.items()))
+        if self.config.worker_id is not None:
+            payload["worker_id"] = self.config.worker_id
         if self._admission is not None:
             payload["admission"] = self._admission.snapshot()
         breakers = self._breaker_snapshot()
@@ -958,6 +1063,8 @@ class ReproService:
         response = self._dispatch(op, obj)
         duration_s = time.perf_counter() - started
         response["request_id"] = rid
+        if self.config.worker_id is not None:
+            stamp_topology(response, served_by=self.config.worker_id)
         temp = obj.get("_temp", "warm")
         if op in self._OPS and response.get("error") is None:
             self._observe(f"service/latency/{op}/{temp}", duration_s)
@@ -1222,6 +1329,7 @@ def serve_forever(
     access_log_path: Optional[str] = None,
     max_concurrent: Optional[int] = None,
     max_queue: int = 16,
+    worker_id: Optional[str] = None,
 ) -> int:
     """Run the daemon until SIGTERM/SIGINT; returns the exit code.
 
@@ -1236,6 +1344,7 @@ def serve_forever(
         trace_path=trace_path, index_dir=index_dir,
         access_log_path=access_log_path,
         max_concurrent=max_concurrent, max_queue=max_queue,
+        worker_id=worker_id,
     )
     sink = open(trace_path, "w", encoding="utf-8") if trace_path else None
     access_log = (

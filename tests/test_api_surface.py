@@ -173,7 +173,7 @@ EXPECTED_CLIENT_OPS = {
 EXPECTED_OUTCOME_PROPERTIES = {
     "ServiceOutcome": {
         "code", "ok", "error", "request_id", "graph_version", "rejected",
-        "retry_after_s",
+        "retry_after_s", "served_by", "ring_epoch",
     },
     "QueryOutcome": {"result", "cached", "coalesced", "query_time_s"},
     "ProfileOutcome": {"rows", "densest_k"},

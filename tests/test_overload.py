@@ -554,3 +554,110 @@ class TestServiceClient:
         finally:
             httpd.shutdown()
             httpd.server_close()
+
+
+class TestHotKeyTracker:
+    def make(self, threshold=4, cold_windows=2):
+        from repro.resilience import HotKeyTracker
+
+        return HotKeyTracker(threshold=threshold, cold_windows=cold_windows)
+
+    def test_promotion_needs_threshold_in_one_window(self):
+        tracker = self.make(threshold=4)
+        tracker.observe({"a": 3})
+        assert not tracker.is_hot("a")
+        tracker.observe({"a": 7})  # delta 4 -> hot
+        assert tracker.is_hot("a")
+
+    def test_slow_accumulation_never_promotes(self):
+        tracker = self.make(threshold=4)
+        for total in range(1, 20):
+            tracker.observe({"a": total})  # delta 1 every window
+        assert not tracker.is_hot("a")
+
+    def test_worker_restart_resets_the_baseline(self):
+        tracker = self.make(threshold=4)
+        tracker.observe({"a": 100})  # first sight: delta 100 -> hot
+        assert tracker.is_hot("a")
+        # counters reset (worker restart): total 2 < previous 100 is a
+        # fresh baseline of 2, not a negative rate and not delta 2-100
+        tracker = self.make(threshold=4)
+        tracker.observe({"a": 100})
+        tracker.observe({"a": 2})
+        assert tracker._totals["a"] == 2
+
+    def test_demotion_after_cold_windows_quiet_polls(self):
+        tracker = self.make(threshold=4, cold_windows=2)
+        tracker.observe({"a": 4})
+        assert tracker.is_hot("a")
+        tracker.observe({"a": 4})  # quiet window 1
+        assert tracker.is_hot("a")
+        tracker.observe({"a": 4})  # quiet window 2 -> demoted
+        assert not tracker.is_hot("a")
+
+    def test_any_traffic_resets_the_demotion_countdown(self):
+        tracker = self.make(threshold=4, cold_windows=2)
+        tracker.observe({"a": 4})
+        tracker.observe({"a": 4})  # quiet window 1
+        tracker.observe({"a": 5})  # a trickle: countdown resets
+        tracker.observe({"a": 5})  # quiet window 1 again
+        assert tracker.is_hot("a")
+        tracker.observe({"a": 5})  # quiet window 2 -> demoted
+        assert not tracker.is_hot("a")
+
+    def test_hot_keys_ordered_hottest_first(self):
+        tracker = self.make(threshold=2)
+        tracker.observe({"a": 5, "b": 50, "c": 1})
+        assert tracker.hot_keys() == ("b", "a")
+
+    def test_snapshot_shape(self):
+        tracker = self.make(threshold=2, cold_windows=3)
+        tracker.observe({"b": 9, "a": 9, "c": 1})
+        assert tracker.snapshot() == {
+            "hot": ["a", "b"], "tracked": 3,
+            "threshold": 2, "cold_windows": 3,
+        }
+
+    def test_validation(self):
+        from repro.resilience import HotKeyTracker
+
+        with pytest.raises(InvalidParameterError):
+            HotKeyTracker(threshold=0)
+        with pytest.raises(InvalidParameterError):
+            HotKeyTracker(cold_windows=0)
+
+
+class TestClientLifecycle:
+    def test_close_is_idempotent_and_blocks_further_calls(self):
+        client = ServiceClient("http://127.0.0.1:9", max_retries=0)
+        client.close()
+        client.close()
+        with pytest.raises(ServiceUnavailable, match="closed"):
+            client.query(dataset=DATASET, k=3)
+
+    def test_context_manager_closes(self):
+        with ServiceClient("http://127.0.0.1:9") as client:
+            assert client._closed is False
+        assert client._closed is True
+
+    def test_rpc_deprecation_warns_exactly_once(self):
+        httpd, service = make_server(ServiceConfig(port=0))
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        try:
+            client = ServiceClient(
+                f"http://127.0.0.1:{httpd.server_address[1]}", timeout_s=60
+            )
+            ServiceClient._rpc_deprecation_warned = False
+            with pytest.warns(DeprecationWarning, match="ServiceOutcome"):
+                out = client.rpc("query", dataset=DATASET, k=4)
+            assert out.ok and out.code == 0
+            import warnings as warnings_mod
+
+            with warnings_mod.catch_warnings():
+                warnings_mod.simplefilter("error", DeprecationWarning)
+                assert client.rpc("query", dataset=DATASET, k=4).ok
+        finally:
+            ServiceClient._rpc_deprecation_warned = True
+            httpd.shutdown()
+            httpd.server_close()

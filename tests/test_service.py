@@ -601,8 +601,16 @@ class TestServiceUpdate:
 
         counters = service.stats_snapshot()["counters"]
         assert counters["service/index_updates"] == 2
-        # exactly one .sct2, holding the post-update index byte-for-byte
-        (disk_file,) = os.listdir(index_dir)
+        # exactly one .sct2 (plus its graph_version sidecar), holding
+        # the post-update index byte-for-byte
+        (disk_file,) = [
+            f for f in os.listdir(index_dir) if f.endswith(".sct2")
+        ]
+        (meta_file,) = [
+            f for f in os.listdir(index_dir) if f.endswith(".meta.json")
+        ]
+        with open(os.path.join(index_dir, meta_file)) as handle:
+            assert json.load(handle)["graph_version"] == 2
         loaded = SCTIndex.load(os.path.join(index_dir, disk_file))
         graph = read_edge_list(path)
         from repro.core import apply_edge_updates
@@ -697,7 +705,9 @@ class TestServiceUpdate:
         assert env["evicted_sibling_indices"] == 1
         # only the updated key remains, in memory and on disk
         assert len(service._indices) == 1
-        assert len(os.listdir(index_dir)) == 1
+        assert len(
+            [f for f in os.listdir(index_dir) if f.endswith(".sct2")]
+        ) == 1
         counters = service.stats_snapshot()["counters"]
         assert counters["service/index_cache/sibling_evictions"] == 1
 
@@ -861,3 +871,66 @@ class TestServiceUpdate:
             httpd.shutdown()
             httpd.server_close()
             thread.join(timeout=5)
+
+
+class TestStaleSourceWarning:
+    """Cold start with a patched on-disk index warns about divergence."""
+
+    def test_cold_start_with_patched_index_warns_once(
+        self, tmp_path, capsys
+    ):
+        path = two_clique_graph_file(tmp_path)
+        index_dir = str(tmp_path / "indices")
+        first = make_service(index_dir=index_dir)
+        assert first.handle_request(
+            {"op": "query", "path": path, "k": 5}
+        )["code"] == 0
+        assert update(first, path, deletes=[[6, 7]])["graph_version"] == 1
+        # the patched file now carries a graph_version=1 sidecar
+        metas = [
+            name for name in os.listdir(index_dir)
+            if name.endswith(".meta.json")
+        ]
+        assert len(metas) == 1
+
+        # a fresh worker reloads the edge list from its original file
+        # but mmaps the *patched* index: structured warning + counter
+        second = make_service(index_dir=index_dir)
+        capsys.readouterr()
+        assert second.handle_request(
+            {"op": "query", "path": path, "k": 5}
+        )["code"] == 0
+        warning = json.loads(capsys.readouterr().err.strip())
+        assert warning["op"] == "startup"
+        assert warning["warning"] == "stale_source"
+        assert warning["persisted_graph_version"] == 1
+        assert warning["graph"] == ["path", path]
+        counters = second.stats_snapshot()["counters"]
+        assert counters["service/index_cache/stale_source"] == 1
+
+        # warn once per key: a second hit stays quiet
+        assert second.handle_request(
+            {"op": "query", "path": path, "k": 4}
+        )["code"] == 0
+        assert capsys.readouterr().err == ""
+        counters = second.stats_snapshot()["counters"]
+        assert counters["service/index_cache/stale_source"] == 1
+
+    def test_self_applied_updates_do_not_warn(self, tmp_path, capsys):
+        path = two_clique_graph_file(tmp_path)
+        index_dir = str(tmp_path / "indices")
+        service = make_service(index_dir=index_dir)
+        assert service.handle_request(
+            {"op": "query", "path": path, "k": 5}
+        )["code"] == 0
+        assert update(service, path, deletes=[[6, 7]])["graph_version"] == 1
+        # this process applied the update itself: evicting and reloading
+        # from disk within the same process is not a divergence
+        service._indices.clear()
+        capsys.readouterr()
+        assert service.handle_request(
+            {"op": "query", "path": path, "k": 5}
+        )["code"] == 0
+        assert capsys.readouterr().err == ""
+        counters = service.stats_snapshot()["counters"]
+        assert "service/index_cache/stale_source" not in counters
